@@ -1,0 +1,30 @@
+"""Ablation: Bloom-filter probe structure for the audit operator (§IV-A.2).
+
+Paper: "We assume that the sensitiveIDs can fit in memory. If they cannot,
+standard optimizations such as bloom filters can be used instead." The
+counting Bloom probe keeps the one-sided guarantee (extra false positives
+possible, false negatives impossible) at constant small memory.
+"""
+
+from repro.bench.figures import bloom_probe_ablation
+
+from conftest import report
+
+
+def test_report_bloom_ablation(fixture, benchmark):
+    headers, rows = benchmark.pedantic(
+        lambda: bloom_probe_ablation(fixture), rounds=1, iterations=1
+    )
+    report(
+        "ablation_bloom",
+        "Ablation - audit probe structure: exact ID set vs counting "
+        "Bloom filter",
+        headers,
+        rows,
+    )
+    by_probe = {row[0]: row for row in rows}
+    exact = by_probe["set"]
+    bloom = by_probe["bloom"]
+    # one-sided: the Bloom probe never under-reports
+    assert bloom[2] >= exact[2]
+    assert exact[3] == 0

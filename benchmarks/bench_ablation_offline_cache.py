@@ -1,0 +1,38 @@
+"""Ablation: the offline auditor's sensitive-free subplan caching.
+
+The offline auditor re-executes one plan per candidate tuple; caching the
+subtrees that never read the sensitive table (they produce identical rows
+on every deletion run) is what makes per-tuple deletion testing practical.
+"""
+
+from repro import OfflineAuditor
+from repro.bench.figures import offline_cache_ablation
+
+from conftest import report
+
+
+def test_benchmark_offline_cached(fixture, benchmark):
+    from repro.bench.figures import micro_parameters
+    from repro.bench.harness import AUDIT_NAME
+    from repro.tpch import MICRO_BENCHMARK_QUERY
+
+    auditor = OfflineAuditor(fixture.database, use_cache=True)
+    parameters = micro_parameters(fixture, 0.4)
+    benchmark(
+        lambda: auditor.audit(MICRO_BENCHMARK_QUERY, AUDIT_NAME, parameters)
+    )
+
+
+def test_report_offline_cache_ablation(fixture, benchmark):
+    headers, rows = benchmark.pedantic(
+        lambda: offline_cache_ablation(fixture), rounds=1, iterations=1
+    )
+    report(
+        "ablation_offline_cache",
+        "Ablation - offline auditor with/without sensitive-free subplan "
+        "caching",
+        headers,
+        rows,
+    )
+    for name, cached_ms, uncached_ms, speedup in rows:
+        assert cached_ms <= uncached_ms * 1.1, name  # caching never hurts

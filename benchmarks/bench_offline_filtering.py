@@ -1,0 +1,31 @@
+"""§V-D / Figure 1: SELECT triggers as a filter for offline auditing.
+
+Paper: "Another benefit of SELECT triggers is that they reduce the overall
+auditing run time by filtering queries and their associated accesses that
+must be analyzed by the offline system." A mixed workload is audited two
+ways: every query offline, or only queries whose online ACCESSED state is
+non-empty. The no-false-negative guarantee makes the skip safe.
+"""
+
+from repro.bench.figures import offline_filtering_benefit
+
+from conftest import report
+
+
+def test_report_offline_filtering(fixture, benchmark):
+    headers, rows = benchmark.pedantic(
+        lambda: offline_filtering_benefit(fixture), rounds=1, iterations=1
+    )
+    report(
+        "offline_filtering",
+        "Section V-D - SELECT triggers filter the offline workload",
+        headers,
+        rows,
+    )
+    by_strategy = {row[0]: row for row in rows}
+    everything = by_strategy["offline-everything"]
+    filtered = by_strategy["trigger-filtered"]
+    # the filter must shrink the offline workload...
+    assert filtered[1] < everything[1]
+    # ...and the total wall-clock time with it
+    assert filtered[2] < everything[2]

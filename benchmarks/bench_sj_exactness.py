@@ -1,0 +1,36 @@
+"""Ablation X7: Theorem 3.7 — hcn equals offline on select-join queries.
+
+Sweeps the micro join query across the selectivity range and checks the
+hcn audit set equals the deletion-based ground truth exactly (zero false
+positives, zero false negatives).
+"""
+
+from repro import OfflineAuditor
+from repro.bench.figures import micro_parameters, sj_exactness
+from repro.bench.harness import AUDIT_NAME
+from repro.tpch import MICRO_BENCHMARK_QUERY
+
+from conftest import report
+
+
+def test_benchmark_offline_sj(fixture, benchmark):
+    auditor = OfflineAuditor(fixture.database)
+    parameters = micro_parameters(fixture, 0.2)
+    benchmark(
+        lambda: auditor.audit(MICRO_BENCHMARK_QUERY, AUDIT_NAME, parameters)
+    )
+
+
+def test_report_sj_exactness(fixture, benchmark):
+    headers, rows = benchmark.pedantic(
+        lambda: sj_exactness(fixture), rounds=1, iterations=1
+    )
+    report(
+        "sj_exactness",
+        "Theorem 3.7 check - hcn vs offline on select-join queries",
+        headers,
+        rows,
+    )
+    for __, offline, hcn, false_positives in rows:
+        assert hcn == offline
+        assert false_positives == 0

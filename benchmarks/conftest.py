@@ -1,0 +1,40 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every figure of the paper's evaluation (§V) has one file here. Each file
+contains pytest-benchmark timings of the underlying operations plus a
+``test_report_*`` that regenerates the figure's rows, prints them, and
+writes them to ``benchmarks/results/<name>.txt``.
+
+Scale is controlled by the ``REPRO_BENCH_SF`` environment variable
+(default 0.005 ≈ 750 customers). The paper used TPC-H SF 10; all reported
+quantities are cardinalities or relative overheads, so the shapes carry.
+
+Overhead measurements are best-of-N with interleaved variants and GC
+disabled, but they still assume an otherwise idle machine — concurrent
+load inflates the relative-overhead columns.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import BenchmarkFixture, render_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def fixture() -> BenchmarkFixture:
+    return BenchmarkFixture()
+
+
+def report(name: str, title: str, headers, rows) -> str:
+    """Render a figure table, persist it, and return the text."""
+    text = render_table(title, headers, rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text

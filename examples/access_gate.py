@@ -1,0 +1,85 @@
+"""Blocking access in real time: BEFORE triggers and DENY.
+
+The paper (§II) sketches an alternative SELECT-trigger semantics —
+"execute before the query result is returned to warn users that they are
+accessing sensitive data" — and leaves it to future work. This repository
+implements it: a trigger declared ``ON ACCESS TO <expr> BEFORE`` runs
+after the query executes but before any row reaches the caller, and its
+body may ``DENY`` the result set. The access is still recorded by the
+AFTER-timing audit trigger — denial withholds data, not evidence.
+
+This example gates bulk exports of VIP customer records: small lookups
+pass (with a warning), wholesale dumps are denied, and everything lands
+in the audit log either way.
+
+Run:  python examples/access_gate.py
+"""
+
+from repro import Database
+from repro.errors import AccessDeniedError
+
+
+def main() -> None:
+    db = Database(user_id="support_rep")
+    db.execute(
+        "CREATE TABLE customers (custid INT PRIMARY KEY, name VARCHAR, "
+        "tier VARCHAR, balance FLOAT)"
+    )
+    db.execute(
+        "CREATE TABLE audit_log (uid VARCHAR, query VARCHAR, custid INT)"
+    )
+    rows = ", ".join(
+        f"({index}, 'Customer{index}', "
+        f"'{'vip' if index % 4 == 0 else 'standard'}', {index * 100.0})"
+        for index in range(1, 21)
+    )
+    db.execute(f"INSERT INTO customers VALUES {rows}")
+
+    db.execute(
+        "CREATE AUDIT EXPRESSION audit_vips AS "
+        "SELECT * FROM customers WHERE tier = 'vip' "
+        "FOR SENSITIVE TABLE customers, PARTITION BY custid"
+    )
+
+    # evidence first: an AFTER trigger that always logs
+    db.execute(
+        "CREATE TRIGGER log_vip_access ON ACCESS TO audit_vips AS "
+        "INSERT INTO audit_log SELECT user_id(), sql_text(), custid "
+        "FROM accessed"
+    )
+    # then the gate: warn on small reads, deny bulk reads
+    db.execute(
+        "CREATE TRIGGER warn_vip ON ACCESS TO audit_vips BEFORE AS "
+        "NOTIFY 'heads up: VIP records in this result'"
+    )
+    db.execute(
+        "CREATE TRIGGER gate_bulk ON ACCESS TO audit_vips BEFORE AS "
+        "IF ((SELECT COUNT(*) FROM accessed) > 2) "
+        "DENY 'bulk export of VIP records requires approval'"
+    )
+
+    print("1) single-customer lookup (one VIP): allowed, with warning")
+    result = db.execute("SELECT * FROM customers WHERE custid = 4")
+    print("   rows returned:", len(result.rows))
+    print("   warning:", db.notifications[-1])
+
+    print("\n2) full table dump (five VIPs): denied")
+    try:
+        db.execute("SELECT * FROM customers")
+    except AccessDeniedError as error:
+        print("   DENIED:", error.message)
+
+    print("\n3) the audit log recorded both attempts anyway:")
+    log = db.execute(
+        "SELECT query, COUNT(*) FROM audit_log GROUP BY query"
+    )
+    for query, count in log.rows:
+        print(f"   {count} VIP record(s) via: {query[:48]}...")
+
+    total = db.execute("SELECT COUNT(*) FROM audit_log").scalar()
+    assert total == 1 + 5, "both accesses must be on record"
+    print("\ndenial withholds data, not evidence.")
+
+
+if __name__ == "__main__":
+    main()

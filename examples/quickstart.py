@@ -1,0 +1,90 @@
+"""Quickstart: SELECT triggers in five minutes.
+
+Creates a tiny clinical database, declares an audit expression for one
+patient (the paper's Audit_Alice, Example 2.1), attaches a SELECT trigger
+that writes an audit-log entry whenever her record is accessed (§II-C),
+and shows that subtle queries — including the inference attack of
+Example 1.2 — are caught while innocent queries are not.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database(user_id="dr_house")
+
+    # -- schema and data ---------------------------------------------------
+    db.execute(
+        "CREATE TABLE patients (patientid INT PRIMARY KEY, "
+        "name VARCHAR NOT NULL, age INT, zip VARCHAR)"
+    )
+    db.execute("CREATE TABLE disease (patientid INT, disease VARCHAR)")
+    db.execute(
+        "CREATE TABLE log (ts VARCHAR, uid VARCHAR, query VARCHAR, "
+        "patientid INT)"
+    )
+    db.execute(
+        "INSERT INTO patients VALUES "
+        "(1, 'Alice', 40, '98101'), (2, 'Bob', 25, '98102'), "
+        "(3, 'Carol', 33, '98101')"
+    )
+    db.execute(
+        "INSERT INTO disease VALUES (1, 'cancer'), (2, 'flu'), (3, 'flu')"
+    )
+
+    # -- the paper's Example 2.1 audit expression --------------------------
+    db.execute(
+        "CREATE AUDIT EXPRESSION audit_alice AS "
+        "SELECT * FROM patients WHERE name = 'Alice' "
+        "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+    )
+
+    # -- a SELECT trigger writing to the audit log (§II-C) -----------------
+    db.execute(
+        "CREATE TRIGGER log_alice_accesses ON ACCESS TO audit_alice AS "
+        "INSERT INTO log SELECT cast_varchar(now()), user_id(), "
+        "sql_text(), patientid FROM accessed"
+    )
+
+    # -- queries -----------------------------------------------------------
+    print("1) a query that touches only Bob:")
+    result = db.execute("SELECT name FROM patients WHERE name = 'Bob'")
+    print("   rows:", result.rows)
+    print("   ACCESSED:", dict(result.accessed) or "(nothing)")
+
+    print("\n2) a join revealing Alice's diagnosis:")
+    result = db.execute(
+        "SELECT p.name, d.disease FROM patients p, disease d "
+        "WHERE p.patientid = d.patientid AND d.disease = 'cancer'"
+    )
+    print("   rows:", result.rows)
+    print("   ACCESSED:", dict(result.accessed))
+
+    print("\n3) the Example 1.2 inference attack (EXISTS probe):")
+    result = db.execute(
+        "SELECT 1 FROM patients WHERE EXISTS "
+        "(SELECT * FROM patients p, disease d "
+        "WHERE p.patientid = d.patientid AND name = 'Alice' "
+        "AND disease = 'cancer')"
+    )
+    print("   rows returned:", len(result.rows))
+    print("   ACCESSED:", dict(result.accessed))
+
+    print("\naudit log (written by the SELECT trigger):")
+    for when, who, query, patient in db.execute(
+        "SELECT ts, uid, query, patientid FROM log"
+    ):
+        print(f"   [{when}] user={who} patient={patient}")
+        print(f"      query: {query[:70]}...")
+
+    print("\nplan of query 2 (note the AuditOperator at the root):")
+    print(db.explain(
+        "SELECT p.name, d.disease FROM patients p, disease d "
+        "WHERE p.patientid = d.patientid AND d.disease = 'cancer'"
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Auditing a TPC-H workload — the paper's evaluation scenario (§V).
+
+Loads a scaled TPC-H database, declares the paper's audit expression (all
+customers of one market segment, ≈20 % of the table), runs the seven-query
+workload under both placement heuristics, and compares the audit
+cardinalities against the deletion-based offline ground truth — a compact
+rerun of Figure 9.
+
+Run:  python examples/tpch_auditing.py [scale_factor]
+"""
+
+import sys
+import time
+
+from repro import (
+    Database,
+    HEURISTIC_HCN,
+    HEURISTIC_LEAF,
+    OfflineAuditor,
+)
+from repro.tpch import (
+    QUERIES,
+    QUERY_PARAMETERS,
+    audit_expression_sql,
+    load_tpch,
+)
+
+
+def main() -> None:
+    scale_factor = float(sys.argv[1]) if len(sys.argv) > 1 else 0.003
+
+    print(f"loading TPC-H at scale factor {scale_factor}...")
+    db = Database(user_id="analyst")
+    counts = load_tpch(db, scale_factor=scale_factor)
+    print("  " + ", ".join(f"{k}={v}" for k, v in counts.items()))
+
+    db.execute(audit_expression_sql("audit_customer", "BUILDING"))
+    view = db.audit_manager.view("audit_customer")
+    print(f"\naudit expression covers {len(view)} BUILDING-segment "
+          f"customers (~20% of {counts['customer']})")
+
+    auditor = OfflineAuditor(db)
+    header = (f"{'query':<6} {'rows':>5} {'offline':>8} {'hcn':>5} "
+              f"{'leaf':>5} {'hcn FP':>7} {'time':>8}")
+    print("\n" + header)
+    print("-" * len(header))
+    for name in sorted(QUERIES):
+        sql, parameters = QUERIES[name], QUERY_PARAMETERS[name]
+        start = time.perf_counter()
+
+        db.audit_manager.heuristic = HEURISTIC_HCN
+        result = db.execute(sql, parameters)
+        hcn = result.accessed.get("audit_customer", frozenset())
+
+        db.audit_manager.heuristic = HEURISTIC_LEAF
+        leaf = db.execute(sql, parameters).accessed.get(
+            "audit_customer", frozenset()
+        )
+
+        truth = auditor.audit(sql, "audit_customer", parameters)
+        elapsed = time.perf_counter() - start
+
+        assert truth <= hcn <= leaf, "no-false-negative guarantee violated"
+        print(
+            f"{name:<6} {len(result.rows):>5} {len(truth):>8} "
+            f"{len(hcn):>5} {len(leaf):>5} {len(hcn - truth):>7} "
+            f"{elapsed:>7.2f}s"
+        )
+
+    db.audit_manager.heuristic = HEURISTIC_HCN
+    print(
+        "\nreading the table: 'offline' is the deletion-based ground "
+        "truth;\n'hcn'/'leaf' are the online audit cardinalities. "
+        "hcn never under-reports\n(Claim 3.6) and stays close to the "
+        "truth except on top-k queries (Q10),\nwhere the offline system "
+        "verifies the flagged accesses (Figure 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setup shim so `pip install -e .` works without the wheel package."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'SELECT Triggers for Data Auditing' (ICDE 2013)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

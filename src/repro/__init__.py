@@ -1,0 +1,46 @@
+"""repro — reproduction of "SELECT Triggers for Data Auditing" (ICDE 2013).
+
+A pure-Python relational database engine with the paper's auditing stack:
+
+* audit expressions compiled to materialized sensitive-ID views;
+* the audit operator — a no-op data viewer probing IDs during execution;
+* placement heuristics (leaf-node / highest-node / highest-commutative-node);
+* SELECT triggers with the ACCESSED internal state and cascading actions;
+* a deletion-based offline auditor (the ground truth) and an Oracle-FGA
+  style static-analysis baseline;
+* a TPC-H workload generator and the paper's benchmark harness.
+
+Quickstart::
+
+    from repro import Database
+    db = Database()
+"""
+
+from repro.database import Database, QueryResult, connect
+from repro.errors import ReproError
+from repro.audit import (
+    HEURISTIC_HCN,
+    HEURISTIC_HIGHEST,
+    HEURISTIC_LEAF,
+    AuditLog,
+    OfflineAuditor,
+    StaticAnalysisAuditor,
+    install_audit_log,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "connect",
+    "ReproError",
+    "HEURISTIC_HCN",
+    "HEURISTIC_HIGHEST",
+    "HEURISTIC_LEAF",
+    "OfflineAuditor",
+    "StaticAnalysisAuditor",
+    "AuditLog",
+    "install_audit_log",
+    "__version__",
+]

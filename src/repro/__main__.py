@@ -1,0 +1,5 @@
+"""``python -m repro`` launches the interactive shell."""
+
+from repro.shell import main
+
+raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""Counting Bloom filter for sensitive-ID probing (§IV-A.2).
+
+The paper assumes the sensitive IDs fit in memory and notes that
+"standard optimizations such as bloom filters can be used instead" when
+they do not. A Bloom probe keeps the audit framework's one-sided
+guarantee: it can yield extra false *positives* (acceptable — the offline
+auditor verifies) but never false *negatives* (a member always probes
+true).
+
+We use a *counting* filter (one small counter per cell instead of one
+bit) so the materialized view's incremental maintenance can delete IDs.
+Counters saturate at 255; a saturated cell is never decremented, which
+keeps deletions conservative (no false negatives, possibly more false
+positives) — the correct direction for auditing.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class CountingBloomFilter:
+    """A counting Bloom filter over hashable values."""
+
+    def __init__(
+        self,
+        expected_items: int,
+        false_positive_rate: float = 0.01,
+    ) -> None:
+        if expected_items < 1:
+            expected_items = 1
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError("false_positive_rate must be in (0, 1)")
+        ln2 = math.log(2.0)
+        size = int(
+            -expected_items * math.log(false_positive_rate) / (ln2 * ln2)
+        )
+        self._size = max(size, 8)
+        self._hash_count = max(
+            1, round((self._size / expected_items) * ln2)
+        )
+        self._cells = bytearray(self._size)
+        self._items = 0
+
+    # ------------------------------------------------------------------
+
+    def _positions(self, value: object):
+        # double hashing: h1 + i*h2 simulates k independent hash functions.
+        # Python's hash() is the identity on small ints, so run it through
+        # a murmur3-style finalizer for dispersion before splitting.
+        mixed = hash(value) & 0xFFFFFFFFFFFFFFFF
+        mixed ^= mixed >> 33
+        mixed = (mixed * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+        mixed ^= mixed >> 33
+        mixed = (mixed * 0xC4CEB9FE1A85EC53) & 0xFFFFFFFFFFFFFFFF
+        mixed ^= mixed >> 33
+        h1 = mixed & 0xFFFFFFFF
+        h2 = (mixed >> 32) | 1  # odd: full cycle over the table
+        size = self._size
+        for index in range(self._hash_count):
+            yield (h1 + index * h2) % size
+
+    def add(self, value: object) -> None:
+        for position in self._positions(value):
+            if self._cells[position] < 255:
+                self._cells[position] += 1
+        self._items += 1
+
+    def discard(self, value: object) -> None:
+        """Remove one previously-added occurrence.
+
+        Contract (standard for counting Bloom filters): callers may only
+        discard values they added — removing a never-added value can
+        corrupt shared counters and break the no-false-negative guarantee.
+        ``IdView`` honors this by checking its exact ID set first.
+        Saturated counters stay put (conservative: extra false positives,
+        never false negatives).
+        """
+        positions = list(self._positions(value))
+        if any(self._cells[position] == 0 for position in positions):
+            return  # definitely absent: nothing to remove
+        for position in positions:
+            if 0 < self._cells[position] < 255:
+                self._cells[position] -= 1
+        self._items = max(0, self._items - 1)
+
+    def __contains__(self, value: object) -> bool:
+        return all(
+            self._cells[position] != 0 for position in self._positions(value)
+        )
+
+    def __len__(self) -> int:
+        """Approximate item count (insertions minus removals)."""
+        return self._items
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size
+
+    def clear(self) -> None:
+        self._cells = bytearray(self._size)
+        self._items = 0

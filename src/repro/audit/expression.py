@@ -1,0 +1,138 @@
+"""Audit expressions (§II-A).
+
+An audit expression declaratively specifies the sensitive data::
+
+    CREATE AUDIT EXPRESSION <name> AS
+    SELECT <sensitive columns> FROM <tables> WHERE <predicate>
+    FOR SENSITIVE TABLE <t>, PARTITION BY <key>
+
+Following the paper we validate the restrictions it imposes for privacy
+(§II-A, citing [9]): predicates must be simple (no subqueries), and the
+expression designates exactly one sensitive table whose partition-by key
+identifies the audited individuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import AuditError
+from repro.expr.nodes import contains_subquery
+from repro.sql import ast
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.catalog.catalog import Catalog
+
+
+@dataclass(frozen=True)
+class AuditExpression:
+    """A validated audit expression definition."""
+
+    name: str
+    select: ast.SelectStatement
+    sensitive_table: str
+    partition_by: str
+
+    @classmethod
+    def from_statement(
+        cls,
+        statement: ast.CreateAuditExpressionStatement,
+        catalog: "Catalog",
+    ) -> "AuditExpression":
+        """Validate a parsed CREATE AUDIT EXPRESSION against the catalog."""
+        select = statement.select
+        sensitive_table = statement.sensitive_table.lower()
+        partition_by = statement.partition_by.lower()
+
+        table = catalog.table(sensitive_table)  # raises if missing
+        if not table.schema.has_column(partition_by):
+            raise AuditError(
+                f"partition-by column {partition_by!r} does not exist in "
+                f"sensitive table {sensitive_table!r}"
+            )
+
+        referenced = _referenced_tables(select)
+        if sensitive_table not in referenced:
+            raise AuditError(
+                f"sensitive table {sensitive_table!r} must appear in the "
+                "audit expression's FROM clause"
+            )
+        for name in referenced:
+            catalog.table(name)  # raises if missing
+
+        if select.where is not None and contains_subquery(select.where):
+            raise AuditError(
+                "audit expression predicates must be simple: "
+                "subqueries are not allowed (§II-A)"
+            )
+        if select.group_by or select.having or select.order_by \
+                or select.limit is not None or select.distinct:
+            raise AuditError(
+                "audit expressions must be plain SELECT ... FROM ... WHERE"
+            )
+        return cls(
+            name=statement.name.lower(),
+            select=select,
+            sensitive_table=sensitive_table,
+            partition_by=partition_by,
+        )
+
+    def id_select(self) -> ast.SelectStatement:
+        """The SELECT that materializes the sensitive-ID view (§IV-A.1).
+
+        Projects only the partition-by key of the sensitive table —
+        compiling the expression down to IDs is the paper's optimization
+        that avoids touching audit-only attributes during query execution.
+        """
+        from repro.expr.nodes import ColumnRef
+
+        qualifier = self._sensitive_binding()
+        item = ast.SelectItem(
+            ColumnRef(self.partition_by, qualifier=qualifier)
+        )
+        return ast.SelectStatement(
+            items=(item,),
+            from_items=self.select.from_items,
+            where=self.select.where,
+            distinct=True,
+        )
+
+    def _sensitive_binding(self) -> str | None:
+        """Alias under which the sensitive table is bound in FROM."""
+        for item in self.select.from_items:
+            binding = _binding_for(item, self.sensitive_table)
+            if binding is not None:
+                return binding
+        return None
+
+
+def _binding_for(item: ast.FromItem, table_name: str) -> str | None:
+    if isinstance(item, ast.TableRef):
+        if item.name.lower() == table_name:
+            return item.binding_name.lower()
+        return None
+    if isinstance(item, ast.JoinRef):
+        return _binding_for(item.left, table_name) or _binding_for(
+            item.right, table_name
+        )
+    return None
+
+
+def _referenced_tables(select: ast.SelectStatement) -> set[str]:
+    tables: set[str] = set()
+
+    def visit(item: ast.FromItem) -> None:
+        if isinstance(item, ast.TableRef):
+            tables.add(item.name.lower())
+        elif isinstance(item, ast.JoinRef):
+            visit(item.left)
+            visit(item.right)
+        else:
+            raise AuditError(
+                "audit expressions cannot use derived tables"
+            )
+
+    for item in select.from_items:
+        visit(item)
+    return tables

@@ -1,0 +1,237 @@
+"""Materialized sensitive-ID views (§IV-A.1).
+
+When an audit expression is declared it is compiled into a materialized
+view containing only the partition-by IDs of the rows it selects. The
+physical audit operator probes this set — an O(1) hash lookup per row —
+instead of evaluating the full audit predicate, which is the paper's key
+implementation optimization (no extra I/O for audit-only attributes, less
+CPU to propagate them).
+
+The view is maintained under DML via table change observers:
+
+* single-table audit expressions are maintained *incrementally* — the
+  predicate is evaluated directly on the changed row;
+* expressions that join other tables (e.g. ``Audit_Cancer``) are
+  re-materialized when any referenced table changes, the standard fallback
+  of materialized-view maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.audit.expression import AuditExpression
+from repro.errors import AuditError
+from repro.storage.table import RowChange
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.catalog.catalog import Catalog
+
+#: executes the compiled ID select and returns partition-by IDs
+IdMaterializer = Callable[[AuditExpression], set]
+
+
+class IdView:
+    """The materialized set of sensitive partition-by IDs."""
+
+    def __init__(
+        self,
+        expression: AuditExpression,
+        catalog: "Catalog",
+        materializer: IdMaterializer,
+        probe_structure: str = "set",
+        bloom_false_positive_rate: float = 0.01,
+    ) -> None:
+        if probe_structure not in ("set", "bloom"):
+            raise AuditError(
+                f"unknown probe structure {probe_structure!r}"
+            )
+        self.expression = expression
+        self.probe_structure = probe_structure
+        self._catalog = catalog
+        self._materializer = materializer
+        self._ids: set = set(materializer(expression))
+        self._bloom = None
+        if probe_structure == "bloom":
+            from repro.audit.bloom import CountingBloomFilter
+
+            self._bloom = CountingBloomFilter(
+                expected_items=max(len(self._ids), 64),
+                false_positive_rate=bloom_false_positive_rate,
+            )
+            for value in self._ids:
+                self._bloom.add(value)
+        self._referenced = _referenced_tables(expression)
+        self._single_table = self._referenced == {expression.sensitive_table}
+        self._predicate_evaluator = None
+        if self._single_table:
+            self._predicate_evaluator = _SingleTablePredicate(
+                expression, catalog
+            )
+        self._observers_installed = False
+
+    # ------------------------------------------------------------------
+    # probing (the audit operator's hot path)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._ids
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._ids)
+
+    def ids(self) -> frozenset:
+        return frozenset(self._ids)
+
+    @property
+    def live_id_set(self):
+        """The live probe structure for zero-indirection probing.
+
+        The audit operator's per-row check must be a raw membership test
+        (§IV-A.2); probing through ``IdView.__contains__`` would add a
+        Python method call per row. Identity is stable: maintenance and
+        :meth:`refresh` mutate the structure in place.
+
+        With ``probe_structure='bloom'`` this is the counting Bloom filter
+        — probes may return false positives (one-sided, as the paper
+        allows) but never false negatives.
+        """
+        if self._bloom is not None:
+            return self._bloom
+        return self._ids
+
+    @property
+    def probe_size_bytes(self) -> int:
+        """Approximate memory of the probe structure (for the ablation)."""
+        if self._bloom is not None:
+            return self._bloom.size_bytes
+        import sys
+
+        return sys.getsizeof(self._ids) + sum(
+            sys.getsizeof(value) for value in self._ids
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance
+
+    def install_observers(self) -> None:
+        """Subscribe to change notifications of every referenced table."""
+        if self._observers_installed:
+            return
+        for table_name in self._referenced:
+            self._catalog.table(table_name).add_observer(self._on_change)
+        self._observers_installed = True
+
+    def uninstall_observers(self) -> None:
+        if not self._observers_installed:
+            return
+        for table_name in self._referenced:
+            try:
+                self._catalog.table(table_name).remove_observer(
+                    self._on_change
+                )
+            except Exception:  # table may have been dropped already
+                pass
+        self._observers_installed = False
+
+    def refresh(self) -> None:
+        """Full re-materialization (in place: structure identity stable)."""
+        fresh = self._materializer(self.expression)
+        self._ids.clear()
+        self._ids.update(fresh)
+        if self._bloom is not None:
+            self._bloom.clear()
+            for value in self._ids:
+                self._bloom.add(value)
+
+    def _add_id(self, value: object) -> None:
+        if value not in self._ids:
+            self._ids.add(value)
+            if self._bloom is not None:
+                self._bloom.add(value)
+
+    def _discard_id(self, value: object) -> None:
+        if value in self._ids:
+            self._ids.discard(value)
+            if self._bloom is not None:
+                self._bloom.discard(value)
+
+    def _on_change(self, change: RowChange) -> None:
+        if not self._single_table:
+            self.refresh()
+            return
+        evaluator = self._predicate_evaluator
+        assert evaluator is not None
+        if change.old_row is not None:
+            if evaluator.matches(change.old_row):
+                # another row may still carry the same ID; recheck lazily
+                self._remove_if_unbacked(evaluator.id_of(change.old_row))
+        if change.new_row is not None and evaluator.matches(change.new_row):
+            self._add_id(evaluator.id_of(change.new_row))
+
+    def _remove_if_unbacked(self, id_value: object) -> None:
+        """Drop an ID unless another qualifying row still carries it."""
+        evaluator = self._predicate_evaluator
+        assert evaluator is not None
+        table = self._catalog.table(self.expression.sensitive_table)
+        for row in table.rows():
+            if evaluator.id_of(row) == id_value and evaluator.matches(row):
+                return
+        self._discard_id(id_value)
+
+
+class _SingleTablePredicate:
+    """Evaluates a single-table audit predicate directly on stored rows."""
+
+    def __init__(self, expression: AuditExpression, catalog: "Catalog"
+                 ) -> None:
+        from repro.plan.builder import PlanBuilder, Scope
+        from repro.plan.logical import PlanColumn
+
+        table = catalog.table(expression.sensitive_table)
+        builder = PlanBuilder(catalog)
+        alias = _sensitive_alias(expression)
+        columns = tuple(
+            PlanColumn(column.name, alias, (table.schema.name, column.name))
+            for column in table.schema.columns
+        )
+        scope = Scope(columns)
+        self._predicate = (
+            builder.bind_expression(expression.select.where, scope)
+            if expression.select.where is not None
+            else None
+        )
+        self._id_position = table.schema.position_of(expression.partition_by)
+
+    def id_of(self, row: tuple) -> object:
+        return row[self._id_position]
+
+    def matches(self, row: tuple) -> bool:
+        if self._predicate is None:
+            return True
+        from repro.exec.context import ExecutionContext
+        from repro.expr.evaluator import evaluate
+
+        context = ExecutionContext()
+        return evaluate(self._predicate, row, context) is True
+
+
+def _sensitive_alias(expression: AuditExpression) -> str:
+    from repro.sql import ast
+
+    for item in expression.select.from_items:
+        if isinstance(item, ast.TableRef) \
+                and item.name.lower() == expression.sensitive_table:
+            return item.binding_name.lower()
+    return expression.sensitive_table
+
+
+def _referenced_tables(expression: AuditExpression) -> set[str]:
+    from repro.audit.expression import _referenced_tables as referenced
+
+    try:
+        return referenced(expression.select)
+    except AuditError:  # pragma: no cover - validated at creation
+        return {expression.sensitive_table}

@@ -1,0 +1,102 @@
+"""Turn-key audit logging (the §II-C pattern, packaged).
+
+Every §II-C example follows the same shape: a log table keyed by time,
+user, SQL text, and partition-by ID, plus a SELECT trigger inserting into
+it from ACCESSED. :func:`install_audit_log` creates both in one call;
+:class:`AuditLog` wraps the common queries a security admin runs over it
+(per-user counts, per-individual disclosure lists — the HIPAA question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import AuditError
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.database import Database, QueryResult
+
+
+@dataclass(frozen=True)
+class AuditLog:
+    """Handle over an installed audit log."""
+
+    database: "Database"
+    table_name: str
+    expression_name: str
+    id_column: str
+
+    def entries(self) -> "QueryResult":
+        """All log entries, oldest first."""
+        return self.database.execute(
+            f"SELECT ts, uid, query, {self.id_column} "
+            f"FROM {self.table_name} ORDER BY ts"
+        )
+
+    def disclosures_of(self, individual_id: object) -> "QueryResult":
+        """Who saw this individual's data, and with which queries.
+
+        This is the HIPAA accounting-of-disclosures primitive
+        (Example 1.1): candidate accesses recorded online; pass them to
+        :class:`repro.audit.offline.OfflineAuditor` for verification.
+        """
+        return self.database.execute(
+            f"SELECT DISTINCT uid, query FROM {self.table_name} "
+            f"WHERE {self.id_column} = :individual",
+            {"individual": individual_id},
+        )
+
+    def access_counts_by_user(self) -> "QueryResult":
+        """Distinct sensitive individuals each user has touched."""
+        return self.database.execute(
+            f"SELECT uid, COUNT(DISTINCT {self.id_column}) AS individuals "
+            f"FROM {self.table_name} GROUP BY uid "
+            "ORDER BY individuals DESC, uid"
+        )
+
+    def clear(self) -> None:
+        self.database.execute(f"DELETE FROM {self.table_name}")
+
+
+def install_audit_log(
+    database: "Database",
+    expression_name: str,
+    table_name: str = "audit_log",
+    trigger_name: str | None = None,
+) -> AuditLog:
+    """Create the standard log table and logging trigger for an expression.
+
+    The log schema is the paper's (§II-C): ``(ts, uid, query, <id>)`` with
+    ``<id>`` named after the audit expression's partition-by column. Safe
+    to call for several expressions over the same sensitive table — they
+    share the table; expressions with *different* partition-by columns
+    need distinct ``table_name``s.
+    """
+    manager = database.audit_manager
+    expression = manager.expression(expression_name)  # validates existence
+    sensitive = database.catalog.table(expression.sensitive_table)
+    id_column = expression.partition_by
+    id_type = sensitive.schema.column(id_column).data_type.name
+
+    if database.catalog.has_table(table_name):
+        existing = database.catalog.table(table_name)
+        if not existing.schema.has_column(id_column):
+            raise AuditError(
+                f"table {table_name!r} exists but has no column "
+                f"{id_column!r}; choose a different table_name"
+            )
+    else:
+        database.execute(
+            f"CREATE TABLE {table_name} (ts VARCHAR, uid VARCHAR, "
+            f"query VARCHAR, {id_column} {id_type})"
+        )
+
+    trigger = trigger_name or f"log_{expression_name}_{table_name}"
+    database.execute(
+        f"CREATE TRIGGER {trigger} ON ACCESS TO {expression_name} AS "
+        f"INSERT INTO {table_name} "
+        f"SELECT cast_varchar(now()), user_id(), sql_text(), {id_column} "
+        "FROM accessed"
+    )
+    return AuditLog(database, table_name, expression_name, id_column)

@@ -1,0 +1,284 @@
+"""Offline auditor: the deletion-based ground truth (Definitions 2.3/2.5).
+
+A tuple ``t`` of the sensitive table is *accessed* by query ``Q`` over
+database ``D`` iff ``Q(D) ≠ Q(D − t)`` (bag semantics). The offline auditor
+implements the definition directly, with two engineering optimizations that
+make it usable:
+
+* **candidate restriction** — by Claim 3.5, every accessed tuple passes a
+  leaf-level scan of the sensitive table, so only sensitive tuples that
+  satisfy the pushed-down scan predicates (in the main query or any
+  subquery) need the deletion test;
+* **sensitive-free subplan caching** — the same physical plan is executed
+  once per candidate with a *tombstone* hiding that tuple; subtrees that
+  never read the sensitive table produce identical rows on every run and
+  are materialized once via :class:`CacheOperator`.
+
+This component plays the role of the paper's offline auditing system [9]:
+the ground truth that Figures 6 and 9 compare the heuristics against, and
+the verifier for queries the SELECT-trigger layer flags.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from repro.audit.expression import AuditExpression
+from repro.errors import AuditError
+from repro.exec.operators.base import PhysicalOperator
+from repro.exec.operators.cache import CacheOperator
+from repro.expr.nodes import (
+    Expression,
+    SubqueryExpression,
+    conjuncts,
+)
+from repro.plan import logical as L
+from repro.plan.logical import LogicalPlan
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.database import Database
+
+
+class OfflineAuditor:
+    """Computes the exact set of accessed partition-by IDs for a query."""
+
+    def __init__(
+        self,
+        database: "Database",
+        use_cache: bool = True,
+        restrict_candidates: bool = True,
+    ) -> None:
+        self._database = database
+        self._use_cache = use_cache
+        #: False = the naive Definition-2.3 system: deletion-test every
+        #: sensitive tuple for every query (the §V-D baseline)
+        self._restrict_candidates = restrict_candidates
+        #: deletion runs performed by the last audit() call (for benches)
+        self.last_deletion_runs = 0
+        self.last_candidate_count = 0
+
+    # ------------------------------------------------------------------
+
+    def audit(
+        self,
+        sql: str,
+        audit_expression: str,
+        parameters: dict[str, object] | None = None,
+    ) -> set:
+        """Accessed IDs of ``audit_expression`` for the given query."""
+        plan = self._database.plan_query(sql, parameters)
+        return self.audit_plan(plan, audit_expression, parameters)
+
+    def audit_plan(
+        self,
+        plan: LogicalPlan,
+        audit_expression: str,
+        parameters: dict[str, object] | None = None,
+    ) -> set:
+        """Accessed IDs for an already-built (rewritten) logical plan."""
+        database = self._database
+        expression = database.audit_manager.expression(audit_expression)
+        view_ids = database.audit_manager.view(audit_expression).ids()
+        table = database.catalog.table(expression.sensitive_table)
+        id_position = table.schema.position_of(expression.partition_by)
+        pk_positions = table.schema.primary_key_positions()
+        if not pk_positions:
+            raise AuditError(
+                "offline auditing requires a primary key on the "
+                f"sensitive table {expression.sensitive_table!r}"
+            )
+
+        if self._restrict_candidates:
+            candidates = self._candidate_ids(plan, expression, parameters)
+            candidates &= view_ids
+        else:
+            candidates = set(view_ids)
+        self.last_candidate_count = len(candidates)
+        self.last_deletion_runs = 0
+        if not candidates:
+            return set()
+
+        # group candidate tuples by ID so multi-tuple IDs test per tuple
+        tuples_by_id: dict[object, list[tuple]] = {}
+        for row in table.rows():
+            id_value = row[id_position]
+            if id_value in candidates:
+                pk = tuple(row[position] for position in pk_positions)
+                tuples_by_id.setdefault(id_value, []).append(pk)
+
+        store: dict[int, list[tuple]] = {}
+        physical = self._compile(plan, expression.sensitive_table, store)
+
+        baseline = Counter(
+            database.run_physical(physical, parameters).rows_list()
+        )
+        accessed: set = set()
+        for id_value, pk_list in tuples_by_id.items():
+            for pk in pk_list:
+                self.last_deletion_runs += 1
+                result = database.run_physical(
+                    physical,
+                    parameters,
+                    tombstones={expression.sensitive_table: {pk}},
+                )
+                if Counter(result.rows_list()) != baseline:
+                    accessed.add(id_value)
+                    break
+        return accessed
+
+    # ------------------------------------------------------------------
+    # candidate restriction (Claim 3.5)
+
+    def _candidate_ids(
+        self,
+        plan: LogicalPlan,
+        expression: AuditExpression,
+        parameters: dict[str, object] | None,
+    ) -> set:
+        """IDs of sensitive tuples that pass any leaf scan of the query."""
+        database = self._database
+        table = database.catalog.table(expression.sensitive_table)
+        id_position = table.schema.position_of(expression.partition_by)
+        scans = _sensitive_scans(plan, expression.sensitive_table)
+        if not scans:
+            return set()
+        candidates: set = set()
+        rows = list(table.rows())
+        for scan in scans:
+            context = database.make_context(parameters)
+            for row in rows:
+                if scan.predicate is None or _passes_conservatively(
+                    scan.predicate, row, context
+                ):
+                    candidates.add(row[id_position])
+        return candidates
+
+    # ------------------------------------------------------------------
+    # compilation with sensitive-free subtree caching
+
+    def _compile(
+        self,
+        plan: LogicalPlan,
+        sensitive_table: str,
+        store: dict[int, list[tuple]],
+    ) -> PhysicalOperator:
+        from repro.optimizer.physical import PhysicalPlanner
+
+        cacheable: set[int] = set()
+        if self._use_cache:
+            _collect_topmost_insensitive(plan, sensitive_table, cacheable)
+
+        def wrapper(
+            node: LogicalPlan, operator: PhysicalOperator
+        ) -> PhysicalOperator:
+            if id(node) in cacheable:
+                return CacheOperator(operator, store, id(node))
+            return operator
+
+        planner = PhysicalPlanner(
+            self._database.catalog,
+            self._database.audit_manager.resolve_view,
+            node_wrapper=wrapper if self._use_cache else None,
+        )
+        return planner.compile(plan)
+
+
+# ---------------------------------------------------------------------------
+# plan analysis helpers
+
+
+def _plan_expressions(node: LogicalPlan):
+    if isinstance(node, L.Scan):
+        if node.predicate is not None:
+            yield node.predicate
+    elif isinstance(node, L.Filter):
+        yield node.predicate
+    elif isinstance(node, L.Project):
+        yield from node.expressions
+    elif isinstance(node, L.Join):
+        if node.condition is not None:
+            yield node.condition
+    elif isinstance(node, L.Aggregate):
+        yield from node.group_expressions
+        for spec in node.aggregates:
+            if spec.argument is not None:
+                yield spec.argument
+    elif isinstance(node, L.Sort):
+        for key in node.keys:
+            yield key.expression
+
+
+def _subquery_plans(expression: Expression):
+    for node in expression.walk():
+        if isinstance(node, SubqueryExpression) and node.plan is not None:
+            yield node.plan
+
+
+def _sensitive_scans(
+    plan: LogicalPlan, table_name: str
+) -> list[L.Scan]:
+    """All scans of ``table_name``, including inside subquery plans."""
+    scans: list[L.Scan] = []
+    for node in plan.walk():
+        if isinstance(node, L.Scan) and node.table_name == table_name:
+            scans.append(node)
+        for expression in _plan_expressions(node):
+            for subplan in _subquery_plans(expression):
+                scans.extend(_sensitive_scans(subplan, table_name))
+    return scans
+
+
+def plan_reads_table(plan: LogicalPlan, table_name: str) -> bool:
+    """True if the plan (or any embedded subquery) scans ``table_name``."""
+    for node in plan.walk():
+        if isinstance(node, L.Scan) and node.table_name == table_name:
+            return True
+        for expression in _plan_expressions(node):
+            for subplan in _subquery_plans(expression):
+                if plan_reads_table(subplan, table_name):
+                    return True
+    return False
+
+
+def _node_is_sensitive(node: LogicalPlan, table_name: str) -> bool:
+    """Does this single node read the table (directly or via subqueries)?"""
+    if isinstance(node, L.Scan) and node.table_name == table_name:
+        return True
+    for expression in _plan_expressions(node):
+        for subplan in _subquery_plans(expression):
+            if plan_reads_table(subplan, table_name):
+                return True
+    return False
+
+
+def _collect_topmost_insensitive(
+    plan: LogicalPlan, table_name: str, found: set[int]
+) -> None:
+    """Mark the topmost subtrees that never read the sensitive table."""
+    if not plan_reads_table(plan, table_name):
+        found.add(id(plan))
+        return
+    for child in plan.children():
+        _collect_topmost_insensitive(child, table_name, found)
+
+
+def _passes_conservatively(
+    predicate: Expression, row: tuple, context
+) -> bool:
+    """Conservative scan-predicate test for candidate computation.
+
+    Evaluates each conjunct; a conjunct that cannot be evaluated standalone
+    (correlated references into an enclosing query) counts as passing, so
+    the candidate set stays a superset of the truly accessible tuples.
+    """
+    from repro.expr.evaluator import evaluate
+
+    for conjunct in conjuncts(predicate):
+        try:
+            verdict = evaluate(conjunct, row, context)
+        except Exception:
+            continue  # unevaluable here: keep the tuple as a candidate
+        if verdict is not True:
+            return False
+    return True

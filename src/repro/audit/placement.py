@@ -1,0 +1,326 @@
+"""Audit operator placement (§III-C, Algorithm 1).
+
+Three heuristics over logically-optimized plans:
+
+* **leaf-node** — one audit operator directly above each leaf scan of the
+  sensitive table (above the pushed single-table predicate). Guarantees no
+  false negatives (Claim 3.5) but can produce many false positives.
+* **highest-commutative-node (hcn)** — start at the leaves, repeatedly pull
+  each audit operator above its parent while the parent *commutes with a
+  filter on the partition-by slot* (Claim 3.6, Theorem 3.7). Commuting
+  operators: filters, inner joins (both sides), the preserved side of
+  left-outer joins, the probe side of semi/anti joins, and projections
+  that keep the ID column visible. Barriers: group-by, distinct, sort,
+  limit/top-k, the nullable side of outer joins, and subquery scope
+  boundaries.
+
+A note on the paper's *forced ID propagation* (§IV-A.1): SQL Server prunes
+unneeded columns from intermediate rows, so the authors force partition-by
+IDs to stay in the row up to the audit operator. Our engine materializes
+projections only at query-block boundaries — inside a block the full join
+row (including every ID) always flows — so the propagation is implicit.
+When a block-boundary projection drops the ID, the audit operator simply
+stays *beneath* it; since projections are row-preserving (1:1), the audit
+cardinality is identical to the widened-projection placement the paper
+implements, and no slot remapping of ancestor expressions is ever needed.
+* **highest-node** — pulls as long as the ID column stays *visible*,
+  ignoring commutativity; deliberately unsound (Example 3.2's top-k false
+  negative) and kept as the paper's rejected strawman.
+
+The instrumentation also descends into subquery plans (Example 3.8(c)):
+each subquery gets its own audit operators, which can never be pulled out
+of the subquery's scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.errors import AuditError
+from repro.expr.nodes import (
+    ColumnRef,
+    Expression,
+    SubqueryExpression,
+    transform,
+)
+from repro.plan import logical as L
+from repro.plan.logical import Audit, LogicalPlan
+
+HEURISTIC_LEAF = "leaf-node"
+HEURISTIC_HCN = "highest-commutative-node"
+HEURISTIC_HIGHEST = "highest-node"
+
+_HEURISTICS = (HEURISTIC_LEAF, HEURISTIC_HCN, HEURISTIC_HIGHEST)
+
+
+@dataclass(frozen=True)
+class AuditTarget:
+    """What to instrument: one audit expression's identity columns."""
+
+    name: str
+    sensitive_table: str
+    partition_column: str
+
+
+def instrument_plan(
+    plan: LogicalPlan,
+    targets: Sequence[AuditTarget],
+    heuristic: str = HEURISTIC_HCN,
+) -> LogicalPlan:
+    """Insert and place audit operators for every target (Algorithm 1).
+
+    Lines 1–3 of Algorithm 1 insert one operator above each instance of
+    the sensitive table; lines 4–14 pull operators up until fixpoint.
+    """
+    if heuristic not in _HEURISTICS:
+        raise AuditError(f"unknown placement heuristic {heuristic!r}")
+    if not targets:
+        return plan
+    original_arity = plan.arity
+    plan = _instrument_subqueries(plan, targets, heuristic)
+    plan = _insert_leaf_audits(plan, targets)
+    if heuristic != HEURISTIC_LEAF:
+        changed = True
+        while changed:  # Algorithm 1's pulledUp loop
+            plan, changed = _pull_up_pass(plan, heuristic)
+    # Forced ID propagation may widen the root projection; re-project so
+    # the user-visible result keeps its declared shape.
+    if plan.arity != original_arity:
+        plan = _strip_to(plan, original_arity)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# insertion (Algorithm 1, lines 1-3)
+
+
+def _insert_leaf_audits(
+    plan: LogicalPlan, targets: Sequence[AuditTarget]
+) -> LogicalPlan:
+    children = tuple(
+        _insert_leaf_audits(child, targets) for child in plan.children()
+    )
+    if children:
+        plan = plan.replace_children(children)
+    if isinstance(plan, L.Scan):
+        scan = plan
+        for target in targets:
+            if scan.table_name == target.sensitive_table:
+                slot = scan.schema.position_of(target.partition_column)
+                plan = Audit(plan, target.name, slot, scan.alias)
+    return plan
+
+
+def _instrument_subqueries(
+    plan: LogicalPlan,
+    targets: Sequence[AuditTarget],
+    heuristic: str,
+) -> LogicalPlan:
+    """Recursively instrument the plans inside subquery expressions."""
+
+    def fix_expression(expression: Expression) -> Expression:
+        def visit(node: Expression) -> Expression:
+            if isinstance(node, SubqueryExpression) and node.plan is not None:
+                return replace(
+                    node,
+                    plan=instrument_plan(node.plan, targets, heuristic),
+                )
+            return node
+
+        return transform(expression, visit)
+
+    if isinstance(plan, L.Scan):
+        if plan.predicate is None:
+            return plan
+        return replace(plan, predicate=fix_expression(plan.predicate))
+    children = tuple(
+        _instrument_subqueries(child, targets, heuristic)
+        for child in plan.children()
+    )
+    if children:
+        plan = plan.replace_children(children)
+    if isinstance(plan, L.Filter):
+        plan = replace(plan, predicate=fix_expression(plan.predicate))
+    elif isinstance(plan, L.Project):
+        plan = replace(
+            plan,
+            expressions=tuple(
+                fix_expression(e) for e in plan.expressions
+            ),
+        )
+    elif isinstance(plan, L.Join) and plan.condition is not None:
+        plan = replace(plan, condition=fix_expression(plan.condition))
+    elif isinstance(plan, L.Aggregate):
+        plan = replace(
+            plan,
+            group_expressions=tuple(
+                fix_expression(e) for e in plan.group_expressions
+            ),
+            aggregates=tuple(
+                replace(
+                    spec,
+                    argument=fix_expression(spec.argument)
+                    if spec.argument is not None else None,
+                )
+                for spec in plan.aggregates
+            ),
+        )
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# pull-up (Algorithm 1, lines 4-14)
+
+
+def _pull_up_pass(
+    plan: LogicalPlan, heuristic: str
+) -> tuple[LogicalPlan, bool]:
+    """One bottom-up pass pulling audit children above their parents."""
+    changed = False
+    new_children = []
+    for child in plan.children():
+        new_child, child_changed = _pull_up_pass(child, heuristic)
+        changed = changed or child_changed
+        new_children.append(new_child)
+    if new_children:
+        plan = plan.replace_children(new_children)
+
+    while True:
+        pulled = _try_pull_one(plan, heuristic)
+        if pulled is None:
+            break
+        plan = pulled
+        changed = True
+    return plan, changed
+
+
+def _try_pull_one(
+    plan: LogicalPlan, heuristic: str
+) -> LogicalPlan | None:
+    """Swap one Audit child above ``plan`` if they commute; else None."""
+    if isinstance(plan, Audit):
+        return None
+    children = plan.children()
+    for position, child in enumerate(children):
+        if not isinstance(child, Audit):
+            continue
+        mapping = _commute(plan, position, child, heuristic)
+        if mapping is None:
+            continue
+        new_parent, new_slot = mapping
+        inner_children = list(children)
+        inner_children[position] = child.child
+        inner = new_parent.replace_children(inner_children)
+        return Audit(inner, child.audit_name, new_slot, child.scan_alias)
+    return None
+
+
+def _commute(
+    parent: LogicalPlan,
+    position: int,
+    audit: Audit,
+    heuristic: str,
+) -> tuple[LogicalPlan, int] | None:
+    """Can ``audit`` move above ``parent``? Returns (parent', new slot).
+
+    ``parent'`` is usually ``parent`` itself; for forced ID propagation it
+    is a widened projection that carries the partition-by column upward.
+    """
+    slot = audit.id_slot
+
+    if isinstance(parent, L.Filter):
+        return parent, slot
+
+    if isinstance(parent, L.Join):
+        kind = parent.kind
+        if position == 0:
+            if kind in (L.JOIN_INNER, L.JOIN_SEMI, L.JOIN_ANTI):
+                return parent, slot
+            if kind == L.JOIN_LEFT:
+                # preserved side: every left row still flows past the join
+                return parent, slot
+            return None
+        # right input
+        if kind == L.JOIN_INNER:
+            return parent, slot + parent.left.arity
+        # nullable side of an outer join, or the lookup side of a
+        # semi/anti join: rows do not flow through — barrier
+        return None
+
+    if isinstance(parent, L.Project):
+        # commutes only when the projection keeps the ID column visible;
+        # otherwise the operator rests beneath it (see module docstring)
+        for index, expression in enumerate(parent.expressions):
+            if (
+                isinstance(expression, ColumnRef)
+                and expression.outer_level == 0
+                and expression.index == slot
+            ):
+                return parent, index
+        return None
+
+    if heuristic == HEURISTIC_HIGHEST:
+        # the strawman pulls through anything that keeps the ID visible
+        if isinstance(parent, (L.Sort, L.Limit, L.Distinct)):
+            return parent, slot
+        if isinstance(parent, L.Aggregate):
+            for index, expression in enumerate(parent.group_expressions):
+                if (
+                    isinstance(expression, ColumnRef)
+                    and expression.outer_level == 0
+                    and expression.index == slot
+                ):
+                    return parent, index
+            return None
+        return None
+
+    # hcn barriers: Aggregate, Distinct, Sort, Limit (top-k), Audit chains
+    return None
+
+
+def _strip_to(plan: LogicalPlan, arity: int) -> LogicalPlan:
+    """Final projection dropping force-propagated audit columns."""
+    expressions = tuple(
+        ColumnRef(plan.columns[index].name, index=index)
+        for index in range(arity)
+    )
+    return L.Project(plan, expressions, plan.columns[:arity])
+
+
+# ---------------------------------------------------------------------------
+# introspection helpers (tests, EXPLAIN)
+
+
+def audit_operators(plan: LogicalPlan) -> list[Audit]:
+    """All audit operators in a plan, including inside subquery plans."""
+    found: list[Audit] = []
+
+    def visit_expressions(node: LogicalPlan) -> None:
+        expressions: list[Expression] = []
+        if isinstance(node, L.Scan) and node.predicate is not None:
+            expressions.append(node.predicate)
+        elif isinstance(node, L.Filter):
+            expressions.append(node.predicate)
+        elif isinstance(node, L.Project):
+            expressions.extend(node.expressions)
+        elif isinstance(node, L.Join) and node.condition is not None:
+            expressions.append(node.condition)
+        elif isinstance(node, L.Aggregate):
+            expressions.extend(node.group_expressions)
+            expressions.extend(
+                spec.argument
+                for spec in node.aggregates
+                if spec.argument is not None
+            )
+        for expression in expressions:
+            for part in expression.walk():
+                if isinstance(part, SubqueryExpression) \
+                        and part.plan is not None:
+                    found.extend(audit_operators(part.plan))
+
+    for node in plan.walk():
+        if isinstance(node, Audit):
+            found.append(node)
+        visit_expressions(node)
+    return found

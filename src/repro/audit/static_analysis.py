@@ -1,0 +1,339 @@
+"""Static-analysis auditing baseline (Oracle FGA style, §VI).
+
+Oracle Fine Grained Auditing decides *statically* whether a query could
+touch the audited rows: it checks whether the query's selection region on
+the sensitive table provably fails to intersect the audit expression's
+selection region. No data is consulted, so semantically-equivalent
+predicates expressed through different columns defeat it (Example 6.1) —
+the query is flagged even though it never touches audited rows.
+
+We implement the documented behaviour: per-column interval/equality
+reasoning over conjunctive predicates. Anything the analyzer cannot reason
+about (disjunctions, expressions, subqueries) conservatively counts as
+possibly-intersecting, which is precisely the source of FGA's false
+positives that the paper's audit operators avoid.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.expr.nodes import (
+    Between,
+    Binary,
+    ColumnRef,
+    Expression,
+    InList,
+    Literal,
+    conjuncts,
+)
+from repro.plan import logical as L
+from repro.plan.logical import LogicalPlan
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.audit.expression import AuditExpression
+    from repro.database import Database
+
+
+@dataclass
+class _ColumnConstraint:
+    """Accumulated constraints on one column of the sensitive table."""
+
+    equals: set = field(default_factory=set)
+    not_equals: set = field(default_factory=set)
+    lower: object = None  # (value, inclusive)
+    upper: object = None
+    in_sets: list[frozenset] = field(default_factory=list)
+
+    def add_equals(self, value: object) -> None:
+        self.equals.add(value)
+
+    def add_range(self, op: str, value: object) -> None:
+        if op in (">", ">="):
+            bound = (value, op == ">=")
+            if self.lower is None or _tighter_lower(bound, self.lower):
+                self.lower = bound
+        else:
+            bound = (value, op == "<=")
+            if self.upper is None or _tighter_upper(bound, self.upper):
+                self.upper = bound
+
+    def satisfiable(self) -> bool:
+        """Is there any value satisfying all accumulated constraints?"""
+        if len(self.equals) > 1:
+            return False
+        candidates: set | None = None
+        if self.equals:
+            candidates = set(self.equals)
+        for in_set in self.in_sets:
+            if candidates is None:
+                candidates = set(in_set)
+            else:
+                candidates &= in_set
+            if not candidates:
+                return False
+        if candidates is not None:
+            candidates -= self.not_equals
+            if not candidates:
+                return False
+            return any(self._in_range(value) for value in candidates)
+        if self.lower is not None and self.upper is not None:
+            low_value, low_inclusive = self.lower
+            high_value, high_inclusive = self.upper
+            try:
+                if low_value > high_value:
+                    return False
+                if low_value == high_value and not (
+                    low_inclusive and high_inclusive
+                ):
+                    return False
+            except TypeError:
+                return True  # incomparable: assume satisfiable
+        return True
+
+    def _in_range(self, value: object) -> bool:
+        try:
+            if self.lower is not None:
+                low_value, inclusive = self.lower
+                if value < low_value or (value == low_value and not inclusive):
+                    return False
+            if self.upper is not None:
+                high_value, inclusive = self.upper
+                if value > high_value or (
+                    value == high_value and not inclusive
+                ):
+                    return False
+        except TypeError:
+            return True
+        return True
+
+
+def _tighter_lower(candidate: tuple, current: tuple) -> bool:
+    try:
+        if candidate[0] != current[0]:
+            return candidate[0] > current[0]
+        return not candidate[1] and current[1]
+    except TypeError:
+        return False
+
+
+def _tighter_upper(candidate: tuple, current: tuple) -> bool:
+    try:
+        if candidate[0] != current[0]:
+            return candidate[0] < current[0]
+        return not candidate[1] and current[1]
+    except TypeError:
+        return False
+
+
+class StaticAnalysisAuditor:
+    """FGA-style statement-level auditor: flags possibly-accessing queries."""
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+
+    def flags_query(
+        self,
+        sql: str,
+        audit_expression: str,
+        parameters: dict[str, object] | None = None,
+    ) -> bool:
+        """True if static analysis deems the query a potential access."""
+        plan = self._database.plan_query(sql, parameters)
+        expression = self._database.audit_manager.expression(audit_expression)
+        return self.flags_plan(plan, expression, parameters)
+
+    def flags_plan(
+        self,
+        plan: LogicalPlan,
+        expression: "AuditExpression",
+        parameters: dict[str, object] | None = None,
+    ) -> bool:
+        from repro.audit.offline import _sensitive_scans
+
+        scans = _sensitive_scans(plan, expression.sensitive_table)
+        if not scans:
+            return False  # the query never references the sensitive table
+        audit_constraints = self._audit_predicate_constraints(
+            expression, parameters
+        )
+        for scan in scans:
+            constraints = {
+                name: _ColumnConstraint(
+                    equals=set(c.equals),
+                    not_equals=set(c.not_equals),
+                    lower=c.lower,
+                    upper=c.upper,
+                    in_sets=list(c.in_sets),
+                )
+                for name, c in audit_constraints.items()
+            }
+            schema = scan.schema
+            decidable = True
+            if scan.predicate is not None:
+                decidable = _accumulate(
+                    scan.predicate, schema, constraints, parameters
+                )
+            if not decidable:
+                return True  # cannot reason: conservatively flag
+            if all(c.satisfiable() for c in constraints.values()):
+                return True
+        return False
+
+    def _audit_predicate_constraints(
+        self,
+        expression: "AuditExpression",
+        parameters: dict[str, object] | None,
+    ) -> dict[str, _ColumnConstraint]:
+        """Constraints the audit expression imposes on sensitive columns."""
+        table = self._database.catalog.table(expression.sensitive_table)
+        schema = table.schema
+        constraints: dict[str, _ColumnConstraint] = {}
+        where = expression.select.where
+        if where is None:
+            return constraints
+        # only single-table conjuncts on the sensitive table are usable;
+        # join predicates to other tables are ignored (conservative)
+        for conjunct in conjuncts(where):
+            _accumulate_ast_conjunct(conjunct, schema, constraints, parameters)
+        return constraints
+
+
+def _accumulate(
+    predicate: Expression,
+    schema,
+    constraints: dict[str, _ColumnConstraint],
+    parameters: dict[str, object] | None,
+) -> bool:
+    """Fold a bound scan predicate into the constraint map.
+
+    Returns False when any conjunct is beyond the analyzer (the caller
+    then flags conservatively).
+    """
+    decidable = True
+    for conjunct in conjuncts(predicate):
+        if not _accumulate_bound_conjunct(
+            conjunct, schema, constraints, parameters
+        ):
+            decidable = False
+    return decidable
+
+
+def _literal_value(
+    expression: Expression, parameters: dict[str, object] | None
+) -> tuple[bool, object]:
+    from repro.expr.nodes import Parameter
+
+    if isinstance(expression, Literal):
+        return True, expression.value
+    if isinstance(expression, Parameter) and parameters is not None \
+            and expression.name in parameters:
+        return True, parameters[expression.name]
+    return False, None
+
+
+def _accumulate_bound_conjunct(
+    conjunct: Expression,
+    schema,
+    constraints: dict[str, _ColumnConstraint],
+    parameters: dict[str, object] | None,
+) -> bool:
+    if isinstance(conjunct, Binary) and conjunct.op in (
+        "=", "<", "<=", ">", ">=", "<>"
+    ):
+        sides = [(conjunct.left, conjunct.right, conjunct.op)]
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                   "=": "=", "<>": "<>"}
+        sides.append((conjunct.right, conjunct.left, flipped[conjunct.op]))
+        for column_side, value_side, op in sides:
+            if not isinstance(column_side, ColumnRef) \
+                    or column_side.outer_level != 0 \
+                    or column_side.index is None:
+                continue
+            known, value = _literal_value(value_side, parameters)
+            if not known:
+                return False
+            name = schema.columns[column_side.index].name
+            constraint = constraints.setdefault(name, _ColumnConstraint())
+            if op == "=":
+                constraint.add_equals(value)
+            elif op == "<>":
+                constraint.not_equals.add(value)
+            else:
+                constraint.add_range(op, value)
+            return True
+        return False
+    if isinstance(conjunct, Between) and not conjunct.negated:
+        if isinstance(conjunct.operand, ColumnRef) \
+                and conjunct.operand.index is not None:
+            low_known, low = _literal_value(conjunct.low, parameters)
+            high_known, high = _literal_value(conjunct.high, parameters)
+            if low_known and high_known:
+                name = schema.columns[conjunct.operand.index].name
+                constraint = constraints.setdefault(
+                    name, _ColumnConstraint()
+                )
+                constraint.add_range(">=", low)
+                constraint.add_range("<=", high)
+                return True
+        return False
+    if isinstance(conjunct, InList) and not conjunct.negated:
+        if isinstance(conjunct.operand, ColumnRef) \
+                and conjunct.operand.index is not None:
+            values = []
+            for item in conjunct.items:
+                known, value = _literal_value(item, parameters)
+                if not known:
+                    return False
+                values.append(value)
+            name = schema.columns[conjunct.operand.index].name
+            constraint = constraints.setdefault(name, _ColumnConstraint())
+            constraint.in_sets.append(frozenset(values))
+            return True
+        return False
+    return False
+
+
+def _accumulate_ast_conjunct(
+    conjunct: Expression,
+    schema,
+    constraints: dict[str, _ColumnConstraint],
+    parameters: dict[str, object] | None,
+) -> None:
+    """Fold an *unbound* audit-expression conjunct (best effort)."""
+    if not isinstance(conjunct, Binary) or conjunct.op not in (
+        "=", "<", "<=", ">", ">=", "<>"
+    ):
+        return
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+               "=": "=", "<>": "<>"}
+    for column_side, value_side, op in (
+        (conjunct.left, conjunct.right, conjunct.op),
+        (conjunct.right, conjunct.left, flipped[conjunct.op]),
+    ):
+        if not isinstance(column_side, ColumnRef):
+            continue
+        if not schema.has_column(column_side.name):
+            continue
+        known, value = _literal_value(value_side, parameters)
+        if not known:
+            continue
+        constraint = constraints.setdefault(
+            column_side.name, _ColumnConstraint()
+        )
+        if op == "=":
+            constraint.add_equals(value)
+        elif op == "<>":
+            constraint.not_equals.add(value)
+        else:
+            constraint.add_range(op, value)
+        return
+
+
+__all__ = ["StaticAnalysisAuditor"]
+
+# silence an unused-import warning: datetime comparisons flow through the
+# generic ordering logic above
+_ = datetime

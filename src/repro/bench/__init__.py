@@ -1,0 +1,17 @@
+"""Benchmark harness reproducing the paper's evaluation (§V)."""
+
+from repro.bench.harness import (
+    BenchmarkFixture,
+    measure_median,
+    overhead_percent,
+    render_table,
+)
+from repro.bench import figures
+
+__all__ = [
+    "BenchmarkFixture",
+    "measure_median",
+    "overhead_percent",
+    "render_table",
+    "figures",
+]

@@ -1,0 +1,15 @@
+"""Catalog: schemas for tables and indexes plus the metadata registry."""
+
+from repro.catalog.schema import Column, TableSchema, ForeignKey
+from repro.catalog.catalog import Catalog, IndexDefinition
+from repro.catalog.statistics import TableStatistics, ColumnStatistics
+
+__all__ = [
+    "Column",
+    "TableSchema",
+    "ForeignKey",
+    "Catalog",
+    "IndexDefinition",
+    "TableStatistics",
+    "ColumnStatistics",
+]

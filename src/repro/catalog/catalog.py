@@ -1,0 +1,156 @@
+"""The catalog: the registry of all named objects in a database.
+
+The catalog owns tables (storage objects), secondary-index definitions,
+triggers, and audit expressions. It is deliberately ignorant of their
+implementations — storage and audit modules register concrete objects here —
+which keeps the dependency graph acyclic (catalog ← storage ← executor ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.catalog.statistics import TableStatistics
+from repro.errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class IndexDefinition:
+    """A secondary index over ``table.columns`` (ordered or hash)."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+
+class Catalog:
+    """Mutable registry of tables, indexes, triggers, and audit expressions."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, "Table"] = {}
+        self._indexes: dict[str, IndexDefinition] = {}
+        self._statistics: dict[str, TableStatistics] = {}
+        # Trigger and audit-expression objects are registered by their
+        # subsystems; the catalog only provides named storage + lookup.
+        self._triggers: dict[str, object] = {}
+        self._audit_expressions: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # tables
+
+    def add_table(self, table: "Table") -> None:
+        name = table.schema.name.lower()
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        self._tables[name] = table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+        self._statistics.pop(key, None)
+        self._indexes = {
+            index_name: definition
+            for index_name, definition in self._indexes.items()
+            if definition.table != key
+        }
+
+    def table(self, name: str) -> "Table":
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Iterator["Table"]:
+        return iter(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # secondary indexes
+
+    def add_index(self, definition: IndexDefinition) -> None:
+        key = definition.name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {definition.name!r} already exists")
+        if not self.has_table(definition.table):
+            raise CatalogError(
+                f"index {definition.name!r} references missing table "
+                f"{definition.table!r}"
+            )
+        self._indexes[key] = definition
+
+    def indexes_on(self, table: str) -> list[IndexDefinition]:
+        key = table.lower()
+        return [d for d in self._indexes.values() if d.table == key]
+
+    # ------------------------------------------------------------------
+    # statistics
+
+    def statistics(self, table_name: str) -> TableStatistics:
+        """Return fresh statistics, re-gathering if the table changed."""
+        table = self.table(table_name)
+        key = table_name.lower()
+        cached = self._statistics.get(key)
+        if cached is not None and cached.version == table.version:
+            return cached
+        stats = TableStatistics.gather(
+            table.schema.column_names, table.rows(), table.version
+        )
+        self._statistics[key] = stats
+        return stats
+
+    # ------------------------------------------------------------------
+    # triggers
+
+    def add_trigger(self, name: str, trigger: object) -> None:
+        key = name.lower()
+        if key in self._triggers:
+            raise CatalogError(f"trigger {name!r} already exists")
+        self._triggers[key] = trigger
+
+    def drop_trigger(self, name: str) -> None:
+        if name.lower() not in self._triggers:
+            raise CatalogError(f"trigger {name!r} does not exist")
+        del self._triggers[name.lower()]
+
+    def trigger(self, name: str) -> object:
+        try:
+            return self._triggers[name.lower()]
+        except KeyError:
+            raise CatalogError(f"trigger {name!r} does not exist") from None
+
+    def triggers(self) -> Iterator[object]:
+        return iter(self._triggers.values())
+
+    # ------------------------------------------------------------------
+    # audit expressions
+
+    def add_audit_expression(self, name: str, expression: object) -> None:
+        key = name.lower()
+        if key in self._audit_expressions:
+            raise CatalogError(f"audit expression {name!r} already exists")
+        self._audit_expressions[key] = expression
+
+    def drop_audit_expression(self, name: str) -> None:
+        if name.lower() not in self._audit_expressions:
+            raise CatalogError(f"audit expression {name!r} does not exist")
+        del self._audit_expressions[name.lower()]
+
+    def audit_expression(self, name: str) -> object:
+        try:
+            return self._audit_expressions[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"audit expression {name!r} does not exist"
+            ) from None
+
+    def audit_expressions(self) -> Iterator[object]:
+        return iter(self._audit_expressions.values())

@@ -1,0 +1,96 @@
+"""Table and column schema objects.
+
+A :class:`TableSchema` is the authoritative description of a stored table:
+ordered columns, the primary key, and declared foreign keys. Schemas are
+immutable after construction; the storage layer and the binder both hold
+references to the same schema object, so mutation would corrupt plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datatypes import DataType
+from repro.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table.
+
+    Attributes:
+        name: lower-case column name (the engine is case-insensitive and
+            normalizes identifiers to lower case).
+        data_type: declared SQL type.
+        nullable: whether NULLs may be stored.
+    """
+
+    name: str
+    data_type: DataType
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared foreign key: ``columns`` reference ``ref_table.ref_columns``."""
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Immutable description of a stored table."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    _positions: dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        positions: dict[str, int] = {}
+        for index, column in enumerate(self.columns):
+            if column.name in positions:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            positions[column.name] = index
+        for key_column in self.primary_key:
+            if key_column not in positions:
+                raise CatalogError(
+                    f"primary key column {key_column!r} not in table {self.name!r}"
+                )
+        # frozen dataclass: install the lookup dict via object.__setattr__
+        object.__setattr__(self, "_positions", positions)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._positions
+
+    def position_of(self, name: str) -> int:
+        """Ordinal of ``name``; raises :class:`CatalogError` if absent."""
+        try:
+            return self._positions[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position_of(name)]
+
+    def primary_key_positions(self) -> tuple[int, ...]:
+        return tuple(self.position_of(name) for name in self.primary_key)
+
+    def single_column_primary_key(self) -> str | None:
+        """The PK column name when the key is a single column, else None."""
+        if len(self.primary_key) == 1:
+            return self.primary_key[0]
+        return None

@@ -1,0 +1,97 @@
+"""Table and column statistics for cardinality estimation.
+
+The optimizer's cost model needs row counts, distinct-value counts, and
+min/max bounds to estimate selectivities. Statistics are recomputed on
+demand (``ANALYZE``-style) by scanning the table; the engine refreshes them
+lazily when a table's modification counter has advanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ColumnStatistics:
+    """Summary statistics of a single column."""
+
+    distinct_count: int = 0
+    null_count: int = 0
+    min_value: object = None
+    max_value: object = None
+
+    def selectivity_equals(self, row_count: int) -> float:
+        """Estimated selectivity of ``col = constant``."""
+        if self.distinct_count <= 0:
+            return 0.1 if row_count else 0.0
+        return 1.0 / self.distinct_count
+
+    def selectivity_range(self, low: object, high: object) -> float:
+        """Estimated selectivity of a range predicate over [low, high].
+
+        Uses a uniform model over the [min, max] span for numeric and date
+        columns; falls back to a fixed guess for other types.
+        """
+        min_value, max_value = self.min_value, self.max_value
+        if min_value is None or max_value is None or min_value == max_value:
+            return 0.3
+        try:
+            span = _numeric(max_value) - _numeric(min_value)
+            if span <= 0:
+                return 0.3
+            lo = _numeric(low) if low is not None else _numeric(min_value)
+            hi = _numeric(high) if high is not None else _numeric(max_value)
+            fraction = (hi - lo) / span
+        except TypeError:
+            return 0.3
+        return min(max(fraction, 0.0), 1.0)
+
+
+def _numeric(value: object) -> float:
+    """Map orderable values onto a numeric axis for range estimation."""
+    if isinstance(value, (int, float)):
+        return float(value)
+    if hasattr(value, "toordinal"):
+        return float(value.toordinal())
+    raise TypeError(f"non-numeric value {value!r}")
+
+
+@dataclass
+class TableStatistics:
+    """Statistics of one table: row count plus per-column summaries."""
+
+    row_count: int = 0
+    columns: dict[str, ColumnStatistics] = field(default_factory=dict)
+    #: value of the table's modification counter when stats were gathered
+    version: int = -1
+
+    @classmethod
+    def gather(cls, column_names: tuple[str, ...], rows, version: int
+               ) -> "TableStatistics":
+        """Compute statistics with a single scan over ``rows``."""
+        distinct: list[set] = [set() for __ in column_names]
+        nulls = [0] * len(column_names)
+        mins: list[object] = [None] * len(column_names)
+        maxs: list[object] = [None] * len(column_names)
+        row_count = 0
+        for row in rows:
+            row_count += 1
+            for index, value in enumerate(row):
+                if value is None:
+                    nulls[index] += 1
+                    continue
+                distinct[index].add(value)
+                if mins[index] is None or value < mins[index]:
+                    mins[index] = value
+                if maxs[index] is None or value > maxs[index]:
+                    maxs[index] = value
+        columns = {
+            name: ColumnStatistics(
+                distinct_count=len(distinct[index]),
+                null_count=nulls[index],
+                min_value=mins[index],
+                max_value=maxs[index],
+            )
+            for index, name in enumerate(column_names)
+        }
+        return cls(row_count=row_count, columns=columns, version=version)

@@ -1,0 +1,780 @@
+"""The public engine facade.
+
+:class:`Database` wires together the catalog, storage, SQL front end,
+optimizer, executor, audit manager, and trigger manager. Typical use::
+
+    db = Database()
+    db.execute("CREATE TABLE patients (patientid INT PRIMARY KEY, "
+               "name VARCHAR, age INT, zip VARCHAR)")
+    db.execute("INSERT INTO patients VALUES (1, 'Alice', 40, '98101')")
+    db.execute(
+        "CREATE AUDIT EXPRESSION audit_alice AS "
+        "SELECT * FROM patients WHERE name = 'Alice' "
+        "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+    )
+    db.execute("CREATE TRIGGER log_alice ON ACCESS TO audit_alice AS "
+               "INSERT INTO log SELECT now(), user_id(), sql_text(), "
+               "patientid FROM accessed")
+    result = db.execute("SELECT * FROM patients WHERE age > 30")
+    # result.accessed == {'audit_alice': {1}}  and the log has a row
+
+SELECT queries are instrumented with audit operators between logical and
+physical optimization (§IV-B); after execution (even an aborted one), the
+SELECT triggers of every audit expression with recorded accesses fire as
+their own system transaction (§II-C).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.audit.manager import AuditManager
+from repro.audit.placement import HEURISTIC_HCN
+from repro.catalog.catalog import Catalog, IndexDefinition
+from repro.catalog.schema import Column, ForeignKey, TableSchema
+from repro.datatypes import type_from_name
+from repro.errors import (
+    CatalogError,
+    ConstraintError,
+    ExecutionError,
+    UnsupportedSqlError,
+)
+from repro.exec.context import ExecutionContext, Session
+from repro.exec.operators.base import PhysicalOperator
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Expression
+from repro.optimizer.optimizer import Optimizer
+from repro.plan.builder import PlanBuilder, Scope
+from repro.plan.logical import LogicalPlan, PlanColumn
+from repro.sql import ast
+from repro.sql.parser import parse_statement, parse_statements
+from repro.storage.table import Table
+from repro.triggers.definitions import DmlTrigger, SelectTrigger
+from repro.triggers.manager import TriggerManager
+
+
+@dataclass
+class QueryResult:
+    """Materialized result of a SELECT (or the row count of a DML)."""
+
+    columns: tuple[str, ...] = ()
+    rows: list[tuple] = field(default_factory=list)
+    #: audit expression name -> accessed partition-by IDs (ACCESSED state)
+    accessed: dict[str, frozenset] = field(default_factory=dict)
+    rowcount: int = 0
+
+    def rows_list(self) -> list[tuple]:
+        return self.rows
+
+    def scalar(self) -> object:
+        """First column of the first row (None for empty results)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def column(self, index: int = 0) -> list[object]:
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+
+class Database:
+    """An in-memory relational database with SELECT-trigger auditing."""
+
+    def __init__(
+        self,
+        user_id: str = "admin",
+        audit_heuristic: str = HEURISTIC_HCN,
+        clock: Callable[[], datetime.datetime] | None = None,
+    ) -> None:
+        self.catalog = Catalog()
+        self.session = Session(user_id=user_id, clock=clock)
+        self._builder = PlanBuilder(self.catalog)
+        self.audit_manager = AuditManager(
+            self.catalog, self._materialize_ids, heuristic=audit_heuristic
+        )
+        self._optimizer = Optimizer(
+            self.catalog, self.audit_manager.resolve_view
+        )
+        self.trigger_manager = TriggerManager(self)
+        #: set False to execute queries without audit instrumentation
+        self.audit_enabled = True
+        #: messages emitted by SEND EMAIL / NOTIFY trigger actions
+        self.notifications: list[str] = []
+        self._trigger_depth = 0
+        # transaction state: the active undo log (explicit transaction or
+        # per-statement autocommit scope) and whether BEGIN is open
+        self._active_undo = None
+        self._in_explicit_transaction = False
+
+    @property
+    def join_strategy(self) -> str:
+        """Join strategy knob: ``'auto'`` (cost-based), ``'hash'``, or
+        ``'index-nl'`` (force apply-style index nested-loop joins)."""
+        return self._optimizer.join_strategy
+
+    @join_strategy.setter
+    def join_strategy(self, strategy: str) -> None:
+        self._optimizer.join_strategy = strategy
+
+    # ------------------------------------------------------------------
+    # public execution API
+
+    def execute(
+        self,
+        sql: str,
+        parameters: dict[str, object] | None = None,
+    ) -> QueryResult:
+        """Parse and execute one SQL statement."""
+        statement = parse_statement(sql)
+        if self._trigger_depth == 0:
+            self.session.sql_text = sql.strip()
+        return self._execute_statement(statement, parameters)
+
+    def execute_script(self, sql: str) -> list[QueryResult]:
+        """Execute a semicolon-separated script; returns per-statement results."""
+        results = []
+        for statement in parse_statements(sql):
+            results.append(self._execute_statement(statement, None))
+        return results
+
+    def explain(self, sql: str, parameters: dict[str, object] | None = None
+                ) -> str:
+        """Logical (instrumented) and physical plan of a SELECT, as text."""
+        from repro.plan.logical import format_plan
+        from repro.exec.operators.base import format_physical
+
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise UnsupportedSqlError("EXPLAIN supports only SELECT")
+        logical = self._optimizer.optimize_logical(
+            self._builder.build_select(statement),
+            instrument=self._instrument_hook(),
+        )
+        physical = self._optimizer.compile(logical)
+        return (
+            "-- logical --\n"
+            + format_plan(logical)
+            + "\n-- physical --\n"
+            + format_physical(physical)
+        )
+
+    # ------------------------------------------------------------------
+    # engine services used by the audit / trigger subsystems
+
+    def make_context(
+        self,
+        parameters: dict[str, object] | None = None,
+        base_outer_rows: tuple[tuple, ...] = (),
+        tombstones: dict[str, set] | None = None,
+    ) -> ExecutionContext:
+        context = ExecutionContext(
+            session=self.session,
+            parameters=parameters,
+            compile_subquery=self._optimizer.compile,
+            base_outer_rows=base_outer_rows,
+        )
+        if tombstones:
+            context.tombstones = tombstones
+        return context
+
+    def plan_query(
+        self, sql: str, parameters: dict[str, object] | None = None
+    ) -> LogicalPlan:
+        """Rewritten (uninstrumented) logical plan of a SELECT."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise UnsupportedSqlError("plan_query supports only SELECT")
+        return self._optimizer.optimize_logical(
+            self._builder.build_select(statement)
+        )
+
+    def run_physical(
+        self,
+        physical: PhysicalOperator,
+        parameters: dict[str, object] | None = None,
+        tombstones: dict[str, set] | None = None,
+    ) -> QueryResult:
+        """Run a compiled plan without trigger side effects (auditor use)."""
+        context = self.make_context(parameters, tombstones=tombstones)
+        rows = list(physical.rows(context))
+        return QueryResult(
+            rows=rows,
+            accessed={
+                name: frozenset(ids)
+                for name, ids in context.accessed.items()
+            },
+            rowcount=len(rows),
+        )
+
+    def execute_trigger_statement(
+        self,
+        statement: ast.Statement,
+        scope_columns: tuple[PlanColumn, ...] | None = None,
+        pseudo_row: tuple | None = None,
+    ) -> QueryResult:
+        """Execute one trigger-body statement (NEW/OLD row optional)."""
+        self._trigger_depth += 1
+        try:
+            return self._execute_statement(
+                statement,
+                None,
+                scope_columns=scope_columns,
+                pseudo_row=pseudo_row,
+            )
+        finally:
+            self._trigger_depth -= 1
+
+    # ------------------------------------------------------------------
+    # statement dispatch
+
+    def _execute_statement(
+        self,
+        statement: ast.Statement,
+        parameters: dict[str, object] | None,
+        scope_columns: tuple[PlanColumn, ...] | None = None,
+        pseudo_row: tuple | None = None,
+    ) -> QueryResult:
+        if isinstance(statement, ast.SelectStatement):
+            return self._execute_select(
+                statement, parameters, scope_columns, pseudo_row
+            )
+        if isinstance(statement, ast.InsertStatement):
+            return self._atomic_dml(
+                lambda: self._execute_insert(
+                    statement, parameters, scope_columns, pseudo_row
+                )
+            )
+        if isinstance(statement, ast.UpdateStatement):
+            return self._atomic_dml(
+                lambda: self._execute_update(statement, parameters)
+            )
+        if isinstance(statement, ast.DeleteStatement):
+            return self._atomic_dml(
+                lambda: self._execute_delete(statement, parameters)
+            )
+        if isinstance(statement, ast.TransactionStatement):
+            return self._execute_transaction_control(statement)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._execute_create_table(statement)
+        if isinstance(statement, ast.CreateIndexStatement):
+            return self._execute_create_index(statement)
+        if isinstance(statement, ast.DropTableStatement):
+            self._check_drop_table_dependencies(statement.name)
+            self.catalog.drop_table(statement.name)
+            return QueryResult()
+        if isinstance(statement, ast.AnalyzeStatement):
+            return self._execute_analyze(statement)
+        if isinstance(statement, ast.CreateAuditExpressionStatement):
+            self.audit_manager.create_expression(statement)
+            return QueryResult()
+        if isinstance(statement, ast.DropAuditExpressionStatement):
+            self.audit_manager.drop_expression(statement.name)
+            return QueryResult()
+        if isinstance(statement, ast.CreateSelectTriggerStatement):
+            self.trigger_manager.add_select_trigger(
+                SelectTrigger(
+                    statement.name.lower(),
+                    statement.audit_expression.lower(),
+                    statement.body,
+                    statement.timing,
+                )
+            )
+            return QueryResult()
+        if isinstance(statement, ast.CreateDmlTriggerStatement):
+            self.trigger_manager.add_dml_trigger(
+                DmlTrigger(
+                    statement.name.lower(),
+                    statement.table.lower(),
+                    statement.event,
+                    statement.body,
+                )
+            )
+            return QueryResult()
+        if isinstance(statement, ast.DropTriggerStatement):
+            self.trigger_manager.drop_trigger(statement.name)
+            return QueryResult()
+        if isinstance(statement, ast.IfStatement):
+            return self._execute_if(
+                statement, parameters, scope_columns, pseudo_row
+            )
+        if isinstance(statement, ast.NotifyStatement):
+            return self._execute_notify(
+                statement, parameters, scope_columns, pseudo_row
+            )
+        if isinstance(statement, ast.DenyStatement):
+            return self._execute_deny(
+                statement, parameters, scope_columns, pseudo_row
+            )
+        raise UnsupportedSqlError(
+            f"cannot execute {type(statement).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    # SELECT
+
+    def _instrument_hook(self):
+        if not self.audit_enabled:
+            return None
+        if not self.audit_manager.expressions():
+            return None
+        return self.audit_manager.instrument
+
+    def _execute_select(
+        self,
+        statement: ast.SelectStatement,
+        parameters: dict[str, object] | None,
+        scope_columns: tuple[PlanColumn, ...] | None = None,
+        pseudo_row: tuple | None = None,
+    ) -> QueryResult:
+        outer_scope = Scope(scope_columns) if scope_columns else None
+        logical = self._builder.build_select(statement, outer_scope)
+        column_names = tuple(column.name for column in logical.columns)
+        logical = self._optimizer.optimize_logical(
+            logical, instrument=self._instrument_hook()
+        )
+        physical = self._optimizer.compile(logical)
+        base_rows = (pseudo_row,) if pseudo_row is not None else ()
+        context = self.make_context(parameters, base_outer_rows=base_rows)
+        rows: list[tuple] = []
+        try:
+            for row in physical.rows(context):
+                rows.append(row)
+        except BaseException:
+            # §II: the (AFTER) action executes even if the query aborts,
+            # to account for readers that consume a prefix of the result
+            self._fire_select_triggers(context, timing="after")
+            raise
+        # BEFORE-timing triggers gate the results: a DENY action raises
+        # AccessDeniedError and the rows never reach the caller — but the
+        # AFTER-timing audit actions still record the (attempted) access.
+        try:
+            self._fire_select_triggers(context, timing="before")
+        finally:
+            self._fire_select_triggers(context, timing="after")
+        return QueryResult(
+            columns=column_names,
+            rows=rows,
+            accessed={
+                name: frozenset(ids)
+                for name, ids in context.accessed.items()
+            },
+            rowcount=len(rows),
+        )
+
+    def _fire_select_triggers(
+        self, context: ExecutionContext, timing: str
+    ) -> None:
+        if not context.accessed:
+            return
+        # §II-C: the action executes as its own *system transaction* —
+        # its writes commit independently of any enclosing user
+        # transaction (a later ROLLBACK must not erase the audit trail)
+        previous_undo = self._active_undo
+        self._active_undo = None
+        try:
+            self.trigger_manager.fire_select_triggers(
+                context.accessed, timing
+            )
+        finally:
+            self._active_undo = previous_undo
+
+    # ------------------------------------------------------------------
+    # transactions
+
+    def _record_change(self, change) -> None:
+        """Table observer feeding the active undo log."""
+        if self._active_undo is not None:
+            self._active_undo.record(change)
+
+    def _atomic_dml(self, action) -> QueryResult:
+        """Run a DML statement atomically.
+
+        Inside an explicit transaction the statement rolls back to its own
+        savepoint on failure (the transaction stays open); in autocommit a
+        fresh per-statement undo scope is created and dropped.
+        """
+        from repro.storage.undo import UndoLog
+
+        created_scope = self._active_undo is None
+        if created_scope:
+            self._active_undo = UndoLog(self.catalog)
+        savepoint = self._active_undo.savepoint()
+        try:
+            return action()
+        except BaseException:
+            self._active_undo.rollback(savepoint)
+            raise
+        finally:
+            if created_scope:
+                self._active_undo = None
+
+    def _execute_transaction_control(
+        self, statement: ast.TransactionStatement
+    ) -> QueryResult:
+        from repro.errors import TransactionError
+        from repro.storage.undo import UndoLog
+
+        if statement.action == "begin":
+            if self._in_explicit_transaction:
+                raise TransactionError("a transaction is already open")
+            self._active_undo = UndoLog(self.catalog)
+            self._in_explicit_transaction = True
+            return QueryResult()
+        if not self._in_explicit_transaction:
+            raise TransactionError(
+                f"{statement.action.upper()} without an open transaction"
+            )
+        if statement.action == "rollback":
+            assert self._active_undo is not None
+            undone = self._active_undo.rollback(0)
+            self._active_undo = None
+            self._in_explicit_transaction = False
+            return QueryResult(rowcount=undone)
+        # commit: the changes are already applied; drop the undo log
+        self._active_undo = None
+        self._in_explicit_transaction = False
+        return QueryResult()
+
+    def transaction(self):
+        """Context manager: BEGIN on entry, COMMIT on clean exit,
+        ROLLBACK when the body raises."""
+        database = self
+
+        class _Transaction:
+            def __enter__(self):
+                database.execute("BEGIN")
+                return database
+
+            def __exit__(self, exc_type, exc, traceback) -> bool:
+                if database._in_explicit_transaction:
+                    database.execute(
+                        "ROLLBACK" if exc_type is not None else "COMMIT"
+                    )
+                return False
+
+        return _Transaction()
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_explicit_transaction
+
+    # ------------------------------------------------------------------
+    # DML
+
+    def _execute_insert(
+        self,
+        statement: ast.InsertStatement,
+        parameters: dict[str, object] | None,
+        scope_columns: tuple[PlanColumn, ...] | None = None,
+        pseudo_row: tuple | None = None,
+    ) -> QueryResult:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        if statement.select is not None:
+            source = self._execute_select(
+                statement.select, parameters, scope_columns, pseudo_row
+            )
+            value_rows: Iterable[tuple] = source.rows
+        else:
+            outer_scope = Scope(scope_columns) if scope_columns else None
+            base_rows = (pseudo_row,) if pseudo_row is not None else ()
+            context = self.make_context(parameters, base_outer_rows=base_rows)
+            scope = outer_scope or Scope(())
+            value_rows = [
+                tuple(
+                    evaluate(
+                        self._builder.bind_expression(expression, scope),
+                        pseudo_row or (),
+                        context,
+                    )
+                    for expression in row
+                )
+                for row in statement.rows
+            ]
+        count = 0
+        for values in value_rows:
+            full_row = self._arrange_insert_row(schema, statement.columns, values)
+            self._check_foreign_keys(schema, full_row)
+            table.insert(full_row)
+            count += 1
+        return QueryResult(rowcount=count)
+
+    def _arrange_insert_row(
+        self,
+        schema: TableSchema,
+        columns: tuple[str, ...],
+        values: tuple,
+    ) -> tuple:
+        if not columns:
+            if len(values) != len(schema.columns):
+                raise ExecutionError(
+                    f"INSERT supplies {len(values)} values but table "
+                    f"{schema.name!r} has {len(schema.columns)} columns"
+                )
+            return tuple(values)
+        if len(columns) != len(values):
+            raise ExecutionError(
+                "INSERT column list and VALUES length differ"
+            )
+        row: list[object] = [None] * len(schema.columns)
+        for name, value in zip(columns, values):
+            row[schema.position_of(name)] = value
+        return tuple(row)
+
+    def _check_foreign_keys(self, schema: TableSchema, row: tuple) -> None:
+        for foreign_key in schema.foreign_keys:
+            values = tuple(
+                row[schema.position_of(column)]
+                for column in foreign_key.columns
+            )
+            if any(value is None for value in values):
+                continue
+            try:
+                referenced = self.catalog.table(foreign_key.ref_table)
+            except CatalogError:
+                continue
+            ref_columns = foreign_key.ref_columns or \
+                referenced.schema.primary_key
+            if tuple(ref_columns) != tuple(referenced.schema.primary_key):
+                continue  # only PK-backed foreign keys are checked
+            if referenced.lookup_pk(values) is None:
+                raise ConstraintError(
+                    f"foreign key violation: {schema.name}."
+                    f"{foreign_key.columns} = {values!r} has no match in "
+                    f"{foreign_key.ref_table}"
+                )
+
+    def _table_scope(self, table: Table) -> Scope:
+        columns = tuple(
+            PlanColumn(
+                column.name,
+                table.schema.name,
+                (table.schema.name, column.name),
+            )
+            for column in table.schema.columns
+        )
+        return Scope(columns)
+
+    def _execute_update(
+        self,
+        statement: ast.UpdateStatement,
+        parameters: dict[str, object] | None,
+    ) -> QueryResult:
+        table = self.catalog.table(statement.table)
+        scope = self._table_scope(table)
+        predicate = (
+            self._builder.bind_expression(statement.where, scope)
+            if statement.where is not None
+            else None
+        )
+        assignments = [
+            (
+                table.schema.position_of(column),
+                self._builder.bind_expression(expression, scope),
+            )
+            for column, expression in statement.assignments
+        ]
+        context = self.make_context(parameters)
+        pending: list[tuple[int, tuple]] = []
+        for rid, row in table.rows_with_rids():
+            if predicate is not None and evaluate(
+                predicate, row, context
+            ) is not True:
+                continue
+            new_row = list(row)
+            for position, expression in assignments:
+                new_row[position] = evaluate(expression, row, context)
+            pending.append((rid, tuple(new_row)))
+        for rid, new_row in pending:
+            table.update_rid(rid, new_row)
+        return QueryResult(rowcount=len(pending))
+
+    def _execute_delete(
+        self,
+        statement: ast.DeleteStatement,
+        parameters: dict[str, object] | None,
+    ) -> QueryResult:
+        table = self.catalog.table(statement.table)
+        scope = self._table_scope(table)
+        predicate = (
+            self._builder.bind_expression(statement.where, scope)
+            if statement.where is not None
+            else None
+        )
+        context = self.make_context(parameters)
+        doomed = [
+            rid
+            for rid, row in table.rows_with_rids()
+            if predicate is None
+            or evaluate(predicate, row, context) is True
+        ]
+        for rid in doomed:
+            table.delete_rid(rid)
+        return QueryResult(rowcount=len(doomed))
+
+    # ------------------------------------------------------------------
+    # DDL
+
+    def _execute_create_table(
+        self, statement: ast.CreateTableStatement
+    ) -> QueryResult:
+        columns = tuple(
+            Column(
+                definition.name,
+                type_from_name(definition.type_name),
+                nullable=not definition.not_null,
+            )
+            for definition in statement.columns
+        )
+        foreign_keys = tuple(
+            ForeignKey(local, ref_table.lower(), refs)
+            for local, ref_table, refs in statement.foreign_keys
+        )
+        schema = TableSchema(
+            name=statement.name.lower(),
+            columns=columns,
+            primary_key=statement.primary_key,
+            foreign_keys=foreign_keys,
+        )
+        table = Table(schema)
+        self.catalog.add_table(table)
+        table.add_observer(self._record_change)  # transaction undo feed
+        if len(schema.primary_key) >= 1:
+            # clustered-index companion: a secondary ordered index on the
+            # PK so the planner can seek by key (the paper's partition-by
+            # keys coincide with the clustered index, §IV-A.1)
+            index_name = f"{schema.name}_pk"
+            table.create_secondary_index(index_name, schema.primary_key)
+            self.catalog.add_index(
+                IndexDefinition(
+                    index_name, schema.name, schema.primary_key, unique=True
+                )
+            )
+        return QueryResult()
+
+    def _check_drop_table_dependencies(self, table_name: str) -> None:
+        """Refuse to drop a table that auditing objects still reference."""
+        from repro.audit.expression import _referenced_tables
+        from repro.triggers.definitions import DmlTrigger
+
+        key = table_name.lower()
+        for expression in self.audit_manager.expressions():
+            if key in _referenced_tables(expression.select):
+                raise CatalogError(
+                    f"cannot drop table {table_name!r}: audit expression "
+                    f"{expression.name!r} references it "
+                    "(drop the expression first)"
+                )
+        for trigger in self.catalog.triggers():
+            if isinstance(trigger, DmlTrigger) and trigger.table == key:
+                raise CatalogError(
+                    f"cannot drop table {table_name!r}: trigger "
+                    f"{trigger.name!r} is defined on it"
+                )
+
+    def _execute_create_index(
+        self, statement: ast.CreateIndexStatement
+    ) -> QueryResult:
+        table = self.catalog.table(statement.table)
+        table.create_secondary_index(
+            statement.name.lower(), statement.columns,
+            unique=statement.unique,
+        )
+        self.catalog.add_index(
+            IndexDefinition(
+                statement.name.lower(),
+                statement.table.lower(),
+                statement.columns,
+                statement.unique,
+            )
+        )
+        return QueryResult()
+
+    def _execute_analyze(self, statement: ast.AnalyzeStatement) -> QueryResult:
+        if statement.table is not None:
+            self.catalog.statistics(statement.table)
+        else:
+            for table in self.catalog.tables():
+                self.catalog.statistics(table.schema.name)
+        return QueryResult()
+
+    # ------------------------------------------------------------------
+    # trigger-body statements
+
+    def _execute_if(
+        self,
+        statement: ast.IfStatement,
+        parameters: dict[str, object] | None,
+        scope_columns: tuple[PlanColumn, ...] | None,
+        pseudo_row: tuple | None,
+    ) -> QueryResult:
+        scope = Scope(scope_columns or ())
+        condition = self._builder.bind_expression(statement.condition, scope)
+        context = self.make_context(parameters)
+        row = pseudo_row or ()
+        if evaluate(condition, row, context) is True:
+            return self._execute_statement(
+                statement.then, parameters, scope_columns, pseudo_row
+            )
+        return QueryResult()
+
+    def _execute_notify(
+        self,
+        statement: ast.NotifyStatement,
+        parameters: dict[str, object] | None,
+        scope_columns: tuple[PlanColumn, ...] | None,
+        pseudo_row: tuple | None,
+    ) -> QueryResult:
+        message = "notification"
+        if statement.message is not None:
+            scope = Scope(scope_columns or ())
+            bound = self._builder.bind_expression(statement.message, scope)
+            context = self.make_context(parameters)
+            value = evaluate(bound, pseudo_row or (), context)
+            message = str(value)
+        self.notifications.append(message)
+        return QueryResult()
+
+    def _execute_deny(
+        self,
+        statement: ast.DenyStatement,
+        parameters: dict[str, object] | None,
+        scope_columns: tuple[PlanColumn, ...] | None,
+        pseudo_row: tuple | None,
+    ) -> QueryResult:
+        from repro.errors import AccessDeniedError
+
+        message = "access denied by SELECT trigger"
+        if statement.message is not None:
+            scope = Scope(scope_columns or ())
+            bound = self._builder.bind_expression(statement.message, scope)
+            context = self.make_context(parameters)
+            message = str(evaluate(bound, pseudo_row or (), context))
+        raise AccessDeniedError(message)
+
+    # ------------------------------------------------------------------
+    # audit support
+
+    def _materialize_ids(self, expression) -> set:
+        """Execute an audit expression's ID select (view materialization)."""
+        statement = expression.id_select()
+        logical = self._builder.build_select(statement)
+        logical = self._optimizer.optimize_logical(logical)
+        physical = self._optimizer.compile(logical)
+        context = self.make_context()
+        return {row[0] for row in physical.rows(context) if row[0] is not None}
+
+
+def connect(**kwargs) -> Database:
+    """Convenience constructor mirroring DB-API style."""
+    return Database(**kwargs)
+
+
+__all__ = ["Database", "QueryResult", "connect"]

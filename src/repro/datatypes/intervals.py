@@ -1,0 +1,57 @@
+"""Date interval arithmetic for SQL ``INTERVAL`` literals.
+
+TPC-H query templates use expressions such as ``DATE '1995-01-01' +
+INTERVAL '3' MONTH``. We implement the small calendar algebra those
+templates need: year/month/day intervals added to (or subtracted from)
+dates, with end-of-month clamping as in the SQL standard.
+"""
+
+from __future__ import annotations
+
+import calendar
+import datetime
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+_UNITS = ("YEAR", "MONTH", "DAY")
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A calendar interval of ``count`` units (YEAR, MONTH, or DAY)."""
+
+    count: int
+    unit: str
+
+    def __post_init__(self) -> None:
+        if self.unit not in _UNITS:
+            raise ExecutionError(f"unsupported interval unit: {self.unit!r}")
+
+    def negated(self) -> "Interval":
+        return Interval(-self.count, self.unit)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"INTERVAL '{self.count}' {self.unit}"
+
+
+def _add_months(day: datetime.date, months: int) -> datetime.date:
+    """Add months with day-of-month clamped to the target month's length."""
+    month_index = day.year * 12 + (day.month - 1) + months
+    year, month0 = divmod(month_index, 12)
+    month = month0 + 1
+    last_day = calendar.monthrange(year, month)[1]
+    return datetime.date(year, month, min(day.day, last_day))
+
+
+def add_interval(day: object, interval: Interval) -> datetime.date | None:
+    """Return ``day + interval`` (NULL propagates)."""
+    if day is None:
+        return None
+    if not isinstance(day, datetime.date):
+        raise ExecutionError(f"cannot add interval to non-date {day!r}")
+    if interval.unit == "DAY":
+        return day + datetime.timedelta(days=interval.count)
+    if interval.unit == "MONTH":
+        return _add_months(day, interval.count)
+    return _add_months(day, interval.count * 12)

@@ -1,0 +1,114 @@
+"""SQL type descriptors used by the catalog, binder, and expression engine.
+
+Types are deliberately lightweight: a :class:`DataType` is an immutable
+descriptor with a name and a "family" used for coercion decisions. Values are
+plain Python objects (``int``, ``float``, ``str``, ``bool``,
+``datetime.date``); the type layer only records declared column types and
+answers questions such as "what is the common type of INTEGER and FLOAT?".
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.errors import BindError
+
+#: type families, ordered by numeric-coercion priority
+_FAMILY_BOOLEAN = "boolean"
+_FAMILY_NUMERIC = "numeric"
+_FAMILY_STRING = "string"
+_FAMILY_DATE = "date"
+_FAMILY_NULL = "null"
+
+
+@dataclass(frozen=True)
+class DataType:
+    """An immutable SQL type descriptor.
+
+    Attributes:
+        name: canonical upper-case SQL name, e.g. ``"INTEGER"``.
+        family: coercion family (numeric, string, date, boolean, null).
+        priority: within a family, the wider type has higher priority.
+    """
+
+    name: str
+    family: str
+    priority: int = 0
+
+    def is_numeric(self) -> bool:
+        return self.family == _FAMILY_NUMERIC
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+BOOLEAN = DataType("BOOLEAN", _FAMILY_BOOLEAN)
+INTEGER = DataType("INTEGER", _FAMILY_NUMERIC, priority=1)
+DECIMAL = DataType("DECIMAL", _FAMILY_NUMERIC, priority=2)
+FLOAT = DataType("FLOAT", _FAMILY_NUMERIC, priority=3)
+VARCHAR = DataType("VARCHAR", _FAMILY_STRING)
+DATE = DataType("DATE", _FAMILY_DATE)
+#: the type of a bare NULL literal before coercion
+NULL_TYPE = DataType("NULL", _FAMILY_NULL)
+
+_NAME_ALIASES = {
+    "INT": INTEGER,
+    "INTEGER": INTEGER,
+    "BIGINT": INTEGER,
+    "SMALLINT": INTEGER,
+    "DECIMAL": DECIMAL,
+    "NUMERIC": DECIMAL,
+    "FLOAT": FLOAT,
+    "REAL": FLOAT,
+    "DOUBLE": FLOAT,
+    "VARCHAR": VARCHAR,
+    "CHAR": VARCHAR,
+    "TEXT": VARCHAR,
+    "STRING": VARCHAR,
+    "DATE": DATE,
+    "BOOLEAN": BOOLEAN,
+    "BOOL": BOOLEAN,
+}
+
+
+def type_from_name(name: str) -> DataType:
+    """Resolve a SQL type name (case-insensitive, aliases allowed)."""
+    try:
+        return _NAME_ALIASES[name.upper()]
+    except KeyError:
+        raise BindError(f"unknown SQL type: {name!r}") from None
+
+
+def type_of_value(value: object) -> DataType:
+    """Infer the :class:`DataType` of a Python runtime value."""
+    if value is None:
+        return NULL_TYPE
+    if isinstance(value, bool):
+        return BOOLEAN
+    if isinstance(value, int):
+        return INTEGER
+    if isinstance(value, float):
+        return FLOAT
+    if isinstance(value, str):
+        return VARCHAR
+    if isinstance(value, datetime.date):
+        return DATE
+    raise BindError(f"unsupported runtime value type: {type(value).__name__}")
+
+
+def common_type(left: DataType, right: DataType) -> DataType:
+    """Return the common supertype for a binary operation, or raise.
+
+    NULL unifies with anything; numerics widen by priority; otherwise the
+    two types must be identical.
+    """
+    if left.family == _FAMILY_NULL:
+        return right
+    if right.family == _FAMILY_NULL:
+        return left
+    if left.family != right.family:
+        raise BindError(f"incompatible types: {left} vs {right}")
+    if left.priority >= right.priority:
+        return left
+    return right

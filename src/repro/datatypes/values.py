@@ -1,0 +1,149 @@
+"""NULL-aware value operations: SQL three-valued logic and comparisons.
+
+SQL truth values are represented as ``True``, ``False``, and ``None``
+(UNKNOWN). Every helper here treats ``None`` as SQL NULL and propagates it
+the way the standard requires: comparisons with NULL yield UNKNOWN, AND/OR
+follow Kleene logic, and predicates only accept rows whose condition is
+exactly ``True``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from functools import lru_cache
+
+from repro.datatypes.types import (
+    DataType,
+    BOOLEAN,
+    DATE,
+    FLOAT,
+    INTEGER,
+    DECIMAL,
+    VARCHAR,
+)
+from repro.errors import ExecutionError
+
+#: canonical NULL value (aliased for readability at call sites)
+NULL = None
+
+
+def is_null(value: object) -> bool:
+    """True iff ``value`` is SQL NULL."""
+    return value is None
+
+
+def sql_equals(left: object, right: object) -> bool | None:
+    """SQL ``=``: UNKNOWN if either side is NULL."""
+    if left is None or right is None:
+        return None
+    return left == right
+
+
+def sql_compare(left: object, right: object) -> int | None:
+    """Three-way comparison: -1/0/+1, or None if either side is NULL."""
+    if left is None or right is None:
+        return None
+    if left < right:
+        return -1
+    if left > right:
+        return 1
+    return 0
+
+
+def sql_and(left: bool | None, right: bool | None) -> bool | None:
+    """Kleene AND."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def sql_or(left: bool | None, right: bool | None) -> bool | None:
+    """Kleene OR."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def sql_not(value: bool | None) -> bool | None:
+    """Kleene NOT."""
+    if value is None:
+        return None
+    return not value
+
+
+@lru_cache(maxsize=512)
+def _like_regex(pattern: str) -> re.Pattern[str]:
+    """Compile a SQL LIKE pattern (``%`` and ``_`` wildcards) to a regex."""
+    parts = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("".join(parts), re.DOTALL)
+
+
+def sql_like(value: object, pattern: object) -> bool | None:
+    """SQL ``LIKE``: UNKNOWN if either operand is NULL."""
+    if value is None or pattern is None:
+        return None
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        raise ExecutionError("LIKE requires string operands")
+    return _like_regex(pattern).fullmatch(value) is not None
+
+
+def coerce_value(value: object, target: DataType) -> object:
+    """Coerce a Python value to the representation of ``target``.
+
+    NULL passes through. Numeric widening converts int to float for FLOAT
+    columns; DECIMAL is stored as float for simplicity (documented in
+    DESIGN.md). Strings are kept verbatim; dates must already be
+    :class:`datetime.date` or an ISO string.
+    """
+    if value is None:
+        return None
+    if target is INTEGER:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ExecutionError(f"cannot store {value!r} in INTEGER column")
+        return int(value)
+    if target in (FLOAT, DECIMAL):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ExecutionError(f"cannot store {value!r} in {target} column")
+        return float(value)
+    if target is VARCHAR:
+        if not isinstance(value, str):
+            raise ExecutionError(f"cannot store {value!r} in VARCHAR column")
+        return value
+    if target is DATE:
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value)
+            except ValueError as exc:
+                raise ExecutionError(f"invalid DATE literal: {value!r}") from exc
+        raise ExecutionError(f"cannot store {value!r} in DATE column")
+    if target is BOOLEAN:
+        if not isinstance(value, bool):
+            raise ExecutionError(f"cannot store {value!r} in BOOLEAN column")
+        return value
+    return value
+
+
+#: sort rank that places NULLs first, mirroring "NULLS FIRST" ascending order
+_NULL_RANK = 0
+_VALUE_RANK = 1
+
+
+def value_sort_key(value: object) -> tuple[int, object]:
+    """Total-order sort key over nullable values (NULLs sort first)."""
+    if value is None:
+        return (_NULL_RANK, False)
+    return (_VALUE_RANK, value)

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the repro database engine.
+
+Every error raised by the engine derives from :class:`ReproError` so that
+applications can catch engine failures without masking programming errors.
+The hierarchy mirrors the major subsystems: SQL front end, binding/planning,
+execution, storage/constraints, and the audit framework.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so callers can point at the source.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(ReproError):
+    """Name resolution or type checking of a statement failed."""
+
+
+class CatalogError(ReproError):
+    """A catalog object is missing, duplicated, or inconsistently defined."""
+
+
+class StorageError(ReproError):
+    """A storage-level operation failed (row format, index maintenance)."""
+
+
+class ConstraintError(StorageError):
+    """A declared constraint (primary key, not null, foreign key) was violated."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a physical plan."""
+
+
+class PlanError(ReproError):
+    """The optimizer produced or received an invalid plan shape."""
+
+
+class TriggerError(ReproError):
+    """Trigger definition or firing failed (e.g. cascade depth exceeded)."""
+
+
+class AccessDeniedError(TriggerError):
+    """A BEFORE-timing SELECT trigger vetoed the query's results.
+
+    The query already executed (accesses were recorded and logged), but a
+    ``DENY`` action withheld the result set from the caller.
+    """
+
+    def __init__(self, message: str = "access denied by SELECT trigger"
+                 ) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+class AuditError(ReproError):
+    """Audit expression definition, compilation, or placement failed."""
+
+
+class TransactionError(ReproError):
+    """Invalid transaction control (COMMIT/ROLLBACK without BEGIN, ...)."""
+
+
+class UnsupportedSqlError(ReproError):
+    """A syntactically valid construct that this engine does not implement."""

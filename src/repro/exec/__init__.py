@@ -1,0 +1,6 @@
+"""Physical execution: Volcano-style operators and the execution context."""
+
+from repro.exec.context import ExecutionContext, Session
+from repro.exec.operators.base import PhysicalOperator
+
+__all__ = ["ExecutionContext", "Session", "PhysicalOperator"]

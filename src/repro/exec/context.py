@@ -1,0 +1,204 @@
+"""Execution context and session state.
+
+An :class:`ExecutionContext` is created per statement execution. It carries:
+
+* the :class:`Session` (user identity, SQL text, clock) — read by the
+  ``user_id()`` / ``sql_text()`` / ``now()`` functions that the paper's
+  trigger actions use;
+* query parameters;
+* the outer-row stack for correlated subqueries;
+* the subquery runner with per-correlation memoization;
+* *tombstones* — per-table sets of hidden primary keys. The offline auditor
+  (Definition 2.3: run ``Q(D − t)``) hides the sensitive tuple via a
+  tombstone instead of physically deleting it;
+* the ACCESSED internal state (§II): partition-by IDs recorded by audit
+  operators during this execution, grouped by audit-expression name.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.plan.logical import LogicalPlan
+    from repro.exec.operators.base import PhysicalOperator
+
+#: compiles a logical plan into a physical one (provided by the engine)
+SubqueryCompiler = Callable[["LogicalPlan"], "PhysicalOperator"]
+
+
+class Session:
+    """Per-connection state visible to session functions."""
+
+    def __init__(
+        self,
+        user_id: str = "anonymous",
+        clock: Callable[[], datetime.datetime] | None = None,
+    ) -> None:
+        self.user_id = user_id
+        self.sql_text = ""
+        self._clock = clock or datetime.datetime.now
+
+    def now(self) -> datetime.datetime:
+        return self._clock()
+
+
+class ExecutionContext:
+    """Mutable state threaded through one statement execution."""
+
+    def __init__(
+        self,
+        session: Session | None = None,
+        parameters: dict[str, object] | None = None,
+        compile_subquery: SubqueryCompiler | None = None,
+        base_outer_rows: tuple[tuple, ...] = (),
+    ) -> None:
+        self.session = session or Session()
+        self._parameters = parameters or {}
+        self._compile_subquery = compile_subquery
+        #: rows of enclosing scopes, innermost last; seeded with e.g. a
+        #: trigger's NEW row so trigger bodies can reference it
+        self._outer_rows: list[tuple] = list(base_outer_rows)
+        self._subquery_plans: dict[int, "PhysicalOperator"] = {}
+        self._subquery_memo: dict[tuple, list[tuple]] = {}
+        self._free_refs_cache: dict[int, tuple[tuple[int, int], ...]] = {}
+        #: table name -> set of primary keys hidden from scans
+        self.tombstones: dict[str, set] = {}
+        #: audit expression name -> set of accessed partition-by IDs
+        self.accessed: dict[str, set] = {}
+        #: number of rows inspected by audit operators (for benchmarks)
+        self.audit_probe_count = 0
+
+    # ------------------------------------------------------------------
+    # parameters
+
+    def parameter(self, name: str) -> object:
+        try:
+            return self._parameters[name]
+        except KeyError:
+            raise ExecutionError(f"missing query parameter :{name}") from None
+
+    # ------------------------------------------------------------------
+    # outer rows (correlated subqueries)
+
+    def outer_row(self, level: int) -> tuple:
+        """The row ``level`` scopes up (1 = immediately enclosing)."""
+        if level <= 0 or level > len(self._outer_rows):
+            raise ExecutionError(
+                f"no outer row at level {level} "
+                f"(stack depth {len(self._outer_rows)})"
+            )
+        return self._outer_rows[-level]
+
+    def push_outer_row(self, row: tuple) -> None:
+        self._outer_rows.append(row)
+
+    def pop_outer_row(self) -> None:
+        self._outer_rows.pop()
+
+    # ------------------------------------------------------------------
+    # subqueries
+
+    def run_subquery(
+        self, plan: "LogicalPlan | None", current_row: tuple
+    ) -> list[tuple]:
+        """Execute a bound subquery plan for ``current_row``.
+
+        Results are memoized per (plan, correlation values): an
+        uncorrelated subquery runs exactly once per statement.
+        """
+        if plan is None:
+            raise ExecutionError("subquery expression was never bound")
+        if self._compile_subquery is None:
+            raise ExecutionError("context cannot execute subqueries")
+        plan_key = id(plan)
+        free_refs = self._free_refs_cache.get(plan_key)
+        if free_refs is None:
+            free_refs = _free_outer_refs(plan)
+            self._free_refs_cache[plan_key] = free_refs
+        correlation = tuple(
+            current_row[index] if level == 1 else self.outer_row(level - 1)[index]
+            for level, index in free_refs
+        )
+        memo_key = (plan_key, correlation)
+        cached = self._subquery_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        physical = self._subquery_plans.get(plan_key)
+        if physical is None:
+            physical = self._compile_subquery(plan)
+            self._subquery_plans[plan_key] = physical
+        self.push_outer_row(current_row)
+        try:
+            rows = list(physical.rows(self))
+        finally:
+            self.pop_outer_row()
+        self._subquery_memo[memo_key] = rows
+        return rows
+
+    # ------------------------------------------------------------------
+    # tombstones (offline auditor support)
+
+    def is_tombstoned(self, table_name: str, primary_key: tuple) -> bool:
+        hidden = self.tombstones.get(table_name)
+        return hidden is not None and primary_key in hidden
+
+    # ------------------------------------------------------------------
+    # ACCESSED internal state
+
+    def record_access(self, audit_name: str, value: object) -> None:
+        self.accessed.setdefault(audit_name, set()).add(value)
+
+
+def _free_outer_refs(plan: "LogicalPlan") -> tuple[tuple[int, int], ...]:
+    """Free outer references of a subquery plan, as (level, slot) pairs.
+
+    A reference is *free* when its ``outer_level`` exceeds its nesting
+    depth inside ``plan`` — it then addresses a row of the enclosing
+    statement. Level is reported relative to ``plan``'s root (1 = the row
+    the enclosing expression is being evaluated over).
+    """
+    from repro.expr.nodes import ColumnRef, SubqueryExpression
+    from repro.plan import logical as L
+    from repro.plan.builder import OneRow  # local import: cycle guard
+
+    found: set[tuple[int, int]] = set()
+
+    def visit_expression(expression, depth: int) -> None:
+        for node in expression.walk():
+            if isinstance(node, ColumnRef) and node.outer_level > depth:
+                found.add((node.outer_level - depth, node.index))
+            if isinstance(node, SubqueryExpression) and node.plan is not None:
+                visit_plan(node.plan, depth + 1)
+
+    def visit_plan(node, depth: int) -> None:
+        for expression in _plan_expressions(node):
+            visit_expression(expression, depth)
+        for child in node.children():
+            visit_plan(child, depth)
+
+    def _plan_expressions(node):
+        if isinstance(node, (L.Scan,)) and node.predicate is not None:
+            yield node.predicate
+        elif isinstance(node, L.Filter):
+            yield node.predicate
+        elif isinstance(node, L.Project):
+            yield from node.expressions
+        elif isinstance(node, L.Join) and node.condition is not None:
+            yield node.condition
+        elif isinstance(node, L.Aggregate):
+            yield from node.group_expressions
+            for spec in node.aggregates:
+                if spec.argument is not None:
+                    yield spec.argument
+        elif isinstance(node, L.Sort):
+            for key in node.keys:
+                yield key.expression
+        elif isinstance(node, (L.Limit, L.Distinct, L.Audit, OneRow)):
+            return
+
+    visit_plan(plan, 0)
+    return tuple(sorted(found))

@@ -1,0 +1,33 @@
+"""Physical operators (Volcano-style iterators)."""
+
+from repro.exec.operators.base import PhysicalOperator
+from repro.exec.operators.scan import TableScan, IndexSeek, IndexRange, OneRowSource
+from repro.exec.operators.filter import FilterOperator
+from repro.exec.operators.project import ProjectOperator
+from repro.exec.operators.join import NestedLoopJoin, HashJoin
+from repro.exec.operators.apply import IndexNestedLoopJoin
+from repro.exec.operators.aggregate import HashAggregate
+from repro.exec.operators.sort import SortOperator, LimitOperator, TopKOperator
+from repro.exec.operators.distinct import DistinctOperator
+from repro.exec.operators.cache import CacheOperator
+from repro.exec.operators.audit import AuditOperator
+
+__all__ = [
+    "PhysicalOperator",
+    "TableScan",
+    "IndexSeek",
+    "IndexRange",
+    "OneRowSource",
+    "FilterOperator",
+    "ProjectOperator",
+    "NestedLoopJoin",
+    "HashJoin",
+    "IndexNestedLoopJoin",
+    "HashAggregate",
+    "SortOperator",
+    "LimitOperator",
+    "TopKOperator",
+    "DistinctOperator",
+    "CacheOperator",
+    "AuditOperator",
+]

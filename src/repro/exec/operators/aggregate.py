@@ -1,0 +1,74 @@
+"""Hash aggregation operator."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.expr.aggregates import make_accumulator
+from repro.expr.evaluator import evaluate
+from repro.exec.operators.base import PhysicalOperator
+from repro.plan.logical import AggregateSpec
+from repro.expr.nodes import Expression
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.context import ExecutionContext
+
+
+class HashAggregate(PhysicalOperator):
+    """Groups rows by the group expressions and folds aggregates.
+
+    Output row = group values followed by aggregate results. With no group
+    expressions the operator is a global aggregate and emits exactly one
+    row even for empty input (SQL semantics: ``COUNT(*)`` of nothing is 0).
+    Group keys treat NULLs as equal, as GROUP BY requires.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_expressions: tuple[Expression, ...],
+        specs: tuple[AggregateSpec, ...],
+    ) -> None:
+        self._child = child
+        self._group_expressions = group_expressions
+        self._specs = specs
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self._child,)
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        groups: dict[tuple, list] = {}
+        group_expressions = self._group_expressions
+        specs = self._specs
+        for row in self._child.rows(context):
+            key = tuple(
+                evaluate(expression, row, context)
+                for expression in group_expressions
+            )
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [
+                    make_accumulator(spec.name, spec.distinct)
+                    for spec in specs
+                ]
+                groups[key] = accumulators
+            for spec, accumulator in zip(specs, accumulators):
+                if spec.argument is None:
+                    accumulator.add(1)  # COUNT(*)
+                else:
+                    accumulator.add(evaluate(spec.argument, row, context))
+        if not groups and not group_expressions:
+            accumulators = [
+                make_accumulator(spec.name, spec.distinct) for spec in specs
+            ]
+            groups[()] = accumulators
+        for key, accumulators in groups.items():
+            yield key + tuple(
+                accumulator.result() for accumulator in accumulators
+            )
+
+    def describe(self) -> str:
+        return (
+            f"HashAggregate(groups={len(self._group_expressions)}, "
+            f"aggs={len(self._specs)})"
+        )

@@ -1,0 +1,76 @@
+"""Index nested-loop (apply-style) join.
+
+For each outer row, the inner physical subplan is re-executed with the
+outer row pushed onto the context's outer-row stack; the inner subplan's
+scan carries a seek predicate referencing the outer row (``outer_level=1``)
+that the planner rewired from the join condition, so each iteration is an
+index seek rather than a scan.
+
+This is the plan shape whose interaction with audit operators the paper's
+micro-benchmark exercises: an audit operator inside the inner subtree is
+probed once per fetched inner row, so its cost scales with the outer
+cardinality (§V-A).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Expression
+from repro.exec.operators.base import PhysicalOperator
+from repro.plan.logical import JOIN_ANTI, JOIN_LEFT, JOIN_SEMI
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.context import ExecutionContext
+
+
+class IndexNestedLoopJoin(PhysicalOperator):
+    """Apply join: re-runs the inner subplan once per outer row."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        inner: PhysicalOperator,
+        kind: str,
+        residual: Expression | None,
+        inner_arity: int,
+    ) -> None:
+        self._left = left
+        self._inner = inner
+        self._kind = kind
+        self._residual = residual
+        self._inner_arity = inner_arity
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self._left, self._inner)
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        kind = self._kind
+        residual = self._residual
+        null_extension = (None,) * self._inner_arity
+        for left_row in self._left.rows(context):
+            context.push_outer_row(left_row)
+            try:
+                matches = list(self._inner.rows(context))
+            finally:
+                context.pop_outer_row()
+            matched = False
+            for right_row in matches:
+                combined = left_row + right_row
+                if residual is not None:
+                    if evaluate(residual, combined, context) is not True:
+                        continue
+                matched = True
+                if kind in (JOIN_SEMI, JOIN_ANTI):
+                    break
+                yield combined
+            if kind == JOIN_SEMI and matched:
+                yield left_row
+            elif kind == JOIN_ANTI and not matched:
+                yield left_row
+            elif kind == JOIN_LEFT and not matched:
+                yield left_row + null_extension
+
+    def describe(self) -> str:
+        return f"IndexNestedLoopJoin({self._kind})"

@@ -1,0 +1,62 @@
+"""The physical audit operator (§IV-A.2).
+
+A pass-through "data viewer": for every row flowing by, it probes slot
+``id_slot`` against the audit expression's materialized sensitive-ID set
+(a hash probe, like the build side of a hash join) and records hits in the
+context's ACCESSED state. It outputs every input row unchanged — as far as
+the rest of the plan is concerned it is a no-op — which is what guarantees
+the instrumented plan returns exactly the original query result.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Container, Iterator
+
+from repro.exec.operators.base import PhysicalOperator
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.context import ExecutionContext
+
+
+class AuditOperator(PhysicalOperator):
+    """No-op row viewer that records sensitive partition-by IDs."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        audit_name: str,
+        id_slot: int,
+        sensitive_ids: Container,
+    ) -> None:
+        self._child = child
+        self._audit_name = audit_name
+        self._id_slot = id_slot
+        self._sensitive_ids = sensitive_ids
+        # probe against the raw underlying set when the container exposes
+        # one (IdView does): the per-row check must be a bare hash lookup
+        self._probe_set = getattr(sensitive_ids, "live_id_set", sensitive_ids)
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self._child,)
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        slot = self._id_slot
+        sensitive = self._probe_set
+        record = None  # bound on first hit so clean queries leave no trace
+        probes = 0
+        try:
+            for row in self._child.rows(context):
+                probes += 1
+                value = row[slot]
+                if value is not None and value in sensitive:
+                    if record is None:
+                        record = context.accessed.setdefault(
+                            self._audit_name, set()
+                        ).add
+                    record(value)
+                yield row
+        finally:
+            context.audit_probe_count += probes
+
+    def describe(self) -> str:
+        return f"AuditOperator({self._audit_name}, slot={self._id_slot})"

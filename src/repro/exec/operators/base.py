@@ -1,0 +1,45 @@
+"""Physical operator interface.
+
+A physical operator is an immutable factory of row iterators: calling
+``rows(context)`` starts a fresh execution. This makes plans re-executable,
+which the offline auditor exploits — it runs the same physical plan many
+times with different tombstone sets (one per candidate sensitive tuple).
+
+Operators expose ``children()`` and ``describe()`` for plan inspection
+(EXPLAIN output and tests).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.context import ExecutionContext
+
+
+class PhysicalOperator:
+    """Base class for physical operators."""
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        """Start a fresh execution and yield output rows."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["PhysicalOperator", ...]:
+        return ()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def walk(self) -> Iterator["PhysicalOperator"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+def format_physical(operator: PhysicalOperator, indent: int = 0) -> str:
+    """Readable multi-line rendering of a physical plan."""
+    pad = "  " * indent
+    lines = [f"{pad}{operator.describe()}"]
+    for child in operator.children():
+        lines.append(format_physical(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Duplicate elimination operator."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.exec.operators.base import PhysicalOperator
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.context import ExecutionContext
+
+
+class DistinctOperator(PhysicalOperator):
+    """Streams the first occurrence of each distinct row."""
+
+    def __init__(self, child: PhysicalOperator) -> None:
+        self._child = child
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self._child,)
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self._child.rows(context):
+            if row in seen:
+                continue
+            seen.add(row)
+            yield row
+
+    def describe(self) -> str:
+        return "Distinct"

@@ -1,0 +1,32 @@
+"""Row filter operator."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Expression
+from repro.exec.operators.base import PhysicalOperator
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.context import ExecutionContext
+
+
+class FilterOperator(PhysicalOperator):
+    """Keeps rows whose predicate evaluates to exactly TRUE."""
+
+    def __init__(self, child: PhysicalOperator, predicate: Expression) -> None:
+        self._child = child
+        self._predicate = predicate
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self._child,)
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        predicate = self._predicate
+        for row in self._child.rows(context):
+            if evaluate(predicate, row, context) is True:
+                yield row
+
+    def describe(self) -> str:
+        return "Filter"

@@ -1,0 +1,168 @@
+"""Join operators: hash join and nested-loop join.
+
+Both support the logical join kinds inner / left (outer) / semi / anti.
+Output rows are ``left ++ right`` for inner and left joins and the bare
+left row for semi/anti joins — matching the logical algebra.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Expression
+from repro.exec.operators.base import PhysicalOperator
+from repro.plan.logical import JOIN_ANTI, JOIN_INNER, JOIN_LEFT, JOIN_SEMI
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.context import ExecutionContext
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """Nested-loop join; the right input is materialized once per run.
+
+    Used when no equi-join keys are available (cross products, inequality
+    joins) — correct for every condition shape.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        kind: str,
+        condition: Expression | None,
+        right_arity: int,
+    ) -> None:
+        self._left = left
+        self._right = right
+        self._kind = kind
+        self._condition = condition
+        self._right_arity = right_arity
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self._left, self._right)
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        right_rows = list(self._right.rows(context))
+        condition = self._condition
+        kind = self._kind
+        null_extension = (None,) * self._right_arity
+        for left_row in self._left.rows(context):
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if condition is not None:
+                    if evaluate(condition, combined, context) is not True:
+                        continue
+                matched = True
+                if kind == JOIN_SEMI:
+                    break
+                if kind == JOIN_ANTI:
+                    break
+                yield combined
+            if kind == JOIN_SEMI and matched:
+                yield left_row
+            elif kind == JOIN_ANTI and not matched:
+                yield left_row
+            elif kind == JOIN_LEFT and not matched:
+                yield left_row + null_extension
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin({self._kind})"
+
+
+class HashJoin(PhysicalOperator):
+    """Hash join on equi-key slots with an optional residual predicate.
+
+    ``left_keys`` / ``right_keys`` are slot ordinals into each input's
+    row. ``build_left`` selects which side is materialized into the hash
+    table (the optimizer picks the smaller estimated side); the probe side
+    streams. For left/semi/anti joins the build side is always the right
+    input, because those kinds need per-left-row match bookkeeping.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        kind: str,
+        left_keys: tuple[int, ...],
+        right_keys: tuple[int, ...],
+        residual: Expression | None,
+        right_arity: int,
+        build_left: bool = False,
+    ) -> None:
+        self._left = left
+        self._right = right
+        self._kind = kind
+        self._left_keys = left_keys
+        self._right_keys = right_keys
+        self._residual = residual
+        self._right_arity = right_arity
+        self._build_left = build_left and kind == JOIN_INNER
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self._left, self._right)
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        if self._build_left:
+            yield from self._run_build_left(context)
+        else:
+            yield from self._run_build_right(context)
+
+    def _run_build_right(
+        self, context: "ExecutionContext"
+    ) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        for right_row in self._right.rows(context):
+            key = tuple(right_row[slot] for slot in self._right_keys)
+            if any(part is None for part in key):
+                continue
+            table.setdefault(key, []).append(right_row)
+        residual = self._residual
+        kind = self._kind
+        null_extension = (None,) * self._right_arity
+        for left_row in self._left.rows(context):
+            key = tuple(left_row[slot] for slot in self._left_keys)
+            matches = table.get(key, ()) if None not in key else ()
+            matched = False
+            for right_row in matches:
+                combined = left_row + right_row
+                if residual is not None:
+                    if evaluate(residual, combined, context) is not True:
+                        continue
+                matched = True
+                if kind in (JOIN_SEMI, JOIN_ANTI):
+                    break
+                yield combined
+            if kind == JOIN_SEMI and matched:
+                yield left_row
+            elif kind == JOIN_ANTI and not matched:
+                yield left_row
+            elif kind == JOIN_LEFT and not matched:
+                yield left_row + null_extension
+
+    def _run_build_left(
+        self, context: "ExecutionContext"
+    ) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        for left_row in self._left.rows(context):
+            key = tuple(left_row[slot] for slot in self._left_keys)
+            if any(part is None for part in key):
+                continue
+            table.setdefault(key, []).append(left_row)
+        residual = self._residual
+        for right_row in self._right.rows(context):
+            key = tuple(right_row[slot] for slot in self._right_keys)
+            if any(part is None for part in key):
+                continue
+            for left_row in table.get(key, ()):
+                combined = left_row + right_row
+                if residual is not None:
+                    if evaluate(residual, combined, context) is not True:
+                        continue
+                yield combined
+
+    def describe(self) -> str:
+        side = "build=left" if self._build_left else "build=right"
+        return f"HashJoin({self._kind}, {side})"

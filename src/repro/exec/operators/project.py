@@ -1,0 +1,57 @@
+"""Projection operator."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import ColumnRef, Expression
+from repro.exec.operators.base import PhysicalOperator
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.context import ExecutionContext
+
+
+class ProjectOperator(PhysicalOperator):
+    """Computes output rows from expressions over the child row.
+
+    Projections that are pure column permutations (a common case after
+    binding) are executed with tuple indexing instead of the general
+    evaluator — measurably faster on hot paths.
+    """
+
+    def __init__(
+        self, child: PhysicalOperator, expressions: tuple[Expression, ...]
+    ) -> None:
+        self._child = child
+        self._expressions = expressions
+        self._simple_slots: tuple[int, ...] | None = None
+        if all(
+            isinstance(expression, ColumnRef)
+            and expression.outer_level == 0
+            and expression.index is not None
+            for expression in expressions
+        ):
+            self._simple_slots = tuple(
+                expression.index  # type: ignore[union-attr]
+                for expression in expressions
+            )
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self._child,)
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        slots = self._simple_slots
+        if slots is not None:
+            for row in self._child.rows(context):
+                yield tuple(row[slot] for slot in slots)
+            return
+        expressions = self._expressions
+        for row in self._child.rows(context):
+            yield tuple(
+                evaluate(expression, row, context)
+                for expression in expressions
+            )
+
+    def describe(self) -> str:
+        return f"Project({len(self._expressions)} cols)"

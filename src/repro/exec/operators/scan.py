@@ -1,0 +1,172 @@
+"""Leaf access paths: full scans, index seeks, index range scans.
+
+All access paths honor the context's tombstones: rows whose primary key is
+tombstoned are invisible, which is how the offline auditor evaluates
+``Q(D − t)`` without mutating the database.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ExecutionError
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import Expression
+from repro.exec.operators.base import PhysicalOperator
+from repro.storage.index import OrderedIndex
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.context import ExecutionContext
+    from repro.storage.table import Table
+
+
+class TableScan(PhysicalOperator):
+    """Full scan of a base table with an optional residual predicate."""
+
+    def __init__(self, table: "Table", predicate: Expression | None = None
+                 ) -> None:
+        self._table = table
+        self._predicate = predicate
+        self._pk_positions = table.schema.primary_key_positions()
+
+    @property
+    def table(self) -> "Table":
+        return self._table
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        table_name = self._table.schema.name
+        hidden = context.tombstones.get(table_name)
+        predicate = self._predicate
+        pk_positions = self._pk_positions
+        for row in self._table.rows():
+            if hidden is not None and pk_positions:
+                key = tuple(row[position] for position in pk_positions)
+                if key in hidden:
+                    continue
+            if predicate is not None:
+                if evaluate(predicate, row, context) is not True:
+                    continue
+            yield row
+
+    def describe(self) -> str:
+        suffix = " [filtered]" if self._predicate is not None else ""
+        return f"TableScan({self._table.schema.name}){suffix}"
+
+
+class IndexSeek(PhysicalOperator):
+    """Equality seek on a secondary index.
+
+    ``key_expressions`` must be evaluable without an input row (literals,
+    parameters, or expressions over them). The optional residual predicate
+    is applied to fetched rows.
+    """
+
+    def __init__(
+        self,
+        table: "Table",
+        index_name: str,
+        key_expressions: tuple[Expression, ...],
+        residual: Expression | None = None,
+    ) -> None:
+        self._table = table
+        self._index_name = index_name
+        self._key_expressions = key_expressions
+        self._residual = residual
+        self._pk_positions = table.schema.primary_key_positions()
+
+    @property
+    def table(self) -> "Table":
+        return self._table
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        index = self._table.secondary_index(self._index_name)
+        key = tuple(
+            evaluate(expression, (), context)
+            for expression in self._key_expressions
+        )
+        hidden = context.tombstones.get(self._table.schema.name)
+        for rid in index.seek(key):
+            row = self._table.row_by_rid(rid)
+            if hidden is not None and self._pk_positions:
+                pk = tuple(row[p] for p in self._pk_positions)
+                if pk in hidden:
+                    continue
+            if self._residual is not None:
+                if evaluate(self._residual, row, context) is not True:
+                    continue
+            yield row
+
+    def describe(self) -> str:
+        return (
+            f"IndexSeek({self._table.schema.name}.{self._index_name})"
+        )
+
+
+class IndexRange(PhysicalOperator):
+    """Range scan on an ordered secondary index (single-column bounds)."""
+
+    def __init__(
+        self,
+        table: "Table",
+        index_name: str,
+        low: Expression | None,
+        high: Expression | None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        residual: Expression | None = None,
+    ) -> None:
+        self._table = table
+        self._index_name = index_name
+        self._low = low
+        self._high = high
+        self._low_inclusive = low_inclusive
+        self._high_inclusive = high_inclusive
+        self._residual = residual
+        self._pk_positions = table.schema.primary_key_positions()
+
+    @property
+    def table(self) -> "Table":
+        return self._table
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        index = self._table.secondary_index(self._index_name)
+        if not isinstance(index, OrderedIndex):
+            raise ExecutionError(
+                f"index {self._index_name!r} does not support range scans"
+            )
+        low = (
+            (evaluate(self._low, (), context),)
+            if self._low is not None else None
+        )
+        high = (
+            (evaluate(self._high, (), context),)
+            if self._high is not None else None
+        )
+        hidden = context.tombstones.get(self._table.schema.name)
+        for rid in index.range_scan(
+            low, high, self._low_inclusive, self._high_inclusive
+        ):
+            row = self._table.row_by_rid(rid)
+            if hidden is not None and self._pk_positions:
+                pk = tuple(row[p] for p in self._pk_positions)
+                if pk in hidden:
+                    continue
+            if self._residual is not None:
+                if evaluate(self._residual, row, context) is not True:
+                    continue
+            yield row
+
+    def describe(self) -> str:
+        return (
+            f"IndexRange({self._table.schema.name}.{self._index_name})"
+        )
+
+
+class OneRowSource(PhysicalOperator):
+    """Produces a single empty row (FROM-less SELECT)."""
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        yield ()
+
+    def describe(self) -> str:
+        return "OneRow"

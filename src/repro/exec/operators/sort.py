@@ -1,0 +1,146 @@
+"""Sort, limit, and top-k operators.
+
+``TopKOperator`` fuses Sort+Limit with a bounded heap — the operator the
+paper's Example 3.2 shows to be non-commutative with the audit operator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Iterator
+
+from repro.datatypes import value_sort_key
+from repro.expr.evaluator import evaluate
+from repro.exec.operators.base import PhysicalOperator
+from repro.plan.logical import SortKey
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.context import ExecutionContext
+
+
+class SortOperator(PhysicalOperator):
+    """Full in-memory sort (stable, multi-key, NULLS FIRST ascending)."""
+
+    def __init__(self, child: PhysicalOperator, keys: tuple[SortKey, ...]
+                 ) -> None:
+        self._child = child
+        self._keys = keys
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self._child,)
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        buffered = list(self._child.rows(context))
+        # stable multi-pass: sort by the last key first
+        for key in reversed(self._keys):
+            expression = key.expression
+            buffered.sort(
+                key=lambda row: value_sort_key(
+                    evaluate(expression, row, context)
+                ),
+                reverse=not key.ascending,
+            )
+        yield from buffered
+
+    def describe(self) -> str:
+        return f"Sort({len(self._keys)} keys)"
+
+
+class LimitOperator(PhysicalOperator):
+    """Stops the pipeline after ``count`` rows."""
+
+    def __init__(self, child: PhysicalOperator, count: int) -> None:
+        self._child = child
+        self._count = count
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self._child,)
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        if self._count <= 0:
+            return
+        emitted = 0
+        for row in self._child.rows(context):
+            yield row
+            emitted += 1
+            if emitted >= self._count:
+                return
+
+    def describe(self) -> str:
+        return f"Limit({self._count})"
+
+
+class _HeapEntry:
+    """Orderable wrapper so heapq can compare rows by sort rank."""
+
+    __slots__ = ("rank", "sequence", "row")
+
+    def __init__(self, rank: tuple, sequence: int, row: tuple) -> None:
+        self.rank = rank
+        self.sequence = sequence
+        self.row = row
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        # max-heap on (rank, sequence): heapq pops the largest-ranked entry
+        # first so we can evict the worst of the current top-k
+        return (self.rank, self.sequence) > (other.rank, other.sequence)
+
+
+class TopKOperator(PhysicalOperator):
+    """Bounded-heap top-k: keeps the best ``count`` rows per sort order."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        keys: tuple[SortKey, ...],
+        count: int,
+    ) -> None:
+        self._child = child
+        self._keys = keys
+        self._count = count
+
+    def children(self) -> tuple[PhysicalOperator, ...]:
+        return (self._child,)
+
+    def _rank(self, row: tuple, context: "ExecutionContext") -> tuple:
+        rank = []
+        for key in self._keys:
+            part = value_sort_key(evaluate(key.expression, row, context))
+            if not key.ascending:
+                part = _Reversed(part)
+            rank.append(part)
+        return tuple(rank)
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        if self._count <= 0:
+            return
+        heap: list[_HeapEntry] = []
+        for sequence, row in enumerate(self._child.rows(context)):
+            entry = _HeapEntry(self._rank(row, context), sequence, row)
+            if len(heap) < self._count:
+                heapq.heappush(heap, entry)
+            elif entry.rank < heap[0].rank or (
+                entry.rank == heap[0].rank and entry.sequence < heap[0].sequence
+            ):
+                heapq.heapreplace(heap, entry)
+        ordered = sorted(heap, key=lambda e: (e.rank, e.sequence))
+        for entry in ordered:
+            yield entry.row
+
+    def describe(self) -> str:
+        return f"TopK({self._count}, {len(self._keys)} keys)"
+
+
+class _Reversed:
+    """Inverts comparison order for descending sort keys."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value  # type: ignore[operator]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and self.value == other.value

@@ -1,0 +1,14 @@
+"""Expression trees, binding, evaluation, functions, and predicate analysis."""
+
+from repro.expr import nodes
+from repro.expr.nodes import Expression
+from repro.expr.evaluator import evaluate
+from repro.expr.aggregates import is_aggregate_name, make_accumulator
+
+__all__ = [
+    "nodes",
+    "Expression",
+    "evaluate",
+    "is_aggregate_name",
+    "make_accumulator",
+]

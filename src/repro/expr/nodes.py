@@ -1,0 +1,351 @@
+"""Expression AST nodes.
+
+The parser produces *unbound* trees (column references are names); the
+binder rewrites them into *bound* trees where every :class:`ColumnRef`
+carries the ordinal of its slot in the input row (and correlated references
+carry the ordinal in the outer row). The same node classes serve both
+phases, which keeps rewrites (predicate pushdown, audit instrumentation)
+uniform.
+
+Every node implements ``children()`` and ``replace_children()`` so generic
+tree walks — used by the binder, the optimizer, and the audit placement
+analysis — need no per-node special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.datatypes import Interval
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.sql.ast import SelectStatement
+    from repro.plan.logical import LogicalPlan
+
+
+class Expression:
+    """Base class for all scalar expression nodes."""
+
+    def children(self) -> tuple["Expression", ...]:
+        return ()
+
+    def replace_children(
+        self, children: Sequence["Expression"]
+    ) -> "Expression":
+        if children:
+            raise ValueError(f"{type(self).__name__} takes no children")
+        return self
+
+    def walk(self) -> Iterator["Expression"]:
+        """Pre-order traversal of this subtree (subqueries not entered)."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: number, string, date, boolean, or NULL."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class IntervalLiteral(Expression):
+    """``INTERVAL 'n' UNIT`` — participates in date arithmetic."""
+
+    interval: Interval
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A column reference.
+
+    Unbound: ``qualifier`` (optional) and ``name`` as written. Bound: the
+    binder fills ``index`` (slot in the input row) or, for correlated
+    references inside subqueries, ``outer_level`` > 0 with ``index``
+    addressing the outer row at that nesting depth.
+    """
+
+    name: str
+    qualifier: str | None = None
+    index: int | None = None
+    outer_level: int = 0
+
+    @property
+    def is_bound(self) -> bool:
+        return self.index is not None
+
+    def display(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A named query parameter, written ``:name`` in SQL text."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` — only valid in ``COUNT(*)`` and select lists."""
+
+    qualifier: str | None = None
+
+
+@dataclass(frozen=True)
+class Unary(Expression):
+    """Unary operator: ``-`` or ``NOT``."""
+
+    op: str
+    operand: Expression
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def replace_children(self, children: Sequence[Expression]) -> "Unary":
+        (operand,) = children
+        return replace(self, operand=operand)
+
+
+@dataclass(frozen=True)
+class Binary(Expression):
+    """Binary operator: arithmetic (+ - * /), comparison, AND, OR."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def replace_children(self, children: Sequence[Expression]) -> "Binary":
+        left, right = children
+        return replace(self, left=left, right=right)
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,)
+
+    def replace_children(self, children: Sequence[Expression]) -> "IsNull":
+        (operand,) = children
+        return replace(self, operand=operand)
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand, self.low, self.high)
+
+    def replace_children(self, children: Sequence[Expression]) -> "Between":
+        operand, low, high = children
+        return replace(self, operand=operand, low=low, high=high)
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern``."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand, self.pattern)
+
+    def replace_children(self, children: Sequence[Expression]) -> "Like":
+        operand, pattern = children
+        return replace(self, operand=operand, pattern=pattern)
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand, *self.items)
+
+    def replace_children(self, children: Sequence[Expression]) -> "InList":
+        operand, *items = children
+        return replace(self, operand=operand, items=tuple(items))
+
+
+@dataclass(frozen=True)
+class SubqueryExpression(Expression):
+    """Base for expressions holding a subquery.
+
+    ``select`` is the parsed AST before binding; the binder replaces it
+    with a bound :class:`~repro.plan.logical.LogicalPlan` in ``plan``.
+    Subqueries are *not* entered by :meth:`Expression.walk`; analyses that
+    must see inside them do so explicitly via ``plan``.
+    """
+
+    select: "SelectStatement | None" = None
+    plan: "LogicalPlan | None" = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class InSubquery(SubqueryExpression):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    operand: Expression | None = None
+    negated: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return (self.operand,) if self.operand is not None else ()
+
+    def replace_children(self, children: Sequence[Expression]) -> "InSubquery":
+        (operand,) = children
+        return replace(self, operand=operand)
+
+
+@dataclass(frozen=True)
+class Exists(SubqueryExpression):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(SubqueryExpression):
+    """A subquery used as a scalar value (must yield <= 1 row, 1 column)."""
+
+
+@dataclass(frozen=True)
+class Case(Expression):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
+
+    whens: tuple[tuple[Expression, Expression], ...]
+    operand: Expression | None = None
+    default: Expression | None = None
+
+    def children(self) -> tuple[Expression, ...]:
+        parts: list[Expression] = []
+        if self.operand is not None:
+            parts.append(self.operand)
+        for condition, result in self.whens:
+            parts.append(condition)
+            parts.append(result)
+        if self.default is not None:
+            parts.append(self.default)
+        return tuple(parts)
+
+    def replace_children(self, children: Sequence[Expression]) -> "Case":
+        children = list(children)
+        operand = children.pop(0) if self.operand is not None else None
+        default = children.pop() if self.default is not None else None
+        if len(children) != 2 * len(self.whens):
+            raise ValueError("CASE child count mismatch")
+        whens = tuple(
+            (children[i], children[i + 1])
+            for i in range(0, len(children), 2)
+        )
+        return replace(self, whens=whens, operand=operand, default=default)
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A function call; may be scalar (``substring``) or aggregate (``sum``).
+
+    The binder splits aggregates out of expressions; by execution time a
+    ``FunctionCall`` is always scalar.
+    """
+
+    name: str
+    args: tuple[Expression, ...] = ()
+    distinct: bool = False
+
+    def children(self) -> tuple[Expression, ...]:
+        return self.args
+
+    def replace_children(
+        self, children: Sequence[Expression]
+    ) -> "FunctionCall":
+        return replace(self, args=tuple(children))
+
+
+@dataclass(frozen=True)
+class AggregateRef(Expression):
+    """A bound reference to aggregate slot ``index`` of a group-by operator."""
+
+    index: int
+    name: str = "agg"
+
+
+def conjuncts(expression: Expression | None) -> list[Expression]:
+    """Flatten nested ANDs into a list of conjuncts (empty for None)."""
+    if expression is None:
+        return []
+    if isinstance(expression, Binary) and expression.op == "AND":
+        return conjuncts(expression.left) + conjuncts(expression.right)
+    return [expression]
+
+
+def conjoin(parts: Sequence[Expression]) -> Expression | None:
+    """Combine conjuncts back into one AND tree (None for empty input)."""
+    result: Expression | None = None
+    for part in parts:
+        if result is None:
+            result = part
+        else:
+            result = Binary("AND", result, part)
+    return result
+
+
+def transform(expression: Expression, visit) -> Expression:
+    """Bottom-up rewrite: apply ``visit`` to every node, children first."""
+    children = expression.children()
+    if children:
+        new_children = [transform(child, visit) for child in children]
+        if any(new is not old for new, old in zip(new_children, children)):
+            expression = expression.replace_children(new_children)
+    return visit(expression)
+
+
+def referenced_columns(expression: Expression | None) -> list[ColumnRef]:
+    """All column references in the tree (excluding inside subqueries)."""
+    if expression is None:
+        return []
+    return [
+        node for node in expression.walk() if isinstance(node, ColumnRef)
+    ]
+
+
+def referenced_slots(expression: Expression | None) -> set[int]:
+    """Bound slot ordinals referenced at the current level (outer_level 0)."""
+    slots: set[int] = set()
+    for ref in referenced_columns(expression):
+        if ref.outer_level == 0 and ref.index is not None:
+            slots.add(ref.index)
+    return slots
+
+
+def contains_subquery(expression: Expression | None) -> bool:
+    """True if any node in the tree is a subquery expression."""
+    if expression is None:
+        return False
+    return any(
+        isinstance(node, SubqueryExpression) for node in expression.walk()
+    )

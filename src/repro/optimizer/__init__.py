@@ -1,0 +1,11 @@
+"""Rule-based optimizer: logical rewrites, costing, physical planning.
+
+The pipeline (``Optimizer.optimize``) mirrors the paper's integration
+point: audit operators are injected *after* logical rewriting and *before*
+physical planning (§IV-B), via the ``instrument`` hook.
+"""
+
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.physical import PhysicalPlanner
+
+__all__ = ["Optimizer", "PhysicalPlanner"]

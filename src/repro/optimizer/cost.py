@@ -1,0 +1,193 @@
+"""Cardinality estimation for the physical planner.
+
+A classical textbook model: per-conjunct selectivities multiplied together,
+equi-join cardinality via distinct-value counts, and fixed fallbacks when
+statistics cannot help. The estimates drive only *relative* choices (hash
+build side, index-vs-scan), so rough numbers suffice.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.expr.nodes import (
+    Between,
+    Binary,
+    ColumnRef,
+    Expression,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    conjuncts,
+)
+from repro.plan import logical as L
+from repro.plan.builder import OneRow
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.catalog.catalog import Catalog
+
+_DEFAULT_EQ_SELECTIVITY = 0.1
+_DEFAULT_RANGE_SELECTIVITY = 0.3
+_DEFAULT_OTHER_SELECTIVITY = 0.5
+
+
+class CostModel:
+    """Estimates output cardinalities of logical plans."""
+
+    def __init__(self, catalog: "Catalog") -> None:
+        self._catalog = catalog
+
+    # ------------------------------------------------------------------
+
+    def estimate_rows(self, plan: L.LogicalPlan) -> float:
+        if isinstance(plan, L.Scan):
+            return self._estimate_scan(plan)
+        if isinstance(plan, OneRow):
+            return 1.0
+        if isinstance(plan, L.Filter):
+            base = self.estimate_rows(plan.child)
+            return base * self._predicate_selectivity(plan.predicate, plan.child)
+        if isinstance(plan, L.Project):
+            return self.estimate_rows(plan.child)
+        if isinstance(plan, L.Audit):
+            return self.estimate_rows(plan.child)
+        if isinstance(plan, L.Join):
+            return self._estimate_join(plan)
+        if isinstance(plan, L.Aggregate):
+            base = self.estimate_rows(plan.child)
+            if not plan.group_expressions:
+                return 1.0
+            return max(1.0, base / 10.0)
+        if isinstance(plan, L.Sort):
+            return self.estimate_rows(plan.child)
+        if isinstance(plan, L.Limit):
+            return min(float(plan.count), self.estimate_rows(plan.child))
+        if isinstance(plan, L.Distinct):
+            return max(1.0, self.estimate_rows(plan.child) / 2.0)
+        return 1000.0
+
+    # ------------------------------------------------------------------
+
+    def _estimate_scan(self, plan: L.Scan) -> float:
+        try:
+            stats = self._catalog.statistics(plan.table_name)
+        except Exception:  # missing table stats: arbitrary default
+            return 1000.0
+        rows = float(stats.row_count)
+        if plan.predicate is not None:
+            rows *= self._predicate_selectivity(plan.predicate, plan)
+        return max(rows, 0.0)
+
+    def _estimate_join(self, plan: L.Join) -> float:
+        left = self.estimate_rows(plan.left)
+        right = self.estimate_rows(plan.right)
+        if plan.kind == L.JOIN_SEMI:
+            return left * 0.5
+        if plan.kind == L.JOIN_ANTI:
+            return left * 0.5
+        if plan.condition is None:
+            product = left * right
+        else:
+            selectivity = 1.0
+            for conjunct in conjuncts(plan.condition):
+                selectivity *= self._join_conjunct_selectivity(
+                    conjunct, plan
+                )
+            product = left * right * selectivity
+        if plan.kind == L.JOIN_LEFT:
+            return max(product, left)
+        return product
+
+    def _join_conjunct_selectivity(
+        self, conjunct: Expression, plan: L.Join
+    ) -> float:
+        if isinstance(conjunct, Binary) and conjunct.op == "=":
+            left_distinct = self._distinct_of(conjunct.left, plan)
+            right_distinct = self._distinct_of(conjunct.right, plan)
+            denominator = max(left_distinct, right_distinct, 1.0)
+            return 1.0 / denominator
+        return _DEFAULT_OTHER_SELECTIVITY
+
+    def _distinct_of(self, expression: Expression, plan: L.LogicalPlan
+                     ) -> float:
+        if not isinstance(expression, ColumnRef) or expression.index is None:
+            return 10.0
+        column = plan.columns[expression.index] if (
+            expression.index < len(plan.columns)
+        ) else None
+        if column is None or column.origin is None:
+            return 10.0
+        table_name, column_name = column.origin
+        try:
+            stats = self._catalog.statistics(table_name)
+        except Exception:
+            return 10.0
+        column_stats = stats.columns.get(column_name)
+        if column_stats is None or column_stats.distinct_count <= 0:
+            return 10.0
+        return float(column_stats.distinct_count)
+
+    # ------------------------------------------------------------------
+
+    def _predicate_selectivity(
+        self, predicate: Expression, child: L.LogicalPlan
+    ) -> float:
+        selectivity = 1.0
+        for conjunct in conjuncts(predicate):
+            selectivity *= self._conjunct_selectivity(conjunct, child)
+        return min(max(selectivity, 0.0), 1.0)
+
+    def _conjunct_selectivity(
+        self, conjunct: Expression, child: L.LogicalPlan
+    ) -> float:
+        if isinstance(conjunct, Binary) and conjunct.op in (
+            "=", "<", "<=", ">", ">=", "<>"
+        ):
+            column, constant = _column_and_constant(conjunct)
+            if column is not None:
+                stats = self._column_stats(column, child)
+                if stats is not None:
+                    if conjunct.op == "=":
+                        return stats.selectivity_equals(1)
+                    if conjunct.op == "<>":
+                        return 1.0 - stats.selectivity_equals(1)
+                    if constant is not None:
+                        if conjunct.op in ("<", "<="):
+                            return stats.selectivity_range(None, constant)
+                        return stats.selectivity_range(constant, None)
+            if conjunct.op == "=":
+                return _DEFAULT_EQ_SELECTIVITY
+            return _DEFAULT_RANGE_SELECTIVITY
+        if isinstance(conjunct, Between):
+            return _DEFAULT_RANGE_SELECTIVITY
+        if isinstance(conjunct, (InList, Like, IsNull)):
+            return _DEFAULT_RANGE_SELECTIVITY
+        return _DEFAULT_OTHER_SELECTIVITY
+
+    def _column_stats(self, column: ColumnRef, child: L.LogicalPlan):
+        if column.index is None or column.index >= len(child.columns):
+            return None
+        plan_column = child.columns[column.index]
+        if plan_column.origin is None:
+            return None
+        table_name, column_name = plan_column.origin
+        try:
+            stats = self._catalog.statistics(table_name)
+        except Exception:
+            return None
+        return stats.columns.get(column_name)
+
+
+def _column_and_constant(
+    conjunct: Binary,
+) -> tuple[ColumnRef | None, object]:
+    """Extract (column, literal constant) from a comparison, either side."""
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, ColumnRef) and left.outer_level == 0:
+        constant = right.value if isinstance(right, Literal) else None
+        return left, constant
+    if isinstance(right, ColumnRef) and right.outer_level == 0:
+        constant = left.value if isinstance(left, Literal) else None
+        return right, constant
+    return None, None

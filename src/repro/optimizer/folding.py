@@ -1,0 +1,85 @@
+"""Constant folding for bound expressions.
+
+Folds subtrees whose operands are all literals — arithmetic, comparisons,
+boolean connectives with dominant operands (``FALSE AND x``,
+``TRUE OR x``), BETWEEN/IN-list over constants, and NOT. Folding is
+best-effort: anything that would raise at runtime (division by zero) is
+left in place so execution reports the error at the right moment.
+
+Audit note (the paper's Examples 4.1/4.2): folding never crosses an
+``Audit`` plan node because audit operators are separate operators here,
+not IN-predicates spliced into user WHERE clauses — the class of
+miscompilations the paper had to patch SQL Server rules for cannot arise.
+Tests in ``tests/test_paper_examples.py`` pin that down.
+"""
+
+from __future__ import annotations
+
+from repro.expr.nodes import (
+    Between,
+    Binary,
+    Expression,
+    InList,
+    IntervalLiteral,
+    IsNull,
+    Like,
+    Literal,
+    Unary,
+    transform,
+)
+
+_FOLDABLE = (Binary, Unary, Between, InList, IsNull, Like)
+_CONSTANTS = (Literal, IntervalLiteral)
+
+
+def fold_constants(expression: Expression) -> Expression:
+    """Return ``expression`` with constant subtrees replaced by literals."""
+
+    def visit(node: Expression) -> Expression:
+        if isinstance(node, Binary):
+            simplified = _boolean_shortcuts(node)
+            if simplified is not None:
+                return simplified
+        if not isinstance(node, _FOLDABLE):
+            return node
+        if not all(
+            isinstance(child, _CONSTANTS) for child in node.children()
+        ):
+            return node
+        return _try_evaluate(node)
+
+    return transform(expression, visit)
+
+
+def _boolean_shortcuts(node: Binary) -> Expression | None:
+    """Dominant-operand simplification for AND/OR (Kleene-correct).
+
+    ``FALSE AND x`` is FALSE and ``TRUE OR x`` is TRUE for every x
+    including UNKNOWN; ``TRUE AND x`` / ``FALSE OR x`` reduce to x.
+    """
+    if node.op == "AND":
+        for side, other in ((node.left, node.right), (node.right, node.left)):
+            if isinstance(side, Literal) and side.value is False:
+                return Literal(False)
+            if isinstance(side, Literal) and side.value is True:
+                return other
+        return None
+    if node.op == "OR":
+        for side, other in ((node.left, node.right), (node.right, node.left)):
+            if isinstance(side, Literal) and side.value is True:
+                return Literal(True)
+            if isinstance(side, Literal) and side.value is False:
+                return other
+        return None
+    return None
+
+
+def _try_evaluate(node: Expression) -> Expression:
+    from repro.exec.context import ExecutionContext
+    from repro.expr.evaluator import evaluate
+
+    try:
+        value = evaluate(node, (), ExecutionContext())
+    except Exception:
+        return node  # fails at runtime, on purpose: keep it there
+    return Literal(value)

@@ -1,0 +1,7 @@
+"""Logical query plans and the AST-to-plan builder (binder)."""
+
+from repro.plan import logical
+from repro.plan.logical import LogicalPlan, PlanColumn
+from repro.plan.builder import PlanBuilder
+
+__all__ = ["logical", "LogicalPlan", "PlanColumn", "PlanBuilder"]

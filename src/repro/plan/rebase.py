@@ -1,0 +1,105 @@
+"""Slot rebasing that follows references into nested subquery plans.
+
+When the optimizer moves a predicate across a join boundary it must shift
+the slot ordinals of every reference to the moved row — including
+references that live *inside subquery plans* of that predicate, where the
+same row is addressed with ``outer_level == nesting depth``. A plain
+expression-tree rewrite misses those; this module tracks the depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.expr.nodes import ColumnRef, Expression, SubqueryExpression
+from repro.plan.logical import LogicalPlan, map_expressions
+
+SlotFunction = Callable[[int], int]
+
+
+def remap_slots(expression: Expression, slot_fn: SlotFunction) -> Expression:
+    """Rewrite every reference to the expression's level-0 row.
+
+    ``slot_fn`` maps old slot ordinals to new ones. References inside
+    nested subquery plans that reach back to the same row (their
+    ``outer_level`` equals their nesting depth) are rewritten too; all
+    other references — deeper levels or subquery-local — are untouched.
+    """
+    return _rebuild_expression(expression, slot_fn, depth=0)
+
+
+def _rebuild_expression(
+    expression: Expression, slot_fn: SlotFunction, depth: int
+) -> Expression:
+    if isinstance(expression, ColumnRef):
+        if expression.outer_level == depth and expression.index is not None:
+            return replace(expression, index=slot_fn(expression.index))
+        return expression
+    if isinstance(expression, SubqueryExpression):
+        children = expression.children()
+        if children:
+            expression = expression.replace_children([
+                _rebuild_expression(child, slot_fn, depth)
+                for child in children
+            ])
+        if expression.plan is not None:
+            expression = replace(
+                expression,
+                plan=_rebuild_plan(expression.plan, slot_fn, depth + 1),
+            )
+        return expression
+    children = expression.children()
+    if not children:
+        return expression
+    return expression.replace_children([
+        _rebuild_expression(child, slot_fn, depth) for child in children
+    ])
+
+
+def _rebuild_plan(
+    plan: LogicalPlan, slot_fn: SlotFunction, depth: int
+) -> LogicalPlan:
+    return map_expressions(
+        plan, lambda e: _rebuild_expression(e, slot_fn, depth)
+    )
+
+
+def deep_referenced_slots(expression: Expression) -> set[int]:
+    """Every slot of the expression's level-0 row that is referenced,
+    including back-references from inside nested subquery plans.
+
+    The shallow ``repro.expr.nodes.referenced_slots`` misses subquery-
+    internal references; optimizer passes that decide whether a predicate
+    can cross a join boundary must use this version.
+    """
+    found: set[int] = set()
+    _collect_slots(expression, 0, found)
+    return found
+
+
+def _collect_slots(
+    expression: Expression, depth: int, found: set[int]
+) -> None:
+    if isinstance(expression, ColumnRef):
+        if expression.outer_level == depth and expression.index is not None:
+            found.add(expression.index)
+        return
+    if isinstance(expression, SubqueryExpression):
+        for child in expression.children():
+            _collect_slots(child, depth, found)
+        if expression.plan is not None:
+            _collect_plan_slots(expression.plan, depth + 1, found)
+        return
+    for child in expression.children():
+        _collect_slots(child, depth, found)
+
+
+def _collect_plan_slots(
+    plan: LogicalPlan, depth: int, found: set[int]
+) -> None:
+    def fn(expression: Expression) -> Expression:
+        _collect_slots(expression, depth, found)
+        return expression
+
+    map_expressions(plan, fn)

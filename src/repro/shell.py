@@ -1,0 +1,220 @@
+"""Interactive SQL shell: ``python -m repro``.
+
+A small REPL over :class:`repro.Database` for exploring the auditing
+features. Statements end with ``;``; dot-commands inspect state:
+
+.. code-block:: text
+
+    repro> CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR);
+    repro> .tables
+    repro> .audit
+    repro> .explain SELECT * FROM patients
+    repro> .user dr_house
+    repro> .quit
+
+The shell prints each SELECT's rows plus its ACCESSED state, making the
+audit machinery visible interactively.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+from repro.database import Database, QueryResult
+from repro.errors import ReproError
+
+PROMPT = "repro> "
+CONTINUATION = "  ...> "
+
+_HELP = """\
+Statements end with ';'. Dot commands:
+  .help                 this text
+  .tables               list tables with row counts
+  .schema <table>       columns of a table
+  .audit                audit expressions, views, and triggers
+  .explain <select>     logical + physical plan (instrumented)
+  .user <name>          switch the session user (for user_id())
+  .heuristic <name>     leaf-node | highest-commutative-node | highest-node
+  .notifications        show and clear pending SEND EMAIL/NOTIFY messages
+  .quit                 exit\
+"""
+
+
+class Shell:
+    """REPL state: one database, one output stream."""
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        stdout: IO[str] | None = None,
+    ) -> None:
+        self.database = database or Database(user_id="shell")
+        self.stdout = stdout or sys.stdout
+
+    # ------------------------------------------------------------------
+
+    def write(self, text: str = "") -> None:
+        print(text, file=self.stdout)
+
+    def run(self, stdin: IO[str] | None = None) -> None:
+        """Read-eval-print until EOF or ``.quit``."""
+        stream = stdin or sys.stdin
+        buffer: list[str] = []
+        interactive = stream is sys.stdin and sys.stdin.isatty()
+        while True:
+            if interactive:  # pragma: no cover - manual use only
+                prompt = CONTINUATION if buffer else PROMPT
+                try:
+                    line = input(prompt)
+                except EOFError:
+                    break
+            else:
+                line = stream.readline()
+                if not line:
+                    break
+                line = line.rstrip("\n")
+            if not buffer and line.strip().startswith("."):
+                if not self.dot_command(line.strip()):
+                    break
+                continue
+            buffer.append(line)
+            statement = "\n".join(buffer)
+            if statement.rstrip().endswith(";"):
+                buffer.clear()
+                self.execute(statement)
+
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> None:
+        try:
+            result = self.database.execute(sql)
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return
+        self.print_result(result)
+
+    def print_result(self, result: QueryResult) -> None:
+        if result.columns:
+            self.write(" | ".join(result.columns))
+            self.write("-+-".join("-" * len(c) for c in result.columns))
+            for row in result.rows:
+                self.write(" | ".join(_render(value) for value in row))
+            self.write(f"({len(result.rows)} rows)")
+            for name, ids in sorted(result.accessed.items()):
+                shown = ", ".join(map(_render, sorted(ids, key=repr)[:10]))
+                more = "" if len(ids) <= 10 else f", ... ({len(ids)} total)"
+                self.write(f"ACCESSED[{name}]: {shown}{more}")
+        elif result.rowcount:
+            self.write(f"ok ({result.rowcount} rows affected)")
+        else:
+            self.write("ok")
+
+    # ------------------------------------------------------------------
+
+    def dot_command(self, line: str) -> bool:
+        """Handle a dot command; returns False to exit the loop."""
+        command, __, argument = line.partition(" ")
+        argument = argument.strip()
+        if command in (".quit", ".exit"):
+            return False
+        if command == ".help":
+            self.write(_HELP)
+        elif command == ".tables":
+            for table in sorted(
+                self.database.catalog.tables(),
+                key=lambda table: table.schema.name,
+            ):
+                self.write(f"{table.schema.name}  ({len(table)} rows)")
+        elif command == ".schema":
+            self._schema(argument)
+        elif command == ".audit":
+            self._audit_summary()
+        elif command == ".explain":
+            try:
+                self.write(self.database.explain(argument))
+            except ReproError as error:
+                self.write(f"error: {error}")
+        elif command == ".user":
+            if argument:
+                self.database.session.user_id = argument
+            self.write(f"user: {self.database.session.user_id}")
+        elif command == ".heuristic":
+            if argument:
+                self.database.audit_manager.heuristic = argument
+            self.write(
+                f"placement heuristic: "
+                f"{self.database.audit_manager.heuristic}"
+            )
+        elif command == ".notifications":
+            for message in self.database.notifications:
+                self.write(f"  {message}")
+            self.write(
+                f"({len(self.database.notifications)} notifications)"
+            )
+            self.database.notifications.clear()
+        else:
+            self.write(f"unknown command {command!r} (try .help)")
+        return True
+
+    def _schema(self, table_name: str) -> None:
+        try:
+            table = self.database.catalog.table(table_name)
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return
+        for column in table.schema.columns:
+            flags = []
+            if column.name in table.schema.primary_key:
+                flags.append("PRIMARY KEY")
+            if not column.nullable:
+                flags.append("NOT NULL")
+            suffix = f"  {' '.join(flags)}" if flags else ""
+            self.write(f"{column.name}  {column.data_type}{suffix}")
+
+    def _audit_summary(self) -> None:
+        manager = self.database.audit_manager
+        expressions = manager.expressions()
+        if not expressions:
+            self.write("no audit expressions")
+        for expression in expressions:
+            view = manager.view(expression.name)
+            self.write(
+                f"{expression.name}: table={expression.sensitive_table} "
+                f"partition_by={expression.partition_by} "
+                f"ids={len(view)} probe={view.probe_structure}"
+            )
+        triggers = list(self.database.catalog.triggers())
+        for trigger in triggers:
+            kind = type(trigger).__name__
+            self.write(f"trigger {trigger.name} ({kind})")
+        self.write(f"heuristic: {manager.heuristic}")
+
+
+def _render(value: object) -> str:
+    if value is None:
+        return "NULL"
+    return str(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    arguments = argv if argv is not None else sys.argv[1:]
+    database = Database(user_id="shell")
+    if arguments and arguments[0] == "--tpch":
+        scale = float(arguments[1]) if len(arguments) > 1 else 0.002
+        from repro.tpch import load_tpch
+
+        counts = load_tpch(database, scale_factor=scale)
+        print(
+            "loaded TPC-H "
+            + ", ".join(f"{name}={count}" for name, count in counts.items())
+        )
+    shell = Shell(database)
+    shell.write("repro shell — type .help for commands, .quit to exit")
+    shell.run()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""SQL front end: lexer, parser, and statement AST."""
+
+from repro.sql.parser import parse_statement, parse_statements, parse_expression
+
+__all__ = ["parse_statement", "parse_statements", "parse_expression"]

@@ -1,0 +1,251 @@
+"""Statement-level AST produced by the parser.
+
+These nodes are plain data: the binder (``repro.plan.builder``) converts
+them into logical plans, and the DDL executor in ``repro.database``
+interprets the definition statements directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.expr.nodes import Expression
+
+
+class Statement:
+    """Base class for all statements."""
+
+
+# ---------------------------------------------------------------------------
+# FROM clause items
+
+
+class FromItem:
+    """Base class for FROM-clause items."""
+
+
+@dataclass(frozen=True)
+class TableRef(FromItem):
+    """A base-table reference with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef(FromItem):
+    """A derived table: ``(SELECT ...) alias``."""
+
+    select: "SelectStatement"
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinRef(FromItem):
+    """An explicit ``JOIN`` with kind INNER/LEFT and an ON condition."""
+
+    left: FromItem
+    right: FromItem
+    kind: str  # "INNER" | "LEFT"
+    condition: Expression | None
+
+
+# ---------------------------------------------------------------------------
+# queries
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: an expression with optional alias, or ``*``."""
+
+    expression: Expression
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    """A full SELECT query block."""
+
+    items: tuple[SelectItem, ...]
+    from_items: tuple[FromItem, ...] = ()
+    where: Expression | None = None
+    group_by: tuple[Expression, ...] = ()
+    having: Expression | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+# ---------------------------------------------------------------------------
+# DML
+
+
+@dataclass(frozen=True)
+class InsertStatement(Statement):
+    """``INSERT INTO t [(cols)] VALUES ... | SELECT ...``."""
+
+    table: str
+    columns: tuple[str, ...] = ()
+    rows: tuple[tuple[Expression, ...], ...] = ()
+    select: SelectStatement | None = None
+
+
+@dataclass(frozen=True)
+class UpdateStatement(Statement):
+    """``UPDATE t SET col = expr, ... [WHERE ...]``."""
+
+    table: str
+    assignments: tuple[tuple[str, Expression], ...]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class DeleteStatement(Statement):
+    """``DELETE FROM t [WHERE ...]``."""
+
+    table: str
+    where: Expression | None = None
+
+
+# ---------------------------------------------------------------------------
+# DDL
+
+
+@dataclass(frozen=True)
+class ColumnDefinition:
+    name: str
+    type_name: str
+    not_null: bool = False
+    primary_key: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTableStatement(Statement):
+    name: str
+    columns: tuple[ColumnDefinition, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[tuple[tuple[str, ...], str, tuple[str, ...]], ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateIndexStatement(Statement):
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class DropTableStatement(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class AnalyzeStatement(Statement):
+    """Refresh optimizer statistics (no-op argument = all tables)."""
+
+    table: str | None = None
+
+
+# ---------------------------------------------------------------------------
+# audit expressions and triggers (the paper's §II syntax)
+
+
+@dataclass(frozen=True)
+class CreateAuditExpressionStatement(Statement):
+    """``CREATE AUDIT EXPRESSION name AS SELECT ... FOR SENSITIVE TABLE t,
+    PARTITION BY key``."""
+
+    name: str
+    select: SelectStatement
+    sensitive_table: str
+    partition_by: str
+
+
+@dataclass(frozen=True)
+class DropAuditExpressionStatement(Statement):
+    name: str
+
+
+@dataclass(frozen=True)
+class CreateSelectTriggerStatement(Statement):
+    """``CREATE TRIGGER name ON ACCESS TO audit_expr [BEFORE] AS <body>``.
+
+    ``timing`` is ``"after"`` (default: the action runs as its own system
+    transaction once the query finishes, §II) or ``"before"`` (the paper's
+    deferred variant: the action runs before results are returned and may
+    DENY them).
+    """
+
+    name: str
+    audit_expression: str
+    body: tuple[Statement, ...]
+    timing: str = "after"
+
+
+@dataclass(frozen=True)
+class CreateDmlTriggerStatement(Statement):
+    """``CREATE TRIGGER name ON table AFTER INSERT|UPDATE|DELETE AS <body>``."""
+
+    name: str
+    table: str
+    event: str  # "INSERT" | "UPDATE" | "DELETE"
+    body: tuple[Statement, ...]
+
+
+@dataclass(frozen=True)
+class DropTriggerStatement(Statement):
+    name: str
+
+
+# ---------------------------------------------------------------------------
+# trigger-body statements
+
+
+@dataclass(frozen=True)
+class IfStatement(Statement):
+    """``IF (condition) <statement>`` — used inside trigger bodies."""
+
+    condition: Expression
+    then: Statement
+
+
+@dataclass(frozen=True)
+class TransactionStatement(Statement):
+    """``BEGIN [TRANSACTION]`` / ``COMMIT`` / ``ROLLBACK``."""
+
+    action: str  # "begin" | "commit" | "rollback"
+
+
+@dataclass(frozen=True)
+class DenyStatement(Statement):
+    """``DENY ['message']`` — only valid inside BEFORE SELECT triggers.
+
+    Raises :class:`repro.errors.AccessDeniedError`, withholding the result
+    set from the caller (the access is still recorded/logged).
+    """
+
+    message: Expression | None = None
+
+
+@dataclass(frozen=True)
+class NotifyStatement(Statement):
+    """``SEND EMAIL ['message']`` / ``NOTIFY ['message']``.
+
+    Delivery is a pluggable hook on the database (captured notifications);
+    the message may embed expressions via the optional ``message``.
+    """
+
+    message: Expression | None = None

@@ -1,0 +1,177 @@
+"""SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects. Identifiers and keywords are
+case-insensitive; identifiers are normalized to lower case and keywords to
+upper case. String literals use single quotes with ``''`` escaping. Line
+comments (``--``) and block comments (``/* */``) are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+# token kinds
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OPERATOR = "OPERATOR"
+PARAMETER = "PARAMETER"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER ASC DESC LIMIT TOP OFFSET
+    DISTINCT ALL AS ON USING JOIN INNER LEFT RIGHT FULL OUTER CROSS
+    AND OR NOT IN EXISTS BETWEEN LIKE IS NULL TRUE FALSE
+    CASE WHEN THEN ELSE END CAST
+    INSERT INTO VALUES UPDATE SET DELETE
+    CREATE TABLE INDEX UNIQUE PRIMARY KEY FOREIGN REFERENCES DROP
+    TRIGGER AFTER BEFORE ACCESS TO FOR SENSITIVE PARTITION AUDIT EXPRESSION
+    IF SEND EMAIL NOTIFY DENY BEGIN COMMIT ROLLBACK TRANSACTION
+    DATE INTERVAL YEAR MONTH DAY EXTRACT SUBSTRING
+    UNION EXCEPT INTERSECT
+    ANALYZE
+    """.split()
+)
+
+#: keywords the parser may also accept as plain identifiers (column names
+#: such as ``date`` or ``key`` appear in realistic schemas)
+SOFT_KEYWORDS = frozenset(
+    "DATE YEAR MONTH DAY ACCESS EMAIL KEY AUDIT EXPRESSION TO "
+    "PARTITION SENSITIVE TOP NOTIFY SEND DENY".split()
+)
+
+_OPERATORS = (
+    "<>", "<=", ">=", "!=", "||",
+    "=", "<", ">", "+", "-", "*", "/", "%",
+    "(", ")", ",", ".", ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind, normalized value, source offset."""
+
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    length = len(text)
+    position = 0
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if text.startswith("--", position):
+            end = text.find("\n", position)
+            position = length if end < 0 else end + 1
+            continue
+        if text.startswith("/*", position):
+            end = text.find("*/", position + 2)
+            if end < 0:
+                raise SqlSyntaxError("unterminated block comment", position)
+            position = end + 2
+            continue
+        if char == "'":
+            value, position = _read_string(text, position)
+            tokens.append(Token(STRING, value, position))
+            continue
+        if char.isdigit() or (
+            char == "." and position + 1 < length
+            and text[position + 1].isdigit()
+        ):
+            value, position = _read_number(text, position)
+            tokens.append(Token(NUMBER, value, position))
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (
+                text[position].isalnum() or text[position] == "_"
+            ):
+                position += 1
+            word = text[start:position]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, start))
+            else:
+                tokens.append(Token(IDENT, word.lower(), start))
+            continue
+        if char == '"':
+            end = text.find('"', position + 1)
+            if end < 0:
+                raise SqlSyntaxError("unterminated quoted identifier", position)
+            tokens.append(Token(IDENT, text[position + 1:end].lower(), position))
+            position = end + 1
+            continue
+        if char == ":":
+            start = position
+            position += 1
+            while position < length and (
+                text[position].isalnum() or text[position] == "_"
+            ):
+                position += 1
+            if position == start + 1:
+                raise SqlSyntaxError("empty parameter name", start)
+            tokens.append(Token(PARAMETER, text[start + 1:position], start))
+            continue
+        for operator in _OPERATORS:
+            if text.startswith(operator, position):
+                tokens.append(Token(OPERATOR, operator, position))
+                position += len(operator)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {char!r}", position)
+    tokens.append(Token(EOF, "", length))
+    return tokens
+
+
+def _read_string(text: str, position: int) -> tuple[str, int]:
+    """Read a single-quoted string literal starting at ``position``."""
+    parts: list[str] = []
+    cursor = position + 1
+    length = len(text)
+    while cursor < length:
+        char = text[cursor]
+        if char == "'":
+            if cursor + 1 < length and text[cursor + 1] == "'":
+                parts.append("'")
+                cursor += 2
+                continue
+            return "".join(parts), cursor + 1
+        parts.append(char)
+        cursor += 1
+    raise SqlSyntaxError("unterminated string literal", position)
+
+
+def _read_number(text: str, position: int) -> tuple[str, int]:
+    """Read a numeric literal (integer or decimal, optional exponent)."""
+    start = position
+    length = len(text)
+    while position < length and text[position].isdigit():
+        position += 1
+    if position < length and text[position] == ".":
+        position += 1
+        while position < length and text[position].isdigit():
+            position += 1
+    if position < length and text[position] in "eE":
+        probe = position + 1
+        if probe < length and text[probe] in "+-":
+            probe += 1
+        if probe < length and text[probe].isdigit():
+            position = probe
+            while position < length and text[position].isdigit():
+                position += 1
+    return text[start:position], position

@@ -1,0 +1,14 @@
+"""In-memory storage engine: heap tables, indexes, and change observers."""
+
+from repro.storage.table import Table, RowChange, CHANGE_INSERT, CHANGE_DELETE, CHANGE_UPDATE
+from repro.storage.index import HashIndex, OrderedIndex
+
+__all__ = [
+    "Table",
+    "RowChange",
+    "CHANGE_INSERT",
+    "CHANGE_DELETE",
+    "CHANGE_UPDATE",
+    "HashIndex",
+    "OrderedIndex",
+]

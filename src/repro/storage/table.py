@@ -1,0 +1,324 @@
+"""Heap tables with a clustered primary-key index and change observation.
+
+A :class:`Table` stores rows as tuples in a rid-addressed dict (a "heap").
+When the schema declares a primary key, the table maintains a clustered
+index (key -> rid) and enforces uniqueness and NOT NULL on the key columns
+— mirroring the paper's observation that in SQL Server the partition-by key
+of an audit expression usually coincides with the clustered index, so
+reading IDs costs no extra I/O (§IV-A.1).
+
+Observers receive a :class:`RowChange` for every mutation. Two subsystems
+subscribe: the audit ID-view maintenance (materialized views of sensitive
+IDs, §IV-A.1) and the classical trigger manager (AFTER INSERT/UPDATE/DELETE
+row triggers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.catalog.schema import TableSchema
+from repro.datatypes import coerce_value
+from repro.errors import ConstraintError, StorageError
+from repro.storage.index import HashIndex, OrderedIndex
+
+CHANGE_INSERT = "insert"
+CHANGE_DELETE = "delete"
+CHANGE_UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class RowChange:
+    """One row-level mutation: ``kind`` plus the old/new row images.
+
+    ``rid`` addresses the affected heap slot (stable for the lifetime of
+    the row). ``compensating`` marks changes applied by transaction
+    rollback: view maintenance must process them, DML triggers and the
+    undo recorder must ignore them.
+    """
+
+    table: str
+    kind: str
+    old_row: tuple | None
+    new_row: tuple | None
+    rid: int | None = None
+    compensating: bool = False
+
+
+ChangeObserver = Callable[[RowChange], None]
+
+
+class Table:
+    """An in-memory heap table with optional clustered PK index."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, tuple] = {}
+        self._next_rid = 0
+        #: modification counter; bumped on every mutation (drives lazy stats)
+        self.version = 0
+        self._pk_positions = schema.primary_key_positions()
+        self._pk_index: dict[tuple, int] = {}
+        self._secondary: dict[str, HashIndex | OrderedIndex] = {}
+        self._unique_indexes: set[str] = set()
+        self._observers: list[ChangeObserver] = []
+
+    # ------------------------------------------------------------------
+    # observers
+
+    def add_observer(self, observer: ChangeObserver) -> None:
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: ChangeObserver) -> None:
+        self._observers.remove(observer)
+
+    def _notify(self, change: RowChange) -> None:
+        for observer in self._observers:
+            observer(change)
+
+    # ------------------------------------------------------------------
+    # secondary indexes
+
+    def create_secondary_index(
+        self,
+        name: str,
+        columns: tuple[str, ...],
+        ordered: bool = True,
+        unique: bool = False,
+    ) -> None:
+        if name in self._secondary:
+            raise StorageError(f"index {name!r} already exists on table")
+        positions = tuple(self.schema.position_of(c) for c in columns)
+        index: HashIndex | OrderedIndex
+        if ordered:
+            index = OrderedIndex(name, positions)
+        else:
+            index = HashIndex(name, positions)
+        if unique:
+            seen: set[tuple] = set()
+            for row in self._rows.values():
+                key = index.key_of(row)
+                if any(part is None for part in key):
+                    continue
+                if key in seen:
+                    raise ConstraintError(
+                        f"cannot create unique index {name!r}: duplicate "
+                        f"key {key!r} in table {self.schema.name!r}"
+                    )
+                seen.add(key)
+        for rid, row in self._rows.items():
+            index.insert(rid, row)
+        self._secondary[name] = index
+        if unique:
+            self._unique_indexes.add(name)
+
+    def _check_unique_indexes(
+        self, row: tuple, ignore_rid: int | None = None
+    ) -> None:
+        for name in self._unique_indexes:
+            index = self._secondary[name]
+            key = index.key_of(row)
+            if any(part is None for part in key):
+                continue  # SQL: NULL keys never conflict
+            for rid in index.seek(key):
+                if rid != ignore_rid:
+                    raise ConstraintError(
+                        f"unique index {name!r} violation: key {key!r} "
+                        f"already exists in table {self.schema.name!r}"
+                    )
+
+    def secondary_index(self, name: str) -> HashIndex | OrderedIndex:
+        try:
+            return self._secondary[name]
+        except KeyError:
+            raise StorageError(f"no index {name!r} on table") from None
+
+    def secondary_indexes(self) -> dict[str, HashIndex | OrderedIndex]:
+        return dict(self._secondary)
+
+    # ------------------------------------------------------------------
+    # row access
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[tuple]:
+        """Iterate row values (snapshot: safe against concurrent mutation)."""
+        return iter(list(self._rows.values()))
+
+    def rows_with_rids(self) -> Iterator[tuple[int, tuple]]:
+        return iter(list(self._rows.items()))
+
+    def row_by_rid(self, rid: int) -> tuple:
+        try:
+            return self._rows[rid]
+        except KeyError:
+            raise StorageError(f"rid {rid} not found") from None
+
+    def lookup_pk(self, key: tuple) -> tuple | None:
+        """Clustered-index point lookup; None if absent or no PK declared."""
+        rid = self._pk_index.get(key)
+        if rid is None:
+            return None
+        return self._rows[rid]
+
+    # ------------------------------------------------------------------
+    # validation
+
+    def _coerce_row(self, values: tuple) -> tuple:
+        if len(values) != len(self.schema.columns):
+            raise StorageError(
+                f"table {self.schema.name!r} expects "
+                f"{len(self.schema.columns)} values, got {len(values)}"
+            )
+        coerced = []
+        for value, column in zip(values, self.schema.columns):
+            stored = coerce_value(value, column.data_type)
+            if stored is None and not column.nullable:
+                raise ConstraintError(
+                    f"column {column.name!r} of table "
+                    f"{self.schema.name!r} is NOT NULL"
+                )
+            coerced.append(stored)
+        return tuple(coerced)
+
+    def _pk_key(self, row: tuple) -> tuple | None:
+        if not self._pk_positions:
+            return None
+        key = tuple(row[position] for position in self._pk_positions)
+        if any(part is None for part in key):
+            raise ConstraintError(
+                f"primary key of {self.schema.name!r} cannot contain NULL"
+            )
+        return key
+
+    # ------------------------------------------------------------------
+    # mutations
+
+    def insert(
+        self,
+        values: tuple,
+        notify: bool = True,
+        compensating: bool = False,
+        rid: int | None = None,
+    ) -> int:
+        """Insert one row; returns its rid.
+
+        ``rid`` lets transaction rollback restore a deleted row under its
+        original heap slot so earlier undo entries stay addressable.
+        """
+        row = self._coerce_row(values)
+        key = self._pk_key(row)
+        if key is not None and key in self._pk_index:
+            raise ConstraintError(
+                f"duplicate primary key {key!r} in table {self.schema.name!r}"
+            )
+        self._check_unique_indexes(row)
+        if rid is None:
+            rid = self._next_rid
+            self._next_rid += 1
+        elif rid in self._rows:
+            raise StorageError(f"rid {rid} already occupied")
+        else:
+            self._next_rid = max(self._next_rid, rid + 1)
+        self._rows[rid] = row
+        if key is not None:
+            self._pk_index[key] = rid
+        for index in self._secondary.values():
+            index.insert(rid, row)
+        self.version += 1
+        if notify:
+            self._notify(
+                RowChange(
+                    self.schema.name, CHANGE_INSERT, None, row,
+                    rid=rid, compensating=compensating,
+                )
+            )
+        return rid
+
+    def delete_rid(
+        self, rid: int, notify: bool = True, compensating: bool = False
+    ) -> tuple:
+        """Delete by rid; returns the removed row."""
+        row = self.row_by_rid(rid)
+        del self._rows[rid]
+        key = self._pk_key(row)
+        if key is not None:
+            del self._pk_index[key]
+        for index in self._secondary.values():
+            index.delete(rid, row)
+        self.version += 1
+        if notify:
+            self._notify(
+                RowChange(
+                    self.schema.name, CHANGE_DELETE, row, None,
+                    rid=rid, compensating=compensating,
+                )
+            )
+        return row
+
+    def update_rid(
+        self,
+        rid: int,
+        values: tuple,
+        notify: bool = True,
+        compensating: bool = False,
+    ) -> tuple[tuple, tuple]:
+        """Replace the row at ``rid``; returns ``(old_row, new_row)``."""
+        old_row = self.row_by_rid(rid)
+        new_row = self._coerce_row(values)
+        old_key = self._pk_key(old_row)
+        new_key = self._pk_key(new_row)
+        if new_key != old_key and new_key is not None:
+            if new_key in self._pk_index:
+                raise ConstraintError(
+                    f"duplicate primary key {new_key!r} in table "
+                    f"{self.schema.name!r}"
+                )
+        self._check_unique_indexes(new_row, ignore_rid=rid)
+        self._rows[rid] = new_row
+        if old_key is not None:
+            del self._pk_index[old_key]
+        if new_key is not None:
+            self._pk_index[new_key] = rid
+        for index in self._secondary.values():
+            index.delete(rid, old_row)
+            index.insert(rid, new_row)
+        self.version += 1
+        if notify:
+            self._notify(
+                RowChange(
+                    self.schema.name, CHANGE_UPDATE, old_row, new_row,
+                    rid=rid, compensating=compensating,
+                )
+            )
+        return old_row, new_row
+
+    def delete_by_pk(self, key: tuple, notify: bool = True) -> tuple | None:
+        """Delete the row with primary key ``key`` if present."""
+        rid = self._pk_index.get(key)
+        if rid is None:
+            return None
+        return self.delete_rid(rid, notify=notify)
+
+    def truncate(self) -> None:
+        """Remove all rows without firing observers (bulk-load helper)."""
+        self._rows.clear()
+        self._pk_index.clear()
+        for name, index in list(self._secondary.items()):
+            fresh: HashIndex | OrderedIndex
+            if isinstance(index, OrderedIndex):
+                fresh = OrderedIndex(index.name, index.positions)
+            else:
+                fresh = HashIndex(index.name, index.positions)
+            self._secondary[name] = fresh
+        self.version += 1
+
+    def bulk_load(self, rows) -> int:
+        """Insert many rows without observer notifications; returns count."""
+        count = 0
+        for values in rows:
+            self.insert(values, notify=False)
+            count += 1
+        return count

@@ -1,0 +1,71 @@
+"""Undo log for statement- and transaction-level atomicity.
+
+The engine records every row change (via table observers) into the active
+:class:`UndoLog`. Rolling back applies the inverse operations in reverse
+order, flagged as *compensating* so DML triggers and the recorder itself
+ignore them while materialized-view maintenance still sees them.
+
+Savepoints (an index into the entry list) give statement-level atomicity
+inside explicit transactions: a failed statement rolls back to its own
+savepoint, leaving the transaction open.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.storage.table import (
+    CHANGE_DELETE,
+    CHANGE_INSERT,
+    CHANGE_UPDATE,
+    RowChange,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.catalog.catalog import Catalog
+
+
+class UndoLog:
+    """Recorded row changes, revertible in reverse order."""
+
+    def __init__(self, catalog: "Catalog") -> None:
+        self._catalog = catalog
+        self._entries: list[RowChange] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record(self, change: RowChange) -> None:
+        if change.compensating:
+            return  # never undo the undo
+        self._entries.append(change)
+
+    def savepoint(self) -> int:
+        """Marker for partial rollback (statement atomicity)."""
+        return len(self._entries)
+
+    def rollback(self, to_savepoint: int = 0) -> int:
+        """Revert entries down to ``to_savepoint``; returns count undone."""
+        undone = 0
+        while len(self._entries) > to_savepoint:
+            change = self._entries.pop()
+            self._revert(change)
+            undone += 1
+        return undone
+
+    def _revert(self, change: RowChange) -> None:
+        table = self._catalog.table(change.table)
+        if change.kind == CHANGE_INSERT:
+            table.delete_rid(change.rid, compensating=True)
+        elif change.kind == CHANGE_DELETE:
+            # restore under the original rid so earlier entries that
+            # reference it remain addressable
+            table.insert(
+                change.old_row, compensating=True, rid=change.rid
+            )
+        elif change.kind == CHANGE_UPDATE:
+            table.update_rid(
+                change.rid, change.old_row, compensating=True
+            )
+        else:  # pragma: no cover - exhaustive over change kinds
+            raise AssertionError(f"unknown change kind {change.kind!r}")

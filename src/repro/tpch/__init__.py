@@ -1,0 +1,23 @@
+"""TPC-H substrate: schema DDL, deterministic data generator, query workload."""
+
+from repro.tpch.schema import create_schema, TABLE_NAMES
+from repro.tpch.datagen import TpchGenerator, load_tpch
+from repro.tpch.queries import (
+    MICRO_BENCHMARK_QUERY,
+    QUERIES,
+    QUERY_PARAMETERS,
+    audit_expression_sql,
+    query_sql,
+)
+
+__all__ = [
+    "create_schema",
+    "TABLE_NAMES",
+    "TpchGenerator",
+    "load_tpch",
+    "MICRO_BENCHMARK_QUERY",
+    "QUERIES",
+    "QUERY_PARAMETERS",
+    "audit_expression_sql",
+    "query_sql",
+]

@@ -1,0 +1,253 @@
+"""Deterministic TPC-H data generator.
+
+A faithful-in-distribution, scaled-down stand-in for ``dbgen``: table
+cardinalities, key/foreign-key structure, value domains (market segments,
+order dates, return flags, phone country codes, ...) follow the TPC-H
+specification, so predicate selectivities — the quantity the paper's
+experiments sweep — behave like the real benchmark. Generation is
+deterministic for a given (scale_factor, seed): tests and benchmarks see
+identical databases across runs.
+
+Rows are loaded through ``Table.bulk_load`` (no per-row trigger or
+view-maintenance overhead); declare audit expressions *after* loading, or
+call ``refresh()`` on their views.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.database import Database
+
+_REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+#: the 25 TPC-H nations with their region keys
+_NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+)
+
+MARKET_SEGMENTS = (
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"
+)
+_ORDER_PRIORITIES = (
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"
+)
+_SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+_SHIP_INSTRUCTIONS = (
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"
+)
+_CONTAINERS = ("SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX")
+_TYPE_SYLLABLES_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+_TYPE_SYLLABLES_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+_TYPE_SYLLABLES_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+
+START_DATE = datetime.date(1992, 1, 1)
+END_DATE = datetime.date(1998, 8, 2)
+_DATE_SPAN = (END_DATE - START_DATE).days
+
+
+class TpchGenerator:
+    """Generates TPC-H tables at a given scale factor."""
+
+    def __init__(self, scale_factor: float = 0.001, seed: int = 42) -> None:
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+        self.customer_count = max(5, round(150_000 * scale_factor))
+        self.supplier_count = max(2, round(10_000 * scale_factor))
+        self.part_count = max(10, round(200_000 * scale_factor))
+        self.orders_per_customer = 10  # 1.5M orders / 150K customers
+
+    def _rng(self, salt: str) -> random.Random:
+        return random.Random(f"{self.seed}:{salt}")
+
+    # ------------------------------------------------------------------
+
+    def region_rows(self):
+        for key, name in enumerate(_REGIONS):
+            yield (key, name, f"region {name.lower()}")
+
+    def nation_rows(self):
+        for key, (name, region_key) in enumerate(_NATIONS):
+            yield (key, name, region_key, f"nation {name.lower()}")
+
+    def supplier_rows(self):
+        rng = self._rng("supplier")
+        for key in range(1, self.supplier_count + 1):
+            nation = rng.randrange(25)
+            yield (
+                key,
+                f"Supplier#{key:09d}",
+                f"addr-s{key}",
+                nation,
+                _phone(nation, key, rng),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                f"supplier comment {key}",
+            )
+
+    def part_rows(self):
+        rng = self._rng("part")
+        for key in range(1, self.part_count + 1):
+            type_name = " ".join((
+                rng.choice(_TYPE_SYLLABLES_1),
+                rng.choice(_TYPE_SYLLABLES_2),
+                rng.choice(_TYPE_SYLLABLES_3),
+            ))
+            yield (
+                key,
+                f"part {key} {type_name.lower()}",
+                f"Manufacturer#{1 + key % 5}",
+                f"Brand#{1 + key % 5}{1 + key % 5}",
+                type_name,
+                rng.randrange(1, 51),
+                rng.choice(_CONTAINERS),
+                round(900 + (key % 1000) * 0.1 + 100 * (key % 10), 2),
+                f"part comment {key}",
+            )
+
+    def partsupp_rows(self):
+        rng = self._rng("partsupp")
+        for part_key in range(1, self.part_count + 1):
+            for replica in range(4):
+                supp_key = 1 + (part_key + replica * 7) % self.supplier_count
+                yield (
+                    part_key,
+                    supp_key,
+                    rng.randrange(1, 10_000),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                    f"partsupp {part_key}/{supp_key}",
+                )
+
+    def customer_rows(self):
+        rng = self._rng("customer")
+        for key in range(1, self.customer_count + 1):
+            nation = rng.randrange(25)
+            yield (
+                key,
+                f"Customer#{key:09d}",
+                f"addr-c{key}",
+                nation,
+                _phone(nation, key, rng),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(MARKET_SEGMENTS),
+                f"customer comment {key}",
+            )
+
+    def order_rows(self):
+        rng = self._rng("orders")
+        order_key = 0
+        for customer_key in range(1, self.customer_count + 1):
+            if customer_key % 3 == 0:
+                continue  # TPC-H: one third of customers have no orders
+            for __ in range(self.orders_per_customer):
+                order_key += 1
+                order_date = START_DATE + datetime.timedelta(
+                    days=rng.randrange(_DATE_SPAN - 151)
+                )
+                yield (
+                    order_key,
+                    customer_key,
+                    rng.choice("OFP"),
+                    round(rng.uniform(1_000.0, 400_000.0), 2),
+                    order_date,
+                    rng.choice(_ORDER_PRIORITIES),
+                    f"Clerk#{rng.randrange(1000):09d}",
+                    0,
+                    f"order comment {order_key}",
+                )
+
+    def lineitem_rows(self):
+        rng = self._rng("lineitem")
+        for order in self.order_rows():
+            order_key = order[0]
+            order_date = order[4]
+            for line_number in range(1, rng.randrange(1, 8)):
+                quantity = rng.randrange(1, 51)
+                part_key = rng.randrange(1, self.part_count + 1)
+                supp_key = 1 + (part_key + rng.randrange(4) * 7) \
+                    % self.supplier_count
+                extended = round(quantity * rng.uniform(900.0, 2000.0), 2)
+                ship_date = order_date + datetime.timedelta(
+                    days=rng.randrange(1, 122)
+                )
+                commit_date = order_date + datetime.timedelta(
+                    days=rng.randrange(30, 91)
+                )
+                receipt_date = ship_date + datetime.timedelta(
+                    days=rng.randrange(1, 31)
+                )
+                return_flag = (
+                    rng.choice("RA") if receipt_date <= datetime.date(
+                        1995, 6, 17
+                    ) else "N"
+                )
+                yield (
+                    order_key,
+                    part_key,
+                    supp_key,
+                    line_number,
+                    float(quantity),
+                    extended,
+                    round(rng.uniform(0.0, 0.10), 2),
+                    round(rng.uniform(0.0, 0.08), 2),
+                    return_flag,
+                    "F" if ship_date <= datetime.date(1995, 6, 17) else "O",
+                    ship_date,
+                    commit_date,
+                    receipt_date,
+                    rng.choice(_SHIP_INSTRUCTIONS),
+                    rng.choice(_SHIP_MODES),
+                    f"lineitem {order_key}/{line_number}",
+                )
+
+    # ------------------------------------------------------------------
+
+    def load(self, database: "Database") -> dict[str, int]:
+        """Bulk-load all eight tables; returns per-table row counts."""
+        catalog = database.catalog
+        counts = {}
+        loaders = (
+            ("region", self.region_rows),
+            ("nation", self.nation_rows),
+            ("supplier", self.supplier_rows),
+            ("part", self.part_rows),
+            ("partsupp", self.partsupp_rows),
+            ("customer", self.customer_rows),
+            ("orders", self.order_rows),
+            ("lineitem", self.lineitem_rows),
+        )
+        for name, rows in loaders:
+            counts[name] = catalog.table(name).bulk_load(rows())
+        database.execute("ANALYZE")
+        return counts
+
+
+def _phone(nation: int, key: int, rng: random.Random) -> str:
+    """TPC-H phone format: country code = nation key + 10."""
+    return (
+        f"{nation + 10}-{rng.randrange(100, 1000)}-"
+        f"{rng.randrange(100, 1000)}-{rng.randrange(1000, 10_000)}"
+    )
+
+
+def load_tpch(
+    database: "Database",
+    scale_factor: float = 0.001,
+    seed: int = 42,
+    with_indexes: bool = True,
+) -> dict[str, int]:
+    """Create the schema and load data; returns per-table row counts."""
+    from repro.tpch.schema import create_schema
+
+    create_schema(database, with_indexes=with_indexes)
+    return TpchGenerator(scale_factor, seed).load(database)

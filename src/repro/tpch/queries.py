@@ -1,0 +1,223 @@
+"""The paper's TPC-H query workload (§V-C).
+
+Seven queries that reference the ``customer`` table and contain no
+self-join of it — the selection rule stated in the paper — adapted to this
+engine's dialect: Q3, Q5, Q7, Q8, Q10, Q18, Q22. They cover the operator
+inventory the paper stresses: complex aggregates, top-k, joins of up to 8
+tables, derived tables, and (NOT) EXISTS / IN / scalar subqueries.
+
+FROM lists follow the original TPC-H text; the optimizer's greedy
+join-reordering pass picks the execution order.
+
+Plus the §V-A micro-benchmark join query and the audit expression used in
+the evaluation (all customers of one market segment, ≈20 % of the table).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+MICRO_BENCHMARK_QUERY = """
+SELECT *
+FROM orders, customer
+WHERE c_custkey = o_custkey
+  AND c_acctbal > :acctbal
+  AND o_orderdate > :orderdate
+"""
+
+#: the audit expression of §V: one market segment of customer
+AUDIT_EXPRESSION_TEMPLATE = """
+CREATE AUDIT EXPRESSION {name} AS
+SELECT * FROM customer
+WHERE c_mktsegment = '{segment}'
+FOR SENSITIVE TABLE customer, PARTITION BY c_custkey
+"""
+
+
+def audit_expression_sql(
+    name: str = "audit_customer", segment: str = "BUILDING"
+) -> str:
+    """CREATE AUDIT EXPRESSION for one market segment (§V)."""
+    return AUDIT_EXPRESSION_TEMPLATE.format(name=name, segment=segment)
+
+
+Q3 = """
+SELECT l_orderkey,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = :segment
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < :date
+  AND l_shipdate > :date
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10
+"""
+
+Q5 = """
+SELECT n_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = :region
+  AND o_orderdate >= :date
+  AND o_orderdate < :date + INTERVAL '1' YEAR
+GROUP BY n_name
+ORDER BY revenue DESC
+"""
+
+Q7 = """
+SELECT supp_nation, cust_nation, l_year, SUM(volume) AS revenue
+FROM (
+    SELECT n1.n_name AS supp_nation,
+           n2.n_name AS cust_nation,
+           EXTRACT(YEAR FROM l_shipdate) AS l_year,
+           l_extendedprice * (1 - l_discount) AS volume
+    FROM supplier, lineitem, orders, customer, nation n1, nation n2
+    WHERE s_suppkey = l_suppkey
+      AND o_orderkey = l_orderkey
+      AND c_custkey = o_custkey
+      AND s_nationkey = n1.n_nationkey
+      AND c_nationkey = n2.n_nationkey
+      AND ((n1.n_name = :nation1 AND n2.n_name = :nation2)
+           OR (n1.n_name = :nation2 AND n2.n_name = :nation1))
+      AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+) shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year
+"""
+
+Q8 = """
+SELECT o_year,
+       SUM(CASE WHEN nation = :nation THEN volume ELSE 0 END) / SUM(volume)
+           AS mkt_share
+FROM (
+    SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year,
+           l_extendedprice * (1 - l_discount) AS volume,
+           n2.n_name AS nation
+    FROM part, supplier, lineitem, orders, customer,
+         nation n1, nation n2, region
+    WHERE p_partkey = l_partkey
+      AND s_suppkey = l_suppkey
+      AND l_orderkey = o_orderkey
+      AND o_custkey = c_custkey
+      AND c_nationkey = n1.n_nationkey
+      AND n1.n_regionkey = r_regionkey
+      AND r_name = :region
+      AND s_nationkey = n2.n_nationkey
+      AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+      AND p_type = :type
+) all_nations
+GROUP BY o_year
+ORDER BY o_year
+"""
+
+Q10 = """
+SELECT c_custkey, c_name,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone, c_comment
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= :date
+  AND o_orderdate < :date + INTERVAL '3' MONTH
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name,
+         c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20
+"""
+
+Q18 = """
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       SUM(l_quantity) AS total_quantity
+FROM customer, orders, lineitem
+WHERE o_orderkey IN (
+        SELECT l_orderkey
+        FROM lineitem
+        GROUP BY l_orderkey
+        HAVING SUM(l_quantity) > :quantity
+      )
+  AND c_custkey = o_custkey
+  AND o_orderkey = l_orderkey
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100
+"""
+
+Q22 = """
+SELECT cntrycode, COUNT(*) AS numcust, SUM(c_acctbal) AS totacctbal
+FROM (
+    SELECT SUBSTRING(c_phone FROM 1 FOR 2) AS cntrycode, c_acctbal
+    FROM customer
+    WHERE SUBSTRING(c_phone FROM 1 FOR 2)
+          IN (:cc1, :cc2, :cc3, :cc4, :cc5, :cc6, :cc7)
+      AND c_acctbal > (
+            SELECT AVG(c_acctbal)
+            FROM customer
+            WHERE c_acctbal > 0.00
+              AND SUBSTRING(c_phone FROM 1 FOR 2)
+                  IN (:cc1, :cc2, :cc3, :cc4, :cc5, :cc6, :cc7)
+          )
+      AND NOT EXISTS (
+            SELECT * FROM orders WHERE o_custkey = c_custkey
+          )
+) custsale
+GROUP BY cntrycode
+ORDER BY cntrycode
+"""
+
+QUERIES: dict[str, str] = {
+    "Q3": Q3,
+    "Q5": Q5,
+    "Q7": Q7,
+    "Q8": Q8,
+    "Q10": Q10,
+    "Q18": Q18,
+    "Q22": Q22,
+}
+
+#: validated default parameters (substitution values from the TPC-H spec,
+#: with Q18's quantity threshold scaled so small databases still qualify)
+QUERY_PARAMETERS: dict[str, dict[str, object]] = {
+    "Q3": {
+        "segment": "BUILDING",
+        "date": datetime.date(1995, 3, 15),
+    },
+    "Q5": {
+        "region": "ASIA",
+        "date": datetime.date(1994, 1, 1),
+    },
+    "Q7": {
+        "nation1": "FRANCE",
+        "nation2": "GERMANY",
+    },
+    "Q8": {
+        "nation": "BRAZIL",
+        "region": "AMERICA",
+        "type": "ECONOMY ANODIZED STEEL",
+    },
+    "Q10": {
+        "date": datetime.date(1993, 10, 1),
+    },
+    "Q18": {
+        "quantity": 170,
+    },
+    "Q22": {
+        "cc1": "13", "cc2": "31", "cc3": "23", "cc4": "29",
+        "cc5": "30", "cc6": "18", "cc7": "17",
+    },
+}
+
+
+def query_sql(name: str) -> str:
+    """Query text by name (e.g. ``"Q10"``)."""
+    return QUERIES[name]

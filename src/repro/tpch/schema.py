@@ -1,0 +1,140 @@
+"""TPC-H schema (all eight tables, TPC-H v2 column set)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.database import Database
+
+TABLE_NAMES = (
+    "region",
+    "nation",
+    "supplier",
+    "part",
+    "partsupp",
+    "customer",
+    "orders",
+    "lineitem",
+)
+
+_DDL = (
+    """
+    CREATE TABLE region (
+        r_regionkey INT PRIMARY KEY,
+        r_name VARCHAR NOT NULL,
+        r_comment VARCHAR
+    )
+    """,
+    """
+    CREATE TABLE nation (
+        n_nationkey INT PRIMARY KEY,
+        n_name VARCHAR NOT NULL,
+        n_regionkey INT NOT NULL,
+        n_comment VARCHAR,
+        FOREIGN KEY (n_regionkey) REFERENCES region (r_regionkey)
+    )
+    """,
+    """
+    CREATE TABLE supplier (
+        s_suppkey INT PRIMARY KEY,
+        s_name VARCHAR NOT NULL,
+        s_address VARCHAR,
+        s_nationkey INT NOT NULL,
+        s_phone VARCHAR,
+        s_acctbal DECIMAL(15, 2),
+        s_comment VARCHAR,
+        FOREIGN KEY (s_nationkey) REFERENCES nation (n_nationkey)
+    )
+    """,
+    """
+    CREATE TABLE part (
+        p_partkey INT PRIMARY KEY,
+        p_name VARCHAR NOT NULL,
+        p_mfgr VARCHAR,
+        p_brand VARCHAR,
+        p_type VARCHAR,
+        p_size INT,
+        p_container VARCHAR,
+        p_retailprice DECIMAL(15, 2),
+        p_comment VARCHAR
+    )
+    """,
+    """
+    CREATE TABLE partsupp (
+        ps_partkey INT NOT NULL,
+        ps_suppkey INT NOT NULL,
+        ps_availqty INT,
+        ps_supplycost DECIMAL(15, 2),
+        ps_comment VARCHAR,
+        PRIMARY KEY (ps_partkey, ps_suppkey)
+    )
+    """,
+    """
+    CREATE TABLE customer (
+        c_custkey INT PRIMARY KEY,
+        c_name VARCHAR NOT NULL,
+        c_address VARCHAR,
+        c_nationkey INT NOT NULL,
+        c_phone VARCHAR,
+        c_acctbal DECIMAL(15, 2),
+        c_mktsegment VARCHAR,
+        c_comment VARCHAR,
+        FOREIGN KEY (c_nationkey) REFERENCES nation (n_nationkey)
+    )
+    """,
+    """
+    CREATE TABLE orders (
+        o_orderkey INT PRIMARY KEY,
+        o_custkey INT NOT NULL,
+        o_orderstatus VARCHAR,
+        o_totalprice DECIMAL(15, 2),
+        o_orderdate DATE,
+        o_orderpriority VARCHAR,
+        o_clerk VARCHAR,
+        o_shippriority INT,
+        o_comment VARCHAR,
+        FOREIGN KEY (o_custkey) REFERENCES customer (c_custkey)
+    )
+    """,
+    """
+    CREATE TABLE lineitem (
+        l_orderkey INT NOT NULL,
+        l_partkey INT NOT NULL,
+        l_suppkey INT NOT NULL,
+        l_linenumber INT NOT NULL,
+        l_quantity DECIMAL(15, 2),
+        l_extendedprice DECIMAL(15, 2),
+        l_discount DECIMAL(15, 2),
+        l_tax DECIMAL(15, 2),
+        l_returnflag VARCHAR,
+        l_linestatus VARCHAR,
+        l_shipdate DATE,
+        l_commitdate DATE,
+        l_receiptdate DATE,
+        l_shipinstruct VARCHAR,
+        l_shipmode VARCHAR,
+        l_comment VARCHAR,
+        PRIMARY KEY (l_orderkey, l_linenumber)
+    )
+    """,
+)
+
+#: secondary indexes mirroring the access paths a tuned TPC-H install has
+_INDEX_DDL = (
+    "CREATE INDEX idx_orders_custkey ON orders (o_custkey)",
+    "CREATE INDEX idx_orders_orderdate ON orders (o_orderdate)",
+    "CREATE INDEX idx_lineitem_orderkey ON lineitem (l_orderkey)",
+    "CREATE INDEX idx_customer_mktsegment ON customer (c_mktsegment)",
+    "CREATE INDEX idx_customer_nationkey ON customer (c_nationkey)",
+    "CREATE INDEX idx_supplier_nationkey ON supplier (s_nationkey)",
+)
+
+
+def create_schema(database: "Database", with_indexes: bool = True) -> None:
+    """Create all eight TPC-H tables (plus standard secondary indexes)."""
+    for ddl in _DDL:
+        database.execute(ddl)
+    if with_indexes:
+        for ddl in _INDEX_DDL:
+            database.execute(ddl)

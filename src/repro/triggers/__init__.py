@@ -1,0 +1,6 @@
+"""Triggers: classical row-level DML triggers and the paper's SELECT triggers."""
+
+from repro.triggers.definitions import DmlTrigger, SelectTrigger
+from repro.triggers.manager import TriggerManager, MAX_TRIGGER_DEPTH
+
+__all__ = ["DmlTrigger", "SelectTrigger", "TriggerManager", "MAX_TRIGGER_DEPTH"]

@@ -1,0 +1,41 @@
+"""Trigger definition objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class SelectTrigger:
+    """``CREATE TRIGGER name ON ACCESS TO expr AS body`` (§II).
+
+    The body executes after any query whose ACCESSED state contains IDs for
+    ``audit_expression``; inside the body, ``ACCESSED`` is a queryable
+    relation holding the partition-by IDs.
+
+    ``timing``: ``"after"`` (the paper's default — the action runs as its
+    own system transaction once the query completes) or ``"before"`` (the
+    §II future-work variant: the action runs before results reach the
+    caller and may ``DENY`` them).
+    """
+
+    name: str
+    audit_expression: str
+    body: tuple[ast.Statement, ...]
+    timing: str = "after"
+
+
+@dataclass(frozen=True)
+class DmlTrigger:
+    """``CREATE TRIGGER name ON table AFTER INSERT|UPDATE|DELETE AS body``.
+
+    Row-level AFTER trigger: the body runs once per modified row with the
+    ``NEW`` and ``OLD`` pseudo-rows in scope.
+    """
+
+    name: str
+    table: str
+    event: str
+    body: tuple[ast.Statement, ...]

@@ -1,0 +1,183 @@
+"""Trigger manager: registration, firing, cascading (§II-C).
+
+SELECT-trigger actions run *after* the reading query finishes (or aborts),
+as their own system transaction, with the ACCESSED internal state exposed
+as a relation named ``accessed`` whose single column is the audit
+expression's partition-by key. DML triggers fire per modified row with the
+``NEW``/``OLD`` pseudo-rows in scope.
+
+Cascades are bounded by :data:`MAX_TRIGGER_DEPTH` (32, as in SQL Server):
+a SELECT trigger's INSERT can fire an AFTER INSERT trigger whose body runs
+a SELECT that fires further SELECT triggers, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.catalog.schema import Column, TableSchema
+from repro.errors import AccessDeniedError, TriggerError
+from repro.storage.table import RowChange, Table
+from repro.triggers.definitions import DmlTrigger, SelectTrigger
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.database import Database
+
+MAX_TRIGGER_DEPTH = 32
+
+
+class TriggerManager:
+    """Owns trigger definitions and drives their execution."""
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        self._select_triggers: dict[str, SelectTrigger] = {}
+        self._dml_triggers: dict[str, DmlTrigger] = {}
+        self._observed_tables: set[str] = set()
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    # registration
+
+    def add_select_trigger(self, trigger: SelectTrigger) -> None:
+        self._database.audit_manager.expression(trigger.audit_expression)
+        self._database.catalog.add_trigger(trigger.name, trigger)
+        self._select_triggers[trigger.name.lower()] = trigger
+
+    def add_dml_trigger(self, trigger: DmlTrigger) -> None:
+        table = self._database.catalog.table(trigger.table)  # validates
+        self._database.catalog.add_trigger(trigger.name, trigger)
+        self._dml_triggers[trigger.name.lower()] = trigger
+        key = table.schema.name
+        if key not in self._observed_tables:
+            table.add_observer(self._on_row_change)
+            self._observed_tables.add(key)
+
+    def drop_trigger(self, name: str) -> None:
+        key = name.lower()
+        if key in self._select_triggers:
+            del self._select_triggers[key]
+        elif key in self._dml_triggers:
+            del self._dml_triggers[key]
+        else:
+            raise TriggerError(f"trigger {name!r} does not exist")
+        self._database.catalog.drop_trigger(name)
+
+    def select_triggers_for(self, audit_expression: str
+                            ) -> list[SelectTrigger]:
+        return [
+            trigger
+            for trigger in self._select_triggers.values()
+            if trigger.audit_expression == audit_expression.lower()
+        ]
+
+    def has_select_triggers(self) -> bool:
+        return bool(self._select_triggers)
+
+    # ------------------------------------------------------------------
+    # SELECT trigger firing (§II: after the query, own transaction)
+
+    def fire_select_triggers(
+        self, accessed: dict[str, set], timing: str = "after"
+    ) -> None:
+        """Run the actions of matching triggers with the given timing."""
+        for audit_name, ids in accessed.items():
+            if not ids:
+                continue
+            for trigger in self.select_triggers_for(audit_name):
+                if trigger.timing != timing:
+                    continue
+                self._run_select_trigger(trigger, audit_name, ids)
+
+    def _run_select_trigger(
+        self, trigger: SelectTrigger, audit_name: str, ids: set
+    ) -> None:
+        database = self._database
+        expression = database.audit_manager.expression(audit_name)
+        sensitive = database.catalog.table(expression.sensitive_table)
+        id_column = sensitive.schema.column(expression.partition_by)
+
+        if database.catalog.has_table("accessed"):
+            raise TriggerError(
+                "a relation named 'accessed' already exists; it is "
+                "reserved for SELECT trigger actions"
+            )
+        schema = TableSchema(
+            name="accessed",
+            columns=(Column(id_column.name, id_column.data_type),),
+        )
+        accessed_table = Table(schema)
+        accessed_table.bulk_load((value,) for value in sorted(ids, key=repr))
+        database.catalog.add_table(accessed_table)
+        try:
+            self._enter()
+            try:
+                for statement in trigger.body:
+                    database.execute_trigger_statement(statement)
+            except AccessDeniedError:
+                if trigger.timing != "before":
+                    raise TriggerError(
+                        f"trigger {trigger.name!r}: DENY is only valid in "
+                        "BEFORE SELECT triggers"
+                    ) from None
+                raise
+            finally:
+                self._leave()
+        finally:
+            database.catalog.drop_table("accessed")
+
+    # ------------------------------------------------------------------
+    # DML trigger firing (row-level AFTER)
+
+    def _on_row_change(self, change: RowChange) -> None:
+        if change.compensating:
+            return  # rollback repairs state; it is not a business event
+        triggers = [
+            trigger
+            for trigger in self._dml_triggers.values()
+            if trigger.table == change.table
+            and trigger.event.lower() == change.kind
+        ]
+        if not triggers:
+            return
+        table = self._database.catalog.table(change.table)
+        scope_columns, pseudo_row = _trigger_row(table, change)
+        for trigger in triggers:
+            self._enter()
+            try:
+                for statement in trigger.body:
+                    self._database.execute_trigger_statement(
+                        statement, scope_columns, pseudo_row
+                    )
+            finally:
+                self._leave()
+
+    # ------------------------------------------------------------------
+    # cascade depth
+
+    def _enter(self) -> None:
+        if self._depth >= MAX_TRIGGER_DEPTH:
+            raise TriggerError(
+                f"trigger cascade exceeded depth {MAX_TRIGGER_DEPTH}"
+            )
+        self._depth += 1
+
+    def _leave(self) -> None:
+        self._depth -= 1
+
+
+def _trigger_row(table: Table, change: RowChange):
+    """Build the NEW/OLD pseudo-scope and pseudo-row for a change."""
+    from repro.plan.logical import PlanColumn
+
+    width = len(table.schema.columns)
+    new_row = change.new_row or (None,) * width
+    old_row = change.old_row or (None,) * width
+    columns = tuple(
+        PlanColumn(column.name, "new", (table.schema.name, column.name))
+        for column in table.schema.columns
+    ) + tuple(
+        PlanColumn(column.name, "old", (table.schema.name, column.name))
+        for column in table.schema.columns
+    )
+    return columns, tuple(new_row) + tuple(old_row)

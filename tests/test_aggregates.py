@@ -1,0 +1,73 @@
+"""Unit tests for aggregate accumulators."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.expr.aggregates import is_aggregate_name, make_accumulator
+
+
+class TestAccumulators:
+    def test_count_ignores_nulls(self):
+        acc = make_accumulator("count")
+        for value in (1, None, "x", None):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_count_empty_is_zero(self):
+        assert make_accumulator("count").result() == 0
+
+    def test_count_distinct(self):
+        acc = make_accumulator("count", distinct=True)
+        for value in (1, 2, 2, None, 1):
+            acc.add(value)
+        assert acc.result() == 2
+
+    def test_sum(self):
+        acc = make_accumulator("sum")
+        for value in (1, 2.5, None):
+            acc.add(value)
+        assert acc.result() == 3.5
+
+    def test_sum_empty_is_null(self):
+        assert make_accumulator("sum").result() is None
+
+    def test_sum_rejects_strings(self):
+        acc = make_accumulator("sum")
+        with pytest.raises(ExecutionError):
+            acc.add("x")
+
+    def test_avg(self):
+        acc = make_accumulator("avg")
+        for value in (2, 4, None):
+            acc.add(value)
+        assert acc.result() == 3.0
+
+    def test_avg_empty_is_null(self):
+        assert make_accumulator("avg").result() is None
+
+    def test_min_max(self):
+        low = make_accumulator("min")
+        high = make_accumulator("max")
+        for value in (5, None, 2, 8):
+            low.add(value)
+            high.add(value)
+        assert low.result() == 2
+        assert high.result() == 8
+
+    def test_min_empty_is_null(self):
+        assert make_accumulator("min").result() is None
+
+    def test_sum_distinct(self):
+        acc = make_accumulator("sum", distinct=True)
+        for value in (3, 3, 4):
+            acc.add(value)
+        assert acc.result() == 7
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ExecutionError):
+            make_accumulator("median")
+
+    def test_is_aggregate_name(self):
+        assert is_aggregate_name("COUNT")
+        assert is_aggregate_name("sum")
+        assert not is_aggregate_name("substring")

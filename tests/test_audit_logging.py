@@ -1,0 +1,83 @@
+"""Tests for the turn-key audit-log helper."""
+
+import pytest
+
+from repro import install_audit_log
+from repro.errors import AuditError
+
+
+@pytest.fixture
+def logged(patients_db):
+    patients_db.execute(
+        "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+        "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+    )
+    return install_audit_log(patients_db, "audit_all", "disclosures")
+
+
+class TestInstallation:
+    def test_creates_table_and_trigger(self, logged):
+        db = logged.database
+        assert db.catalog.has_table("disclosures")
+        assert db.catalog.trigger("log_audit_all_disclosures") is not None
+
+    def test_log_schema_uses_partition_column(self, logged):
+        table = logged.database.catalog.table("disclosures")
+        assert table.schema.column_names == (
+            "ts", "uid", "query", "patientid"
+        )
+
+    def test_requires_existing_expression(self, patients_db):
+        with pytest.raises(AuditError):
+            install_audit_log(patients_db, "ghost")
+
+    def test_reuses_compatible_table(self, logged):
+        db = logged.database
+        db.execute(
+            "CREATE AUDIT EXPRESSION audit_young AS "
+            "SELECT * FROM patients WHERE age < 30 "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        second = install_audit_log(db, "audit_young", "disclosures")
+        assert second.table_name == "disclosures"
+
+    def test_rejects_incompatible_table(self, patients_db):
+        patients_db.execute("CREATE TABLE weird (a INT)")
+        patients_db.execute(
+            "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        with pytest.raises(AuditError):
+            install_audit_log(patients_db, "audit_all", "weird")
+
+
+class TestLogQueries:
+    def test_entries_recorded(self, logged):
+        db = logged.database
+        db.execute("SELECT name FROM patients WHERE age > 40")
+        entries = logged.entries()
+        assert len(entries) == 2  # Dave and Erin
+        assert {row[3] for row in entries} == {4, 5}
+
+    def test_disclosures_of_individual(self, logged):
+        db = logged.database
+        db.session.user_id = "dr_a"
+        db.execute("SELECT name FROM patients WHERE patientid = 1")
+        db.session.user_id = "dr_b"
+        db.execute("SELECT zip FROM patients WHERE patientid = 1")
+        db.execute("SELECT zip FROM patients WHERE patientid = 2")
+        report = logged.disclosures_of(1)
+        assert {row[0] for row in report} == {"dr_a", "dr_b"}
+
+    def test_access_counts_by_user(self, logged):
+        db = logged.database
+        db.session.user_id = "curious"
+        db.execute("SELECT * FROM patients")
+        counts = logged.access_counts_by_user()
+        assert counts.rows == [("curious", 5)]
+
+    def test_clear(self, logged):
+        db = logged.database
+        db.execute("SELECT * FROM patients")
+        logged.clear()
+        assert len(logged.entries()) == 0

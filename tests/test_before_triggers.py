@@ -1,0 +1,113 @@
+"""Tests for BEFORE-timing SELECT triggers and DENY (§II future-work
+variant: warn or block before results are returned)."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, TriggerError
+
+
+@pytest.fixture
+def guarded_db(patients_db):
+    patients_db.execute(
+        "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients "
+        "WHERE name = 'Alice' FOR SENSITIVE TABLE patients, "
+        "PARTITION BY patientid"
+    )
+    return patients_db
+
+
+class TestBeforeTiming:
+    def test_before_trigger_warns_without_blocking(self, guarded_db):
+        guarded_db.execute(
+            "CREATE TRIGGER warn ON ACCESS TO audit_alice BEFORE AS "
+            "NOTIFY 'you are reading sensitive data'"
+        )
+        result = guarded_db.execute(
+            "SELECT name FROM patients WHERE name = 'Alice'"
+        )
+        assert result.rows == [("Alice",)]
+        assert guarded_db.notifications == [
+            "you are reading sensitive data"
+        ]
+
+    def test_deny_blocks_results(self, guarded_db):
+        guarded_db.execute(
+            "CREATE TRIGGER gate ON ACCESS TO audit_alice BEFORE AS "
+            "DENY 'records of Alice are restricted'"
+        )
+        with pytest.raises(AccessDeniedError, match="restricted"):
+            guarded_db.execute("SELECT * FROM patients WHERE name = 'Alice'")
+
+    def test_deny_spares_clean_queries(self, guarded_db):
+        guarded_db.execute(
+            "CREATE TRIGGER gate ON ACCESS TO audit_alice BEFORE AS DENY"
+        )
+        result = guarded_db.execute(
+            "SELECT name FROM patients WHERE name = 'Bob'"
+        )
+        assert result.rows == [("Bob",)]
+
+    def test_after_trigger_logs_even_when_denied(self, guarded_db):
+        """The access is still recorded: DENY withholds rows, not evidence."""
+        guarded_db.execute(
+            "CREATE TRIGGER gate ON ACCESS TO audit_alice BEFORE AS DENY"
+        )
+        guarded_db.execute(
+            "CREATE TRIGGER record ON ACCESS TO audit_alice AS "
+            "INSERT INTO log SELECT cast_varchar(now()), user_id(), "
+            "sql_text(), patientid FROM accessed"
+        )
+        with pytest.raises(AccessDeniedError):
+            guarded_db.execute(
+                "SELECT zip FROM patients WHERE name = 'Alice'"
+            )
+        log = guarded_db.execute("SELECT patientid FROM log")
+        assert log.rows == [(1,)]
+
+    def test_conditional_deny(self, guarded_db):
+        """Deny only when too many sensitive rows flow at once."""
+        guarded_db.execute(
+            "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        guarded_db.execute(
+            "CREATE TRIGGER bulk_gate ON ACCESS TO audit_all BEFORE AS "
+            "IF ((SELECT COUNT(*) FROM accessed) > 3) "
+            "DENY 'bulk export blocked'"
+        )
+        # three rows: fine
+        assert len(guarded_db.execute(
+            "SELECT * FROM patients WHERE patientid <= 3"
+        )) == 3
+        # five rows: blocked
+        with pytest.raises(AccessDeniedError, match="bulk export"):
+            guarded_db.execute("SELECT * FROM patients")
+
+    def test_deny_in_after_trigger_is_rejected(self, guarded_db):
+        guarded_db.execute(
+            "CREATE TRIGGER bad ON ACCESS TO audit_alice AS DENY"
+        )
+        with pytest.raises(TriggerError, match="only valid in BEFORE"):
+            guarded_db.execute(
+                "SELECT * FROM patients WHERE name = 'Alice'"
+            )
+
+    def test_explicit_after_keyword(self, guarded_db):
+        guarded_db.execute(
+            "CREATE TRIGGER explicit ON ACCESS TO audit_alice AFTER AS "
+            "NOTIFY 'after'"
+        )
+        guarded_db.execute("SELECT * FROM patients WHERE name = 'Alice'")
+        assert guarded_db.notifications == ["after"]
+
+    def test_timing_parsed(self):
+        from repro.sql.parser import parse_statement
+
+        statement = parse_statement(
+            "CREATE TRIGGER g ON ACCESS TO a BEFORE AS DENY 'no'"
+        )
+        assert statement.timing == "before"
+        statement = parse_statement(
+            "CREATE TRIGGER g ON ACCESS TO a AS NOTIFY"
+        )
+        assert statement.timing == "after"

@@ -1,0 +1,113 @@
+"""Unit tests for the benchmark harness (table rendering, fixtures)."""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchmarkFixture,
+    measure_median,
+    overhead_percent,
+    render_table,
+)
+
+
+class TestHelpers:
+    def test_overhead_percent(self):
+        assert overhead_percent(1.1, 1.0) == pytest.approx(10.0)
+        assert overhead_percent(0.9, 1.0) == 0.0  # clamped: noise floor
+        assert overhead_percent(1.0, 0.0) == 0.0
+
+    def test_measure_median_returns_positive(self):
+        assert measure_median(lambda: sum(range(100)), repeats=3) >= 0.0
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            "My Title", ("col_a", "b"), [(1, "xx"), (22, "y")]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "My Title"
+        assert lines[1] == "=" * len("My Title")
+        assert "col_a" in lines[2]
+        assert len(lines) == 6
+
+    def test_render_table_formats_floats(self):
+        text = render_table("t", ("v",), [(1.23456,)])
+        assert "1.23" in text
+
+    def test_render_empty_rows(self):
+        text = render_table("t", ("a", "b"), [])
+        assert "a" in text
+
+
+class TestFixture:
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        return BenchmarkFixture(scale_factor=0.001)
+
+    def test_loads_and_installs_expression(self, tiny):
+        assert tiny.row_counts["customer"] > 0
+        assert len(tiny.audit_view) > 0
+        # roughly one market segment
+        assert len(tiny.audit_view) == pytest.approx(
+            tiny.row_counts["customer"] / 5, rel=0.5
+        )
+
+    def test_selectivity_mapping_monotone(self, tiny):
+        dates = [
+            tiny.orderdate_for_selectivity(fraction)
+            for fraction in (0.1, 0.5, 0.9)
+        ]
+        # higher fraction selected => earlier cutoff date
+        assert dates[0] >= dates[1] >= dates[2]
+
+    def test_selectivity_mapping_hits_target(self, tiny):
+        cutoff = tiny.orderdate_for_selectivity(0.5)
+        selected = tiny.database.execute(
+            "SELECT COUNT(*) FROM orders WHERE o_orderdate > :cut",
+            {"cut": cutoff},
+        ).scalar()
+        total = tiny.row_counts["orders"]
+        assert selected / total == pytest.approx(0.5, abs=0.1)
+
+    def test_run_with_heuristic_restores_state(self, tiny):
+        database = tiny.database
+        before = (database.audit_manager.heuristic, database.join_strategy,
+                  database.audit_enabled)
+        tiny.run_with_heuristic("SELECT COUNT(*) FROM region", None, None)
+        tiny.run_with_heuristic(
+            "SELECT COUNT(*) FROM region", None, "leaf-node"
+        )
+        after = (database.audit_manager.heuristic, database.join_strategy,
+                 database.audit_enabled)
+        assert before == after
+
+    def test_compile_with_heuristic_none_is_uninstrumented(self, tiny):
+        from repro.exec.operators import AuditOperator
+
+        physical = tiny.compile_with_heuristic(
+            "SELECT * FROM customer", None
+        )
+        assert not any(
+            isinstance(node, AuditOperator) for node in physical.walk()
+        )
+        instrumented = tiny.compile_with_heuristic(
+            "SELECT * FROM customer", "highest-commutative-node"
+        )
+        assert any(
+            isinstance(node, AuditOperator) for node in instrumented.walk()
+        )
+
+    def test_execution_time_positive(self, tiny):
+        elapsed = tiny.execution_time(
+            "SELECT COUNT(*) FROM region", None, None, repeats=2
+        )
+        assert elapsed > 0.0
+
+    def test_compare_execution_labels(self, tiny):
+        timings = tiny.compare_execution(
+            "SELECT COUNT(*) FROM region",
+            None,
+            {"a": (None, None), "b": ("leaf-node", None)},
+            repeats=2,
+        )
+        assert set(timings) == {"a", "b"}
+        assert all(value > 0 for value in timings.values())

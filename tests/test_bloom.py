@@ -1,0 +1,152 @@
+"""Tests for the counting Bloom filter and the bloom-probed ID view."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.audit.bloom import CountingBloomFilter
+from repro.errors import AuditError
+
+
+class TestCountingBloomFilter:
+    def test_members_always_probe_true(self):
+        bloom = CountingBloomFilter(expected_items=100)
+        for value in range(100):
+            bloom.add(value)
+        assert all(value in bloom for value in range(100))
+
+    def test_false_positive_rate_is_bounded(self):
+        bloom = CountingBloomFilter(
+            expected_items=500, false_positive_rate=0.01
+        )
+        for value in range(500):
+            bloom.add(value)
+        false_positives = sum(
+            1 for value in range(10_000, 30_000) if value in bloom
+        )
+        assert false_positives / 20_000 < 0.05  # headroom over 1 % target
+
+    def test_discard_removes_membership(self):
+        bloom = CountingBloomFilter(expected_items=50)
+        bloom.add("alice")
+        bloom.discard("alice")
+        assert "alice" not in bloom
+        assert len(bloom) == 0
+
+    def test_discard_short_circuits_on_zero_cell(self):
+        # a value with any zero cell is provably absent; counters of other
+        # members must remain untouched by the early return
+        bloom = CountingBloomFilter(expected_items=5000)
+        bloom.add("alice")
+        for probe in range(200):
+            bloom.discard(f"ghost-{probe}")
+        assert "alice" in bloom
+
+    def test_shared_cells_survive_one_discard(self):
+        bloom = CountingBloomFilter(expected_items=4)
+        bloom.add("x")
+        bloom.add("x")
+        bloom.discard("x")
+        assert "x" in bloom  # second insertion still counted
+
+    def test_clear(self):
+        bloom = CountingBloomFilter(expected_items=10)
+        bloom.add(1)
+        bloom.clear()
+        assert 1 not in bloom
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            CountingBloomFilter(10, false_positive_rate=1.5)
+
+    def test_size_scales_with_expectations(self):
+        small = CountingBloomFilter(expected_items=10)
+        large = CountingBloomFilter(expected_items=10_000)
+        assert large.size_bytes > small.size_bytes
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        members=st.sets(st.integers(0, 10_000), min_size=1, max_size=200),
+        data=st.data(),
+    )
+    def test_no_false_negatives_property(self, members, data):
+        """After adds and contract-respecting discards (only values that
+        were added are removed), every remaining member probes true — the
+        audit framework's one-sided guarantee."""
+        removals = data.draw(
+            st.sets(st.sampled_from(sorted(members)), max_size=50)
+        )
+        bloom = CountingBloomFilter(expected_items=len(members))
+        for value in members:
+            bloom.add(value)
+        for value in removals:
+            bloom.discard(value)
+        for value in members - removals:
+            assert value in bloom
+
+
+class TestBloomIdView:
+    @pytest.fixture
+    def bloom_db(self, patients_db):
+        patients_db.audit_manager.probe_structure = "bloom"
+        patients_db.execute(
+            "CREATE AUDIT EXPRESSION audit_alice AS "
+            "SELECT * FROM patients WHERE name = 'Alice' "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        return patients_db
+
+    def test_accesses_still_detected(self, bloom_db):
+        result = bloom_db.execute(
+            "SELECT * FROM patients WHERE name = 'Alice'"
+        )
+        assert 1 in result.accessed["audit_alice"]
+
+    def test_exact_ids_still_available(self, bloom_db):
+        view = bloom_db.audit_manager.view("audit_alice")
+        assert view.ids() == frozenset({1})
+        assert view.probe_structure == "bloom"
+
+    def test_maintenance_updates_bloom(self, bloom_db):
+        bloom_db.execute(
+            "INSERT INTO patients VALUES (9, 'Alice', 33, '98109')"
+        )
+        result = bloom_db.execute(
+            "SELECT * FROM patients WHERE patientid = 9"
+        )
+        assert 9 in result.accessed["audit_alice"]
+        bloom_db.execute("DELETE FROM patients WHERE patientid = 9")
+        bloom_db.execute("INSERT INTO patients VALUES (9, 'Zed', 33, 'x')")
+        result = bloom_db.execute(
+            "SELECT * FROM patients WHERE patientid = 9"
+        )
+        assert 9 not in result.accessed.get("audit_alice", frozenset())
+
+    def test_refresh_rebuilds_bloom(self, bloom_db):
+        view = bloom_db.audit_manager.view("audit_alice")
+        view.refresh()
+        assert 1 in view.live_id_set
+
+    def test_probe_size_reported(self, bloom_db):
+        view = bloom_db.audit_manager.view("audit_alice")
+        assert view.probe_size_bytes > 0
+
+    def test_invalid_probe_structure(self, patients_db):
+        patients_db.audit_manager.probe_structure = "cuckoo"
+        with pytest.raises(AuditError):
+            patients_db.execute(
+                "CREATE AUDIT EXPRESSION a AS SELECT * FROM patients "
+                "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+            )
+
+    def test_no_false_negatives_vs_offline(self, bloom_db):
+        from repro import OfflineAuditor
+
+        query = (
+            "SELECT p.name FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND d.disease = 'cancer'"
+        )
+        truth = OfflineAuditor(bloom_db).audit(query, "audit_alice")
+        online = bloom_db.execute(query).accessed.get(
+            "audit_alice", frozenset()
+        )
+        assert truth <= online

@@ -1,0 +1,105 @@
+"""Unit tests for the execution context: outer rows, memoization, state."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ExecutionError
+from repro.exec.context import ExecutionContext, Session
+
+
+class TestOuterRows:
+    def test_stack_discipline(self):
+        context = ExecutionContext()
+        context.push_outer_row((1,))
+        context.push_outer_row((2,))
+        assert context.outer_row(1) == (2,)
+        assert context.outer_row(2) == (1,)
+        context.pop_outer_row()
+        assert context.outer_row(1) == (1,)
+
+    def test_base_rows_seed_the_stack(self):
+        context = ExecutionContext(base_outer_rows=((9, 9),))
+        assert context.outer_row(1) == (9, 9)
+
+    def test_out_of_range_levels(self):
+        context = ExecutionContext()
+        with pytest.raises(ExecutionError):
+            context.outer_row(1)
+        context.push_outer_row((1,))
+        with pytest.raises(ExecutionError):
+            context.outer_row(2)
+        with pytest.raises(ExecutionError):
+            context.outer_row(0)
+
+
+class TestSession:
+    def test_defaults(self):
+        session = Session()
+        assert session.user_id == "anonymous"
+        assert session.sql_text == ""
+        assert session.now() is not None
+
+    def test_custom_clock(self):
+        import datetime
+
+        stamp = datetime.datetime(2013, 4, 8)
+        session = Session(clock=lambda: stamp)
+        assert session.now() == stamp
+
+
+class TestAccessedState:
+    def test_record_access_accumulates(self):
+        context = ExecutionContext()
+        context.record_access("a", 1)
+        context.record_access("a", 2)
+        context.record_access("b", 1)
+        assert context.accessed == {"a": {1, 2}, "b": {1}}
+
+    def test_tombstone_lookup(self):
+        context = ExecutionContext()
+        context.tombstones = {"t": {(1,)}}
+        assert context.is_tombstoned("t", (1,))
+        assert not context.is_tombstoned("t", (2,))
+        assert not context.is_tombstoned("u", (1,))
+
+
+class TestSubqueryMemoization:
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        db.execute("CREATE TABLE t (a INT, b INT)")
+        db.execute("INSERT INTO t VALUES (1, 10), (2, 20), (1, 30)")
+        return db
+
+    def test_uncorrelated_subquery_runs_once(self, db):
+        """The memo key of an uncorrelated subquery is empty: one run."""
+        plan = db.plan_query("SELECT a FROM t WHERE b > 15")
+        context = db.make_context()
+        first = context.run_subquery(plan, ())
+        second = context.run_subquery(plan, ())
+        assert first is second  # same cached list object
+
+    def test_correlated_memo_keyed_by_outer_values(self, db):
+        # count subquery executions through a scalar subquery correlated
+        # on the outer row: identical outer values reuse the memo
+        result = db.execute(
+            "SELECT a, (SELECT SUM(t2.b) FROM t t2 WHERE t2.a = t1.a) "
+            "FROM t t1 ORDER BY a, 2"
+        )
+        assert result.rows == [(1, 40), (1, 40), (2, 20)]
+
+    def test_missing_parameter_raises(self):
+        context = ExecutionContext()
+        with pytest.raises(ExecutionError):
+            context.parameter("ghost")
+
+    def test_subquery_without_compiler_raises(self, db):
+        plan = db.plan_query("SELECT a FROM t")
+        bare = ExecutionContext()
+        with pytest.raises(ExecutionError):
+            bare.run_subquery(plan, ())
+
+    def test_unbound_subquery_plan_raises(self):
+        context = ExecutionContext()
+        with pytest.raises(ExecutionError):
+            context.run_subquery(None, ())

@@ -1,0 +1,105 @@
+"""Unit tests for the cardinality/cost model."""
+
+import pytest
+
+from repro import Database
+from repro.optimizer.cost import CostModel
+from repro.plan import logical as L
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE big (id INT PRIMARY KEY, grp INT, val INT)"
+    )
+    database.execute("CREATE TABLE small (id INT PRIMARY KEY, tag VARCHAR)")
+    for index in range(200):
+        database.execute(
+            f"INSERT INTO big VALUES ({index}, {index % 10}, {index})"
+        )
+    for index in range(10):
+        database.execute(f"INSERT INTO small VALUES ({index}, 't{index}')")
+    database.execute("ANALYZE")
+    return database
+
+
+def estimate(db, sql):
+    model = CostModel(db.catalog)
+    return model.estimate_rows(db.plan_query(sql))
+
+
+class TestScanEstimates:
+    def test_plain_scan_is_row_count(self, db):
+        assert estimate(db, "SELECT * FROM big") == pytest.approx(200)
+
+    def test_equality_uses_distinct_count(self, db):
+        # grp has 10 distinct values over 200 rows -> ~20 rows
+        assert estimate(db, "SELECT * FROM big WHERE grp = 3") == \
+            pytest.approx(20, rel=0.2)
+
+    def test_pk_equality_estimates_one_row(self, db):
+        assert estimate(db, "SELECT * FROM big WHERE id = 5") == \
+            pytest.approx(1, abs=0.5)
+
+    def test_range_uses_minmax_span(self, db):
+        # val spans 0..199; val > 149 is ~25% of rows
+        assert estimate(db, "SELECT * FROM big WHERE val > 149") == \
+            pytest.approx(50, rel=0.3)
+
+    def test_conjunction_multiplies(self, db):
+        single = estimate(db, "SELECT * FROM big WHERE grp = 3")
+        double = estimate(
+            db, "SELECT * FROM big WHERE grp = 3 AND val > 99"
+        )
+        assert double < single
+
+
+class TestJoinEstimates:
+    def test_equi_join_uses_distinct_counts(self, db):
+        # big.grp (10 distinct) = small.id (10 distinct): 200*10/10 = 200
+        joined = estimate(
+            db, "SELECT * FROM big, small WHERE grp = small.id"
+        )
+        assert joined == pytest.approx(200, rel=0.3)
+
+    def test_cross_join_is_product(self, db):
+        assert estimate(db, "SELECT * FROM big, small") == \
+            pytest.approx(2000)
+
+    def test_limit_caps_estimate(self, db):
+        assert estimate(db, "SELECT * FROM big LIMIT 7") == 7
+
+    def test_aggregate_reduces(self, db):
+        grouped = estimate(db, "SELECT grp, COUNT(*) FROM big GROUP BY grp")
+        assert grouped < 200
+
+    def test_global_aggregate_is_one(self, db):
+        assert estimate(db, "SELECT COUNT(*) FROM big") == 1
+
+
+class TestStatistics:
+    def test_stats_refresh_on_version_change(self, db):
+        before = db.catalog.statistics("small").row_count
+        db.execute("INSERT INTO small VALUES (99, 'new')")
+        after = db.catalog.statistics("small").row_count
+        assert after == before + 1
+
+    def test_column_stats_content(self, db):
+        stats = db.catalog.statistics("big")
+        grp = stats.columns["grp"]
+        assert grp.distinct_count == 10
+        assert grp.min_value == 0 and grp.max_value == 9
+        assert grp.null_count == 0
+
+    def test_selectivity_helpers(self, db):
+        stats = db.catalog.statistics("big").columns["val"]
+        assert stats.selectivity_equals(200) == pytest.approx(1 / 200)
+        assert 0.0 <= stats.selectivity_range(100, 150) <= 1.0
+
+    def test_null_counting(self, db):
+        db.execute("CREATE TABLE holes (x INT)")
+        db.execute("INSERT INTO holes VALUES (1), (NULL), (NULL)")
+        stats = db.catalog.statistics("holes")
+        assert stats.columns["x"].null_count == 2
+        assert stats.columns["x"].distinct_count == 1

@@ -1,0 +1,208 @@
+"""Unit tests for the type layer: 3VL, LIKE, coercion, intervals."""
+
+import datetime
+
+import pytest
+
+from repro.datatypes import (
+    BOOLEAN,
+    DATE,
+    FLOAT,
+    INTEGER,
+    DECIMAL,
+    VARCHAR,
+    NULL_TYPE,
+    Interval,
+    add_interval,
+    coerce_value,
+    common_type,
+    is_null,
+    sql_and,
+    sql_compare,
+    sql_equals,
+    sql_like,
+    sql_not,
+    sql_or,
+    type_from_name,
+    value_sort_key,
+)
+from repro.errors import BindError, ExecutionError
+
+
+class TestTypes:
+    def test_type_from_name_aliases(self):
+        assert type_from_name("int") is INTEGER
+        assert type_from_name("BIGINT") is INTEGER
+        assert type_from_name("numeric") is DECIMAL
+        assert type_from_name("Text") is VARCHAR
+        assert type_from_name("bool") is BOOLEAN
+        assert type_from_name("date") is DATE
+
+    def test_type_from_name_unknown(self):
+        with pytest.raises(BindError):
+            type_from_name("blob")
+
+    def test_common_type_numeric_widening(self):
+        assert common_type(INTEGER, FLOAT) is FLOAT
+        assert common_type(FLOAT, INTEGER) is FLOAT
+        assert common_type(INTEGER, DECIMAL) is DECIMAL
+
+    def test_common_type_null_unifies(self):
+        assert common_type(NULL_TYPE, DATE) is DATE
+        assert common_type(VARCHAR, NULL_TYPE) is VARCHAR
+
+    def test_common_type_incompatible(self):
+        with pytest.raises(BindError):
+            common_type(INTEGER, VARCHAR)
+
+
+class TestThreeValuedLogic:
+    def test_equals_null_is_unknown(self):
+        assert sql_equals(None, 1) is None
+        assert sql_equals(1, None) is None
+        assert sql_equals(None, None) is None
+
+    def test_equals_values(self):
+        assert sql_equals(1, 1) is True
+        assert sql_equals(1, 2) is False
+
+    def test_compare(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2, 1) == 1
+        assert sql_compare("a", "a") == 0
+        assert sql_compare(None, 1) is None
+
+    def test_kleene_and(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, None) is False  # False dominates UNKNOWN
+        assert sql_and(None, True) is None
+        assert sql_and(None, None) is None
+
+    def test_kleene_or(self):
+        assert sql_or(False, False) is False
+        assert sql_or(True, None) is True  # True dominates UNKNOWN
+        assert sql_or(None, False) is None
+        assert sql_or(None, None) is None
+
+    def test_kleene_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+    def test_is_null(self):
+        assert is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        assert sql_like("hello world", "hello%") is True
+        assert sql_like("hello", "%lo") is True
+        assert sql_like("hello", "h%o") is True
+        assert sql_like("hello", "x%") is False
+
+    def test_underscore_wildcard(self):
+        assert sql_like("cat", "c_t") is True
+        assert sql_like("cart", "c_t") is False
+
+    def test_exact_match_required(self):
+        assert sql_like("hello", "hell") is False
+
+    def test_regex_metacharacters_are_literal(self):
+        assert sql_like("a.b", "a.b") is True
+        assert sql_like("axb", "a.b") is False
+        assert sql_like("a[1]", "a[1]") is True
+
+    def test_null_propagates(self):
+        assert sql_like(None, "%") is None
+        assert sql_like("x", None) is None
+
+    def test_non_string_raises(self):
+        with pytest.raises(ExecutionError):
+            sql_like(5, "%")
+
+
+class TestCoercion:
+    def test_integer(self):
+        assert coerce_value(5, INTEGER) == 5
+        assert coerce_value(5.7, INTEGER) == 5
+
+    def test_integer_rejects_string(self):
+        with pytest.raises(ExecutionError):
+            coerce_value("5", INTEGER)
+
+    def test_float_family(self):
+        assert coerce_value(5, FLOAT) == 5.0
+        assert isinstance(coerce_value(5, DECIMAL), float)
+
+    def test_varchar(self):
+        assert coerce_value("abc", VARCHAR) == "abc"
+        with pytest.raises(ExecutionError):
+            coerce_value(7, VARCHAR)
+
+    def test_date_from_iso_string(self):
+        assert coerce_value("2013-04-08", DATE) == datetime.date(2013, 4, 8)
+
+    def test_date_invalid_string(self):
+        with pytest.raises(ExecutionError):
+            coerce_value("not-a-date", DATE)
+
+    def test_null_passes_through(self):
+        assert coerce_value(None, INTEGER) is None
+        assert coerce_value(None, DATE) is None
+
+    def test_boolean_strict(self):
+        assert coerce_value(True, BOOLEAN) is True
+        with pytest.raises(ExecutionError):
+            coerce_value(1, BOOLEAN)
+
+
+class TestSortKey:
+    def test_nulls_sort_first(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=value_sort_key)
+        assert ordered == [None, None, 1, 2, 3]
+
+    def test_mixed_with_dates(self):
+        d1, d2 = datetime.date(2013, 1, 1), datetime.date(2013, 6, 1)
+        assert sorted([d2, None, d1], key=value_sort_key) == [None, d1, d2]
+
+
+class TestIntervals:
+    def test_day_interval(self):
+        base = datetime.date(1995, 1, 31)
+        assert add_interval(base, Interval(3, "DAY")) == \
+            datetime.date(1995, 2, 3)
+
+    def test_month_interval_clamps_to_month_end(self):
+        base = datetime.date(1995, 1, 31)
+        assert add_interval(base, Interval(1, "MONTH")) == \
+            datetime.date(1995, 2, 28)
+
+    def test_month_interval_leap_year(self):
+        base = datetime.date(1996, 1, 31)
+        assert add_interval(base, Interval(1, "MONTH")) == \
+            datetime.date(1996, 2, 29)
+
+    def test_year_interval(self):
+        base = datetime.date(1995, 3, 15)
+        assert add_interval(base, Interval(1, "YEAR")) == \
+            datetime.date(1996, 3, 15)
+
+    def test_negated(self):
+        base = datetime.date(1995, 3, 15)
+        assert add_interval(base, Interval(3, "MONTH").negated()) == \
+            datetime.date(1994, 12, 15)
+
+    def test_null_propagates(self):
+        assert add_interval(None, Interval(1, "DAY")) is None
+
+    def test_invalid_unit(self):
+        with pytest.raises(ExecutionError):
+            Interval(1, "FORTNIGHT")
+
+    def test_non_date_operand(self):
+        with pytest.raises(ExecutionError):
+            add_interval(42, Interval(1, "DAY"))

@@ -1,0 +1,158 @@
+"""Tests for classical row-level AFTER INSERT/UPDATE/DELETE triggers."""
+
+import pytest
+
+from repro.errors import TriggerError
+
+
+@pytest.fixture
+def history_db(db):
+    """A salary table with a history log — the paper's intro scenarios."""
+    db.execute(
+        "CREATE TABLE employees (empid INT PRIMARY KEY, name VARCHAR, "
+        "salary FLOAT)"
+    )
+    db.execute(
+        "CREATE TABLE salary_history (empid INT, old_salary FLOAT, "
+        "new_salary FLOAT)"
+    )
+    db.execute("INSERT INTO employees VALUES (1, 'Ann', 100000.0)")
+    db.execute("INSERT INTO employees VALUES (2, 'Ben', 80000.0)")
+    return db
+
+
+class TestInsertTriggers:
+    def test_after_insert_sees_new_row(self, db):
+        db.execute("CREATE TABLE t (a INT, b VARCHAR)")
+        db.execute("CREATE TABLE echo (a INT, b VARCHAR)")
+        db.execute(
+            "CREATE TRIGGER copy_in ON t AFTER INSERT AS "
+            "INSERT INTO echo VALUES (new.a, new.b)"
+        )
+        db.execute("INSERT INTO t VALUES (7, 'x')")
+        assert db.execute("SELECT * FROM echo").rows == [(7, "x")]
+
+    def test_fires_once_per_row(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("CREATE TABLE echo (a INT)")
+        db.execute(
+            "CREATE TRIGGER copy_in ON t AFTER INSERT AS "
+            "INSERT INTO echo VALUES (new.a)"
+        )
+        db.execute("INSERT INTO t VALUES (1), (2), (3)")
+        assert len(db.execute("SELECT * FROM echo")) == 3
+
+    def test_bulk_load_bypasses_triggers(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("CREATE TABLE echo (a INT)")
+        db.execute(
+            "CREATE TRIGGER copy_in ON t AFTER INSERT AS "
+            "INSERT INTO echo VALUES (new.a)"
+        )
+        db.catalog.table("t").bulk_load([(1,), (2,)])
+        assert len(db.execute("SELECT * FROM echo")) == 0
+
+
+class TestUpdateTriggers:
+    def test_history_tracking_old_and_new(self, history_db):
+        """Intro scenario 2: maintain a history of salary changes."""
+        history_db.execute(
+            "CREATE TRIGGER track ON employees AFTER UPDATE AS "
+            "INSERT INTO salary_history VALUES "
+            "(new.empid, old.salary, new.salary)"
+        )
+        history_db.execute(
+            "UPDATE employees SET salary = 120000.0 WHERE empid = 1"
+        )
+        assert history_db.execute(
+            "SELECT * FROM salary_history"
+        ).rows == [(1, 100000.0, 120000.0)]
+
+    def test_large_raise_detection(self, history_db):
+        """Intro scenario 1: flag raises above 50%."""
+        history_db.execute(
+            "CREATE TRIGGER raise_check ON employees AFTER UPDATE AS "
+            "IF (new.salary > old.salary * 1.5) SEND EMAIL 'big raise'"
+        )
+        history_db.execute(
+            "UPDATE employees SET salary = salary * 1.2 WHERE empid = 1"
+        )
+        assert history_db.notifications == []
+        history_db.execute(
+            "UPDATE employees SET salary = salary * 2 WHERE empid = 2"
+        )
+        assert history_db.notifications == ["big raise"]
+
+
+class TestDeleteTriggers:
+    def test_after_delete_sees_old_row(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("CREATE TABLE tomb (a INT)")
+        db.execute(
+            "CREATE TRIGGER necro ON t AFTER DELETE AS "
+            "INSERT INTO tomb VALUES (old.a)"
+        )
+        db.execute("INSERT INTO t VALUES (5), (6)")
+        db.execute("DELETE FROM t WHERE a = 5")
+        assert db.execute("SELECT * FROM tomb").rows == [(5,)]
+
+    def test_new_is_null_on_delete(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("CREATE TABLE echo (a INT)")
+        db.execute(
+            "CREATE TRIGGER check_null ON t AFTER DELETE AS "
+            "IF (new.a IS NULL) INSERT INTO echo VALUES (old.a)"
+        )
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("DELETE FROM t")
+        assert db.execute("SELECT * FROM echo").rows == [(1,)]
+
+
+class TestTriggerManagement:
+    def test_event_filtering(self, db):
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("CREATE TABLE echo (a INT)")
+        db.execute(
+            "CREATE TRIGGER only_delete ON t AFTER DELETE AS "
+            "INSERT INTO echo VALUES (old.a)"
+        )
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("UPDATE t SET a = 2")
+        assert len(db.execute("SELECT * FROM echo")) == 0
+
+    def test_duplicate_trigger_name_rejected(self, db):
+        from repro.errors import CatalogError
+
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute(
+            "CREATE TRIGGER t1 ON t AFTER INSERT AS NOTIFY 'a'"
+        )
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TRIGGER t1 ON t AFTER INSERT AS NOTIFY 'b'")
+
+    def test_drop_missing_trigger(self, db):
+        with pytest.raises(TriggerError):
+            db.execute("DROP TRIGGER ghost")
+
+    def test_trigger_on_missing_table(self, db):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TRIGGER t ON ghost AFTER INSERT AS NOTIFY")
+
+    def test_correlated_subquery_against_new(self, db):
+        """The paper's Notify trigger references NEW inside a subquery."""
+        db.execute("CREATE TABLE log (day VARCHAR, uid VARCHAR, pid INT)")
+        db.execute(
+            "CREATE TRIGGER notify_10 ON log AFTER INSERT AS "
+            "IF ((SELECT COUNT(DISTINCT pid) FROM log "
+            "WHERE day = new.day AND uid = new.uid) > 2) "
+            "SEND EMAIL 'too many accesses'"
+        )
+        for pid in (1, 2):
+            db.execute(
+                f"INSERT INTO log VALUES ('mon', 'eve', {pid})"
+            )
+        assert db.notifications == []
+        db.execute("INSERT INTO log VALUES ('mon', 'eve', 3)")
+        assert db.notifications == ["too many accesses"]

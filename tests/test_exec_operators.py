@@ -1,0 +1,316 @@
+"""Direct unit tests for physical operators (no SQL front end involved)."""
+
+import pytest
+
+from repro.catalog.schema import Column, TableSchema
+from repro.datatypes import INTEGER
+from repro.exec.context import ExecutionContext
+from repro.exec.operators import (
+    CacheOperator,
+    DistinctOperator,
+    FilterOperator,
+    HashAggregate,
+    HashJoin,
+    IndexNestedLoopJoin,
+    LimitOperator,
+    NestedLoopJoin,
+    OneRowSource,
+    ProjectOperator,
+    SortOperator,
+    TableScan,
+    TopKOperator,
+)
+from repro.exec.operators.base import PhysicalOperator, format_physical
+from repro.expr.nodes import Binary, ColumnRef, Literal
+from repro.plan.logical import (
+    AggregateSpec,
+    JOIN_ANTI,
+    JOIN_INNER,
+    JOIN_LEFT,
+    JOIN_SEMI,
+    SortKey,
+)
+from repro.storage.table import Table
+
+
+class Rows(PhysicalOperator):
+    """Test source: yields a fixed list of rows."""
+
+    def __init__(self, rows):
+        self._rows = rows
+
+    def rows(self, context):
+        return iter(self._rows)
+
+
+def run(operator, context=None):
+    return list(operator.rows(context or ExecutionContext()))
+
+
+def slot(index):
+    return ColumnRef(f"c{index}", index=index)
+
+
+def eq(left_slot, right_slot):
+    return Binary("=", slot(left_slot), slot(right_slot))
+
+
+class TestSourcesAndFilters:
+    def test_one_row_source(self):
+        assert run(OneRowSource()) == [()]
+
+    def test_filter_keeps_only_true(self):
+        source = Rows([(1,), (None,), (3,)])
+        predicate = Binary(">", slot(0), Literal(1))
+        # NULL > 1 is UNKNOWN: dropped
+        assert run(FilterOperator(source, predicate)) == [(3,)]
+
+    def test_project_simple_slots_fast_path(self):
+        source = Rows([(1, "a"), (2, "b")])
+        project = ProjectOperator(source, (slot(1), slot(0)))
+        assert run(project) == [("a", 1), ("b", 2)]
+
+    def test_project_computed(self):
+        source = Rows([(2,), (3,)])
+        project = ProjectOperator(
+            source, (Binary("*", slot(0), Literal(10)),)
+        )
+        assert run(project) == [(20,), (30,)]
+
+    def test_table_scan_respects_tombstones(self):
+        schema = TableSchema(
+            "t", (Column("id", INTEGER),), primary_key=("id",)
+        )
+        table = Table(schema)
+        table.bulk_load([(1,), (2,), (3,)])
+        context = ExecutionContext()
+        context.tombstones = {"t": {(2,)}}
+        assert sorted(run(TableScan(table), context)) == [(1,), (3,)]
+
+
+class TestJoins:
+    left_rows = [(1, "l1"), (2, "l2"), (3, "l3")]
+    right_rows = [(1, "r1"), (1, "r1b"), (3, "r3")]
+
+    def join_pairs(self, operator_class, kind, **kwargs):
+        if operator_class is HashJoin:
+            return HashJoin(
+                Rows(self.left_rows),
+                Rows(self.right_rows),
+                kind,
+                (0,),
+                (0,),
+                None,
+                right_arity=2,
+                **kwargs,
+            )
+        return NestedLoopJoin(
+            Rows(self.left_rows),
+            Rows(self.right_rows),
+            kind,
+            eq(0, 2),
+            right_arity=2,
+        )
+
+    @pytest.mark.parametrize("operator_class", [HashJoin, NestedLoopJoin])
+    def test_inner(self, operator_class):
+        rows = run(self.join_pairs(operator_class, JOIN_INNER))
+        assert sorted(rows) == [
+            (1, "l1", 1, "r1"),
+            (1, "l1", 1, "r1b"),
+            (3, "l3", 3, "r3"),
+        ]
+
+    @pytest.mark.parametrize("operator_class", [HashJoin, NestedLoopJoin])
+    def test_left_outer(self, operator_class):
+        rows = run(self.join_pairs(operator_class, JOIN_LEFT))
+        assert (2, "l2", None, None) in rows
+        assert len(rows) == 4
+
+    @pytest.mark.parametrize("operator_class", [HashJoin, NestedLoopJoin])
+    def test_semi(self, operator_class):
+        rows = run(self.join_pairs(operator_class, JOIN_SEMI))
+        assert sorted(rows) == [(1, "l1"), (3, "l3")]
+
+    @pytest.mark.parametrize("operator_class", [HashJoin, NestedLoopJoin])
+    def test_anti(self, operator_class):
+        rows = run(self.join_pairs(operator_class, JOIN_ANTI))
+        assert rows == [(2, "l2")]
+
+    def test_hash_join_null_keys_never_match(self):
+        join = HashJoin(
+            Rows([(None, "l")]),
+            Rows([(None, "r")]),
+            JOIN_INNER,
+            (0,),
+            (0,),
+            None,
+            right_arity=2,
+        )
+        assert run(join) == []
+
+    def test_hash_join_null_key_left_outer_extends(self):
+        join = HashJoin(
+            Rows([(None, "l")]),
+            Rows([(None, "r")]),
+            JOIN_LEFT,
+            (0,),
+            (0,),
+            None,
+            right_arity=2,
+        )
+        assert run(join) == [(None, "l", None, None)]
+
+    def test_hash_join_build_left_matches_build_right(self):
+        right_heavy = HashJoin(
+            Rows(self.left_rows), Rows(self.right_rows), JOIN_INNER,
+            (0,), (0,), None, 2, build_left=False,
+        )
+        left_heavy = HashJoin(
+            Rows(self.left_rows), Rows(self.right_rows), JOIN_INNER,
+            (0,), (0,), None, 2, build_left=True,
+        )
+        assert sorted(run(right_heavy)) == sorted(run(left_heavy))
+
+    def test_hash_join_residual(self):
+        join = HashJoin(
+            Rows(self.left_rows),
+            Rows(self.right_rows),
+            JOIN_INNER,
+            (0,),
+            (0,),
+            Binary("=", slot(3), Literal("r1")),
+            right_arity=2,
+        )
+        assert run(join) == [(1, "l1", 1, "r1")]
+
+    def test_nested_loop_cross_product(self):
+        join = NestedLoopJoin(
+            Rows([(1,), (2,)]), Rows([("a",), ("b",)]),
+            JOIN_INNER, None, right_arity=1,
+        )
+        assert len(run(join)) == 4
+
+
+class TestIndexNestedLoopJoin:
+    def test_reruns_inner_per_outer_row(self):
+        class CountingInner(PhysicalOperator):
+            def __init__(self):
+                self.executions = 0
+
+            def rows(self, context):
+                self.executions += 1
+                outer = context.outer_row(1)
+                yield (outer[0] * 10,)
+
+        inner = CountingInner()
+        join = IndexNestedLoopJoin(
+            Rows([(1,), (2,)]), inner, JOIN_INNER, None, inner_arity=1
+        )
+        assert run(join) == [(1, 10), (2, 20)]
+        assert inner.executions == 2
+
+    def test_left_outer_null_extension(self):
+        class EmptyInner(PhysicalOperator):
+            def rows(self, context):
+                return iter(())
+
+        join = IndexNestedLoopJoin(
+            Rows([(1,)]), EmptyInner(), JOIN_LEFT, None, inner_arity=2
+        )
+        assert run(join) == [(1, None, None)]
+
+
+class TestAggregation:
+    def test_grouped(self):
+        source = Rows([("a", 1), ("b", 2), ("a", 3)])
+        aggregate = HashAggregate(
+            source,
+            (slot(0),),
+            (
+                AggregateSpec("sum", slot(1)),
+                AggregateSpec("count", None),
+            ),
+        )
+        assert sorted(run(aggregate)) == [("a", 4, 2), ("b", 2, 1)]
+
+    def test_global_empty_input(self):
+        aggregate = HashAggregate(
+            Rows([]),
+            (),
+            (AggregateSpec("count", None), AggregateSpec("max", slot(0))),
+        )
+        assert run(aggregate) == [(0, None)]
+
+    def test_null_group_keys_group_together(self):
+        source = Rows([(None, 1), (None, 2)])
+        aggregate = HashAggregate(
+            source, (slot(0),), (AggregateSpec("count", None),)
+        )
+        assert run(aggregate) == [(None, 2)]
+
+
+class TestSortLimitDistinct:
+    def test_sort_multi_key_stable(self):
+        source = Rows([(2, "b"), (1, "z"), (2, "a"), (1, "a")])
+        ordered = SortOperator(
+            source,
+            (SortKey(slot(0), True), SortKey(slot(1), False)),
+        )
+        assert run(ordered) == [(1, "z"), (1, "a"), (2, "b"), (2, "a")]
+
+    def test_limit_stops_pulling(self):
+        pulled = []
+
+        class Tracking(PhysicalOperator):
+            def rows(self, context):
+                for value in range(100):
+                    pulled.append(value)
+                    yield (value,)
+
+        assert run(LimitOperator(Tracking(), 3)) == [(0,), (1,), (2,)]
+        assert len(pulled) == 3
+
+    def test_limit_zero(self):
+        assert run(LimitOperator(Rows([(1,)]), 0)) == []
+
+    def test_topk_ties_keep_first_seen(self):
+        source = Rows([(1, "first"), (1, "second"), (0, "zero")])
+        top = TopKOperator(source, (SortKey(slot(0), True),), 2)
+        assert run(top) == [(0, "zero"), (1, "first")]
+
+    def test_topk_descending_with_nulls(self):
+        source = Rows([(None,), (5,), (3,)])
+        top = TopKOperator(source, (SortKey(slot(0), False),), 2)
+        # descending: NULLs (smallest rank) come last; top-2 is 5, 3
+        assert run(top) == [(5,), (3,)]
+
+    def test_distinct(self):
+        source = Rows([(1,), (1,), (2,), (1,)])
+        assert run(DistinctOperator(source)) == [(1,), (2,)]
+
+
+class TestCacheOperator:
+    def test_child_runs_once(self):
+        executions = []
+
+        class Tracking(PhysicalOperator):
+            def rows(self, context):
+                executions.append(1)
+                yield (1,)
+
+        store = {}
+        cache = CacheOperator(Tracking(), store, key=42)
+        assert run(cache) == [(1,)]
+        assert run(cache) == [(1,)]
+        assert len(executions) == 1
+        assert 42 in store
+
+
+class TestPlanFormatting:
+    def test_format_physical_tree(self):
+        plan = LimitOperator(
+            FilterOperator(Rows([]), Binary("=", slot(0), Literal(1))), 5
+        )
+        text = format_physical(plan)
+        assert "Limit(5)" in text and "Filter" in text

@@ -1,0 +1,251 @@
+"""Unit tests for expression evaluation: NULL semantics, operators, functions."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.context import ExecutionContext, Session
+from repro.expr.evaluator import evaluate
+from repro.expr.nodes import (
+    Binary,
+    ColumnRef,
+    conjoin,
+    conjuncts,
+    Literal,
+    referenced_slots,
+    transform,
+)
+from repro.sql.parser import parse_expression
+
+
+def ev(text: str, row=(), context=None, bind_names=()):
+    """Parse, bind positionally by ``bind_names``, and evaluate."""
+    expression = parse_expression(text)
+
+    def visit(node):
+        if isinstance(node, ColumnRef) and node.name in bind_names:
+            return ColumnRef(node.name, index=bind_names.index(node.name))
+        return node
+
+    expression = transform(expression, visit)
+    return evaluate(expression, row, context or ExecutionContext())
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert ev("1 + 2 * 3") == 7
+        assert ev("10 - 4") == 6
+        assert ev("2.5 * 4") == 10.0
+        assert ev("7 % 3") == 1
+
+    def test_division_is_exact(self):
+        assert ev("7 / 2") == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            ev("1 / 0")
+        with pytest.raises(ExecutionError):
+            ev("1 % 0")
+
+    def test_unary_minus(self):
+        assert ev("-(3 + 4)") == -7
+
+    def test_null_propagates(self):
+        assert ev("1 + NULL") is None
+        assert ev("NULL * 3") is None
+        assert ev("-x", (None,), bind_names=("x",)) is None
+
+    def test_string_concat(self):
+        assert ev("'a' || 'b'") == "ab"
+        assert ev("'a' || NULL") is None
+
+
+class TestDateArithmetic:
+    def test_date_plus_interval(self):
+        assert ev("DATE '1995-01-01' + INTERVAL '3' MONTH") == \
+            datetime.date(1995, 4, 1)
+
+    def test_date_minus_interval(self):
+        assert ev("DATE '1995-01-01' - INTERVAL '1' YEAR") == \
+            datetime.date(1994, 1, 1)
+
+    def test_interval_plus_date_commutes(self):
+        assert ev("INTERVAL '7' DAY + DATE '1995-01-01'") == \
+            datetime.date(1995, 1, 8)
+
+    def test_date_difference_in_days(self):
+        assert ev("DATE '1995-01-08' - DATE '1995-01-01'") == 7
+
+    def test_date_comparison(self):
+        assert ev("DATE '1995-01-01' < DATE '1996-01-01'") is True
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        assert ev("1 < 2") is True
+        assert ev("2 <= 2") is True
+        assert ev("3 > 2") is True
+        assert ev("3 >= 4") is False
+        assert ev("1 = 1") is True
+        assert ev("1 <> 1") is False
+
+    def test_null_comparison_unknown(self):
+        assert ev("NULL = NULL") is None
+        assert ev("1 < NULL") is None
+
+    def test_string_comparison(self):
+        assert ev("'apple' < 'banana'") is True
+
+
+class TestLogic:
+    def test_short_circuit_and_false(self):
+        # right side would divide by zero; AND must not evaluate it
+        assert ev("1 = 2 AND 1 / 0 = 1") is False
+
+    def test_short_circuit_or_true(self):
+        assert ev("1 = 1 OR 1 / 0 = 1") is True
+
+    def test_kleene_tables(self):
+        assert ev("NULL AND TRUE") is None
+        assert ev("NULL AND FALSE") is False
+        assert ev("NULL OR TRUE") is True
+        assert ev("NULL OR FALSE") is None
+        assert ev("NOT NULL") is None
+
+
+class TestPredicates:
+    def test_between(self):
+        assert ev("5 BETWEEN 1 AND 10") is True
+        assert ev("0 BETWEEN 1 AND 10") is False
+        assert ev("5 NOT BETWEEN 1 AND 10") is False
+        assert ev("NULL BETWEEN 1 AND 10") is None
+
+    def test_between_partial_null_bounds(self):
+        assert ev("5 BETWEEN NULL AND 10") is None
+        assert ev("11 BETWEEN NULL AND 10") is False  # upper bound decides
+
+    def test_in_list(self):
+        assert ev("2 IN (1, 2, 3)") is True
+        assert ev("5 IN (1, 2, 3)") is False
+        assert ev("5 NOT IN (1, 2, 3)") is True
+
+    def test_in_list_null_semantics(self):
+        assert ev("NULL IN (1, 2)") is None
+        assert ev("5 IN (1, NULL)") is None  # no match but NULL present
+        assert ev("1 IN (1, NULL)") is True  # match wins
+        assert ev("5 NOT IN (1, NULL)") is None
+
+    def test_is_null(self):
+        assert ev("NULL IS NULL") is True
+        assert ev("1 IS NULL") is False
+        assert ev("1 IS NOT NULL") is True
+
+    def test_like(self):
+        assert ev("'hello' LIKE 'h%'") is True
+        assert ev("'hello' NOT LIKE 'h%'") is False
+
+
+class TestCase:
+    def test_searched_case(self):
+        assert ev("CASE WHEN 1 = 2 THEN 'a' WHEN 1 = 1 THEN 'b' END") == "b"
+
+    def test_searched_case_default(self):
+        assert ev("CASE WHEN 1 = 2 THEN 'a' ELSE 'z' END") == "z"
+
+    def test_searched_case_no_match_no_default(self):
+        assert ev("CASE WHEN 1 = 2 THEN 'a' END") is None
+
+    def test_simple_case(self):
+        assert ev("CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END") == "two"
+
+    def test_unknown_condition_skipped(self):
+        assert ev("CASE WHEN NULL THEN 'a' ELSE 'b' END") == "b"
+
+
+class TestFunctions:
+    def test_substring(self):
+        assert ev("substring('13-555', 1, 2)") == "13"
+        assert ev("SUBSTRING('13-555' FROM 4)") == "555"
+        assert ev("substring(NULL, 1, 2)") is None
+
+    def test_upper_lower_length(self):
+        assert ev("upper('ab')") == "AB"
+        assert ev("lower('AB')") == "ab"
+        assert ev("length('abc')") == 3
+
+    def test_abs(self):
+        assert ev("abs(-4)") == 4
+
+    def test_coalesce(self):
+        assert ev("coalesce(NULL, NULL, 3, 4)") == 3
+        assert ev("coalesce(NULL, NULL)") is None
+
+    def test_extract(self):
+        assert ev("EXTRACT(YEAR FROM DATE '1995-06-17')") == 1995
+        assert ev("EXTRACT(MONTH FROM DATE '1995-06-17')") == 6
+        assert ev("EXTRACT(DAY FROM DATE '1995-06-17')") == 17
+
+    def test_casts(self):
+        assert ev("CAST('12' AS INT)") == 12
+        assert ev("CAST(3 AS FLOAT)") == 3.0
+        assert ev("CAST(DATE '1995-01-01' AS VARCHAR)") == "1995-01-01"
+        assert ev("CAST('1995-01-01' AS DATE)") == datetime.date(1995, 1, 1)
+
+    def test_bad_cast(self):
+        with pytest.raises(ExecutionError):
+            ev("CAST('abc' AS INT)")
+
+    def test_session_functions(self):
+        clock = lambda: datetime.datetime(2013, 4, 8, 12, 0, 0)
+        session = Session(user_id="dr_house", clock=clock)
+        session.sql_text = "SELECT 1"
+        context = ExecutionContext(session=session)
+        assert ev("user_id()", context=context) == "dr_house"
+        assert ev("sql_text()", context=context) == "SELECT 1"
+        assert ev("now()", context=context) == datetime.datetime(
+            2013, 4, 8, 12, 0, 0
+        )
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError):
+            ev("frobnicate(1)")
+
+
+class TestColumnsAndParameters:
+    def test_bound_column(self):
+        assert ev("x + 1", row=(41,), bind_names=("x",)) == 42
+
+    def test_unbound_column_raises(self):
+        with pytest.raises(ExecutionError):
+            ev("mystery")
+
+    def test_parameter(self):
+        context = ExecutionContext(parameters={"p": 7})
+        assert ev(":p * 2", context=context) == 14
+
+    def test_missing_parameter(self):
+        with pytest.raises(ExecutionError):
+            ev(":missing")
+
+
+class TestConjunctHelpers:
+    def test_conjuncts_flattens_nested_ands(self):
+        e = parse_expression("a = 1 AND b = 2 AND c = 3")
+        parts = conjuncts(e)
+        assert len(parts) == 3
+
+    def test_conjoin_roundtrip(self):
+        e = parse_expression("a = 1 AND b = 2")
+        assert conjuncts(conjoin(conjuncts(e))) == conjuncts(e)
+
+    def test_conjoin_empty_is_none(self):
+        assert conjoin([]) is None
+
+    def test_or_is_single_conjunct(self):
+        e = parse_expression("a = 1 OR b = 2")
+        assert conjuncts(e) == [e]
+
+    def test_referenced_slots(self):
+        e = Binary("=", ColumnRef("a", index=3), Literal(1))
+        assert referenced_slots(e) == {3}

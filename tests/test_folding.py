@@ -1,0 +1,86 @@
+"""Unit tests for constant folding."""
+
+import datetime
+
+from repro.expr.nodes import Binary, ColumnRef, Literal
+from repro.optimizer.folding import fold_constants
+from repro.sql.parser import parse_expression
+
+
+def fold(text):
+    return fold_constants(parse_expression(text))
+
+
+class TestArithmeticFolding:
+    def test_numbers(self):
+        assert fold("1 + 2 * 3") == Literal(7)
+
+    def test_dates(self):
+        assert fold("DATE '1995-01-01' + INTERVAL '3' MONTH") == \
+            Literal(datetime.date(1995, 4, 1))
+
+    def test_comparisons(self):
+        assert fold("2 > 1") == Literal(True)
+        assert fold("'a' = 'b'") == Literal(False)
+
+    def test_between_and_in(self):
+        assert fold("5 BETWEEN 1 AND 10") == Literal(True)
+        assert fold("5 IN (1, 2, 3)") == Literal(False)
+
+    def test_like_and_is_null(self):
+        assert fold("'abc' LIKE 'a%'") == Literal(True)
+        assert fold("NULL IS NULL") == Literal(True)
+
+    def test_division_by_zero_left_in_place(self):
+        folded = fold("1 / 0")
+        assert isinstance(folded, Binary)  # must fail at runtime instead
+
+    def test_null_propagation(self):
+        assert fold("1 + NULL") == Literal(None)
+
+
+class TestBooleanShortcuts:
+    def test_false_and_anything(self):
+        folded = fold("FALSE AND x = 1")
+        assert folded == Literal(False)
+
+    def test_true_or_anything(self):
+        assert fold("TRUE OR x = 1") == Literal(True)
+
+    def test_true_and_reduces_to_operand(self):
+        folded = fold("TRUE AND x = 1")
+        assert isinstance(folded, Binary) and folded.op == "="
+
+    def test_false_or_reduces_to_operand(self):
+        folded = fold("FALSE OR x = 1")
+        assert isinstance(folded, Binary) and folded.op == "="
+
+    def test_one_equals_one_conjunct(self):
+        # the "1 = 1 AND ..." pattern from generated SQL folds away
+        folded = fold("1 = 1 AND x > 2")
+        assert isinstance(folded, Binary) and folded.op == ">"
+
+
+class TestNonConstantsUntouched:
+    def test_column_reference_kept(self):
+        folded = fold("x + 1")
+        assert isinstance(folded, Binary)
+        assert folded.left == ColumnRef("x")
+
+    def test_partial_folding(self):
+        folded = fold("x + (2 * 3)")
+        assert folded == Binary("+", ColumnRef("x"), Literal(6))
+
+
+class TestEndToEnd:
+    def test_constant_false_filter_yields_empty(self, patients_db):
+        result = patients_db.execute(
+            "SELECT name FROM patients WHERE 1 = 2"
+        )
+        assert result.rows == []
+
+    def test_constant_true_filter_is_noop(self, patients_db):
+        result = patients_db.execute(
+            "SELECT COUNT(*) FROM patients WHERE 1 = 1 AND age IS NOT NULL"
+        )
+        assert result.scalar() == 5

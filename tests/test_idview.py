@@ -1,0 +1,179 @@
+"""Tests for audit expressions and materialized sensitive-ID views."""
+
+import pytest
+
+from repro.errors import AuditError
+
+
+@pytest.fixture
+def audited_db(patients_db):
+    patients_db.execute(
+        "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients "
+        "WHERE name = 'Alice' FOR SENSITIVE TABLE patients, "
+        "PARTITION BY patientid"
+    )
+    return patients_db
+
+
+class TestExpressionValidation:
+    def test_partition_column_must_exist(self, patients_db):
+        with pytest.raises(AuditError):
+            patients_db.execute(
+                "CREATE AUDIT EXPRESSION bad AS SELECT * FROM patients "
+                "FOR SENSITIVE TABLE patients, PARTITION BY ssn"
+            )
+
+    def test_sensitive_table_must_be_in_from(self, patients_db):
+        with pytest.raises(AuditError):
+            patients_db.execute(
+                "CREATE AUDIT EXPRESSION bad AS SELECT * FROM disease "
+                "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+            )
+
+    def test_subqueries_rejected(self, patients_db):
+        with pytest.raises(AuditError):
+            patients_db.execute(
+                "CREATE AUDIT EXPRESSION bad AS SELECT * FROM patients "
+                "WHERE patientid IN (SELECT patientid FROM disease) "
+                "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+            )
+
+    def test_aggregation_rejected(self, patients_db):
+        with pytest.raises(AuditError):
+            patients_db.execute(
+                "CREATE AUDIT EXPRESSION bad AS SELECT zip FROM patients "
+                "GROUP BY zip "
+                "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+            )
+
+    def test_duplicate_name_rejected(self, audited_db):
+        with pytest.raises(AuditError):
+            audited_db.execute(
+                "CREATE AUDIT EXPRESSION audit_alice AS "
+                "SELECT * FROM patients FOR SENSITIVE TABLE patients, "
+                "PARTITION BY patientid"
+            )
+
+    def test_drop_expression(self, audited_db):
+        audited_db.execute("DROP AUDIT EXPRESSION audit_alice")
+        with pytest.raises(AuditError):
+            audited_db.audit_manager.view("audit_alice")
+
+    def test_drop_missing_expression(self, patients_db):
+        with pytest.raises(AuditError):
+            patients_db.execute("DROP AUDIT EXPRESSION ghost")
+
+
+class TestMaterialization:
+    def test_initial_ids(self, audited_db):
+        view = audited_db.audit_manager.view("audit_alice")
+        assert view.ids() == frozenset({1})
+        assert 1 in view and 2 not in view
+        assert len(view) == 1
+
+    def test_empty_predicate_covers_all(self, patients_db):
+        patients_db.execute(
+            "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        view = patients_db.audit_manager.view("audit_all")
+        assert view.ids() == frozenset({1, 2, 3, 4, 5})
+
+    def test_join_expression_materializes(self, patients_db):
+        """The paper's Audit_Cancer expression (Example 2.2)."""
+        patients_db.execute(
+            "CREATE AUDIT EXPRESSION audit_cancer AS "
+            "SELECT p.* FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND disease = 'cancer' "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        view = patients_db.audit_manager.view("audit_cancer")
+        assert view.ids() == frozenset({1, 5})
+
+
+class TestIncrementalMaintenance:
+    def test_insert_matching_row(self, audited_db):
+        audited_db.execute(
+            "INSERT INTO patients VALUES (6, 'Alice', 50, '98105')"
+        )
+        view = audited_db.audit_manager.view("audit_alice")
+        assert view.ids() == frozenset({1, 6})
+
+    def test_insert_non_matching_row(self, audited_db):
+        audited_db.execute(
+            "INSERT INTO patients VALUES (6, 'Mallory', 50, '98105')"
+        )
+        assert audited_db.audit_manager.view("audit_alice").ids() == \
+            frozenset({1})
+
+    def test_delete_matching_row(self, audited_db):
+        audited_db.execute("DELETE FROM patients WHERE patientid = 1")
+        assert audited_db.audit_manager.view("audit_alice").ids() == \
+            frozenset()
+
+    def test_update_into_predicate(self, audited_db):
+        audited_db.execute(
+            "UPDATE patients SET name = 'Alice' WHERE patientid = 2"
+        )
+        assert audited_db.audit_manager.view("audit_alice").ids() == \
+            frozenset({1, 2})
+
+    def test_update_out_of_predicate(self, audited_db):
+        audited_db.execute(
+            "UPDATE patients SET name = 'Alicia' WHERE patientid = 1"
+        )
+        assert audited_db.audit_manager.view("audit_alice").ids() == \
+            frozenset()
+
+    def test_duplicate_id_not_dropped_while_backed(self, patients_db):
+        """Two qualifying rows share an ID (non-PK partition key)."""
+        patients_db.execute(
+            "CREATE TABLE visits (visitid INT PRIMARY KEY, "
+            "patientid INT, site VARCHAR)"
+        )
+        patients_db.execute(
+            "INSERT INTO visits VALUES (1, 7, 'north'), (2, 7, 'north')"
+        )
+        patients_db.execute(
+            "CREATE AUDIT EXPRESSION audit_north AS SELECT * FROM visits "
+            "WHERE site = 'north' FOR SENSITIVE TABLE visits, "
+            "PARTITION BY patientid"
+        )
+        patients_db.execute("DELETE FROM visits WHERE visitid = 1")
+        view = patients_db.audit_manager.view("audit_north")
+        assert view.ids() == frozenset({7})  # still backed by visit 2
+        patients_db.execute("DELETE FROM visits WHERE visitid = 2")
+        assert view.ids() == frozenset()
+
+    def test_multi_table_expression_refreshes_on_other_table(
+        self, patients_db
+    ):
+        patients_db.execute(
+            "CREATE AUDIT EXPRESSION audit_cancer AS "
+            "SELECT p.* FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND disease = 'cancer' "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        patients_db.execute("INSERT INTO disease VALUES (2, 'cancer')")
+        view = patients_db.audit_manager.view("audit_cancer")
+        assert view.ids() == frozenset({1, 2, 5})
+        patients_db.execute("DELETE FROM disease WHERE patientid = 1")
+        assert view.ids() == frozenset({2, 5})
+
+    def test_refresh_matches_incremental_state(self, audited_db):
+        audited_db.execute(
+            "INSERT INTO patients VALUES (7, 'Alice', 61, '98106')"
+        )
+        audited_db.execute("DELETE FROM patients WHERE patientid = 1")
+        view = audited_db.audit_manager.view("audit_alice")
+        incremental = view.ids()
+        view.refresh()
+        assert view.ids() == incremental == frozenset({7})
+
+    def test_dropped_expression_stops_maintaining(self, audited_db):
+        view = audited_db.audit_manager.view("audit_alice")
+        audited_db.execute("DROP AUDIT EXPRESSION audit_alice")
+        audited_db.execute(
+            "INSERT INTO patients VALUES (8, 'Alice', 20, '98107')"
+        )
+        assert view.ids() == frozenset({1})  # frozen after drop

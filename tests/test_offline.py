@@ -1,0 +1,163 @@
+"""Tests for the deletion-based offline auditor (Definitions 2.3/2.5)."""
+
+import pytest
+
+from repro import OfflineAuditor
+from repro.errors import AuditError
+
+
+@pytest.fixture
+def audited_db(patients_db):
+    patients_db.execute(
+        "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+        "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+    )
+    return patients_db
+
+
+class TestDeletionSemantics:
+    def test_simple_selection(self, audited_db):
+        auditor = OfflineAuditor(audited_db)
+        accessed = auditor.audit(
+            "SELECT name FROM patients WHERE age > 40", "audit_all"
+        )
+        assert accessed == {4, 5}
+
+    def test_join_access(self, audited_db):
+        auditor = OfflineAuditor(audited_db)
+        accessed = auditor.audit(
+            "SELECT p.name FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND d.disease = 'flu'",
+            "audit_all",
+        )
+        assert accessed == {2, 3, 5}
+
+    def test_example_2_4_exists_probe(self, audited_db):
+        """Example 2.4: Alice influences the EXISTS probe query."""
+        accessed = OfflineAuditor(audited_db).audit(
+            "SELECT 1 FROM disease WHERE EXISTS "
+            "(SELECT * FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND name = 'Alice' "
+            "AND disease = 'cancer')",
+            "audit_all",
+        )
+        assert 1 in accessed
+
+    def test_aggregate_count_counts_all_contributors(self, audited_db):
+        accessed = OfflineAuditor(audited_db).audit(
+            "SELECT COUNT(*) FROM patients WHERE zip = '98101'",
+            "audit_all",
+        )
+        assert accessed == {1, 3}
+
+    def test_distinct_masks_duplicate_access(self, audited_db):
+        """§II-B: duplicate elimination can hide accesses — inherent to SQL."""
+        audited_db.execute(
+            "INSERT INTO patients VALUES (6, 'Alice', 22, '98101')"
+        )
+        accessed = OfflineAuditor(audited_db).audit(
+            "SELECT DISTINCT name FROM patients WHERE name = 'Alice'",
+            "audit_all",
+        )
+        # removing either Alice alone leaves the DISTINCT result unchanged
+        assert accessed == set()
+
+    def test_topk_boundary_tuple_is_accessed(self, audited_db):
+        accessed = OfflineAuditor(audited_db).audit(
+            "SELECT name FROM patients ORDER BY age LIMIT 2",
+            "audit_all",
+        )
+        # Bob (25) and Carol (33) are the top 2; Alice (40) is the runner-up
+        # whose deletion does not change the result
+        assert {2, 3} <= accessed
+        assert 4 not in accessed  # Dave (58) cannot influence the top-2
+
+    def test_scope_restricted_to_expression(self, audited_db):
+        audited_db.execute(
+            "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients "
+            "WHERE name = 'Alice' FOR SENSITIVE TABLE patients, "
+            "PARTITION BY patientid"
+        )
+        accessed = OfflineAuditor(audited_db).audit(
+            "SELECT name FROM patients", "audit_alice"
+        )
+        assert accessed == {1}
+
+    def test_query_not_touching_table(self, audited_db):
+        accessed = OfflineAuditor(audited_db).audit(
+            "SELECT disease FROM disease", "audit_all"
+        )
+        assert accessed == set()
+
+    def test_requires_primary_key(self, db):
+        db.execute("CREATE TABLE nopk (a INT)")
+        db.execute(
+            "CREATE AUDIT EXPRESSION a AS SELECT * FROM nopk "
+            "FOR SENSITIVE TABLE nopk, PARTITION BY a"
+        )
+        with pytest.raises(AuditError):
+            OfflineAuditor(db).audit("SELECT a FROM nopk", "a")
+
+    def test_non_pk_partition_key_tests_each_tuple(self, db):
+        db.execute(
+            "CREATE TABLE visits (visitid INT PRIMARY KEY, patientid INT)"
+        )
+        db.execute(
+            "INSERT INTO visits VALUES (1, 7), (2, 7), (3, 8)"
+        )
+        db.execute(
+            "CREATE AUDIT EXPRESSION av AS SELECT * FROM visits "
+            "FOR SENSITIVE TABLE visits, PARTITION BY patientid"
+        )
+        accessed = OfflineAuditor(db).audit(
+            "SELECT COUNT(*) FROM visits", "av"
+        )
+        assert accessed == {7, 8}
+
+
+class TestCandidateRestriction:
+    def test_leaf_predicate_prunes_candidates(self, audited_db):
+        auditor = OfflineAuditor(audited_db)
+        auditor.audit(
+            "SELECT name FROM patients WHERE age > 40", "audit_all"
+        )
+        assert auditor.last_candidate_count == 2  # Dave and Erin only
+
+    def test_no_candidates_short_circuits(self, audited_db):
+        auditor = OfflineAuditor(audited_db)
+        accessed = auditor.audit(
+            "SELECT name FROM patients WHERE age > 200", "audit_all"
+        )
+        assert accessed == set()
+        assert auditor.last_deletion_runs == 0
+
+
+class TestCaching:
+    def test_cache_and_no_cache_agree(self, audited_db):
+        query = (
+            "SELECT p.name, COUNT(*) FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid GROUP BY p.name"
+        )
+        cached = OfflineAuditor(audited_db, use_cache=True).audit(
+            query, "audit_all"
+        )
+        uncached = OfflineAuditor(audited_db, use_cache=False).audit(
+            query, "audit_all"
+        )
+        assert cached == uncached
+
+    def test_matches_hcn_and_never_misses(self, audited_db):
+        queries = [
+            "SELECT p.patientid FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND d.disease = 'cancer'",
+            "SELECT zip, COUNT(*) FROM patients GROUP BY zip",
+            "SELECT name FROM patients WHERE patientid IN "
+            "(SELECT patientid FROM disease WHERE disease = 'flu')",
+        ]
+        auditor = OfflineAuditor(audited_db)
+        for query in queries:
+            truth = auditor.audit(query, "audit_all")
+            online = audited_db.execute(query).accessed.get(
+                "audit_all", frozenset()
+            )
+            assert truth <= online, query

@@ -1,0 +1,244 @@
+"""Tests for logical rewrites (pushdown, decorrelation) and physical planning."""
+
+import pytest
+
+from repro import Database
+from repro.exec.operators import (
+    HashJoin,
+    IndexRange,
+    IndexSeek,
+    NestedLoopJoin,
+    TableScan,
+    TopKOperator,
+)
+from repro.plan import logical as L
+
+
+def logical_plan(db: Database, sql: str):
+    return db.plan_query(sql)
+
+
+def physical_plan(db: Database, sql: str):
+    return db._optimizer.compile(db.plan_query(sql))
+
+
+def find_nodes(plan, node_type):
+    return [node for node in plan.walk() if isinstance(node, node_type)]
+
+
+@pytest.fixture
+def joined_db(db):
+    db.execute("CREATE TABLE a (id INT PRIMARY KEY, x INT, tag VARCHAR)")
+    db.execute("CREATE TABLE b (id INT PRIMARY KEY, aid INT, y INT)")
+    db.execute("CREATE INDEX b_aid ON b (aid)")
+    for index in range(20):
+        db.execute(
+            f"INSERT INTO a VALUES ({index}, {index * 2}, "
+            f"'{'even' if index % 2 == 0 else 'odd'}')"
+        )
+        db.execute(f"INSERT INTO b VALUES ({100 + index}, {index}, {index})")
+    db.execute("ANALYZE")
+    return db
+
+
+class TestPredicatePushdown:
+    def test_single_table_predicate_reaches_scan(self, joined_db):
+        plan = logical_plan(
+            joined_db,
+            "SELECT a.x FROM a, b WHERE a.id = b.aid AND a.tag = 'even'",
+        )
+        scans = find_nodes(plan, L.Scan)
+        a_scan = next(s for s in scans if s.table_name == "a")
+        assert a_scan.predicate is not None
+
+    def test_cross_conjunct_becomes_join_condition(self, joined_db):
+        plan = logical_plan(
+            joined_db, "SELECT a.x FROM a, b WHERE a.id = b.aid"
+        )
+        joins = find_nodes(plan, L.Join)
+        assert len(joins) == 1
+        assert joins[0].condition is not None
+        # no residual filter should remain above the join
+        assert not find_nodes(plan, L.Filter)
+
+    def test_both_side_predicates_split(self, joined_db):
+        plan = logical_plan(
+            joined_db,
+            "SELECT a.x FROM a, b WHERE a.id = b.aid AND a.x > 1 AND b.y < 5",
+        )
+        scans = {s.table_name: s for s in find_nodes(plan, L.Scan)}
+        assert scans["a"].predicate is not None
+        assert scans["b"].predicate is not None
+
+    def test_filter_pushed_through_left_join_preserved_side_only(
+        self, joined_db
+    ):
+        plan = logical_plan(
+            joined_db,
+            "SELECT a.x, b.y FROM a LEFT JOIN b ON a.id = b.aid "
+            "WHERE a.x > 1 AND b.y > 2",
+        )
+        scans = {s.table_name: s for s in find_nodes(plan, L.Scan)}
+        assert scans["a"].predicate is not None  # preserved side: pushed
+        assert scans["b"].predicate is None  # nullable side: stays above
+        assert find_nodes(plan, L.Filter)  # residual b.y filter above join
+
+    def test_left_join_on_right_conjunct_pushes_into_right(self, joined_db):
+        plan = logical_plan(
+            joined_db,
+            "SELECT a.x FROM a LEFT JOIN b ON a.id = b.aid AND b.y > 3",
+        )
+        scans = {s.table_name: s for s in find_nodes(plan, L.Scan)}
+        assert scans["b"].predicate is not None
+
+    def test_pushdown_into_subquery_plans(self, joined_db):
+        plan = logical_plan(
+            joined_db,
+            "SELECT x FROM a WHERE EXISTS "
+            "(SELECT 1 FROM b WHERE b.aid = a.id AND b.y > 3)",
+        )
+        # the EXISTS conjunct sinks into the scan's predicate
+        a_scan = next(
+            s for s in find_nodes(plan, L.Scan) if s.table_name == "a"
+        )
+        assert a_scan.predicate is not None
+        subplan = None
+        for node in a_scan.predicate.walk():
+            if getattr(node, "plan", None) is not None:
+                subplan = node.plan
+        assert subplan is not None
+        b_scan = find_nodes(subplan, L.Scan)[0]
+        assert b_scan.predicate is not None  # correlated conjunct pushed
+
+    def test_group_key_predicate_pushed_below_aggregate(self, joined_db):
+        plan = logical_plan(
+            joined_db,
+            "SELECT t.tag, t.c FROM (SELECT tag, COUNT(*) AS c FROM a "
+            "GROUP BY tag) t WHERE t.tag = 'even'",
+        )
+        scans = find_nodes(plan, L.Scan)
+        assert scans[0].predicate is not None
+
+    def test_filter_not_pushed_below_limit(self, joined_db):
+        plan = logical_plan(
+            joined_db,
+            "SELECT t.x FROM (SELECT x FROM a ORDER BY x LIMIT 3) t "
+            "WHERE t.x > 0",
+        )
+        limits = find_nodes(plan, L.Limit)
+        assert limits
+        # the filter must sit above the limit, not below it
+        scan = find_nodes(plan, L.Scan)[0]
+        assert scan.predicate is None
+
+
+class TestDecorrelation:
+    def test_uncorrelated_in_becomes_semi_join(self, joined_db):
+        plan = logical_plan(
+            joined_db,
+            "SELECT x FROM a WHERE id IN (SELECT aid FROM b WHERE y > 5)",
+        )
+        semis = [
+            j for j in find_nodes(plan, L.Join) if j.kind == L.JOIN_SEMI
+        ]
+        assert len(semis) == 1
+
+    def test_uncorrelated_not_exists_becomes_anti_join(self, joined_db):
+        plan = logical_plan(
+            joined_db,
+            "SELECT x FROM a WHERE NOT EXISTS (SELECT 1 FROM b WHERE y > 99)",
+        )
+        antis = [
+            j for j in find_nodes(plan, L.Join) if j.kind == L.JOIN_ANTI
+        ]
+        assert len(antis) == 1
+
+    def test_correlated_in_stays_expression(self, joined_db):
+        plan = logical_plan(
+            joined_db,
+            "SELECT x FROM a WHERE id IN "
+            "(SELECT aid FROM b WHERE b.y = a.x)",
+        )
+        assert not [
+            j for j in find_nodes(plan, L.Join) if j.kind == L.JOIN_SEMI
+        ]
+
+    def test_semi_join_results_match_subquery_evaluation(self, joined_db):
+        decorrelated = joined_db.execute(
+            "SELECT x FROM a WHERE id IN (SELECT aid FROM b WHERE y > 5) "
+            "ORDER BY x"
+        )
+        # correlated variant cannot decorrelate; must agree
+        correlated = joined_db.execute(
+            "SELECT x FROM a WHERE id IN "
+            "(SELECT aid FROM b WHERE y > 5 AND b.aid = a.id) ORDER BY x"
+        )
+        assert decorrelated.rows == correlated.rows
+
+
+class TestAccessPaths:
+    def test_equality_predicate_uses_index_seek(self, joined_db):
+        physical = physical_plan(
+            joined_db, "SELECT y FROM b WHERE aid = 7"
+        )
+        assert find_nodes(physical, IndexSeek)
+
+    def test_selective_range_uses_index_range(self, joined_db):
+        physical = physical_plan(
+            joined_db, "SELECT y FROM b WHERE aid > 18"
+        )
+        assert find_nodes(physical, IndexRange)
+
+    def test_wide_range_prefers_table_scan(self, joined_db):
+        physical = physical_plan(
+            joined_db, "SELECT y FROM b WHERE aid > 0"
+        )
+        assert not find_nodes(physical, IndexRange)
+        assert find_nodes(physical, TableScan)
+
+    def test_no_index_means_table_scan(self, joined_db):
+        physical = physical_plan(
+            joined_db, "SELECT x FROM a WHERE x = 4"
+        )
+        assert find_nodes(physical, TableScan)
+
+
+class TestJoinSelection:
+    def test_equi_join_uses_hash_join(self, joined_db):
+        physical = physical_plan(
+            joined_db, "SELECT a.x FROM a, b WHERE a.id = b.aid"
+        )
+        assert find_nodes(physical, HashJoin)
+
+    def test_inequality_join_uses_nested_loop(self, joined_db):
+        physical = physical_plan(
+            joined_db, "SELECT a.x FROM a, b WHERE a.id < b.aid"
+        )
+        assert find_nodes(physical, NestedLoopJoin)
+
+    def test_cross_join_uses_nested_loop(self, joined_db):
+        physical = physical_plan(joined_db, "SELECT a.x FROM a, b")
+        assert find_nodes(physical, NestedLoopJoin)
+
+    def test_equi_join_with_residual(self, joined_db):
+        physical = physical_plan(
+            joined_db,
+            "SELECT a.x FROM a, b WHERE a.id = b.aid AND a.x < b.y + 10",
+        )
+        joins = find_nodes(physical, HashJoin)
+        assert joins and joins[0]._residual is not None
+
+
+class TestTopKFusion:
+    def test_order_by_limit_becomes_topk(self, joined_db):
+        physical = physical_plan(
+            joined_db, "SELECT x FROM a ORDER BY x DESC LIMIT 3"
+        )
+        assert find_nodes(physical, TopKOperator)
+
+    def test_topk_matches_full_sort(self, joined_db):
+        top = joined_db.execute(
+            "SELECT x FROM a ORDER BY x DESC LIMIT 3"
+        ).rows
+        full = joined_db.execute("SELECT x FROM a ORDER BY x DESC").rows[:3]
+        assert top == full

@@ -1,0 +1,386 @@
+"""Unit tests for the SQL parser: statements, expressions, error cases."""
+
+import datetime
+
+import pytest
+
+from repro.datatypes import Interval
+from repro.errors import SqlSyntaxError, UnsupportedSqlError
+from repro.expr.nodes import (
+    Between,
+    Binary,
+    Case,
+    ColumnRef,
+    Exists,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IntervalLiteral,
+    IsNull,
+    Like,
+    Literal,
+    Parameter,
+    ScalarSubquery,
+    Star,
+    Unary,
+)
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_statement, parse_statements
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        e = parse_expression("a OR b AND c")
+        assert isinstance(e, Binary) and e.op == "OR"
+        assert isinstance(e.right, Binary) and e.right.op == "AND"
+
+    def test_precedence_arithmetic(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, Binary) and e.op == "+"
+        assert isinstance(e.right, Binary) and e.right.op == "*"
+
+    def test_parenthesized(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*"
+        assert isinstance(e.left, Binary) and e.left.op == "+"
+
+    def test_not_precedence(self):
+        e = parse_expression("NOT a = 1 AND b = 2")
+        assert isinstance(e, Binary) and e.op == "AND"
+        assert isinstance(e.left, Unary) and e.left.op == "NOT"
+
+    def test_comparison_aliases(self):
+        assert parse_expression("a != 1").op == "<>"
+
+    def test_qualified_column(self):
+        e = parse_expression("p1.zip")
+        assert e == ColumnRef("zip", qualifier="p1")
+
+    def test_literals(self):
+        assert parse_expression("42") == Literal(42)
+        assert parse_expression("3.5") == Literal(3.5)
+        assert parse_expression("'hi'") == Literal("hi")
+        assert parse_expression("NULL") == Literal(None)
+        assert parse_expression("TRUE") == Literal(True)
+
+    def test_date_literal(self):
+        assert parse_expression("DATE '1995-03-15'") == Literal(
+            datetime.date(1995, 3, 15)
+        )
+
+    def test_bad_date_literal(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("DATE '1995-13-01'")
+
+    def test_date_as_column_name(self):
+        # DATE is a soft keyword: bare use is a column reference
+        assert parse_expression("date") == ColumnRef("date")
+
+    def test_interval_literal(self):
+        e = parse_expression("INTERVAL '3' MONTH")
+        assert e == IntervalLiteral(Interval(3, "MONTH"))
+
+    def test_parameter(self):
+        assert parse_expression(":seg") == Parameter("seg")
+
+    def test_between(self):
+        e = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(e, Between) and not e.negated
+
+    def test_not_between(self):
+        e = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert isinstance(e, Between) and e.negated
+
+    def test_like(self):
+        e = parse_expression("name LIKE 'A%'")
+        assert isinstance(e, Like) and not e.negated
+
+    def test_in_list(self):
+        e = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(e, InList)
+        assert len(e.items) == 3
+
+    def test_not_in_subquery(self):
+        e = parse_expression("x NOT IN (SELECT y FROM t)")
+        assert isinstance(e, InSubquery) and e.negated
+
+    def test_exists(self):
+        e = parse_expression("EXISTS (SELECT 1 FROM t)")
+        assert isinstance(e, Exists) and not e.negated
+
+    def test_not_exists(self):
+        e = parse_expression("NOT EXISTS (SELECT 1 FROM t)")
+        assert isinstance(e, Unary) and e.op == "NOT"
+        assert isinstance(e.operand, Exists)
+
+    def test_scalar_subquery(self):
+        e = parse_expression("(SELECT MAX(x) FROM t)")
+        assert isinstance(e, ScalarSubquery)
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_expression("x IS NULL") == IsNull(ColumnRef("x"))
+        e = parse_expression("x IS NOT NULL")
+        assert isinstance(e, IsNull) and e.negated
+
+    def test_case_searched(self):
+        e = parse_expression(
+            "CASE WHEN a = 1 THEN 'one' ELSE 'many' END"
+        )
+        assert isinstance(e, Case)
+        assert e.operand is None
+        assert e.default == Literal("many")
+
+    def test_case_simple(self):
+        e = parse_expression("CASE a WHEN 1 THEN 'one' END")
+        assert isinstance(e, Case) and e.operand == ColumnRef("a")
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_function_call(self):
+        e = parse_expression("substring(phone, 1, 2)")
+        assert e == FunctionCall(
+            "substring",
+            (ColumnRef("phone"), Literal(1), Literal(2)),
+        )
+
+    def test_substring_from_for(self):
+        e = parse_expression("SUBSTRING(phone FROM 1 FOR 2)")
+        assert isinstance(e, FunctionCall) and e.name == "substring"
+        assert len(e.args) == 3
+
+    def test_extract(self):
+        e = parse_expression("EXTRACT(YEAR FROM shipdate)")
+        assert e == FunctionCall("extract_year", (ColumnRef("shipdate"),))
+
+    def test_cast(self):
+        e = parse_expression("CAST(x AS INT)")
+        assert e == FunctionCall("cast_int", (ColumnRef("x"),))
+
+    def test_count_star(self):
+        e = parse_expression("COUNT(*)")
+        assert isinstance(e, FunctionCall)
+        assert e.args == (Star(),)
+
+    def test_count_distinct(self):
+        e = parse_expression("COUNT(DISTINCT patientid)")
+        assert isinstance(e, FunctionCall) and e.distinct
+
+    def test_distinct_in_scalar_function_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("substring(DISTINCT x)")
+
+    def test_unary_minus(self):
+        e = parse_expression("-x")
+        assert isinstance(e, Unary) and e.op == "-"
+
+    def test_concat_operator(self):
+        e = parse_expression("a || b")
+        assert isinstance(e, Binary) and e.op == "||"
+
+
+class TestSelect:
+    def test_basic_shape(self):
+        s = parse_statement("SELECT a, b AS bee FROM t WHERE a > 1")
+        assert isinstance(s, ast.SelectStatement)
+        assert len(s.items) == 2
+        assert s.items[1].alias == "bee"
+        assert s.where is not None
+
+    def test_alias_without_as(self):
+        s = parse_statement("SELECT a + 1 total FROM t")
+        assert s.items[0].alias == "total"
+
+    def test_star_and_qualified_star(self):
+        s = parse_statement("SELECT *, p.* FROM p")
+        assert isinstance(s.items[0].expression, Star)
+        assert s.items[1].expression == Star(qualifier="p")
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_group_by_having(self):
+        s = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert len(s.group_by) == 1
+        assert s.having is not None
+
+    def test_order_by_directions(self):
+        s = parse_statement("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [item.ascending for item in s.order_by] == [False, True, True]
+
+    def test_limit_and_top(self):
+        assert parse_statement("SELECT a FROM t LIMIT 5").limit == 5
+        assert parse_statement("SELECT TOP 5 a FROM t").limit == 5
+
+    def test_comma_joins(self):
+        s = parse_statement("SELECT 1 FROM a, b, c")
+        assert len(s.from_items) == 3
+
+    def test_explicit_join(self):
+        s = parse_statement(
+            "SELECT 1 FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.w"
+        )
+        join = s.from_items[0]
+        assert isinstance(join, ast.JoinRef) and join.kind == "LEFT"
+        assert isinstance(join.left, ast.JoinRef)
+        assert join.left.kind == "INNER"
+
+    def test_right_join_unsupported(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_statement("SELECT 1 FROM a RIGHT JOIN b ON a.x = b.y")
+
+    def test_union_unsupported(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_statement("SELECT 1 FROM a UNION SELECT 2 FROM b")
+
+    def test_derived_table(self):
+        s = parse_statement("SELECT d.x FROM (SELECT x FROM t) d")
+        assert isinstance(s.from_items[0], ast.SubqueryRef)
+        assert s.from_items[0].alias == "d"
+
+    def test_from_less_select(self):
+        s = parse_statement("SELECT 1")
+        assert s.from_items == ()
+
+    def test_table_alias_with_as(self):
+        s = parse_statement("SELECT 1 FROM customers AS c")
+        ref = s.from_items[0]
+        assert ref.name == "customers" and ref.alias == "c"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT 1 FROM t garbage garbage")
+
+
+class TestDml:
+    def test_insert_values(self):
+        s = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(s, ast.InsertStatement)
+        assert len(s.rows) == 2
+
+    def test_insert_with_columns(self):
+        s = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert s.columns == ("a", "b")
+
+    def test_insert_select(self):
+        s = parse_statement("INSERT INTO t SELECT a FROM u")
+        assert s.select is not None
+
+    def test_update(self):
+        s = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert isinstance(s, ast.UpdateStatement)
+        assert len(s.assignments) == 2
+        assert s.where is not None
+
+    def test_delete(self):
+        s = parse_statement("DELETE FROM t WHERE a < 0")
+        assert isinstance(s, ast.DeleteStatement)
+
+    def test_delete_without_where(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+
+class TestDdl:
+    def test_create_table_inline_pk(self):
+        s = parse_statement(
+            "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(25) NOT NULL)"
+        )
+        assert s.primary_key == ("id",)
+        assert s.columns[1].not_null
+
+    def test_create_table_composite_pk(self):
+        s = parse_statement(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))"
+        )
+        assert s.primary_key == ("a", "b")
+
+    def test_duplicate_pk_specification_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement(
+                "CREATE TABLE t (a INT PRIMARY KEY, PRIMARY KEY (a))"
+            )
+
+    def test_foreign_key(self):
+        s = parse_statement(
+            "CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES u (x))"
+        )
+        assert s.foreign_keys == ((("a",), "u", ("x",)),)
+
+    def test_create_index(self):
+        s = parse_statement("CREATE UNIQUE INDEX i ON t (a, b)")
+        assert isinstance(s, ast.CreateIndexStatement)
+        assert s.unique and s.columns == ("a", "b")
+
+    def test_drop_table(self):
+        s = parse_statement("DROP TABLE t")
+        assert isinstance(s, ast.DropTableStatement)
+
+    def test_analyze(self):
+        assert parse_statement("ANALYZE").table is None
+        assert parse_statement("ANALYZE t").table == "t"
+
+
+class TestAuditDdl:
+    def test_create_audit_expression(self):
+        s = parse_statement(
+            "CREATE AUDIT EXPRESSION audit_alice AS "
+            "SELECT * FROM patients WHERE name = 'Alice' "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        assert isinstance(s, ast.CreateAuditExpressionStatement)
+        assert s.name == "audit_alice"
+        assert s.sensitive_table == "patients"
+        assert s.partition_by == "patientid"
+
+    def test_create_select_trigger(self):
+        s = parse_statement(
+            "CREATE TRIGGER log_it ON ACCESS TO audit_alice AS "
+            "INSERT INTO log SELECT patientid FROM accessed"
+        )
+        assert isinstance(s, ast.CreateSelectTriggerStatement)
+        assert s.audit_expression == "audit_alice"
+        assert len(s.body) == 1
+
+    def test_create_dml_trigger(self):
+        s = parse_statement(
+            "CREATE TRIGGER notify ON log AFTER INSERT AS "
+            "IF (1 = 1) SEND EMAIL 'alert'"
+        )
+        assert isinstance(s, ast.CreateDmlTriggerStatement)
+        assert s.event == "INSERT"
+        assert isinstance(s.body[0], ast.IfStatement)
+
+    def test_trigger_body_begin_end(self):
+        s = parse_statement(
+            "CREATE TRIGGER t1 ON ACCESS TO a AS BEGIN "
+            "INSERT INTO log SELECT x FROM accessed; "
+            "SEND EMAIL 'hi'; END"
+        )
+        assert len(s.body) == 2
+
+    def test_bad_trigger_event(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("CREATE TRIGGER t ON x AFTER TRUNCATE AS NOTIFY")
+
+    def test_drop_audit_expression(self):
+        s = parse_statement("DROP AUDIT EXPRESSION a")
+        assert isinstance(s, ast.DropAuditExpressionStatement)
+
+    def test_drop_trigger(self):
+        s = parse_statement("DROP TRIGGER t")
+        assert isinstance(s, ast.DropTriggerStatement)
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        statements = parse_statements(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); "
+            "SELECT * FROM t;"
+        )
+        assert len(statements) == 3
+
+    def test_empty_script(self):
+        assert parse_statements("") == []

@@ -1,0 +1,312 @@
+"""Tests for audit operator placement (Algorithm 1) and the paper's examples."""
+
+import pytest
+
+from repro import (
+    Database,
+    HEURISTIC_HCN,
+    HEURISTIC_HIGHEST,
+    HEURISTIC_LEAF,
+    OfflineAuditor,
+)
+from repro.audit.placement import audit_operators, instrument_plan
+from repro.errors import AuditError
+from repro.plan import logical as L
+
+
+def operators_of(db: Database, sql: str, heuristic: str):
+    plan = db.plan_query(sql)
+    instrumented = instrument_plan(
+        plan, db.audit_manager.targets(), heuristic
+    )
+    return instrumented, audit_operators(instrumented)
+
+
+@pytest.fixture
+def audited_db(patients_db):
+    patients_db.execute(
+        "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+        "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+    )
+    return patients_db
+
+
+class TestInsertion:
+    def test_leaf_heuristic_sits_above_scan(self, audited_db):
+        plan, audits = operators_of(
+            audited_db,
+            "SELECT p.name FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid",
+            HEURISTIC_LEAF,
+        )
+        assert len(audits) == 1
+        assert isinstance(audits[0].child, L.Scan)
+        assert audits[0].child.table_name == "patients"
+
+    def test_audit_above_pushed_scan_predicate(self, audited_db):
+        """§III: the leaf audit sits above the single-table predicate."""
+        plan, audits = operators_of(
+            audited_db,
+            "SELECT name FROM patients WHERE age > 30",
+            HEURISTIC_LEAF,
+        )
+        assert isinstance(audits[0].child, L.Scan)
+        assert audits[0].child.predicate is not None
+
+    def test_unreferenced_table_gets_no_operator(self, audited_db):
+        plan, audits = operators_of(
+            audited_db, "SELECT disease FROM disease", HEURISTIC_HCN
+        )
+        assert audits == []
+
+    def test_self_join_gets_one_operator_per_instance(self, audited_db):
+        plan, audits = operators_of(
+            audited_db,
+            "SELECT p1.name FROM patients p1, patients p2 "
+            "WHERE p1.zip = p2.zip AND p1.patientid <> p2.patientid",
+            HEURISTIC_LEAF,
+        )
+        assert len(audits) == 2
+        assert {a.scan_alias for a in audits} == {"p1", "p2"}
+
+    def test_unknown_heuristic_rejected(self, audited_db):
+        plan = audited_db.plan_query("SELECT name FROM patients")
+        with pytest.raises(AuditError):
+            instrument_plan(plan, audited_db.audit_manager.targets(), "best")
+
+    def test_no_targets_is_identity(self, audited_db):
+        plan = audited_db.plan_query("SELECT name FROM patients")
+        assert instrument_plan(plan, [], HEURISTIC_HCN) is plan
+
+
+class TestHcnPullUp:
+    def test_pulled_above_join_for_sj_query(self, audited_db):
+        """Fig. 4(a): one audit operator at the top of an SJ plan."""
+        plan, audits = operators_of(
+            audited_db,
+            "SELECT p.patientid, name FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND d.disease = 'flu'",
+            HEURISTIC_HCN,
+        )
+        assert len(audits) == 1
+        # the operator is the root (above the final projection, which
+        # keeps patientid visible)
+        assert isinstance(plan, L.Audit)
+
+    def test_right_join_input_slot_rebased(self, audited_db):
+        """When pulled from the right join input the slot shifts by the
+        left arity."""
+        plan, audits = operators_of(
+            audited_db,
+            "SELECT d.patientid FROM disease d, patients p "
+            "WHERE p.patientid = d.patientid",
+            HEURISTIC_HCN,
+        )
+        audit = audits[0]
+        # disease has 2 columns; patients.patientid is slot 0 of the right
+        # side, so the combined slot is 2
+        assert audit.id_slot >= 2
+
+    def test_stops_below_aggregate(self, audited_db):
+        """Fig. 4(b): audit operator below the group-by."""
+        plan, audits = operators_of(
+            audited_db,
+            "SELECT age, COUNT(*) FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND disease = 'flu' "
+            "GROUP BY age",
+            HEURISTIC_HCN,
+        )
+        assert len(audits) == 1
+        aggregates = [n for n in plan.walk() if isinstance(n, L.Aggregate)]
+        assert isinstance(aggregates[0].child, L.Audit)
+
+    def test_stops_below_distinct(self, audited_db):
+        plan, audits = operators_of(
+            audited_db,
+            "SELECT DISTINCT zip FROM patients",
+            HEURISTIC_HCN,
+        )
+        distincts = [n for n in plan.walk() if isinstance(n, L.Distinct)]
+        assert len(audits) == 1
+        # the projection drops patientid, so the operator rests below it
+        assert isinstance(distincts[0].child, L.Project)
+        assert isinstance(distincts[0].child.child, L.Audit)
+
+    def test_stops_below_topk(self, audited_db):
+        plan, audits = operators_of(
+            audited_db,
+            "SELECT patientid FROM patients ORDER BY age LIMIT 2",
+            HEURISTIC_HCN,
+        )
+        sorts = [n for n in plan.walk() if isinstance(n, L.Sort)]
+        assert sorts
+        # audit must not sit above the sort (the limit would starve it)
+        above_sort = [
+            n for n in plan.walk()
+            if isinstance(n, (L.Audit,))
+        ]
+        assert all(
+            not isinstance(parent, (L.Limit,))
+            for parent in plan.walk()
+            if isinstance(parent, L.Audit)
+        )
+        # precise shape: Sort's subtree contains the audit
+        assert any(
+            isinstance(node, L.Audit) for node in sorts[0].walk()
+        )
+
+    def test_subquery_scope_is_a_barrier(self, audited_db):
+        """Example 3.8(c): the inner audit operator stays in the subquery."""
+        plan, audits = operators_of(
+            audited_db,
+            "SELECT name FROM patients p1 WHERE name IN "
+            "(SELECT name FROM patients p2 WHERE p1.zip <> p2.zip)",
+            HEURISTIC_HCN,
+        )
+        assert len(audits) == 2  # one per block
+
+    def test_semi_join_probe_side_pulls_up(self, audited_db):
+        plan, audits = operators_of(
+            audited_db,
+            "SELECT patientid FROM patients WHERE patientid IN "
+            "(SELECT patientid FROM disease WHERE disease = 'flu')",
+            HEURISTIC_HCN,
+        )
+        # decorrelated to semi join; audit pulls above it to the root
+        assert isinstance(plan, L.Audit)
+
+
+class TestAccessedResults:
+    def test_leaf_superset_of_hcn(self, audited_db):
+        query = (
+            "SELECT p.patientid FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND d.disease = 'flu'"
+        )
+        audited_db.audit_manager.heuristic = HEURISTIC_LEAF
+        leaf = audited_db.execute(query).accessed["audit_all"]
+        audited_db.audit_manager.heuristic = HEURISTIC_HCN
+        hcn = audited_db.execute(query).accessed["audit_all"]
+        assert hcn <= leaf
+        assert leaf == frozenset({1, 2, 3, 4, 5})
+        assert hcn == frozenset({2, 3, 5})
+
+    def test_example_3_1_join_false_positive(self, audited_db):
+        """Example 3.1: two Alices, one with flu — leaf flags both."""
+        audited_db.execute(
+            "INSERT INTO patients VALUES (6, 'Alice', 29, '98104')"
+        )
+        audited_db.execute(
+            "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients "
+            "WHERE name = 'Alice' FOR SENSITIVE TABLE patients, "
+            "PARTITION BY patientid"
+        )
+        audited_db.execute("INSERT INTO disease VALUES (6, 'flu')")
+        query = (
+            "SELECT p.patientid, name, age, zip FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND d.disease = 'flu'"
+        )
+        audited_db.audit_manager.heuristic = HEURISTIC_LEAF
+        leaf = audited_db.execute(query).accessed["audit_alice"]
+        assert leaf == frozenset({1, 6})  # patient 1 is a false positive
+        audited_db.audit_manager.heuristic = HEURISTIC_HCN
+        hcn = audited_db.execute(query).accessed["audit_alice"]
+        assert hcn == frozenset({6})  # join output only
+
+    def test_example_3_2_highest_node_false_negative(self, db):
+        """Fig. 3: highest-node misses a top-k-influencing tuple."""
+        db.execute(
+            "CREATE TABLE patients (patientid INT PRIMARY KEY, "
+            "name VARCHAR, age INT)"
+        )
+        db.execute("CREATE TABLE disease (patientid INT, disease VARCHAR)")
+        # Bob is among the two youngest but does NOT have flu
+        db.execute(
+            "INSERT INTO patients VALUES (1, 'Alice', 40), "
+            "(2, 'Bob', 25), (3, 'Carol', 30)"
+        )
+        db.execute("INSERT INTO disease VALUES (1, 'flu'), (3, 'flu')")
+        db.execute(
+            "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        query = (
+            "SELECT t.patientid FROM "
+            "(SELECT patientid FROM patients ORDER BY age LIMIT 2) t, "
+            "disease d WHERE t.patientid = d.patientid "
+            "AND d.disease = 'flu'"
+        )
+        truth = OfflineAuditor(db).audit(query, "audit_all")
+        assert 2 in truth  # deleting Bob changes the top-2
+        db.audit_manager.heuristic = HEURISTIC_HIGHEST
+        highest = db.execute(query).accessed["audit_all"]
+        assert 2 not in highest  # the false negative the paper warns about
+        db.audit_manager.heuristic = HEURISTIC_HCN
+        hcn = db.execute(query).accessed["audit_all"]
+        assert truth <= hcn  # hcn never misses
+
+    def test_example_3_9_having_false_positive(self, db):
+        """Fig. 5: hcn flags a tuple removed by HAVING."""
+        db.execute(
+            "CREATE TABLE patients (patientid INT PRIMARY KEY, "
+            "name VARCHAR)"
+        )
+        db.execute("CREATE TABLE disease (patientid INT, disease VARCHAR)")
+        db.execute(
+            "INSERT INTO patients VALUES (1, 'Alice'), (2, 'Bob'), "
+            "(3, 'Carol')"
+        )
+        db.execute(
+            "INSERT INTO disease VALUES (1, 'flu'), (3, 'flu'), "
+            "(2, 'measles')"
+        )
+        db.execute(
+            "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        query = (
+            "SELECT d.disease, COUNT(*) FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid GROUP BY d.disease "
+            "HAVING COUNT(*) >= 2"
+        )
+        truth = OfflineAuditor(db).audit(query, "audit_all")
+        assert truth == {1, 3}  # Bob's measles group is filtered out
+        hcn = db.execute(query).accessed["audit_all"]
+        assert hcn == frozenset({1, 2, 3})  # Bob is the false positive
+
+    def test_instrumented_plan_returns_original_result(self, audited_db):
+        query = (
+            "SELECT name, age FROM patients WHERE age > 30 ORDER BY name"
+        )
+        with_audit = audited_db.execute(query)
+        audited_db.audit_enabled = False
+        without_audit = audited_db.execute(query)
+        audited_db.audit_enabled = True
+        assert with_audit.rows == without_audit.rows
+        assert with_audit.columns == without_audit.columns
+
+    def test_multiple_audit_expressions_in_one_query(self, audited_db):
+        audited_db.execute(
+            "CREATE AUDIT EXPRESSION audit_flu_patients AS "
+            "SELECT p.* FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND d.disease = 'flu' "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        result = audited_db.execute("SELECT patientid FROM patients")
+        assert result.accessed["audit_all"] == frozenset({1, 2, 3, 4, 5})
+        assert result.accessed["audit_flu_patients"] == frozenset({2, 3, 5})
+
+    def test_self_join_audits_both_instances(self, audited_db):
+        result = audited_db.execute(
+            "SELECT p1.patientid FROM patients p1, patients p2 "
+            "WHERE p1.zip = p2.zip AND p1.patientid < p2.patientid"
+        )
+        # pairs in shared zips: (1,3) and (2,5)
+        assert result.accessed["audit_all"] == frozenset({1, 2, 3, 5})
+
+    def test_update_reverts_to_classic_semantics(self, audited_db):
+        """§II-B: UPDATE/DELETE use traditional trigger semantics, so no
+        SELECT-trigger ACCESSED state is produced."""
+        result = audited_db.execute(
+            "UPDATE patients SET age = age + 1 WHERE patientid = 1"
+        )
+        assert result.accessed == {}

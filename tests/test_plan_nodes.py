@@ -1,0 +1,190 @@
+"""Mechanics of plan and expression nodes: traversal, rebuild, rendering."""
+
+import pytest
+
+from repro import Database
+from repro.errors import PlanError
+from repro.expr.nodes import (
+    Between,
+    Binary,
+    Case,
+    ColumnRef,
+    InList,
+    Literal,
+    Unary,
+    conjoin,
+    conjuncts,
+    contains_subquery,
+    transform,
+)
+from repro.plan import logical as L
+from repro.plan.logical import format_plan, map_expressions
+from repro.sql.parser import parse_expression
+
+
+class TestExpressionNodes:
+    def test_walk_preorder(self):
+        expression = parse_expression("a + b * c")
+        kinds = [type(node).__name__ for node in expression.walk()]
+        assert kinds[0] == "Binary"  # the + at the root
+        assert kinds.count("ColumnRef") == 3
+
+    def test_walk_does_not_enter_subqueries(self):
+        expression = parse_expression("EXISTS (SELECT a FROM t)")
+        names = {
+            node.name for node in expression.walk()
+            if isinstance(node, ColumnRef)
+        }
+        assert names == set()
+
+    def test_replace_children_identity_when_unchanged(self):
+        expression = parse_expression("a + 1")
+        rebuilt = transform(expression, lambda node: node)
+        assert rebuilt is expression  # no copies when nothing changed
+
+    def test_replace_children_case_roundtrip(self):
+        expression = parse_expression(
+            "CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' ELSE 'c' END"
+        )
+        assert isinstance(expression, Case)
+        rebuilt = expression.replace_children(expression.children())
+        assert rebuilt == expression
+
+    def test_case_child_count_mismatch(self):
+        expression = parse_expression("CASE WHEN a THEN 1 END")
+        with pytest.raises(ValueError):
+            expression.replace_children([Literal(1)])
+
+    def test_leaf_replace_children_rejects_extras(self):
+        with pytest.raises(ValueError):
+            Literal(1).replace_children([Literal(2)])
+
+    def test_between_children(self):
+        expression = parse_expression("x BETWEEN 1 AND 2")
+        assert isinstance(expression, Between)
+        assert len(expression.children()) == 3
+
+    def test_in_list_children(self):
+        expression = parse_expression("x IN (1, 2)")
+        assert isinstance(expression, InList)
+        assert len(expression.children()) == 3
+
+    def test_contains_subquery(self):
+        assert contains_subquery(parse_expression("x IN (SELECT a FROM t)"))
+        assert not contains_subquery(parse_expression("x IN (1, 2)"))
+        assert not contains_subquery(None)
+
+    def test_conjoin_single(self):
+        part = parse_expression("a = 1")
+        assert conjoin([part]) is part
+
+    def test_conjuncts_of_none(self):
+        assert conjuncts(None) == []
+
+    def test_column_ref_display(self):
+        assert ColumnRef("x", qualifier="t").display() == "t.x"
+        assert ColumnRef("x").display() == "x"
+
+    def test_unary_rebuild(self):
+        expression = Unary("NOT", Literal(True))
+        rebuilt = expression.replace_children([Literal(False)])
+        assert rebuilt == Unary("NOT", Literal(False))
+
+
+@pytest.fixture
+def plan_db():
+    db = Database()
+    db.execute("CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR)")
+    db.execute("CREATE TABLE u (c INT, d VARCHAR)")
+    return db
+
+
+class TestPlanNodes:
+    def test_walk_covers_tree(self, plan_db):
+        plan = plan_db.plan_query(
+            "SELECT t.b FROM t, u WHERE t.a = u.c ORDER BY t.b LIMIT 3"
+        )
+        kinds = {type(node).__name__ for node in plan.walk()}
+        assert {"Scan", "Join", "Project"} <= kinds
+
+    def test_arity_matches_columns(self, plan_db):
+        plan = plan_db.plan_query("SELECT a, b FROM t")
+        assert plan.arity == 2 == len(plan.columns)
+
+    def test_scan_columns_carry_origin(self, plan_db):
+        plan = plan_db.plan_query("SELECT * FROM t")
+        scan = next(n for n in plan.walk() if isinstance(n, L.Scan))
+        assert scan.columns[0].origin == ("t", "a")
+
+    def test_join_column_concatenation(self, plan_db):
+        plan = plan_db.plan_query("SELECT * FROM t, u")
+        join = next(n for n in plan.walk() if isinstance(n, L.Join))
+        assert [c.name for c in join.columns] == ["a", "b", "c", "d"]
+
+    def test_semi_join_columns_are_left_only(self, plan_db):
+        plan = plan_db.plan_query(
+            "SELECT a FROM t WHERE a IN (SELECT c FROM u)"
+        )
+        semi = next(
+            n for n in plan.walk()
+            if isinstance(n, L.Join) and n.kind == L.JOIN_SEMI
+        )
+        assert [c.name for c in semi.columns] == ["a", "b"]
+
+    def test_replace_children_arity_checked(self, plan_db):
+        plan = plan_db.plan_query("SELECT a FROM t")
+        scan = next(n for n in plan.walk() if isinstance(n, L.Scan))
+        with pytest.raises(PlanError):
+            scan.replace_children([scan])
+
+    def test_format_plan_renders_details(self, plan_db):
+        plan_db.execute(
+            "CREATE AUDIT EXPRESSION at AS SELECT * FROM t "
+            "FOR SENSITIVE TABLE t, PARTITION BY a"
+        )
+        from repro.audit.placement import instrument_plan
+
+        plan = instrument_plan(
+            plan_db.plan_query(
+                "SELECT a, COUNT(*) FROM t WHERE b = 'x' GROUP BY a LIMIT 2"
+            ),
+            plan_db.audit_manager.targets(),
+        )
+        text = format_plan(plan)
+        assert "Scan t AS t [pushed predicate]" in text
+        assert "Aggregate" in text and "groups=1" in text
+        assert "Limit count=2" in text
+        assert "Audit expr=at" in text
+
+    def test_map_expressions_visits_every_holder(self, plan_db):
+        plan = plan_db.plan_query(
+            "SELECT u.d, COUNT(*) FROM t, u WHERE t.a = u.c AND t.b = 'x' "
+            "GROUP BY u.d ORDER BY u.d"
+        )
+        visited = []
+
+        def spy(expression):
+            visited.append(type(expression).__name__)
+            return expression
+
+        map_expressions(plan, spy)
+        assert len(visited) >= 4  # scan pred, join cond, groups, sort key
+
+    def test_map_expressions_rebuilds(self, plan_db):
+        plan = plan_db.plan_query("SELECT a FROM t WHERE a = 1")
+
+        def rewrite(expression):
+            def bump(node):
+                if isinstance(node, Literal) and node.value == 1:
+                    return Literal(2)
+                return node
+
+            return transform(expression, bump)
+
+        rebuilt = map_expressions(plan, rewrite)
+        scan = next(n for n in rebuilt.walk() if isinstance(n, L.Scan))
+        literals = [
+            node.value for node in scan.predicate.walk()
+            if isinstance(node, Literal)
+        ]
+        assert literals == [2]

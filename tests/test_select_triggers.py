@@ -1,0 +1,209 @@
+"""Tests for SELECT triggers: ACCESSED state, actions, cascading (§II-C)."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ExecutionError, TriggerError
+
+
+@pytest.fixture
+def logged_db(patients_db):
+    patients_db.execute(
+        "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients "
+        "WHERE name = 'Alice' FOR SENSITIVE TABLE patients, "
+        "PARTITION BY patientid"
+    )
+    patients_db.execute(
+        "CREATE TRIGGER log_alice ON ACCESS TO audit_alice AS "
+        "INSERT INTO log SELECT cast_varchar(now()), user_id(), "
+        "sql_text(), patientid FROM accessed"
+    )
+    return patients_db
+
+
+class TestBasicFiring:
+    def test_access_fires_trigger_and_logs(self, logged_db):
+        query = "SELECT patientid, name FROM patients WHERE name = 'Alice'"
+        logged_db.execute(query)
+        log = logged_db.execute("SELECT uid, query, patientid FROM log")
+        assert log.rows == [("admin", query, 1)]
+
+    def test_non_access_does_not_fire(self, logged_db):
+        logged_db.execute(
+            "SELECT patientid FROM patients WHERE name = 'Bob'"
+        )
+        assert len(logged_db.execute("SELECT * FROM log")) == 0
+
+    def test_subquery_access_fires(self, logged_db):
+        """Example 1.2's second query still triggers the audit."""
+        logged_db.execute(
+            "SELECT 1 FROM disease WHERE EXISTS "
+            "(SELECT * FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND name = 'Alice' "
+            "AND disease = 'cancer')"
+        )
+        log = logged_db.execute("SELECT patientid FROM log")
+        assert (1,) in log.rows
+
+    def test_accessed_exposed_on_result(self, logged_db):
+        result = logged_db.execute(
+            "SELECT * FROM patients WHERE name = 'Alice'"
+        )
+        assert result.accessed == {"audit_alice": frozenset({1})}
+
+    def test_trigger_requires_existing_expression(self, patients_db):
+        from repro.errors import AuditError
+
+        with pytest.raises(AuditError):
+            patients_db.execute(
+                "CREATE TRIGGER t ON ACCESS TO ghost AS "
+                "INSERT INTO log SELECT patientid FROM accessed"
+            )
+
+    def test_drop_trigger_stops_firing(self, logged_db):
+        logged_db.execute("DROP TRIGGER log_alice")
+        logged_db.execute("SELECT * FROM patients WHERE name = 'Alice'")
+        assert len(logged_db.execute("SELECT * FROM log")) == 0
+
+    def test_audit_disabled_suppresses_accessed(self, logged_db):
+        logged_db.audit_enabled = False
+        result = logged_db.execute(
+            "SELECT * FROM patients WHERE name = 'Alice'"
+        )
+        assert result.accessed == {}
+        assert len(logged_db.execute("SELECT * FROM log")) == 0
+
+
+class TestActionSemantics:
+    def test_action_runs_even_when_query_aborts(self, logged_db):
+        """§II: the action executes even if the query is aborted."""
+        with pytest.raises(ExecutionError):
+            # the division fires after rows have flowed past the audit op
+            logged_db.execute(
+                "SELECT 1 / (age - age) FROM patients WHERE name = 'Alice'"
+            )
+        log = logged_db.execute("SELECT patientid FROM log")
+        assert log.rows == [(1,)]
+
+    def test_action_sql_text_is_the_reading_query(self, logged_db):
+        query = "SELECT zip FROM patients WHERE name = 'Alice'"
+        logged_db.execute(query)
+        assert logged_db.execute("SELECT query FROM log").rows == [(query,)]
+
+    def test_action_join_with_other_tables(self, patients_db):
+        """The paper's Log_Cancer_Dept_Accesses pattern (§II-C)."""
+        patients_db.execute(
+            "CREATE TABLE departments (patientid INT, deptid INT)"
+        )
+        patients_db.execute(
+            "INSERT INTO departments VALUES (1, 100), (5, 200), (5, 100)"
+        )
+        patients_db.execute(
+            "CREATE TABLE deptlog (uid VARCHAR, deptid INT)"
+        )
+        patients_db.execute(
+            "CREATE AUDIT EXPRESSION audit_cancer AS "
+            "SELECT p.* FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND disease = 'cancer' "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        patients_db.execute(
+            "CREATE TRIGGER log_depts ON ACCESS TO audit_cancer AS "
+            "INSERT INTO deptlog SELECT DISTINCT user_id(), d.deptid "
+            "FROM accessed a, departments d WHERE a.patientid = d.patientid"
+        )
+        patients_db.execute("SELECT patientid FROM patients")
+        rows = patients_db.execute(
+            "SELECT deptid FROM deptlog ORDER BY deptid"
+        ).rows
+        assert rows == [(100,), (200,)]
+
+    def test_multiple_triggers_on_same_expression(self, logged_db):
+        logged_db.execute("CREATE TABLE log2 (patientid INT)")
+        logged_db.execute(
+            "CREATE TRIGGER log_alice2 ON ACCESS TO audit_alice AS "
+            "INSERT INTO log2 SELECT patientid FROM accessed"
+        )
+        logged_db.execute("SELECT * FROM patients WHERE name = 'Alice'")
+        assert len(logged_db.execute("SELECT * FROM log")) == 1
+        assert len(logged_db.execute("SELECT * FROM log2")) == 1
+
+    def test_notify_action(self, logged_db):
+        logged_db.execute(
+            "CREATE TRIGGER shout ON ACCESS TO audit_alice AS "
+            "SEND EMAIL 'alice record accessed'"
+        )
+        logged_db.execute("SELECT * FROM patients WHERE name = 'Alice'")
+        assert logged_db.notifications == ["alice record accessed"]
+
+    def test_trigger_body_with_begin_end(self, logged_db):
+        logged_db.execute("CREATE TABLE log3 (patientid INT)")
+        logged_db.execute(
+            "CREATE TRIGGER multi ON ACCESS TO audit_alice AS BEGIN "
+            "INSERT INTO log3 SELECT patientid FROM accessed; "
+            "NOTIFY 'two actions'; END"
+        )
+        logged_db.execute("SELECT * FROM patients WHERE name = 'Alice'")
+        assert len(logged_db.execute("SELECT * FROM log3")) == 1
+        assert "two actions" in logged_db.notifications
+
+
+class TestCascading:
+    def test_select_trigger_cascades_to_insert_trigger(self, logged_db):
+        """The paper's Notify example: SELECT trigger -> AFTER INSERT."""
+        logged_db.execute(
+            "CREATE TRIGGER notify_many ON log AFTER INSERT AS "
+            "IF (1 <= (SELECT COUNT(DISTINCT patientid) FROM log "
+            "WHERE uid = new.uid)) SEND EMAIL 'threshold reached'"
+        )
+        logged_db.execute("SELECT * FROM patients WHERE name = 'Alice'")
+        assert logged_db.notifications == ["threshold reached"]
+
+    def test_cascade_depth_limit(self, db):
+        db.execute("CREATE TABLE ping (n INT)")
+        db.execute("CREATE TABLE pong (n INT)")
+        db.execute(
+            "CREATE TRIGGER t_ping ON ping AFTER INSERT AS "
+            "INSERT INTO pong VALUES (1)"
+        )
+        db.execute(
+            "CREATE TRIGGER t_pong ON pong AFTER INSERT AS "
+            "INSERT INTO ping VALUES (1)"
+        )
+        with pytest.raises(TriggerError):
+            db.execute("INSERT INTO ping VALUES (0)")
+
+    def test_reserved_accessed_name(self, logged_db):
+        logged_db.execute("CREATE TABLE accessed (x INT)")
+        with pytest.raises(TriggerError):
+            logged_db.execute(
+                "SELECT * FROM patients WHERE name = 'Alice'"
+            )
+
+
+class TestRealtimeScenarios:
+    def test_user_access_counting(self, patients_db):
+        """Intro scenario 1: users reading many sensitive records."""
+        patients_db.execute(
+            "CREATE AUDIT EXPRESSION audit_flu AS "
+            "SELECT p.* FROM patients p, disease d "
+            "WHERE p.patientid = d.patientid AND disease = 'flu' "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        patients_db.execute(
+            "CREATE TRIGGER count_flu ON ACCESS TO audit_flu AS "
+            "INSERT INTO log SELECT cast_varchar(now()), user_id(), "
+            "sql_text(), patientid FROM accessed"
+        )
+        patients_db.execute("SELECT * FROM patients")
+        counts = patients_db.execute(
+            "SELECT uid, COUNT(DISTINCT patientid) FROM log GROUP BY uid"
+        )
+        assert counts.rows == [("admin", 3)]
+
+    def test_per_user_identity(self, patients_db):
+        doctor = Database(user_id="dr_house")
+        doctor.execute("CREATE TABLE t (a INT)")
+        doctor.execute("INSERT INTO t VALUES (1)")
+        doctor.execute("SELECT user_id() FROM t")
+        assert doctor.execute("SELECT user_id()").rows == [("dr_house",)]

@@ -1,0 +1,154 @@
+"""Tests for the Oracle-FGA-style static-analysis baseline (§VI)."""
+
+import pytest
+
+from repro import StaticAnalysisAuditor
+
+
+@pytest.fixture
+def dept_db(db):
+    """The Example 6.1 schema."""
+    db.execute(
+        "CREATE TABLE departmentnames (deptid INT PRIMARY KEY, "
+        "deptname VARCHAR)"
+    )
+    db.execute(
+        "INSERT INTO departmentnames VALUES (10, 'Oncology'), "
+        "(20, 'Dermatology')"
+    )
+    db.execute(
+        "CREATE AUDIT EXPRESSION audit_derm AS "
+        "SELECT * FROM departmentnames WHERE deptname = 'Dermatology' "
+        "FOR SENSITIVE TABLE departmentnames, PARTITION BY deptid"
+    )
+    return db
+
+
+class TestExample61:
+    def test_disjoint_predicate_not_flagged(self, dept_db):
+        analyzer = StaticAnalysisAuditor(dept_db)
+        assert not analyzer.flags_query(
+            "SELECT * FROM departmentnames WHERE deptname = 'Oncology'",
+            "audit_derm",
+        )
+
+    def test_equivalent_rewrite_is_flagged(self, dept_db):
+        """The false positive the paper demonstrates: deptid = 10 is the
+        Oncology department, but static analysis cannot know that."""
+        analyzer = StaticAnalysisAuditor(dept_db)
+        assert analyzer.flags_query(
+            "SELECT * FROM departmentnames WHERE deptid = 10",
+            "audit_derm",
+        )
+
+    def test_audit_operator_avoids_that_false_positive(self, dept_db):
+        result = dept_db.execute(
+            "SELECT * FROM departmentnames WHERE deptid = 10"
+        )
+        assert result.accessed.get("audit_derm", frozenset()) == frozenset()
+
+    def test_matching_predicate_flagged(self, dept_db):
+        analyzer = StaticAnalysisAuditor(dept_db)
+        assert analyzer.flags_query(
+            "SELECT * FROM departmentnames WHERE deptname = 'Dermatology'",
+            "audit_derm",
+        )
+
+
+class TestConstraintReasoning:
+    @pytest.fixture
+    def range_db(self, db):
+        db.execute(
+            "CREATE TABLE people (pid INT PRIMARY KEY, age INT, "
+            "name VARCHAR)"
+        )
+        db.execute(
+            "CREATE AUDIT EXPRESSION audit_adults AS "
+            "SELECT * FROM people WHERE age >= 18 AND age < 65 "
+            "FOR SENSITIVE TABLE people, PARTITION BY pid"
+        )
+        return db
+
+    def test_overlapping_range_flagged(self, range_db):
+        analyzer = StaticAnalysisAuditor(range_db)
+        assert analyzer.flags_query(
+            "SELECT * FROM people WHERE age > 30", "audit_adults"
+        )
+
+    def test_disjoint_range_not_flagged(self, range_db):
+        analyzer = StaticAnalysisAuditor(range_db)
+        assert not analyzer.flags_query(
+            "SELECT * FROM people WHERE age > 70", "audit_adults"
+        )
+
+    def test_disjoint_below_not_flagged(self, range_db):
+        analyzer = StaticAnalysisAuditor(range_db)
+        assert not analyzer.flags_query(
+            "SELECT * FROM people WHERE age < 10", "audit_adults"
+        )
+
+    def test_boundary_exclusive_bounds(self, range_db):
+        analyzer = StaticAnalysisAuditor(range_db)
+        # age >= 65 vs audit age < 65: empty intersection
+        assert not analyzer.flags_query(
+            "SELECT * FROM people WHERE age >= 65", "audit_adults"
+        )
+        # age >= 64 overlaps
+        assert analyzer.flags_query(
+            "SELECT * FROM people WHERE age >= 64", "audit_adults"
+        )
+
+    def test_contradictory_equalities(self, range_db):
+        analyzer = StaticAnalysisAuditor(range_db)
+        assert not analyzer.flags_query(
+            "SELECT * FROM people WHERE age = 30 AND age = 40",
+            "audit_adults",
+        )
+
+    def test_in_list_intersection(self, range_db):
+        analyzer = StaticAnalysisAuditor(range_db)
+        assert analyzer.flags_query(
+            "SELECT * FROM people WHERE age IN (5, 30)", "audit_adults"
+        )
+        assert not analyzer.flags_query(
+            "SELECT * FROM people WHERE age IN (5, 95)", "audit_adults"
+        )
+
+    def test_not_equals(self, range_db):
+        analyzer = StaticAnalysisAuditor(range_db)
+        assert analyzer.flags_query(
+            "SELECT * FROM people WHERE age <> 30", "audit_adults"
+        )
+
+    def test_query_without_sensitive_table_not_flagged(self, range_db):
+        range_db.execute("CREATE TABLE other (x INT)")
+        analyzer = StaticAnalysisAuditor(range_db)
+        assert not analyzer.flags_query(
+            "SELECT * FROM other", "audit_adults"
+        )
+
+    def test_unanalyzable_predicate_flagged_conservatively(self, range_db):
+        analyzer = StaticAnalysisAuditor(range_db)
+        assert analyzer.flags_query(
+            "SELECT * FROM people WHERE age * 2 = 60", "audit_adults"
+        )
+
+    def test_parameterized_predicate_resolved(self, range_db):
+        analyzer = StaticAnalysisAuditor(range_db)
+        assert not analyzer.flags_query(
+            "SELECT * FROM people WHERE age > :cutoff",
+            "audit_adults",
+            {"cutoff": 90},
+        )
+        assert analyzer.flags_query(
+            "SELECT * FROM people WHERE age > :cutoff",
+            "audit_adults",
+            {"cutoff": 20},
+        )
+
+    def test_between_predicate(self, range_db):
+        analyzer = StaticAnalysisAuditor(range_db)
+        assert not analyzer.flags_query(
+            "SELECT * FROM people WHERE age BETWEEN 70 AND 80",
+            "audit_adults",
+        )

@@ -1,0 +1,247 @@
+"""Unit tests for heap tables, indexes, constraints, and change observers."""
+
+import pytest
+
+from repro.catalog.schema import Column, TableSchema
+from repro.datatypes import INTEGER, VARCHAR
+from repro.errors import CatalogError, ConstraintError, StorageError
+from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.table import (
+    CHANGE_DELETE,
+    CHANGE_INSERT,
+    CHANGE_UPDATE,
+    Table,
+)
+
+
+def make_table() -> Table:
+    schema = TableSchema(
+        name="t",
+        columns=(
+            Column("id", INTEGER, nullable=False),
+            Column("name", VARCHAR),
+            Column("score", INTEGER),
+        ),
+        primary_key=("id",),
+    )
+    return Table(schema)
+
+
+class TestSchema:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", (Column("a", INTEGER), Column("a", INTEGER)))
+
+    def test_missing_pk_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", (Column("a", INTEGER),), primary_key=("b",))
+
+    def test_position_lookup_case_insensitive(self):
+        schema = make_table().schema
+        assert schema.position_of("NAME") == 1
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            make_table().schema.position_of("nope")
+
+    def test_single_column_pk(self):
+        assert make_table().schema.single_column_primary_key() == "id"
+
+
+class TestTableCrud:
+    def test_insert_and_iterate(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        table.insert((2, "b", 20))
+        assert len(table) == 2
+        assert sorted(table.rows()) == [(1, "a", 10), (2, "b", 20)]
+
+    def test_duplicate_pk_rejected(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        with pytest.raises(ConstraintError):
+            table.insert((1, "b", 20))
+
+    def test_null_pk_rejected(self):
+        table = make_table()
+        with pytest.raises(ConstraintError):
+            table.insert((None, "a", 10))
+
+    def test_not_null_enforced(self):
+        schema = TableSchema(
+            "t", (Column("a", INTEGER, nullable=False),)
+        )
+        table = Table(schema)
+        with pytest.raises(ConstraintError):
+            table.insert((None,))
+
+    def test_wrong_arity_rejected(self):
+        table = make_table()
+        with pytest.raises(StorageError):
+            table.insert((1, "a"))
+
+    def test_pk_lookup(self):
+        table = make_table()
+        table.insert((7, "x", 1))
+        assert table.lookup_pk((7,)) == (7, "x", 1)
+        assert table.lookup_pk((8,)) is None
+
+    def test_delete_by_pk(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        removed = table.delete_by_pk((1,))
+        assert removed == (1, "a", 10)
+        assert len(table) == 0
+        assert table.delete_by_pk((1,)) is None
+
+    def test_update_moves_pk_index(self):
+        table = make_table()
+        rid = table.insert((1, "a", 10))
+        table.update_rid(rid, (2, "a", 10))
+        assert table.lookup_pk((1,)) is None
+        assert table.lookup_pk((2,)) == (2, "a", 10)
+
+    def test_update_to_duplicate_pk_rejected(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        rid = table.insert((2, "b", 20))
+        with pytest.raises(ConstraintError):
+            table.update_rid(rid, (1, "b", 20))
+
+    def test_version_counter_advances(self):
+        table = make_table()
+        version = table.version
+        rid = table.insert((1, "a", 10))
+        assert table.version > version
+        version = table.version
+        table.update_rid(rid, (1, "a", 11))
+        assert table.version > version
+        version = table.version
+        table.delete_rid(rid)
+        assert table.version > version
+
+    def test_truncate_clears_rows_and_indexes(self):
+        table = make_table()
+        table.create_secondary_index("by_name", ("name",))
+        table.insert((1, "a", 10))
+        table.truncate()
+        assert len(table) == 0
+        assert list(table.secondary_index("by_name").seek(("a",))) == []
+
+    def test_bulk_load_skips_observers(self):
+        table = make_table()
+        changes = []
+        table.add_observer(changes.append)
+        assert table.bulk_load([(1, "a", 1), (2, "b", 2)]) == 2
+        assert changes == []
+
+
+class TestObservers:
+    def test_insert_notification(self):
+        table = make_table()
+        changes = []
+        table.add_observer(changes.append)
+        table.insert((1, "a", 10))
+        assert len(changes) == 1
+        assert changes[0].kind == CHANGE_INSERT
+        assert changes[0].new_row == (1, "a", 10)
+        assert changes[0].old_row is None
+
+    def test_update_notification_has_both_images(self):
+        table = make_table()
+        rid = table.insert((1, "a", 10))
+        changes = []
+        table.add_observer(changes.append)
+        table.update_rid(rid, (1, "a", 99))
+        assert changes[0].kind == CHANGE_UPDATE
+        assert changes[0].old_row == (1, "a", 10)
+        assert changes[0].new_row == (1, "a", 99)
+
+    def test_delete_notification(self):
+        table = make_table()
+        rid = table.insert((1, "a", 10))
+        changes = []
+        table.add_observer(changes.append)
+        table.delete_rid(rid)
+        assert changes[0].kind == CHANGE_DELETE
+        assert changes[0].old_row == (1, "a", 10)
+
+    def test_remove_observer(self):
+        table = make_table()
+        changes = []
+        table.add_observer(changes.append)
+        table.remove_observer(changes.append)
+        table.insert((1, "a", 10))
+        assert changes == []
+
+
+class TestSecondaryIndexes:
+    def test_hash_index_seek(self):
+        index = HashIndex("i", (1,))
+        index.insert(0, (1, "a"))
+        index.insert(1, (2, "a"))
+        index.insert(2, (3, "b"))
+        assert sorted(index.seek(("a",))) == [0, 1]
+        assert list(index.seek(("c",))) == []
+        assert len(index) == 3
+
+    def test_hash_index_delete(self):
+        index = HashIndex("i", (0,))
+        index.insert(0, (5,))
+        index.delete(0, (5,))
+        assert list(index.seek((5,))) == []
+
+    def test_null_keys_not_indexed(self):
+        index = HashIndex("i", (0,))
+        index.insert(0, (None,))
+        assert len(index) == 0
+        assert list(index.seek((None,))) == []
+
+    def test_ordered_index_range(self):
+        index = OrderedIndex("i", (0,))
+        for rid, value in enumerate([10, 20, 30, 40, 50]):
+            index.insert(rid, (value,))
+        assert sorted(index.range_scan((20,), (40,))) == [1, 2, 3]
+        assert sorted(index.range_scan((20,), (40,), False, False)) == [2]
+        assert sorted(index.range_scan(None, (20,))) == [0, 1]
+        assert sorted(index.range_scan((40,), None)) == [3, 4]
+
+    def test_ordered_index_delete_maintains_sorted_keys(self):
+        index = OrderedIndex("i", (0,))
+        index.insert(0, (10,))
+        index.insert(1, (20,))
+        index.delete(0, (10,))
+        assert sorted(index.range_scan(None, None)) == [1]
+
+    def test_ordered_index_duplicate_keys(self):
+        index = OrderedIndex("i", (0,))
+        index.insert(0, (10,))
+        index.insert(1, (10,))
+        assert sorted(index.seek((10,))) == [0, 1]
+        index.delete(0, (10,))
+        assert sorted(index.seek((10,))) == [1]
+
+    def test_table_index_maintenance_on_dml(self):
+        table = make_table()
+        table.create_secondary_index("by_score", ("score",))
+        rid = table.insert((1, "a", 10))
+        table.insert((2, "b", 20))
+        index = table.secondary_index("by_score")
+        assert sorted(index.seek((10,))) == [rid]
+        table.update_rid(rid, (1, "a", 30))
+        assert list(index.seek((10,))) == []
+        assert sorted(index.seek((30,))) == [rid]
+        table.delete_rid(rid)
+        assert list(index.seek((30,))) == []
+
+    def test_index_backfills_existing_rows(self):
+        table = make_table()
+        table.insert((1, "a", 10))
+        table.create_secondary_index("by_name", ("name",))
+        assert len(table.secondary_index("by_name")) == 1
+
+    def test_duplicate_index_name_rejected(self):
+        table = make_table()
+        table.create_secondary_index("i", ("name",))
+        with pytest.raises(StorageError):
+            table.create_secondary_index("i", ("score",))

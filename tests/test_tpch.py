@@ -1,0 +1,162 @@
+"""Tests for the TPC-H substrate: generator, schema, and query workload."""
+
+import pytest
+
+from repro import Database
+from repro.tpch import (
+    MICRO_BENCHMARK_QUERY,
+    QUERIES,
+    QUERY_PARAMETERS,
+    TpchGenerator,
+    audit_expression_sql,
+    load_tpch,
+)
+from repro.tpch.datagen import MARKET_SEGMENTS
+import datetime
+
+
+class TestGenerator:
+    def test_determinism(self):
+        first = list(TpchGenerator(0.001, seed=7).customer_rows())
+        second = list(TpchGenerator(0.001, seed=7).customer_rows())
+        assert first == second
+
+    def test_seed_changes_data(self):
+        first = list(TpchGenerator(0.001, seed=7).customer_rows())
+        second = list(TpchGenerator(0.001, seed=8).customer_rows())
+        assert first != second
+
+    def test_cardinality_ratios(self, tpch_db):
+        counts = {
+            name: len(tpch_db.catalog.table(name))
+            for name in ("customer", "orders", "nation", "region")
+        }
+        assert counts["nation"] == 25
+        assert counts["region"] == 5
+        # two thirds of customers have 10 orders each
+        assert counts["orders"] == pytest.approx(
+            counts["customer"] * 10 * 2 / 3, rel=0.05
+        )
+
+    def test_market_segments_roughly_uniform(self, tpch_db):
+        result = tpch_db.execute(
+            "SELECT c_mktsegment, COUNT(*) FROM customer "
+            "GROUP BY c_mktsegment"
+        )
+        counts = dict(result.rows)
+        assert set(counts) == set(MARKET_SEGMENTS)
+        total = sum(counts.values())
+        for segment, count in counts.items():
+            assert count / total == pytest.approx(0.2, abs=0.08)
+
+    def test_foreign_keys_consistent(self, tpch_db):
+        orphans = tpch_db.execute(
+            "SELECT COUNT(*) FROM orders WHERE o_custkey NOT IN "
+            "(SELECT c_custkey FROM customer)"
+        )
+        assert orphans.scalar() == 0
+        orphan_lines = tpch_db.execute(
+            "SELECT COUNT(*) FROM lineitem WHERE l_orderkey NOT IN "
+            "(SELECT o_orderkey FROM orders)"
+        )
+        assert orphan_lines.scalar() == 0
+
+    def test_phone_country_code_matches_nation(self, tpch_db):
+        mismatches = tpch_db.execute(
+            "SELECT COUNT(*) FROM customer WHERE "
+            "CAST(SUBSTRING(c_phone FROM 1 FOR 2) AS INT) "
+            "<> c_nationkey + 10"
+        )
+        assert mismatches.scalar() == 0
+
+    def test_lineitem_dates_follow_order_date(self, tpch_db):
+        bad = tpch_db.execute(
+            "SELECT COUNT(*) FROM lineitem, orders "
+            "WHERE l_orderkey = o_orderkey AND l_shipdate <= o_orderdate"
+        )
+        assert bad.scalar() == 0
+
+    def test_invalid_scale_factor(self):
+        with pytest.raises(ValueError):
+            TpchGenerator(0)
+
+
+class TestWorkload:
+    def test_micro_benchmark_query_runs(self, tpch_db):
+        result = tpch_db.execute(
+            MICRO_BENCHMARK_QUERY,
+            {"acctbal": 0.0, "orderdate": datetime.date(1995, 6, 1)},
+        )
+        assert len(result.rows) > 0
+        # output = orders ++ customer columns
+        assert len(result.columns) == 9 + 8
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_query_executes(self, tpch_db, name):
+        result = tpch_db.execute(QUERIES[name], QUERY_PARAMETERS[name])
+        assert result.rows is not None
+        if name in ("Q3", "Q10", "Q18"):
+            limit = {"Q3": 10, "Q10": 20, "Q18": 100}[name]
+            assert len(result.rows) <= limit
+
+    def test_q3_orders_by_revenue_desc(self, tpch_db):
+        result = tpch_db.execute(QUERIES["Q3"], QUERY_PARAMETERS["Q3"])
+        revenues = [row[1] for row in result.rows]
+        assert revenues == sorted(revenues, reverse=True)
+
+    def test_q22_customers_have_no_orders(self, tpch_db):
+        result = tpch_db.execute(QUERIES["Q22"], QUERY_PARAMETERS["Q22"])
+        # every country-code group counts only order-less customers; the
+        # count must not exceed the number of order-less customers
+        orderless = tpch_db.execute(
+            "SELECT COUNT(*) FROM customer WHERE NOT EXISTS "
+            "(SELECT * FROM orders WHERE o_custkey = c_custkey)"
+        ).scalar()
+        assert sum(row[1] for row in result.rows) <= orderless
+
+    def test_audit_expression_covers_one_segment(self):
+        db = Database()
+        load_tpch(db, scale_factor=0.001)
+        db.execute(audit_expression_sql(segment="BUILDING"))
+        view = db.audit_manager.view("audit_customer")
+        expected = db.execute(
+            "SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'BUILDING'"
+        ).scalar()
+        assert len(view) == expected
+
+
+class TestAuditedWorkload:
+    @pytest.fixture(scope="class")
+    def audited_tpch(self):
+        db = Database()
+        load_tpch(db, scale_factor=0.002)
+        db.execute(audit_expression_sql())
+        return db
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_instrumented_results_match_plain(self, audited_tpch, name):
+        """The audit operator is a no-op: results must be identical."""
+        instrumented = audited_tpch.execute(
+            QUERIES[name], QUERY_PARAMETERS[name]
+        )
+        audited_tpch.audit_enabled = False
+        try:
+            plain = audited_tpch.execute(
+                QUERIES[name], QUERY_PARAMETERS[name]
+            )
+        finally:
+            audited_tpch.audit_enabled = True
+        assert instrumented.rows == plain.rows
+
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_no_false_negatives_vs_offline(self, audited_tpch, name):
+        """Claim 3.6 on the real workload: hcn never misses an access."""
+        from repro import OfflineAuditor
+
+        truth = OfflineAuditor(audited_tpch).audit(
+            QUERIES[name], "audit_customer", QUERY_PARAMETERS[name]
+        )
+        online = audited_tpch.execute(
+            QUERIES[name], QUERY_PARAMETERS[name]
+        ).accessed.get("audit_customer", frozenset())
+        assert truth <= online

@@ -1,0 +1,216 @@
+"""Tests for transactions: statement atomicity, BEGIN/COMMIT/ROLLBACK,
+and the §II-C system-transaction semantics of SELECT-trigger actions."""
+
+import pytest
+
+from repro.errors import ConstraintError, TransactionError
+
+
+@pytest.fixture
+def bank(db):
+    db.execute(
+        "CREATE TABLE accounts (id INT PRIMARY KEY, owner VARCHAR, "
+        "balance FLOAT)"
+    )
+    db.execute(
+        "INSERT INTO accounts VALUES (1, 'alice', 100.0), "
+        "(2, 'bob', 50.0)"
+    )
+    return db
+
+
+def balances(db):
+    return dict(
+        db.execute("SELECT id, balance FROM accounts ORDER BY id").rows
+    )
+
+
+class TestStatementAtomicity:
+    def test_multi_row_insert_rolls_back_on_conflict(self, bank):
+        with pytest.raises(ConstraintError):
+            bank.execute(
+                "INSERT INTO accounts VALUES (3, 'carol', 10.0), "
+                "(1, 'dup', 0.0)"
+            )
+        # the first row of the failing statement must be gone too
+        assert bank.execute(
+            "SELECT COUNT(*) FROM accounts"
+        ).scalar() == 2
+
+    def test_insert_select_rolls_back_on_conflict(self, bank):
+        bank.execute("CREATE TABLE feed (id INT, owner VARCHAR, b FLOAT)")
+        bank.execute(
+            "INSERT INTO feed VALUES (7, 'new', 1.0), (1, 'dup', 2.0)"
+        )
+        with pytest.raises(ConstraintError):
+            bank.execute("INSERT INTO accounts SELECT * FROM feed")
+        assert bank.execute("SELECT COUNT(*) FROM accounts").scalar() == 2
+
+    def test_failed_trigger_rolls_back_triggering_statement(self, bank):
+        """A cascade failure undoes the whole statement, including the
+        rows the triggers themselves wrote."""
+        bank.execute("CREATE TABLE sidecar (id INT PRIMARY KEY)")
+        bank.execute(
+            "CREATE TRIGGER copy ON accounts AFTER INSERT AS "
+            "INSERT INTO sidecar VALUES (new.id)"
+        )
+        bank.execute("INSERT INTO sidecar VALUES (9)")
+        with pytest.raises(ConstraintError):
+            # the trigger's insert collides with sidecar row 9
+            bank.execute("INSERT INTO accounts VALUES (9, 'x', 0.0)")
+        assert bank.execute("SELECT COUNT(*) FROM accounts").scalar() == 2
+        assert bank.execute("SELECT COUNT(*) FROM sidecar").scalar() == 1
+
+    def test_update_atomicity_under_pk_conflict(self, bank):
+        with pytest.raises(ConstraintError):
+            # shifting every id by 1 collides midway (2 -> ... exists)
+            bank.execute("UPDATE accounts SET id = 2")
+        assert balances(bank) == {1: 100.0, 2: 50.0}
+
+
+class TestExplicitTransactions:
+    def test_commit_persists(self, bank):
+        bank.execute("BEGIN")
+        bank.execute("UPDATE accounts SET balance = balance - 10 "
+                     "WHERE id = 1")
+        bank.execute("UPDATE accounts SET balance = balance + 10 "
+                     "WHERE id = 2")
+        bank.execute("COMMIT")
+        assert balances(bank) == {1: 90.0, 2: 60.0}
+
+    def test_rollback_reverts_everything(self, bank):
+        bank.execute("BEGIN")
+        bank.execute("DELETE FROM accounts WHERE id = 2")
+        bank.execute("INSERT INTO accounts VALUES (3, 'carol', 7.0)")
+        bank.execute("UPDATE accounts SET balance = 0 WHERE id = 1")
+        bank.execute("ROLLBACK")
+        assert balances(bank) == {1: 100.0, 2: 50.0}
+        assert bank.execute(
+            "SELECT owner FROM accounts WHERE id = 2"
+        ).rows == [("bob",)]
+
+    def test_rollback_restores_indexes(self, bank):
+        bank.execute("CREATE INDEX by_owner ON accounts (owner)")
+        bank.execute("BEGIN")
+        bank.execute("UPDATE accounts SET owner = 'zed' WHERE id = 1")
+        bank.execute("ROLLBACK")
+        assert bank.execute(
+            "SELECT id FROM accounts WHERE owner = 'alice'"
+        ).rows == [(1,)]
+
+    def test_rollback_restores_audit_views(self, bank):
+        bank.execute(
+            "CREATE AUDIT EXPRESSION audit_rich AS "
+            "SELECT * FROM accounts WHERE balance > 75 "
+            "FOR SENSITIVE TABLE accounts, PARTITION BY id"
+        )
+        view = bank.audit_manager.view("audit_rich")
+        assert view.ids() == frozenset({1})
+        bank.execute("BEGIN")
+        bank.execute("UPDATE accounts SET balance = 500 WHERE id = 2")
+        assert view.ids() == frozenset({1, 2})
+        bank.execute("ROLLBACK")
+        assert view.ids() == frozenset({1})
+
+    def test_failed_statement_keeps_transaction_open(self, bank):
+        bank.execute("BEGIN")
+        bank.execute("UPDATE accounts SET balance = 77 WHERE id = 1")
+        with pytest.raises(ConstraintError):
+            bank.execute("INSERT INTO accounts VALUES (1, 'dup', 0.0)")
+        assert bank.in_transaction
+        bank.execute("COMMIT")
+        assert balances(bank)[1] == 77.0
+
+    def test_nested_begin_rejected(self, bank):
+        bank.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            bank.execute("BEGIN")
+        bank.execute("ROLLBACK")
+
+    def test_commit_without_begin_rejected(self, bank):
+        with pytest.raises(TransactionError):
+            bank.execute("COMMIT")
+        with pytest.raises(TransactionError):
+            bank.execute("ROLLBACK")
+
+    def test_dml_triggers_roll_back_with_transaction(self, bank):
+        bank.execute("CREATE TABLE history (id INT, b FLOAT)")
+        bank.execute(
+            "CREATE TRIGGER track ON accounts AFTER UPDATE AS "
+            "INSERT INTO history VALUES (new.id, new.balance)"
+        )
+        bank.execute("BEGIN")
+        bank.execute("UPDATE accounts SET balance = 1 WHERE id = 1")
+        assert bank.execute("SELECT COUNT(*) FROM history").scalar() == 1
+        bank.execute("ROLLBACK")
+        # the classic trigger's write was part of the user transaction
+        assert bank.execute("SELECT COUNT(*) FROM history").scalar() == 0
+
+    def test_rollback_does_not_refire_triggers(self, bank):
+        bank.execute("CREATE TABLE events (kind VARCHAR)")
+        bank.execute(
+            "CREATE TRIGGER on_delete ON accounts AFTER DELETE AS "
+            "INSERT INTO events VALUES ('deleted')"
+        )
+        bank.execute("BEGIN")
+        bank.execute("INSERT INTO accounts VALUES (3, 'temp', 0.0)")
+        bank.execute("ROLLBACK")  # compensating delete of row 3
+        assert bank.execute("SELECT COUNT(*) FROM events").scalar() == 0
+
+    def test_context_manager_commits(self, bank):
+        with bank.transaction():
+            bank.execute("UPDATE accounts SET balance = 42 WHERE id = 1")
+        assert balances(bank)[1] == 42.0
+        assert not bank.in_transaction
+
+    def test_context_manager_rolls_back_on_error(self, bank):
+        with pytest.raises(RuntimeError):
+            with bank.transaction():
+                bank.execute(
+                    "UPDATE accounts SET balance = 42 WHERE id = 1"
+                )
+                raise RuntimeError("boom")
+        assert balances(bank)[1] == 100.0
+        assert not bank.in_transaction
+
+
+class TestSystemTransactionSemantics:
+    """§II-C: 'the action ... is executed as its own system transaction'."""
+
+    @pytest.fixture
+    def audited_bank(self, bank):
+        bank.execute(
+            "CREATE TABLE audit_log (uid VARCHAR, id INT)"
+        )
+        bank.execute(
+            "CREATE AUDIT EXPRESSION audit_accounts AS "
+            "SELECT * FROM accounts "
+            "FOR SENSITIVE TABLE accounts, PARTITION BY id"
+        )
+        bank.execute(
+            "CREATE TRIGGER log_access ON ACCESS TO audit_accounts AS "
+            "INSERT INTO audit_log SELECT user_id(), id FROM accessed"
+        )
+        return bank
+
+    def test_audit_trail_survives_user_rollback(self, audited_bank):
+        audited_bank.execute("BEGIN")
+        audited_bank.execute("SELECT * FROM accounts WHERE id = 1")
+        audited_bank.execute("ROLLBACK")
+        # the user transaction is gone; the audit evidence is not
+        assert audited_bank.execute(
+            "SELECT COUNT(*) FROM audit_log"
+        ).scalar() == 1
+
+    def test_user_changes_do_roll_back(self, audited_bank):
+        audited_bank.execute("BEGIN")
+        audited_bank.execute(
+            "UPDATE accounts SET balance = 0 WHERE id = 1"
+        )
+        audited_bank.execute("SELECT * FROM accounts WHERE id = 1")
+        audited_bank.execute("ROLLBACK")
+        # check the log first — reading `accounts` again would append to it
+        assert audited_bank.execute(
+            "SELECT COUNT(*) FROM audit_log"
+        ).scalar() == 1
+        assert balances(audited_bank)[1] == 100.0
