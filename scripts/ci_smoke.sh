@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI smoke: tier-1 test suite plus one quick end-to-end benchmark.
+#
+# Usage: scripts/ci_smoke.sh
+# Runs from any working directory; exits non-zero on the first failure.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q
+
+echo
+echo "== pipeline benchmark (--quick) =="
+PYTHONPATH=src python benchmarks/bench_pipeline.py --quick

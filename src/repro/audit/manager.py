@@ -52,6 +52,10 @@ class AuditManager:
         #: 'bloom' (§IV-A.2's fallback when IDs do not fit in memory;
         #: one-sided — may add false positives, never false negatives)
         self.probe_structure = "set"
+        #: monotonic counter bumped whenever the set of audit expressions
+        #: (or their views) changes; plan caches include it in their keys
+        #: because instrumented plan shapes depend on this configuration
+        self.config_version = 0
 
     # ------------------------------------------------------------------
     # expression lifecycle
@@ -73,6 +77,7 @@ class AuditManager:
         view.install_observers()
         self._views[expression.name] = view
         self._catalog.add_audit_expression(expression.name, expression)
+        self.config_version += 1
         return expression
 
     def drop_expression(self, name: str) -> None:
@@ -82,6 +87,7 @@ class AuditManager:
             raise AuditError(f"audit expression {name!r} does not exist")
         view.uninstall_observers()
         self._catalog.drop_audit_expression(key)
+        self.config_version += 1
 
     def expression(self, name: str) -> AuditExpression:
         return self.view(name).expression
@@ -110,9 +116,11 @@ class AuditManager:
             def __enter__(self) -> None:
                 self._previous = manager._views[name.lower()]
                 manager._views[name.lower()] = view
+                manager.config_version += 1
 
             def __exit__(self, *exc_info) -> None:
                 manager._views[name.lower()] = self._previous
+                manager.config_version += 1
 
         return _Override()
 
@@ -124,9 +132,11 @@ class AuditManager:
         class _Suspend:
             def __enter__(self) -> None:
                 self._view = manager._views.pop(name.lower())
+                manager.config_version += 1
 
             def __exit__(self, *exc_info) -> None:
                 manager._views[name.lower()] = self._view
+                manager.config_version += 1
 
         return _Suspend()
 

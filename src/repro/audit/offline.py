@@ -57,6 +57,16 @@ class OfflineAuditor:
         #: deletion runs performed by the last audit() call (for benches)
         self.last_deletion_runs = 0
         self.last_candidate_count = 0
+        # Compiled-plan reuse across audit() calls: a full audit session
+        # replays the same query once per tombstone, and a batch auditor
+        # replays the same *workload* once per expression — re-parsing and
+        # re-compiling each time is pure overhead. Entries are tag-checked
+        # against the database's plan-cache tags, and the CacheOperator
+        # store is emptied on every reuse since DML between calls can
+        # change the materialized sensitive-free subtree rows.
+        self._plans: dict[tuple, tuple] = {}
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
 
     # ------------------------------------------------------------------
 
@@ -67,14 +77,46 @@ class OfflineAuditor:
         parameters: dict[str, object] | None = None,
     ) -> set:
         """Accessed IDs of ``audit_expression`` for the given query."""
-        plan = self._database.plan_query(sql, parameters)
-        return self.audit_plan(plan, audit_expression, parameters)
+        database = self._database
+        expression = database.audit_manager.expression(audit_expression)
+        plan, physical = self._cached_plan(
+            sql, expression.sensitive_table, parameters
+        )
+        return self.audit_plan(
+            plan, audit_expression, parameters, physical=physical
+        )
+
+    def _cached_plan(
+        self,
+        sql: str,
+        sensitive_table: str,
+        parameters: dict[str, object] | None,
+    ) -> tuple[LogicalPlan, PhysicalOperator]:
+        """Logical + compiled plan for ``sql``, reused across audit calls."""
+        database = self._database
+        key = (sql.strip(), sensitive_table.lower(), self._use_cache)
+        tags = database._plan_cache_tags()
+        cached = self._plans.get(key)
+        if cached is not None and cached[0] == tags:
+            _, plan, physical, store = cached
+            store.clear()
+            self.plan_cache_hits += 1
+            return plan, physical
+        self.plan_cache_misses += 1
+        plan = database.plan_query(sql, parameters)
+        store: dict[int, list[tuple]] = {}
+        physical = self._compile(plan, sensitive_table, store)
+        if len(self._plans) >= 64:
+            self._plans.pop(next(iter(self._plans)))
+        self._plans[key] = (tags, plan, physical, store)
+        return plan, physical
 
     def audit_plan(
         self,
         plan: LogicalPlan,
         audit_expression: str,
         parameters: dict[str, object] | None = None,
+        physical: PhysicalOperator | None = None,
     ) -> set:
         """Accessed IDs for an already-built (rewritten) logical plan."""
         database = self._database
@@ -107,8 +149,11 @@ class OfflineAuditor:
                 pk = tuple(row[position] for position in pk_positions)
                 tuples_by_id.setdefault(id_value, []).append(pk)
 
-        store: dict[int, list[tuple]] = {}
-        physical = self._compile(plan, expression.sensitive_table, store)
+        if physical is None:
+            store: dict[int, list[tuple]] = {}
+            physical = self._compile(
+                plan, expression.sensitive_table, store
+            )
 
         baseline = Counter(
             database.run_physical(physical, parameters).rows_list()

@@ -39,6 +39,10 @@ class Catalog:
         # subsystems; the catalog only provides named storage + lookup.
         self._triggers: dict[str, object] = {}
         self._audit_expressions: dict[str, object] = {}
+        #: monotonic counter bumped by every DDL-level change (tables,
+        #: indexes, triggers); plan caches key their entries on it so any
+        #: change that could alter a compiled plan invalidates
+        self.version = 0
 
     # ------------------------------------------------------------------
     # tables
@@ -48,6 +52,7 @@ class Catalog:
         if name in self._tables:
             raise CatalogError(f"table {name!r} already exists")
         self._tables[name] = table
+        self.version += 1
 
     def drop_table(self, name: str) -> None:
         key = name.lower()
@@ -60,6 +65,7 @@ class Catalog:
             for index_name, definition in self._indexes.items()
             if definition.table != key
         }
+        self.version += 1
 
     def table(self, name: str) -> "Table":
         try:
@@ -86,6 +92,7 @@ class Catalog:
                 f"{definition.table!r}"
             )
         self._indexes[key] = definition
+        self.version += 1
 
     def indexes_on(self, table: str) -> list[IndexDefinition]:
         key = table.lower()
@@ -115,11 +122,13 @@ class Catalog:
         if key in self._triggers:
             raise CatalogError(f"trigger {name!r} already exists")
         self._triggers[key] = trigger
+        self.version += 1
 
     def drop_trigger(self, name: str) -> None:
         if name.lower() not in self._triggers:
             raise CatalogError(f"trigger {name!r} does not exist")
         del self._triggers[name.lower()]
+        self.version += 1
 
     def trigger(self, name: str) -> object:
         try:

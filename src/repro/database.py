@@ -41,12 +41,13 @@ from repro.errors import (
     ExecutionError,
     UnsupportedSqlError,
 )
-from repro.exec.context import ExecutionContext, Session
-from repro.exec.operators.base import PhysicalOperator
+from repro.exec.context import DEFAULT_BATCH_SIZE, ExecutionContext, Session
+from repro.exec.operators.base import PhysicalOperator, collect_rows
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expression
 from repro.optimizer.optimizer import Optimizer
 from repro.plan.builder import PlanBuilder, Scope
+from repro.plancache import CachedPlan, PlanCache
 from repro.plan.logical import LogicalPlan, PlanColumn
 from repro.sql import ast
 from repro.sql.parser import parse_statement, parse_statements
@@ -105,6 +106,14 @@ class Database:
         self.trigger_manager = TriggerManager(self)
         #: set False to execute queries without audit instrumentation
         self.audit_enabled = True
+        #: execution mode: 'batch' (vectorized, default) or 'row' (the
+        #: classic Volcano loop); both produce identical results,
+        #: ACCESSED sets, and audit probe counts
+        self.exec_mode = "batch"
+        #: rows per batch in batch mode
+        self.batch_size = DEFAULT_BATCH_SIZE
+        #: compiled-plan cache keyed on SQL text + engine version tags
+        self.plan_cache = PlanCache()
         #: messages emitted by SEND EMAIL / NOTIFY trigger actions
         self.notifications: list[str] = []
         self._trigger_depth = 0
@@ -131,11 +140,19 @@ class Database:
         sql: str,
         parameters: dict[str, object] | None = None,
     ) -> QueryResult:
-        """Parse and execute one SQL statement."""
-        statement = parse_statement(sql)
+        """Parse and execute one SQL statement (plan-cache aware)."""
+        text = sql.strip()
         if self._trigger_depth == 0:
-            self.session.sql_text = sql.strip()
-        return self._execute_statement(statement, parameters)
+            self.session.sql_text = text
+        entry = self.plan_cache.lookup(text, self._plan_cache_tags())
+        if entry is not None:
+            # warm hit: skip lexing, parsing, binding, rewriting, audit
+            # placement, and physical planning entirely
+            return self._run_select(
+                entry.column_names, entry.physical, parameters, None
+            )
+        statement = parse_statement(sql)
+        return self._execute_statement(statement, parameters, sql_key=text)
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a semicolon-separated script; returns per-statement results."""
@@ -179,6 +196,7 @@ class Database:
             parameters=parameters,
             compile_subquery=self._optimizer.compile,
             base_outer_rows=base_outer_rows,
+            batch_size=self.batch_size,
         )
         if tombstones:
             context.tombstones = tombstones
@@ -203,7 +221,7 @@ class Database:
     ) -> QueryResult:
         """Run a compiled plan without trigger side effects (auditor use)."""
         context = self.make_context(parameters, tombstones=tombstones)
-        rows = list(physical.rows(context))
+        rows = collect_rows(physical, context, mode=self.exec_mode)
         return QueryResult(
             rows=rows,
             accessed={
@@ -240,10 +258,12 @@ class Database:
         parameters: dict[str, object] | None,
         scope_columns: tuple[PlanColumn, ...] | None = None,
         pseudo_row: tuple | None = None,
+        sql_key: str | None = None,
     ) -> QueryResult:
         if isinstance(statement, ast.SelectStatement):
             return self._execute_select(
-                statement, parameters, scope_columns, pseudo_row
+                statement, parameters, scope_columns, pseudo_row,
+                sql_key=sql_key,
             )
         if isinstance(statement, ast.InsertStatement):
             return self._atomic_dml(
@@ -326,12 +346,30 @@ class Database:
             return None
         return self.audit_manager.instrument
 
+    def _plan_cache_tags(self) -> tuple:
+        """Version tags a cached plan must match to stay servable.
+
+        Catalog DDL version and audit configuration version cover CREATE /
+        DROP of tables, indexes, triggers, and audit expressions; the knob
+        values cover instrumentation and physical-planning choices baked
+        into the compiled tree.
+        """
+        return (
+            self.catalog.version,
+            self.audit_manager.config_version,
+            self.audit_enabled,
+            self.audit_manager.heuristic,
+            self.join_strategy,
+            self._optimizer.join_reorder,
+        )
+
     def _execute_select(
         self,
         statement: ast.SelectStatement,
         parameters: dict[str, object] | None,
         scope_columns: tuple[PlanColumn, ...] | None = None,
         pseudo_row: tuple | None = None,
+        sql_key: str | None = None,
     ) -> QueryResult:
         outer_scope = Scope(scope_columns) if scope_columns else None
         logical = self._builder.build_select(statement, outer_scope)
@@ -340,12 +378,38 @@ class Database:
             logical, instrument=self._instrument_hook()
         )
         physical = self._optimizer.compile(logical)
+        # Top-level SELECTs are cacheable; trigger-body selects see NEW/OLD
+        # pseudo-rows through their scope and are compiled fresh each time.
+        if sql_key is not None and scope_columns is None \
+                and pseudo_row is None:
+            self.plan_cache.store(
+                CachedPlan(
+                    sql=sql_key,
+                    column_names=column_names,
+                    logical=logical,
+                    physical=physical,
+                    tags=self._plan_cache_tags(),
+                )
+            )
+        return self._run_select(column_names, physical, parameters, pseudo_row)
+
+    def _run_select(
+        self,
+        column_names: tuple[str, ...],
+        physical: PhysicalOperator,
+        parameters: dict[str, object] | None,
+        pseudo_row: tuple | None,
+    ) -> QueryResult:
         base_rows = (pseudo_row,) if pseudo_row is not None else ()
         context = self.make_context(parameters, base_outer_rows=base_rows)
         rows: list[tuple] = []
         try:
-            for row in physical.rows(context):
-                rows.append(row)
+            if self.exec_mode == "batch":
+                for batch in physical.rows_batched(context):
+                    rows.extend(batch)
+            else:
+                for row in physical.rows(context):
+                    rows.append(row)
         except BaseException:
             # §II: the (AFTER) action executes even if the query aborts,
             # to account for readers that consume a prefix of the result
@@ -703,6 +767,9 @@ class Database:
         else:
             for table in self.catalog.tables():
                 self.catalog.statistics(table.schema.name)
+        # fresh statistics can change cost-based plan choices, so cached
+        # physical plans may no longer be the ones the planner would pick
+        self.plan_cache.clear()
         return QueryResult()
 
     # ------------------------------------------------------------------

@@ -29,6 +29,11 @@ if TYPE_CHECKING:  # pragma: no cover - cycle guard
 #: compiles a logical plan into a physical one (provided by the engine)
 SubqueryCompiler = Callable[["LogicalPlan"], "PhysicalOperator"]
 
+#: rows per batch in batch-at-a-time execution (tuned for list-comp
+#: filter/project loops; large enough to amortize generator switches,
+#: small enough to keep working sets cache-friendly)
+DEFAULT_BATCH_SIZE = 1024
+
 
 class Session:
     """Per-connection state visible to session functions."""
@@ -55,6 +60,7 @@ class ExecutionContext:
         parameters: dict[str, object] | None = None,
         compile_subquery: SubqueryCompiler | None = None,
         base_outer_rows: tuple[tuple, ...] = (),
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self.session = session or Session()
         self._parameters = parameters or {}
@@ -71,6 +77,10 @@ class ExecutionContext:
         self.accessed: dict[str, set] = {}
         #: number of rows inspected by audit operators (for benchmarks)
         self.audit_probe_count = 0
+        #: per-audit-expression probe counts (bench harness reads these)
+        self.audit_probe_counts: dict[str, int] = {}
+        #: rows per batch for ``rows_batched`` execution
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------
     # parameters
@@ -151,6 +161,13 @@ class ExecutionContext:
 
     def record_access(self, audit_name: str, value: object) -> None:
         self.accessed.setdefault(audit_name, set()).add(value)
+
+    def add_probes(self, audit_name: str, count: int) -> None:
+        """Account ``count`` audit probes globally and per expression."""
+        self.audit_probe_count += count
+        self.audit_probe_counts[audit_name] = (
+            self.audit_probe_counts.get(audit_name, 0) + count
+        )
 
 
 def _free_outer_refs(plan: "LogicalPlan") -> tuple[tuple[int, int], ...]:

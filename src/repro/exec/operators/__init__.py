@@ -1,6 +1,6 @@
-"""Physical operators (Volcano-style iterators)."""
+"""Physical operators (Volcano-style iterators, row- and batch-mode)."""
 
-from repro.exec.operators.base import PhysicalOperator
+from repro.exec.operators.base import PhysicalOperator, collect_rows, rebatch
 from repro.exec.operators.scan import TableScan, IndexSeek, IndexRange, OneRowSource
 from repro.exec.operators.filter import FilterOperator
 from repro.exec.operators.project import ProjectOperator
@@ -14,6 +14,8 @@ from repro.exec.operators.audit import AuditOperator
 
 __all__ = [
     "PhysicalOperator",
+    "collect_rows",
+    "rebatch",
     "TableScan",
     "IndexSeek",
     "IndexRange",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator
 
 from repro.expr.aggregates import make_accumulator
+from repro.expr.compiler import compile_expression
 from repro.expr.evaluator import evaluate
 from repro.exec.operators.base import PhysicalOperator
 from repro.plan.logical import AggregateSpec
@@ -32,6 +33,16 @@ class HashAggregate(PhysicalOperator):
         self._child = child
         self._group_expressions = group_expressions
         self._specs = specs
+        self._compiled_groups = tuple(
+            compile_expression(expression)
+            for expression in group_expressions
+        )
+        self._compiled_arguments = tuple(
+            compile_expression(spec.argument)
+            if spec.argument is not None
+            else None
+            for spec in specs
+        )
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self._child,)
@@ -66,6 +77,45 @@ class HashAggregate(PhysicalOperator):
             yield key + tuple(
                 accumulator.result() for accumulator in accumulators
             )
+
+    def rows_batched(self, context: "ExecutionContext"):
+        groups: dict[tuple, list] = {}
+        compiled_groups = self._compiled_groups
+        compiled_arguments = self._compiled_arguments
+        specs = self._specs
+        get = groups.get
+        for batch in self._child.rows_batched(context):
+            for row in batch:
+                key = tuple(
+                    expression(row, context)
+                    for expression in compiled_groups
+                )
+                accumulators = get(key)
+                if accumulators is None:
+                    accumulators = [
+                        make_accumulator(spec.name, spec.distinct)
+                        for spec in specs
+                    ]
+                    groups[key] = accumulators
+                for argument, accumulator in zip(
+                    compiled_arguments, accumulators
+                ):
+                    if argument is None:
+                        accumulator.add(1)  # COUNT(*)
+                    else:
+                        accumulator.add(argument(row, context))
+        if not groups and not self._group_expressions:
+            groups[()] = [
+                make_accumulator(spec.name, spec.distinct) for spec in specs
+            ]
+        out = [
+            key
+            + tuple(accumulator.result() for accumulator in accumulators)
+            for key, accumulators in groups.items()
+        ]
+        batch_size = context.batch_size
+        for start in range(0, len(out), batch_size):
+            yield out[start:start + batch_size]
 
     def describe(self) -> str:
         return (

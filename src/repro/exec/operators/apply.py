@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.expr.compiler import compile_predicate
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expression
 from repro.exec.operators.base import PhysicalOperator
@@ -40,6 +41,9 @@ class IndexNestedLoopJoin(PhysicalOperator):
         self._inner = inner
         self._kind = kind
         self._residual = residual
+        self._compiled_residual = (
+            compile_predicate(residual) if residual is not None else None
+        )
         self._inner_arity = inner_arity
 
     def children(self) -> tuple[PhysicalOperator, ...]:
@@ -71,6 +75,44 @@ class IndexNestedLoopJoin(PhysicalOperator):
                 yield left_row
             elif kind == JOIN_LEFT and not matched:
                 yield left_row + null_extension
+
+    def rows_batched(self, context: "ExecutionContext"):
+        """Batch mode: outer rows arrive in batches; the inner subplan is
+        still executed per outer row (it is an index seek parameterized by
+        the outer-row stack, inherently row-at-a-time)."""
+        kind = self._kind
+        residual = self._compiled_residual
+        null_extension = (None,) * self._inner_arity
+        batch_size = context.batch_size
+        out: list[tuple] = []
+        for batch in self._left.rows_batched(context):
+            for left_row in batch:
+                context.push_outer_row(left_row)
+                try:
+                    matches = list(self._inner.rows(context))
+                finally:
+                    context.pop_outer_row()
+                matched = False
+                for right_row in matches:
+                    combined = left_row + right_row
+                    if residual is not None:
+                        if residual(combined, context) is not True:
+                            continue
+                    matched = True
+                    if kind == JOIN_SEMI or kind == JOIN_ANTI:
+                        break
+                    out.append(combined)
+                if kind == JOIN_SEMI and matched:
+                    out.append(left_row)
+                elif kind == JOIN_ANTI and not matched:
+                    out.append(left_row)
+                elif kind == JOIN_LEFT and not matched:
+                    out.append(left_row + null_extension)
+                if len(out) >= batch_size:
+                    yield out
+                    out = []
+        if out:
+            yield out
 
     def describe(self) -> str:
         return f"IndexNestedLoopJoin({self._kind})"

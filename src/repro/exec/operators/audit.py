@@ -56,7 +56,35 @@ class AuditOperator(PhysicalOperator):
                     record(value)
                 yield row
         finally:
-            context.audit_probe_count += probes
+            # flushed even on a mid-stream abort, so the probe accounting
+            # of a prefix-consumed query is complete in both modes
+            context.add_probes(self._audit_name, probes)
+
+    def rows_batched(self, context: "ExecutionContext"):
+        """Batch mode: probe each batch in one tight loop.
+
+        Per-batch work is a bare hash probe per row — identical probe
+        count and ACCESSED contents as ``rows`` (Claim 3.6 must survive
+        batching). Batches pass through unchanged.
+        """
+        slot = self._id_slot
+        sensitive = self._probe_set
+        record = None
+        probes = 0
+        try:
+            for batch in self._child.rows_batched(context):
+                probes += len(batch)
+                for row in batch:
+                    value = row[slot]
+                    if value is not None and value in sensitive:
+                        if record is None:
+                            record = context.accessed.setdefault(
+                                self._audit_name, set()
+                            ).add
+                        record(value)
+                yield batch
+        finally:
+            context.add_probes(self._audit_name, probes)
 
     def describe(self) -> str:
         return f"AuditOperator({self._audit_name}, slot={self._id_slot})"

@@ -5,6 +5,20 @@ A physical operator is an immutable factory of row iterators: calling
 which the offline auditor exploits — it runs the same physical plan many
 times with different tombstone sets (one per candidate sensitive tuple).
 
+Operators support two execution modes over the same plan:
+
+* **row-at-a-time** (``rows``) — the classic Volcano pull loop, one tuple
+  per generator step;
+* **batch-at-a-time** (``rows_batched``) — yields lists of tuples of up to
+  ``context.batch_size`` rows, so per-operator work runs in tight Python
+  loops instead of one generator frame switch per row. Both modes must
+  produce the same rows in the same order; audit operators additionally
+  guarantee identical ACCESSED contents and probe counts (the paper's
+  no-op guarantee survives batching).
+
+The base ``rows_batched`` wraps ``rows`` so every operator is batch-capable
+by default; hot operators override it with real vectorized loops.
+
 Operators expose ``children()`` and ``describe()`` for plan inspection
 (EXPLAIN output and tests).
 """
@@ -24,6 +38,26 @@ class PhysicalOperator:
         """Start a fresh execution and yield output rows."""
         raise NotImplementedError
 
+    def rows_batched(
+        self, context: "ExecutionContext"
+    ) -> Iterator[list[tuple]]:
+        """Start a fresh execution and yield non-empty row batches.
+
+        Default: chunk ``rows()``. Overrides must preserve row order and
+        never yield empty batches.
+        """
+        batch_size = context.batch_size
+        batch: list[tuple] = []
+        append = batch.append
+        for row in self.rows(context):
+            append(row)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
+
     def children(self) -> tuple["PhysicalOperator", ...]:
         return ()
 
@@ -34,6 +68,36 @@ class PhysicalOperator:
         yield self
         for child in self.children():
             yield from child.walk()
+
+
+def collect_rows(
+    operator: PhysicalOperator,
+    context: "ExecutionContext",
+    mode: str = "row",
+) -> list[tuple]:
+    """Materialize an operator's output in the given execution mode."""
+    if mode == "batch":
+        rows: list[tuple] = []
+        for batch in operator.rows_batched(context):
+            rows.extend(batch)
+        return rows
+    if mode == "row":
+        return list(operator.rows(context))
+    raise ValueError(f"unknown execution mode {mode!r}")
+
+
+def rebatch(
+    batches: Iterator[list[tuple]], batch_size: int
+) -> Iterator[list[tuple]]:
+    """Re-chunk a batch stream to ``batch_size`` (drops empty batches)."""
+    pending: list[tuple] = []
+    for batch in batches:
+        pending.extend(batch)
+        while len(pending) >= batch_size:
+            yield pending[:batch_size]
+            pending = pending[batch_size:]
+    if pending:
+        yield pending
 
 
 def format_physical(operator: PhysicalOperator, indent: int = 0) -> str:

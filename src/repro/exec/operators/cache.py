@@ -42,5 +42,20 @@ class CacheOperator(PhysicalOperator):
             self._store[self._key] = cached
         return iter(cached)
 
+    def rows_batched(self, context: "ExecutionContext"):
+        cached = self._store.get(self._key)
+        if cached is None:
+            # materialize eagerly so the store never holds a prefix; the
+            # flat list is shared with row-mode executions of the plan
+            cached = [
+                row
+                for batch in self._child.rows_batched(context)
+                for row in batch
+            ]
+            self._store[self._key] = cached
+        batch_size = context.batch_size
+        for start in range(0, len(cached), batch_size):
+            yield cached[start:start + batch_size]
+
     def describe(self) -> str:
         return "Cache"

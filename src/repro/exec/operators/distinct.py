@@ -27,5 +27,18 @@ class DistinctOperator(PhysicalOperator):
             seen.add(row)
             yield row
 
+    def rows_batched(self, context: "ExecutionContext"):
+        seen: set[tuple] = set()
+        add = seen.add
+        for batch in self._child.rows_batched(context):
+            fresh: list[tuple] = []
+            append = fresh.append
+            for row in batch:
+                if row not in seen:
+                    add(row)
+                    append(row)
+            if fresh:
+                yield fresh
+
     def describe(self) -> str:
         return "Distinct"

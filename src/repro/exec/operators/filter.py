@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.expr.compiler import compile_predicate
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expression
 from repro.exec.operators.base import PhysicalOperator
@@ -18,6 +19,7 @@ class FilterOperator(PhysicalOperator):
     def __init__(self, child: PhysicalOperator, predicate: Expression) -> None:
         self._child = child
         self._predicate = predicate
+        self._compiled = compile_predicate(predicate)
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self._child,)
@@ -27,6 +29,13 @@ class FilterOperator(PhysicalOperator):
         for row in self._child.rows(context):
             if evaluate(predicate, row, context) is True:
                 yield row
+
+    def rows_batched(self, context: "ExecutionContext"):
+        predicate = self._compiled
+        for batch in self._child.rows_batched(context):
+            kept = [row for row in batch if predicate(row, context) is True]
+            if kept:
+                yield kept
 
     def describe(self) -> str:
         return "Filter"

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.expr.compiler import compile_predicate
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expression
 from repro.exec.operators.base import PhysicalOperator
@@ -37,10 +38,48 @@ class NestedLoopJoin(PhysicalOperator):
         self._right = right
         self._kind = kind
         self._condition = condition
+        self._compiled_condition = (
+            compile_predicate(condition) if condition is not None else None
+        )
         self._right_arity = right_arity
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self._left, self._right)
+
+    def rows_batched(self, context: "ExecutionContext"):
+        right_rows = [
+            row
+            for batch in self._right.rows_batched(context)
+            for row in batch
+        ]
+        condition = self._compiled_condition
+        kind = self._kind
+        null_extension = (None,) * self._right_arity
+        batch_size = context.batch_size
+        out: list[tuple] = []
+        for batch in self._left.rows_batched(context):
+            for left_row in batch:
+                matched = False
+                for right_row in right_rows:
+                    combined = left_row + right_row
+                    if condition is not None:
+                        if condition(combined, context) is not True:
+                            continue
+                    matched = True
+                    if kind == JOIN_SEMI or kind == JOIN_ANTI:
+                        break
+                    out.append(combined)
+                if kind == JOIN_SEMI and matched:
+                    out.append(left_row)
+                elif kind == JOIN_ANTI and not matched:
+                    out.append(left_row)
+                elif kind == JOIN_LEFT and not matched:
+                    out.append(left_row + null_extension)
+                if len(out) >= batch_size:
+                    yield out
+                    out = []
+        if out:
+            yield out
 
     def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
         right_rows = list(self._right.rows(context))
@@ -98,6 +137,9 @@ class HashJoin(PhysicalOperator):
         self._left_keys = left_keys
         self._right_keys = right_keys
         self._residual = residual
+        self._compiled_residual = (
+            compile_predicate(residual) if residual is not None else None
+        )
         self._right_arity = right_arity
         self._build_left = build_left and kind == JOIN_INNER
 
@@ -109,6 +151,89 @@ class HashJoin(PhysicalOperator):
             yield from self._run_build_left(context)
         else:
             yield from self._run_build_right(context)
+
+    def rows_batched(self, context: "ExecutionContext"):
+        if self._build_left:
+            yield from self._run_build_left_batched(context)
+        else:
+            yield from self._run_build_right_batched(context)
+
+    def _build_table(
+        self,
+        operator: PhysicalOperator,
+        keys: tuple[int, ...],
+        context: "ExecutionContext",
+    ) -> dict[tuple, list[tuple]]:
+        table: dict[tuple, list[tuple]] = {}
+        setdefault = table.setdefault
+        for batch in operator.rows_batched(context):
+            for row in batch:
+                key = tuple(row[slot] for slot in keys)
+                if any(part is None for part in key):
+                    continue
+                setdefault(key, []).append(row)
+        return table
+
+    def _run_build_right_batched(self, context: "ExecutionContext"):
+        table = self._build_table(self._right, self._right_keys, context)
+        residual = self._compiled_residual
+        kind = self._kind
+        left_keys = self._left_keys
+        null_extension = (None,) * self._right_arity
+        empty: tuple = ()
+        batch_size = context.batch_size
+        get = table.get
+        out: list[tuple] = []
+        for batch in self._left.rows_batched(context):
+            for left_row in batch:
+                key = tuple(left_row[slot] for slot in left_keys)
+                matches = get(key, empty) if None not in key else empty
+                matched = False
+                for right_row in matches:
+                    combined = left_row + right_row
+                    if residual is not None:
+                        if residual(combined, context) is not True:
+                            continue
+                    matched = True
+                    if kind == JOIN_SEMI or kind == JOIN_ANTI:
+                        break
+                    out.append(combined)
+                if kind == JOIN_SEMI and matched:
+                    out.append(left_row)
+                elif kind == JOIN_ANTI and not matched:
+                    out.append(left_row)
+                elif kind == JOIN_LEFT and not matched:
+                    out.append(left_row + null_extension)
+                if len(out) >= batch_size:
+                    yield out
+                    out = []
+        if out:
+            yield out
+
+    def _run_build_left_batched(self, context: "ExecutionContext"):
+        table = self._build_table(self._left, self._left_keys, context)
+        residual = self._compiled_residual
+        right_keys = self._right_keys
+        empty: tuple = ()
+        batch_size = context.batch_size
+        get = table.get
+        out: list[tuple] = []
+        for batch in self._right.rows_batched(context):
+            for right_row in batch:
+                key = tuple(right_row[slot] for slot in right_keys)
+                if None in key:
+                    continue
+                for left_row in get(key, empty):
+                    combined = left_row + right_row
+                    if residual is not None:
+                        if residual(combined, context) is not True:
+                            continue
+                    out.append(combined)
+                if len(out) >= batch_size:
+                    yield out
+                    out = []
+        if out:
+            yield out
 
     def _run_build_right(
         self, context: "ExecutionContext"

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.expr.compiler import compile_projector
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import ColumnRef, Expression
 from repro.exec.operators.base import PhysicalOperator
@@ -36,6 +37,7 @@ class ProjectOperator(PhysicalOperator):
                 expression.index  # type: ignore[union-attr]
                 for expression in expressions
             )
+        self._projector = compile_projector(expressions)
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self._child,)
@@ -52,6 +54,18 @@ class ProjectOperator(PhysicalOperator):
                 evaluate(expression, row, context)
                 for expression in expressions
             )
+
+    def rows_batched(self, context: "ExecutionContext"):
+        slots = self._simple_slots
+        if slots is not None:
+            for batch in self._child.rows_batched(context):
+                yield [
+                    tuple(row[slot] for slot in slots) for row in batch
+                ]
+            return
+        projector = self._projector
+        for batch in self._child.rows_batched(context):
+            yield [projector(row, context) for row in batch]
 
     def describe(self) -> str:
         return f"Project({len(self._expressions)} cols)"

@@ -7,9 +7,11 @@ tombstoned are invisible, which is how the offline auditor evaluates
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ExecutionError
+from repro.expr.compiler import compile_predicate
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expression
 from repro.exec.operators.base import PhysicalOperator
@@ -27,6 +29,9 @@ class TableScan(PhysicalOperator):
                  ) -> None:
         self._table = table
         self._predicate = predicate
+        self._compiled = (
+            compile_predicate(predicate) if predicate is not None else None
+        )
         self._pk_positions = table.schema.primary_key_positions()
 
     @property
@@ -47,6 +52,30 @@ class TableScan(PhysicalOperator):
                 if evaluate(predicate, row, context) is not True:
                     continue
             yield row
+
+    def rows_batched(self, context: "ExecutionContext"):
+        hidden = context.tombstones.get(self._table.schema.name)
+        predicate = self._compiled
+        pk_positions = self._pk_positions
+        batch_size = context.batch_size
+        source = iter(self._table.rows())
+        while True:
+            chunk = list(islice(source, batch_size))
+            if not chunk:
+                return
+            if hidden is not None and pk_positions:
+                chunk = [
+                    row
+                    for row in chunk
+                    if tuple(row[position] for position in pk_positions)
+                    not in hidden
+                ]
+            if predicate is not None:
+                chunk = [
+                    row for row in chunk if predicate(row, context) is True
+                ]
+            if chunk:
+                yield chunk
 
     def describe(self) -> str:
         suffix = " [filtered]" if self._predicate is not None else ""

@@ -10,6 +10,7 @@ import heapq
 from typing import TYPE_CHECKING, Iterator
 
 from repro.datatypes import value_sort_key
+from repro.expr.compiler import compile_expression
 from repro.expr.evaluator import evaluate
 from repro.exec.operators.base import PhysicalOperator
 from repro.plan.logical import SortKey
@@ -25,6 +26,9 @@ class SortOperator(PhysicalOperator):
                  ) -> None:
         self._child = child
         self._keys = keys
+        self._compiled_keys = tuple(
+            compile_expression(key.expression) for key in keys
+        )
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self._child,)
@@ -41,6 +45,23 @@ class SortOperator(PhysicalOperator):
                 reverse=not key.ascending,
             )
         yield from buffered
+
+    def rows_batched(self, context: "ExecutionContext"):
+        buffered = [
+            row
+            for batch in self._child.rows_batched(context)
+            for row in batch
+        ]
+        for key, compiled in zip(
+            reversed(self._keys), reversed(self._compiled_keys)
+        ):
+            buffered.sort(
+                key=lambda row: value_sort_key(compiled(row, context)),
+                reverse=not key.ascending,
+            )
+        batch_size = context.batch_size
+        for start in range(0, len(buffered), batch_size):
+            yield buffered[start:start + batch_size]
 
     def describe(self) -> str:
         return f"Sort({len(self._keys)} keys)"
@@ -65,6 +86,17 @@ class LimitOperator(PhysicalOperator):
             emitted += 1
             if emitted >= self._count:
                 return
+
+    def rows_batched(self, context: "ExecutionContext"):
+        remaining = self._count
+        if remaining <= 0:
+            return
+        for batch in self._child.rows_batched(context):
+            if len(batch) >= remaining:
+                yield batch[:remaining]
+                return
+            remaining -= len(batch)
+            yield batch
 
     def describe(self) -> str:
         return f"Limit({self._count})"
@@ -97,6 +129,9 @@ class TopKOperator(PhysicalOperator):
     ) -> None:
         self._child = child
         self._keys = keys
+        self._compiled_keys = tuple(
+            compile_expression(key.expression) for key in keys
+        )
         self._count = count
 
     def children(self) -> tuple[PhysicalOperator, ...]:
@@ -104,8 +139,8 @@ class TopKOperator(PhysicalOperator):
 
     def _rank(self, row: tuple, context: "ExecutionContext") -> tuple:
         rank = []
-        for key in self._keys:
-            part = value_sort_key(evaluate(key.expression, row, context))
+        for key, compiled in zip(self._keys, self._compiled_keys):
+            part = value_sort_key(compiled(row, context))
             if not key.ascending:
                 part = _Reversed(part)
             rank.append(part)
@@ -126,6 +161,27 @@ class TopKOperator(PhysicalOperator):
         ordered = sorted(heap, key=lambda e: (e.rank, e.sequence))
         for entry in ordered:
             yield entry.row
+
+    def rows_batched(self, context: "ExecutionContext"):
+        if self._count <= 0:
+            return
+        heap: list[_HeapEntry] = []
+        count = self._count
+        sequence = 0
+        for batch in self._child.rows_batched(context):
+            for row in batch:
+                entry = _HeapEntry(self._rank(row, context), sequence, row)
+                sequence += 1
+                if len(heap) < count:
+                    heapq.heappush(heap, entry)
+                elif entry.rank < heap[0].rank or (
+                    entry.rank == heap[0].rank
+                    and entry.sequence < heap[0].sequence
+                ):
+                    heapq.heapreplace(heap, entry)
+        ordered = sorted(heap, key=lambda e: (e.rank, e.sequence))
+        if ordered:
+            yield [entry.row for entry in ordered]
 
     def describe(self) -> str:
         return f"TopK({self._count}, {len(self._keys)} keys)"

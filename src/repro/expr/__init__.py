@@ -3,12 +3,20 @@
 from repro.expr import nodes
 from repro.expr.nodes import Expression
 from repro.expr.evaluator import evaluate
+from repro.expr.compiler import (
+    compile_expression,
+    compile_predicate,
+    compile_projector,
+)
 from repro.expr.aggregates import is_aggregate_name, make_accumulator
 
 __all__ = [
     "nodes",
     "Expression",
     "evaluate",
+    "compile_expression",
+    "compile_predicate",
+    "compile_projector",
     "is_aggregate_name",
     "make_accumulator",
 ]

@@ -145,6 +145,15 @@ def _binary(
         if comparison is None:
             return None
         return _COMPARISONS[op](comparison)
+    return apply_binary_operator(op, left, right)
+
+
+def apply_binary_operator(op: str, left: object, right: object) -> object:
+    """Apply a non-logical, non-comparison binary operator to two values.
+
+    Shared by the tree-walking evaluator and the closure compiler
+    (:mod:`repro.expr.compiler`) so both paths have identical semantics.
+    """
     if left is None or right is None:
         return None
     if op == "||":

@@ -1,0 +1,100 @@
+"""Audit-aware LRU plan cache.
+
+``Database.execute`` re-parsed and re-optimized identical SQL on every
+call — the dominant fixed cost of short queries in a Python engine. The
+plan cache maps *SQL text* to a fully compiled entry (column names,
+instrumented logical plan, physical operator tree) so a repeated query
+skips the lexer, parser, binder, rewriter, audit placement, and physical
+planner entirely.
+
+Audit awareness is the point: an instrumented plan bakes in the audit
+expressions that existed — and the placement heuristic in force — when it
+was compiled. Every entry therefore carries a *tag tuple* of version
+counters (catalog DDL version, audit configuration version, plus the knobs
+that steer instrumentation and physical planning). A lookup whose current
+tags differ from the entry's treats the entry as stale and drops it, so
+``CREATE TABLE`` / ``CREATE INDEX`` / ``DROP TABLE``, ``CREATE/DROP AUDIT
+EXPRESSION``, trigger changes, and heuristic or join-strategy flips can
+never serve a plan instrumented for a previous world. Data changes (DML)
+do not invalidate: plans remain semantically valid, and the audit
+operators probe the *live* ID-view structures which are maintained in
+place.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.operators.base import PhysicalOperator
+    from repro.plan.logical import LogicalPlan
+
+DEFAULT_PLAN_CACHE_CAPACITY = 128
+
+
+@dataclass
+class CachedPlan:
+    """One compiled SELECT, with the tags it was compiled under."""
+
+    sql: str
+    column_names: tuple[str, ...]
+    logical: "LogicalPlan"
+    physical: "PhysicalOperator"
+    tags: tuple
+
+
+class PlanCache:
+    """LRU cache of compiled plans keyed by SQL text, tag-validated."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, sql: str, tags: tuple) -> CachedPlan | None:
+        """Return a live entry for ``sql`` or None (and count the miss)."""
+        entry = self._entries.get(sql)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.tags != tags:
+            del self._entries[sql]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(sql)
+        self.hits += 1
+        return entry
+
+    def store(self, entry: CachedPlan) -> None:
+        self._entries[entry.sql] = entry
+        self._entries.move_to_end(entry.sql)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def evict(self, sql: str) -> None:
+        """Drop one entry (benchmarks use this to force a cold compile)."""
+        self._entries.pop(sql, None)
+
+    def clear(self) -> None:
+        if self._entries:
+            self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+
+__all__ = ["CachedPlan", "PlanCache", "DEFAULT_PLAN_CACHE_CAPACITY"]
