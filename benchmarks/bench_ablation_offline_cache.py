@@ -16,7 +16,10 @@ def test_benchmark_offline_cached(fixture, benchmark):
     from repro.bench.harness import AUDIT_NAME
     from repro.tpch import MICRO_BENCHMARK_QUERY
 
-    auditor = OfflineAuditor(fixture.database, use_cache=True)
+    # pin the deletion strategy: this ablation measures the per-run
+    # subplan cache, which the lineage fast path would bypass entirely
+    auditor = OfflineAuditor(fixture.database, use_cache=True,
+                             mode="deletion")
     parameters = micro_parameters(fixture, 0.4)
     benchmark(
         lambda: auditor.audit(MICRO_BENCHMARK_QUERY, AUDIT_NAME, parameters)

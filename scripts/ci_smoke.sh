@@ -14,3 +14,9 @@ PYTHONPATH=src python -m pytest -x -q
 echo
 echo "== pipeline benchmark (--quick) =="
 PYTHONPATH=src python benchmarks/bench_pipeline.py --quick
+
+echo
+echo "== offline lineage-vs-deletion differential (--quick) =="
+# exits non-zero if the one-pass lineage auditor and the deletion-test
+# oracle disagree on any accessed-ID set (exactness regression)
+PYTHONPATH=src python benchmarks/bench_offline_lineage.py --quick

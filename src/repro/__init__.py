@@ -6,8 +6,9 @@ A pure-Python relational database engine with the paper's auditing stack:
 * the audit operator — a no-op data viewer probing IDs during execution;
 * placement heuristics (leaf-node / highest-node / highest-commutative-node);
 * SELECT triggers with the ACCESSED internal state and cascading actions;
-* a deletion-based offline auditor (the ground truth) and an Oracle-FGA
-  style static-analysis baseline;
+* an offline auditor (the ground truth) with a one-pass lineage fast
+  path, parallel deletion-test fallback, and an Oracle-FGA style
+  static-analysis baseline;
 * a TPC-H workload generator and the paper's benchmark harness.
 
 Quickstart::
@@ -23,6 +24,7 @@ from repro.audit import (
     HEURISTIC_HIGHEST,
     HEURISTIC_LEAF,
     AuditLog,
+    LineageAuditor,
     OfflineAuditor,
     StaticAnalysisAuditor,
     install_audit_log,
@@ -38,6 +40,7 @@ __all__ = [
     "HEURISTIC_HCN",
     "HEURISTIC_HIGHEST",
     "HEURISTIC_LEAF",
+    "LineageAuditor",
     "OfflineAuditor",
     "StaticAnalysisAuditor",
     "AuditLog",

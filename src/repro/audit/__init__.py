@@ -7,7 +7,10 @@
 * :mod:`repro.audit.manager` — ties expressions, views, placement, and
   SELECT triggers into the engine;
 * :mod:`repro.audit.offline` — deletion-based offline auditor
-  (Definition 2.3/2.5) with cross-run subplan caching;
+  (Definition 2.3/2.5) with cross-run subplan caching and a parallel
+  fallback pool;
+* :mod:`repro.audit.lineage` — one-pass lineage-based classification,
+  the offline auditor's fast path;
 * :mod:`repro.audit.static_analysis` — Oracle-FGA-style baseline (§VI).
 """
 
@@ -20,6 +23,7 @@ from repro.audit.placement import (
     instrument_plan,
 )
 from repro.audit.manager import AuditManager
+from repro.audit.lineage import LineageAuditor
 from repro.audit.offline import OfflineAuditor
 from repro.audit.static_analysis import StaticAnalysisAuditor
 from repro.audit.logging import AuditLog, install_audit_log
@@ -33,6 +37,7 @@ __all__ = [
     "HEURISTIC_LEAF",
     "instrument_plan",
     "AuditManager",
+    "LineageAuditor",
     "OfflineAuditor",
     "StaticAnalysisAuditor",
     "AuditLog",

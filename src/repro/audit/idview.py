@@ -10,7 +10,9 @@ CPU to propagate them).
 The view is maintained under DML via table change observers:
 
 * single-table audit expressions are maintained *incrementally* — the
-  predicate is evaluated directly on the changed row;
+  predicate is evaluated directly on the changed row, and a per-ID
+  refcount of qualifying rows makes deletions O(1) (an ID leaves the
+  view exactly when its last qualifying row does, with no table scan);
 * expressions that join other tables (e.g. ``Audit_Cancer``) are
   re-materialized when any referenced table changes, the standard fallback
   of materialized-view maintenance.
@@ -18,6 +20,7 @@ The view is maintained under DML via table change observers:
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.audit.expression import AuditExpression
@@ -64,10 +67,15 @@ class IdView:
         self._referenced = _referenced_tables(expression)
         self._single_table = self._referenced == {expression.sensitive_table}
         self._predicate_evaluator = None
+        #: qualifying-row count per ID (single-table expressions only):
+        #: the incremental-maintenance bookkeeping that makes DELETE/UPDATE
+        #: maintenance O(1) instead of a table scan per removed row
+        self._id_refcounts: Counter = Counter()
         if self._single_table:
             self._predicate_evaluator = _SingleTablePredicate(
                 expression, catalog
             )
+            self._rebuild_refcounts()
         self._observers_installed = False
 
     # ------------------------------------------------------------------
@@ -145,6 +153,19 @@ class IdView:
             self._bloom.clear()
             for value in self._ids:
                 self._bloom.add(value)
+        if self._single_table:
+            self._rebuild_refcounts()
+
+    def _rebuild_refcounts(self) -> None:
+        """One scan establishing the per-ID qualifying-row counts."""
+        evaluator = self._predicate_evaluator
+        assert evaluator is not None
+        counts = self._id_refcounts
+        counts.clear()
+        table = self._catalog.table(self.expression.sensitive_table)
+        for row in table.rows():
+            if evaluator.matches(row):
+                counts[evaluator.id_of(row)] += 1
 
     def _add_id(self, value: object) -> None:
         if value not in self._ids:
@@ -166,19 +187,22 @@ class IdView:
         assert evaluator is not None
         if change.old_row is not None:
             if evaluator.matches(change.old_row):
-                # another row may still carry the same ID; recheck lazily
-                self._remove_if_unbacked(evaluator.id_of(change.old_row))
+                self._release_id(evaluator.id_of(change.old_row))
         if change.new_row is not None and evaluator.matches(change.new_row):
-            self._add_id(evaluator.id_of(change.new_row))
+            self._retain_id(evaluator.id_of(change.new_row))
 
-    def _remove_if_unbacked(self, id_value: object) -> None:
-        """Drop an ID unless another qualifying row still carries it."""
-        evaluator = self._predicate_evaluator
-        assert evaluator is not None
-        table = self._catalog.table(self.expression.sensitive_table)
-        for row in table.rows():
-            if evaluator.id_of(row) == id_value and evaluator.matches(row):
-                return
+    def _retain_id(self, id_value: object) -> None:
+        """One more qualifying row carries this ID."""
+        self._id_refcounts[id_value] += 1
+        self._add_id(id_value)
+
+    def _release_id(self, id_value: object) -> None:
+        """A qualifying row left; drop the ID when the last one does."""
+        remaining = self._id_refcounts[id_value] - 1
+        if remaining > 0:
+            self._id_refcounts[id_value] = remaining
+            return
+        self._id_refcounts.pop(id_value, None)
         self._discard_id(id_value)
 
 

@@ -1,0 +1,692 @@
+"""Lineage-based offline auditing: one instrumented run instead of N.
+
+The deletion-test auditor implements Definition 2.3 literally — one full
+re-execution of ``Q(D − t)`` per candidate sensitive tuple — which the
+paper itself calls orders of magnitude too slow. This module replaces
+those N runs with **one** lineage-capturing execution plus cheap per-tuple
+classification, in the spirit of provenance-optimized query processing
+(Niu & Glavic):
+
+* every intermediate row carries the set of sensitive-table primary keys
+  it was derived from (``rows_lineage`` on the physical operators), with
+  the invariant *row survives deletion of tuple t iff t ∉ lineage*;
+* for bag-semantics SPJ (select/project/join, plus order-irrelevant sort
+  and intersection-lineage distinct) plans, deletion provenance equals
+  lineage: tuple t is accessed iff t appears in some output row's
+  lineage — one run decides every candidate;
+* for plans whose *spine* ends in aggregation / HAVING / top-k, the
+  certifier splits the plan into a lineage-certifiable **core** and a
+  cheap **tail**. The core runs once; per candidate, only the affected
+  aggregate groups are re-derived (per-function sensitivity rules with an
+  exact recompute fallback) and the tail — operating on group rows, not
+  base data — is replayed and compared;
+* plan shapes with no exact lineage semantics (top-k directly over
+  sensitive rows, subqueries that read the sensitive table, outer/anti
+  joins with the sensitive table on the inner side) are refused at
+  certification time and fall back to deletion testing in
+  :class:`~repro.audit.offline.OfflineAuditor`.
+
+Per-aggregate sensitivity rules (:func:`aggregate_sensitivity`):
+
+========  ==========================================================
+COUNT     changes iff any removed contribution is non-NULL
+          (``COUNT(*)`` contributions are all 1 — always changes)
+SUM       changes iff the removed contributions sum to non-zero, or
+          the surviving rows have no non-NULL value left (SUM → NULL)
+MIN/MAX   changes iff a removed value ties the group extremum and no
+          surviving value does (a duplicated extremum masks deletion)
+AVG &c.   undecided by rule — resolved by an exact O(|group|)
+          recomputation over the surviving contributions, never by a
+          deletion re-run
+========  ==========================================================
+
+Everything here is exact with respect to the deletion-test ground truth;
+the differential property test in ``tests/test_offline_lineage.py``
+asserts identical accessed-ID sets over random SPJA workloads.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.datatypes import value_sort_key
+from repro.expr.aggregates import make_accumulator
+from repro.expr.compiler import (
+    compile_expression,
+    compile_predicate,
+    compile_projector,
+)
+from repro.plan import logical as L
+from repro.plan.logical import AggregateSpec, LogicalPlan
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.audit.expression import AuditExpression
+    from repro.database import Database
+    from repro.exec.context import ExecutionContext
+    from repro.exec.operators.base import PhysicalOperator
+
+
+# ---------------------------------------------------------------------------
+# certification: which plan shapes the lineage engine handles exactly
+
+#: unary spine operators the tail replayer can re-evaluate over small
+#: intermediate row sets
+_TAIL_TYPES = (
+    L.Project, L.Filter, L.Sort, L.Distinct, L.Limit, L.Aggregate, L.Audit,
+)
+
+
+@dataclass
+class Certification:
+    """Split of a plan into a lineage-certifiable core and a replayable
+    tail (spine operators above the core, bottom-up)."""
+
+    core: LogicalPlan
+    tail: tuple[LogicalPlan, ...]
+
+
+def certify_plan(
+    plan: LogicalPlan, sensitive_table: str
+) -> Certification | str:
+    """Certify ``plan`` for lineage auditing, or explain why not.
+
+    Returns a :class:`Certification` on success and a human-readable
+    refusal reason (the fallback telemetry) otherwise.
+    """
+    from repro.audit.offline import plan_reads_table
+
+    tail: list[LogicalPlan] = []
+    node = plan
+    while True:
+        failure = _core_failure(node, sensitive_table)
+        if failure is None:
+            core = node
+            break
+        if isinstance(node, _TAIL_TYPES):
+            if _own_subqueries_read(node, sensitive_table):
+                return (
+                    "a pipeline operator evaluates a subquery over the "
+                    "sensitive table"
+                )
+            tail.append(node)
+            node = node.children()[0]
+            continue
+        return failure
+    tail.reverse()
+    if any(isinstance(stage, L.Limit) for stage in tail):
+        # a sensitive DISTINCT below a LIMIT leaves tie order at the cut
+        # boundary underdetermined between the lineage replay and a real
+        # deletion re-run — refuse rather than risk an inexact answer
+        for inner in core.walk():
+            if isinstance(inner, L.Distinct) and plan_reads_table(
+                inner, sensitive_table
+            ):
+                return "DISTINCT over sensitive rows beneath a LIMIT"
+    return Certification(core=core, tail=tuple(tail))
+
+
+def _core_failure(node: LogicalPlan, sensitive_table: str) -> str | None:
+    """Why ``node``'s subtree cannot run lineage-tagged (None = it can)."""
+    from repro.audit.offline import plan_reads_table
+
+    if not plan_reads_table(node, sensitive_table):
+        return None  # fixed under deletion: wrapped as a lineage-free source
+    if isinstance(node, L.Limit):
+        return "LIMIT/top-k boundary over sensitive rows"
+    if isinstance(node, L.Aggregate):
+        return "aggregation over sensitive rows"
+    if _own_subqueries_read(node, sensitive_table):
+        return "a subquery inside the plan reads the sensitive table"
+    if (
+        isinstance(node, L.Join)
+        and node.kind != L.JOIN_INNER
+        and plan_reads_table(node.right, sensitive_table)
+    ):
+        return (
+            f"{node.kind} join with the sensitive table on the inner side"
+        )
+    for child in node.children():
+        failure = _core_failure(child, sensitive_table)
+        if failure is not None:
+            return failure
+    return None
+
+
+def _own_subqueries_read(node: LogicalPlan, sensitive_table: str) -> bool:
+    """Does an expression *of this node* nest a sensitive subquery?"""
+    from repro.audit.offline import (
+        _plan_expressions,
+        _subquery_plans,
+        plan_reads_table,
+    )
+
+    for expression in _plan_expressions(node):
+        for subplan in _subquery_plans(expression):
+            if plan_reads_table(subplan, sensitive_table):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# per-aggregate sensitivity rules
+
+
+def aggregate_sensitivity(
+    spec: AggregateSpec,
+    removed: list,
+    survivors: list,
+    baseline: object,
+) -> bool | None:
+    """Does removing ``removed`` contributions change this aggregate?
+
+    Returns True (provably changes), False (provably does not), or None
+    (undecided by rule — caller recomputes exactly). ``baseline`` is the
+    aggregate's value over *all* contributions.
+    """
+    if spec.distinct:
+        return None  # rule-free: exact recompute is O(|group|) anyway
+    name = spec.name.lower()
+    removed_nonnull = [value for value in removed if value is not None]
+    if name == "count":
+        # COUNT(*) feeds constant 1s, COUNT(x) ignores NULLs: the count
+        # changes exactly when a non-NULL contribution disappears
+        return bool(removed_nonnull)
+    if not removed_nonnull:
+        # SUM/MIN/MAX/AVG all ignore NULL contributions entirely
+        return False
+    if name == "sum":
+        if not any(value is not None for value in survivors):
+            return True  # last non-NULL contributions gone: SUM becomes NULL
+        try:
+            return sum(removed_nonnull) != 0
+        except TypeError:
+            return None
+    if name in ("min", "max"):
+        if baseline is None:
+            return None
+        try:
+            if not any(value == baseline for value in removed_nonnull):
+                return False  # the extremum itself survives untouched
+            return not any(
+                value == baseline
+                for value in survivors
+                if value is not None
+            )
+        except TypeError:
+            return None
+    return None  # AVG and anything exotic: exact recompute
+
+
+# ---------------------------------------------------------------------------
+# tail replay: cheap re-evaluation of spine operators over row lists
+
+TailStage = Callable[[list, "ExecutionContext"], list]
+
+
+def _tail_stage(node: LogicalPlan) -> TailStage:
+    """Compile one spine operator into a row-list transformer that matches
+    the physical operator's semantics (including tie order)."""
+    if isinstance(node, L.Project):
+        projector = compile_projector(node.expressions)
+        return lambda rows, context: [
+            projector(row, context) for row in rows
+        ]
+    if isinstance(node, L.Filter):
+        predicate = compile_predicate(node.predicate)
+        return lambda rows, context: [
+            row for row in rows if predicate(row, context) is True
+        ]
+    if isinstance(node, L.Sort):
+        keys = node.keys
+        compiled = tuple(
+            compile_expression(key.expression) for key in keys
+        )
+
+        def sort_stage(rows: list, context: "ExecutionContext") -> list:
+            ordered = list(rows)
+            for key, closure in zip(reversed(keys), reversed(compiled)):
+                ordered.sort(
+                    key=lambda row: value_sort_key(closure(row, context)),
+                    reverse=not key.ascending,
+                )
+            return ordered
+
+        return sort_stage
+    if isinstance(node, L.Distinct):
+
+        def distinct_stage(rows: list, context: "ExecutionContext") -> list:
+            seen: set = set()
+            out: list = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    out.append(row)
+            return out
+
+        return distinct_stage
+    if isinstance(node, L.Limit):
+        count = node.count
+        return lambda rows, context: rows[:count] if count > 0 else []
+    if isinstance(node, L.Audit):
+        return lambda rows, context: rows  # no-op viewer
+    if isinstance(node, L.Aggregate):
+        return _reaggregate_stage(node)
+    raise AssertionError(
+        f"uncertified tail operator {type(node).__name__}"
+    )  # pragma: no cover - certify_plan admits only _TAIL_TYPES
+
+
+def _reaggregate_stage(node: L.Aggregate) -> TailStage:
+    """Full re-aggregation stage (for aggregates above the first one —
+    their input is already a small intermediate row set)."""
+    group_closures = tuple(
+        compile_expression(expression)
+        for expression in node.group_expressions
+    )
+    arg_closures = tuple(
+        compile_expression(spec.argument)
+        if spec.argument is not None
+        else None
+        for spec in node.aggregates
+    )
+    specs = node.aggregates
+
+    def stage(rows: list, context: "ExecutionContext") -> list:
+        groups: dict[tuple, list] = {}
+        for row in rows:
+            key = tuple(closure(row, context) for closure in group_closures)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [
+                    make_accumulator(spec.name, spec.distinct)
+                    for spec in specs
+                ]
+                groups[key] = accumulators
+            for closure, accumulator in zip(arg_closures, accumulators):
+                accumulator.add(
+                    1 if closure is None else closure(row, context)
+                )
+        if not groups and not group_closures:
+            groups[()] = [
+                make_accumulator(spec.name, spec.distinct) for spec in specs
+            ]
+        return [
+            key + tuple(acc.result() for acc in accumulators)
+            for key, accumulators in groups.items()
+        ]
+
+    return stage
+
+
+def _replay(
+    stages: Iterable[TailStage], rows: list, context: "ExecutionContext"
+) -> list:
+    for stage in stages:
+        rows = stage(rows, context)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# aggregate-group analysis (the first tail stage, handled incrementally)
+
+
+@dataclass
+class _Group:
+    """One aggregate group of the single lineage run.
+
+    ``rows`` holds ``(ordinal, lineage, contributions)`` in arrival order;
+    ``baseline`` the aggregate results over all contributions.
+    """
+
+    rows: list = field(default_factory=list)
+    baseline: tuple = ()
+
+
+class _AggregateAnalysis:
+    """Groups the core's lineage-tagged rows once; answers per-candidate
+    "does deleting t change / vanish any of its groups" incrementally."""
+
+    def __init__(self, node: L.Aggregate) -> None:
+        self._node = node
+        self._specs = node.aggregates
+        self._group_closures = tuple(
+            compile_expression(expression)
+            for expression in node.group_expressions
+        )
+        self._arg_closures = tuple(
+            compile_expression(spec.argument)
+            if spec.argument is not None
+            else None
+            for spec in node.aggregates
+        )
+        self.groups: dict[tuple, _Group] = {}
+        #: candidate pk -> keys of groups with that pk in some row's lineage
+        self.pk_groups: dict[tuple, set] = {}
+
+    def consume(
+        self,
+        pairs: list,
+        context: "ExecutionContext",
+        candidate_pks: set,
+    ) -> None:
+        groups = self.groups
+        group_closures = self._group_closures
+        arg_closures = self._arg_closures
+        pk_groups = self.pk_groups
+        for ordinal, (row, lineage) in enumerate(pairs):
+            key = tuple(
+                closure(row, context) for closure in group_closures
+            )
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = _Group()
+            contributions = tuple(
+                1 if closure is None else closure(row, context)
+                for closure in arg_closures
+            )
+            group.rows.append((ordinal, lineage, contributions))
+            for pk in lineage:
+                if pk in candidate_pks:
+                    pk_groups.setdefault(pk, set()).add(key)
+        for group in groups.values():
+            group.baseline = self._fold(
+                values for _, _, values in group.rows
+            )
+
+    def _fold(self, contribution_rows: Iterable[tuple]) -> tuple:
+        accumulators = [
+            make_accumulator(spec.name, spec.distinct)
+            for spec in self._specs
+        ]
+        for values in contribution_rows:
+            for accumulator, value in zip(accumulators, values):
+                accumulator.add(value)
+        return tuple(accumulator.result() for accumulator in accumulators)
+
+    def baseline_rows(self) -> list:
+        """Aggregate output rows in the engine's emission order."""
+        rows = [
+            key + group.baseline for key, group in self.groups.items()
+        ]
+        if not rows and not self._group_closures:
+            rows = [self._fold(())]
+        return rows
+
+    def group_changed(self, key: tuple, pk: tuple) -> bool:
+        """Exact per-group sensitivity: rules first, recompute fallback."""
+        group = self.groups[key]
+        survivors: list[tuple] = []
+        removed: list[tuple] = []
+        for _ordinal, lineage, values in group.rows:
+            (removed if pk in lineage else survivors).append(values)
+        if not survivors and self._group_closures:
+            return True  # the group (and its output row) vanishes
+        for position, spec in enumerate(self._specs):
+            removed_column = [values[position] for values in removed]
+            survivor_column = [values[position] for values in survivors]
+            verdict = aggregate_sensitivity(
+                spec,
+                removed_column,
+                survivor_column,
+                group.baseline[position],
+            )
+            if verdict is None:
+                accumulator = make_accumulator(spec.name, spec.distinct)
+                for value in survivor_column:
+                    accumulator.add(value)
+                verdict = accumulator.result() != group.baseline[position]
+            if verdict:
+                return True
+        return False
+
+    def rebuilt_rows(self, pk: tuple) -> list:
+        """Aggregate output under deletion of ``pk``, in the order the
+        engine would emit it (groups ordered by first *surviving* row)."""
+        affected = self.pk_groups.get(pk, ())
+        entries: list[tuple[int, tuple]] = []
+        for key, group in self.groups.items():
+            if key in affected:
+                surviving = [
+                    (ordinal, values)
+                    for ordinal, lineage, values in group.rows
+                    if pk not in lineage
+                ]
+                if not surviving:
+                    if self._group_closures:
+                        continue  # group vanished
+                    entries.append((0, key + self._fold(())))
+                    continue
+                results = self._fold(values for _, values in surviving)
+                entries.append((surviving[0][0], key + results))
+            else:
+                entries.append((group.rows[0][0], key + group.baseline))
+        if not entries and not self._group_closures:
+            return [self._fold(())]
+        entries.sort(key=lambda entry: entry[0])
+        return [row for _, row in entries]
+
+
+# ---------------------------------------------------------------------------
+# the auditor
+
+
+@dataclass
+class LineageOutcome:
+    """Result of one lineage analysis over a candidate tuple set."""
+
+    #: partition-by IDs proven accessed
+    accessed: set = field(default_factory=set)
+    #: id -> primary keys the analysis could not decide (deletion fallback)
+    undecided: dict = field(default_factory=dict)
+    #: rows produced (and tagged) by the single core execution
+    tagged_rows: int = 0
+    #: candidate tuples classified without any deletion run
+    decided_tuples: int = 0
+    #: 'spj' | 'aggregate' | 'replay' — which classification path ran
+    strategy: str = "spj"
+
+
+class LineageAuditor:
+    """One-pass lineage analysis for the offline auditor's fast path."""
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        #: why the last plan was refused (None = certified)
+        self.last_refusal: str | None = None
+
+    # ------------------------------------------------------------------
+
+    def analyze(
+        self,
+        plan: LogicalPlan,
+        expression: "AuditExpression",
+        parameters: dict[str, object] | None,
+        tuples_by_id: dict[object, list[tuple]],
+    ) -> LineageOutcome | None:
+        """Classify every candidate tuple, or None if uncertifiable.
+
+        ``tuples_by_id`` maps candidate partition-by IDs to the primary
+        keys of their sensitive-table tuples (the same granularity the
+        deletion tester uses).
+        """
+        table_name = expression.sensitive_table
+        certification = certify_plan(plan, table_name)
+        if isinstance(certification, str):
+            self.last_refusal = certification
+            return None
+        self.last_refusal = None
+
+        physical = self._compile_core(certification.core, table_name)
+        context = self._database.make_context(parameters)
+        context.lineage_table = table_name
+        pairs = list(physical.rows_lineage(context))
+
+        pk_to_id: dict[tuple, object] = {}
+        for id_value, pk_list in tuples_by_id.items():
+            for pk in pk_list:
+                pk_to_id[pk] = id_value
+
+        outcome = LineageOutcome(tagged_rows=len(pairs))
+        if not certification.tail:
+            self._classify_spj(pairs, pk_to_id, tuples_by_id, outcome)
+        elif isinstance(certification.tail[0], L.Aggregate):
+            self._classify_aggregate(
+                certification.tail, pairs, context, pk_to_id,
+                tuples_by_id, outcome,
+            )
+        else:
+            self._classify_replay(
+                certification.tail, pairs, context, pk_to_id,
+                tuples_by_id, outcome,
+            )
+        total = sum(len(pks) for pks in tuples_by_id.values())
+        outcome.decided_tuples = total - sum(
+            len(pks) for pks in outcome.undecided.values()
+        )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # classification strategies
+
+    def _classify_spj(
+        self,
+        pairs: list,
+        pk_to_id: dict,
+        tuples_by_id: dict,
+        outcome: LineageOutcome,
+    ) -> None:
+        """Bag-semantics SPJ: accessed ⇔ the tuple is in some output
+        row's lineage. One set union decides every candidate."""
+        outcome.strategy = "spj"
+        accessed = outcome.accessed
+        for _row, lineage in pairs:
+            for pk in lineage:
+                id_value = pk_to_id.get(pk)
+                if id_value is not None:
+                    accessed.add(id_value)
+
+    def _classify_aggregate(
+        self,
+        tail: tuple[LogicalPlan, ...],
+        pairs: list,
+        context: "ExecutionContext",
+        pk_to_id: dict,
+        tuples_by_id: dict,
+        outcome: LineageOutcome,
+    ) -> None:
+        """Aggregate spine: group once, then per candidate re-derive only
+        the affected groups (and replay the cheap tail when it can remap
+        changed group rows onto unchanged final output)."""
+        outcome.strategy = "aggregate"
+        analysis = _AggregateAnalysis(tail[0])  # type: ignore[arg-type]
+        analysis.consume(pairs, context, set(pk_to_id))
+        rest_nodes = tail[1:]
+        # Sort and Audit neither drop, merge, nor rewrite rows, and the
+        # final comparison is a bag comparison: group rows (which embed
+        # their distinct group keys) change iff the output changes
+        bag_neutral = all(
+            isinstance(node, (L.Sort, L.Audit)) for node in rest_nodes
+        )
+        rest = [_tail_stage(node) for node in rest_nodes]
+        baseline_final: Counter | None = None
+        if not bag_neutral:
+            baseline_final = Counter(
+                _replay(rest, analysis.baseline_rows(), context)
+            )
+        accessed = outcome.accessed
+        for id_value, pk_list in tuples_by_id.items():
+            for pk in pk_list:
+                if id_value in accessed:
+                    break
+                affected = analysis.pk_groups.get(pk)
+                if not affected:
+                    continue  # no group touches this tuple: unaccessed
+                try:
+                    if bag_neutral:
+                        changed = any(
+                            analysis.group_changed(key, pk)
+                            for key in affected
+                        )
+                    else:
+                        rebuilt = analysis.rebuilt_rows(pk)
+                        changed = (
+                            Counter(_replay(rest, rebuilt, context))
+                            != baseline_final
+                        )
+                except Exception:
+                    outcome.undecided.setdefault(id_value, []).append(pk)
+                    continue
+                if changed:
+                    accessed.add(id_value)
+
+    def _classify_replay(
+        self,
+        tail: tuple[LogicalPlan, ...],
+        pairs: list,
+        context: "ExecutionContext",
+        pk_to_id: dict,
+        tuples_by_id: dict,
+        outcome: LineageOutcome,
+    ) -> None:
+        """Generic spine (e.g. top-k over SPJ rows): replay the tail over
+        the surviving core rows per relevant candidate — still one base
+        execution, with per-candidate work linear in the core output."""
+        outcome.strategy = "replay"
+        stages = [_tail_stage(node) for node in tail]
+        base_rows = [row for row, _lineage in pairs]
+        baseline_final = Counter(_replay(stages, base_rows, context))
+        relevant: set = set()
+        for _row, lineage in pairs:
+            for pk in lineage:
+                if pk in pk_to_id:
+                    relevant.add(pk)
+        accessed = outcome.accessed
+        for id_value, pk_list in tuples_by_id.items():
+            for pk in pk_list:
+                if id_value in accessed:
+                    break
+                if pk not in relevant:
+                    continue
+                try:
+                    survivors = [
+                        row for row, lineage in pairs if pk not in lineage
+                    ]
+                    changed = (
+                        Counter(_replay(stages, survivors, context))
+                        != baseline_final
+                    )
+                except Exception:
+                    outcome.undecided.setdefault(id_value, []).append(pk)
+                    continue
+                if changed:
+                    accessed.add(id_value)
+
+    # ------------------------------------------------------------------
+
+    def _compile_core(
+        self, core: LogicalPlan, table_name: str
+    ) -> "PhysicalOperator":
+        """Compile the core, wrapping topmost sensitive-free subtrees so
+        arbitrary operators below them run in plain batch mode."""
+        from repro.audit.offline import _collect_topmost_insensitive
+        from repro.exec.operators import LineageFreeOperator
+        from repro.optimizer.physical import PhysicalPlanner
+
+        database = self._database
+        free: set[int] = set()
+        _collect_topmost_insensitive(core, table_name, free)
+
+        def wrapper(node: LogicalPlan, operator):
+            if id(node) in free:
+                return LineageFreeOperator(operator)
+            return operator
+
+        planner = PhysicalPlanner(
+            database.catalog,
+            database.audit_manager.resolve_view,
+            node_wrapper=wrapper,
+        )
+        planner.join_strategy = database.join_strategy
+        return planner.compile(core)

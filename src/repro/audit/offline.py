@@ -2,17 +2,27 @@
 
 A tuple ``t`` of the sensitive table is *accessed* by query ``Q`` over
 database ``D`` iff ``Q(D) ≠ Q(D − t)`` (bag semantics). The offline auditor
-implements the definition directly, with two engineering optimizations that
+implements the definition directly, with the engineering optimizations that
 make it usable:
 
 * **candidate restriction** — by Claim 3.5, every accessed tuple passes a
   leaf-level scan of the sensitive table, so only sensitive tuples that
   satisfy the pushed-down scan predicates (in the main query or any
   subquery) need the deletion test;
-* **sensitive-free subplan caching** — the same physical plan is executed
-  once per candidate with a *tombstone* hiding that tuple; subtrees that
-  never read the sensitive table produce identical rows on every run and
-  are materialized once via :class:`CacheOperator`.
+* **lineage fast path** — for certifiable plan shapes, one
+  lineage-capturing execution classifies every candidate at once
+  (:mod:`repro.audit.lineage`), replacing N deletion re-runs with a
+  single instrumented run. The ``offline_audit_mode`` knob on the
+  database ('auto' | 'lineage' | 'deletion') selects the strategy;
+* **parallel deletion fallback** — candidates the lineage engine leaves
+  undecided (or every candidate, for uncertifiable plans) still get the
+  literal deletion test, dispatched as chunked per-ID batches across a
+  ``concurrent.futures`` thread pool when ``offline_audit_workers`` > 1;
+* **sensitive-free subplan caching** — on the deletion path the same
+  physical plan is executed once per candidate with a *tombstone* hiding
+  that tuple; subtrees that never read the sensitive table produce
+  identical rows on every run and are materialized once via
+  :class:`CacheOperator`.
 
 This component plays the role of the paper's offline auditing system [9]:
 the ground truth that Figures 6 and 9 compare the heuristics against, and
@@ -21,10 +31,12 @@ the verifier for queries the SELECT-trigger layer flags.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
 from repro.audit.expression import AuditExpression
+from repro.audit.lineage import LineageAuditor
 from repro.errors import AuditError
 from repro.exec.operators.base import PhysicalOperator
 from repro.exec.operators.cache import CacheOperator
@@ -48,23 +60,42 @@ class OfflineAuditor:
         database: "Database",
         use_cache: bool = True,
         restrict_candidates: bool = True,
+        mode: str | None = None,
+        workers: int | None = None,
     ) -> None:
         self._database = database
         self._use_cache = use_cache
         #: False = the naive Definition-2.3 system: deletion-test every
         #: sensitive tuple for every query (the §V-D baseline)
         self._restrict_candidates = restrict_candidates
+        #: per-auditor overrides of the database knobs (None = inherit
+        #: ``offline_audit_mode`` / ``offline_audit_workers``)
+        self._mode = mode
+        self._workers = workers
+        self._lineage = LineageAuditor(database)
         #: deletion runs performed by the last audit() call (for benches)
         self.last_deletion_runs = 0
         self.last_candidate_count = 0
+        #: strategy the last audit() resolved to: 'lineage' (no deletion
+        #: run at all), 'mixed' (lineage + fallback), or 'deletion'
+        self.last_mode = "deletion"
+        #: did the lineage engine certify the last plan?
+        self.last_lineage_certified = False
+        #: why it refused, when it did (telemetry for benches/tests)
+        self.last_fallback_reason: str | None = None
+        #: candidate tuples classified without a deletion re-run
+        self.last_deletion_runs_avoided = 0
+        #: thread-pool width used by the last fallback (1 = serial)
+        self.last_workers = 1
         # Compiled-plan reuse across audit() calls: a full audit session
         # replays the same query once per tombstone, and a batch auditor
         # replays the same *workload* once per expression — re-parsing and
         # re-compiling each time is pure overhead. Entries are tag-checked
-        # against the database's plan-cache tags, and the CacheOperator
+        # against the database's plan-cache tags and kept in LRU order
+        # (hits renew, like repro.plancache), and the CacheOperator
         # store is emptied on every reuse since DML between calls can
         # change the materialized sensitive-free subtree rows.
-        self._plans: dict[tuple, tuple] = {}
+        self._plans: OrderedDict[tuple, tuple] = OrderedDict()
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
 
@@ -98,6 +129,9 @@ class OfflineAuditor:
         tags = database._plan_cache_tags()
         cached = self._plans.get(key)
         if cached is not None and cached[0] == tags:
+            # true LRU: a hit renews the entry so sustained reuse of a
+            # hot workload never evicts it in favor of one-off queries
+            self._plans.move_to_end(key)
             _, plan, physical, store = cached
             store.clear()
             self.plan_cache_hits += 1
@@ -106,9 +140,10 @@ class OfflineAuditor:
         plan = database.plan_query(sql, parameters)
         store: dict[int, list[tuple]] = {}
         physical = self._compile(plan, sensitive_table, store)
-        if len(self._plans) >= 64:
-            self._plans.pop(next(iter(self._plans)))
         self._plans[key] = (tags, plan, physical, store)
+        self._plans.move_to_end(key)
+        if len(self._plans) > 64:
+            self._plans.popitem(last=False)
         return plan, physical
 
     def audit_plan(
@@ -138,6 +173,11 @@ class OfflineAuditor:
             candidates = set(view_ids)
         self.last_candidate_count = len(candidates)
         self.last_deletion_runs = 0
+        self.last_deletion_runs_avoided = 0
+        self.last_mode = "deletion"
+        self.last_lineage_certified = False
+        self.last_fallback_reason = None
+        self.last_workers = 1
         if not candidates:
             return set()
 
@@ -148,29 +188,124 @@ class OfflineAuditor:
             if id_value in candidates:
                 pk = tuple(row[position] for position in pk_positions)
                 tuples_by_id.setdefault(id_value, []).append(pk)
+        total_tuples = sum(len(pks) for pks in tuples_by_id.values())
 
-        if physical is None:
-            store: dict[int, list[tuple]] = {}
-            physical = self._compile(
-                plan, expression.sensitive_table, store
+        mode = self._mode or database.offline_audit_mode
+        outcome = None
+        if mode in ("auto", "lineage"):
+            outcome = self._lineage.analyze(
+                plan, expression, parameters, tuples_by_id
             )
+            if outcome is None:
+                self.last_fallback_reason = self._lineage.last_refusal
 
-        baseline = Counter(
-            database.run_physical(physical, parameters).rows_list()
+        if outcome is not None:
+            self.last_lineage_certified = True
+            accessed = set(outcome.accessed)
+            # only undecided tuples of still-undecided IDs need a re-run
+            fallback = {
+                id_value: pk_list
+                for id_value, pk_list in outcome.undecided.items()
+                if id_value not in accessed
+            }
+        else:
+            accessed = set()
+            fallback = tuples_by_id
+
+        if fallback:
+            if physical is None:
+                store: dict[int, list[tuple]] = {}
+                physical = self._compile(
+                    plan, expression.sensitive_table, store
+                )
+            baseline = Counter(
+                database.run_physical(physical, parameters).rows_list()
+            )
+            accessed |= self._deletion_test(
+                physical,
+                expression.sensitive_table,
+                parameters,
+                baseline,
+                fallback,
+            )
+        self.last_deletion_runs_avoided = (
+            total_tuples - self.last_deletion_runs
         )
+        if outcome is not None:
+            self.last_mode = "lineage" if not fallback else "mixed"
+        return accessed
+
+    # ------------------------------------------------------------------
+    # deletion testing (Definition 2.3 literally), serial or pooled
+
+    def _deletion_test(
+        self,
+        physical: PhysicalOperator,
+        table_name: str,
+        parameters: dict[str, object] | None,
+        baseline: Counter,
+        tuples_by_id: dict[object, list[tuple]],
+    ) -> set:
+        """Run ``Q(D − t)`` per candidate tuple; chunked across a thread
+        pool when the database's worker knob asks for one."""
+        items = list(tuples_by_id.items())
+        workers = self._workers or self._database.offline_audit_workers
+        workers = max(1, min(workers, len(items)))
+        self.last_workers = workers
+        if workers == 1:
+            accessed, runs = self._test_chunk(
+                physical, table_name, parameters, baseline, items
+            )
+            self.last_deletion_runs += runs
+            return accessed
+        # chunk at ID granularity (the per-ID early exit must stay inside
+        # one worker) with several chunks per worker for load balance;
+        # round-robin so clustered hot IDs spread across the pool
+        chunk_count = min(len(items), workers * 4)
+        chunks = [items[index::chunk_count] for index in range(chunk_count)]
         accessed: set = set()
-        for id_value, pk_list in tuples_by_id.items():
+        runs = 0
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    self._test_chunk,
+                    physical, table_name, parameters, baseline, chunk,
+                )
+                for chunk in chunks
+            ]
+            for future in futures:
+                chunk_accessed, chunk_runs = future.result()
+                accessed |= chunk_accessed
+                runs += chunk_runs
+        self.last_deletion_runs += runs
+        return accessed
+
+    def _test_chunk(
+        self,
+        physical: PhysicalOperator,
+        table_name: str,
+        parameters: dict[str, object] | None,
+        baseline: Counter,
+        items: list[tuple[object, list[tuple]]],
+    ) -> tuple[set, int]:
+        """One worker's batch: every execution gets a fresh context, so
+        chunks share only the immutable plan and the pre-populated
+        sensitive-free row cache."""
+        database = self._database
+        accessed: set = set()
+        runs = 0
+        for id_value, pk_list in items:
             for pk in pk_list:
-                self.last_deletion_runs += 1
+                runs += 1
                 result = database.run_physical(
                     physical,
                     parameters,
-                    tombstones={expression.sensitive_table: {pk}},
+                    tombstones={table_name: {pk}},
                 )
                 if Counter(result.rows_list()) != baseline:
                     accessed.add(id_value)
                     break
-        return accessed
+        return accessed, runs
 
     # ------------------------------------------------------------------
     # candidate restriction (Claim 3.5)

@@ -452,7 +452,10 @@ def offline_filtering_benefit(
     # arm 1: the naive pre-paper architecture — every query goes to a
     # Definition-2.3 offline system that deletion-tests every sensitive
     # tuple (no SELECT-trigger information available to narrow anything)
-    naive_auditor = OfflineAuditor(database, restrict_candidates=False)
+    # (deletion strategy pinned: the naive system predates lineage)
+    naive_auditor = OfflineAuditor(
+        database, restrict_candidates=False, mode="deletion"
+    )
     start = time.perf_counter()
     audited_everything = 0
     for sql, parameters in workload:
@@ -577,8 +580,14 @@ OFFLINE_CACHE_HEADERS = ("query", "cached_ms", "uncached_ms", "speedup")
 
 
 def offline_cache_ablation(fixture: BenchmarkFixture, repeats: int = 3):
-    cached_auditor = OfflineAuditor(fixture.database, use_cache=True)
-    uncached_auditor = OfflineAuditor(fixture.database, use_cache=False)
+    # deletion strategy pinned: the subplan cache only matters on the
+    # per-candidate re-run path the lineage mode exists to avoid
+    cached_auditor = OfflineAuditor(
+        fixture.database, use_cache=True, mode="deletion"
+    )
+    uncached_auditor = OfflineAuditor(
+        fixture.database, use_cache=False, mode="deletion"
+    )
     cases = [
         ("micro", MICRO_BENCHMARK_QUERY,
          micro_parameters(fixture, FIG8_SELECTIVITY)),

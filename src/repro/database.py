@@ -112,6 +112,15 @@ class Database:
         self.exec_mode = "batch"
         #: rows per batch in batch mode
         self.batch_size = DEFAULT_BATCH_SIZE
+        #: offline-auditor strategy: 'auto' (one lineage-capturing run
+        #: when the plan shape is certifiable, deletion tests otherwise),
+        #: 'lineage' (same, kept as an explicit request), or 'deletion'
+        #: (always the literal Definition-2.3 re-runs)
+        self.offline_audit_mode = "auto"
+        #: thread-pool width for deletion-test fallback batches (1 =
+        #: serial; the pool shares one compiled plan across workers)
+        self.offline_audit_workers = 1
+        self._offline_auditor = None
         #: compiled-plan cache keyed on SQL text + engine version tags
         self.plan_cache = PlanCache()
         #: messages emitted by SEND EMAIL / NOTIFY trigger actions
@@ -212,6 +221,31 @@ class Database:
         return self._optimizer.optimize_logical(
             self._builder.build_select(statement)
         )
+
+    def offline_audit(
+        self,
+        sql: str,
+        audit_expression: str,
+        parameters: dict[str, object] | None = None,
+    ) -> set:
+        """Exact accessed-ID set of ``audit_expression`` for one query.
+
+        Runs the offline auditor (Definition 2.3 ground truth) under the
+        ``offline_audit_mode`` / ``offline_audit_workers`` knobs, reusing
+        one auditor instance so compiled audit plans persist across
+        calls. The instance is exposed as :attr:`offline_auditor` for
+        telemetry (``last_mode``, ``last_deletion_runs``, ...).
+        """
+        return self.offline_auditor.audit(sql, audit_expression, parameters)
+
+    @property
+    def offline_auditor(self):
+        """The database's shared :class:`~repro.audit.offline.OfflineAuditor`."""
+        if self._offline_auditor is None:
+            from repro.audit.offline import OfflineAuditor
+
+            self._offline_auditor = OfflineAuditor(self)
+        return self._offline_auditor
 
     def run_physical(
         self,

@@ -12,7 +12,10 @@ An :class:`ExecutionContext` is created per statement execution. It carries:
   (Definition 2.3: run ``Q(D − t)``) hides the sensitive tuple via a
   tombstone instead of physically deleting it;
 * the ACCESSED internal state (§II): partition-by IDs recorded by audit
-  operators during this execution, grouped by audit-expression name.
+  operators during this execution, grouped by audit-expression name;
+* the *lineage table* — when set, ``rows_lineage`` executions tag every
+  row with the set of this table's primary keys it was derived from (the
+  lineage-based offline auditor's single instrumented run).
 """
 
 from __future__ import annotations
@@ -81,6 +84,9 @@ class ExecutionContext:
         self.audit_probe_counts: dict[str, int] = {}
         #: rows per batch for ``rows_batched`` execution
         self.batch_size = batch_size
+        #: sensitive table whose primary keys ``rows_lineage`` tags rows
+        #: with (None = lineage-capturing execution disabled)
+        self.lineage_table: str | None = None
 
     # ------------------------------------------------------------------
     # parameters

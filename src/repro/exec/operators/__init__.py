@@ -1,6 +1,13 @@
-"""Physical operators (Volcano-style iterators, row- and batch-mode)."""
+"""Physical operators (Volcano-style iterators; row, batch, and
+lineage-tagged execution modes)."""
 
-from repro.exec.operators.base import PhysicalOperator, collect_rows, rebatch
+from repro.exec.operators.base import (
+    EMPTY_LINEAGE,
+    PhysicalOperator,
+    collect_rows,
+    rebatch,
+)
+from repro.exec.operators.lineage import LineageFreeOperator
 from repro.exec.operators.scan import TableScan, IndexSeek, IndexRange, OneRowSource
 from repro.exec.operators.filter import FilterOperator
 from repro.exec.operators.project import ProjectOperator
@@ -13,7 +20,9 @@ from repro.exec.operators.cache import CacheOperator
 from repro.exec.operators.audit import AuditOperator
 
 __all__ = [
+    "EMPTY_LINEAGE",
     "PhysicalOperator",
+    "LineageFreeOperator",
     "collect_rows",
     "rebatch",
     "TableScan",

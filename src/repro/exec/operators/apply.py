@@ -20,6 +20,7 @@ from repro.expr.compiler import compile_predicate
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expression
 from repro.exec.operators.base import PhysicalOperator
+from repro.exec.operators.join import combine_lineage
 from repro.plan.logical import JOIN_ANTI, JOIN_LEFT, JOIN_SEMI
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
@@ -113,6 +114,35 @@ class IndexNestedLoopJoin(PhysicalOperator):
                     out = []
         if out:
             yield out
+
+    def rows_lineage(self, context: "ExecutionContext"):
+        """Lineage mode: the per-outer-row inner execution also runs
+        lineage-tagged, so pushed-down index seeks keep their speedup."""
+        kind = self._kind
+        residual = self._compiled_residual
+        null_extension = (None,) * self._inner_arity
+        for left_row, left_lineage in self._left.rows_lineage(context):
+            context.push_outer_row(left_row)
+            try:
+                matches = list(self._inner.rows_lineage(context))
+            finally:
+                context.pop_outer_row()
+            matched = False
+            for right_row, right_lineage in matches:
+                combined = left_row + right_row
+                if residual is not None:
+                    if residual(combined, context) is not True:
+                        continue
+                matched = True
+                if kind == JOIN_SEMI or kind == JOIN_ANTI:
+                    break
+                yield combined, combine_lineage(left_lineage, right_lineage)
+            if kind == JOIN_SEMI and matched:
+                yield left_row, left_lineage
+            elif kind == JOIN_ANTI and not matched:
+                yield left_row, left_lineage
+            elif kind == JOIN_LEFT and not matched:
+                yield left_row + null_extension, left_lineage
 
     def describe(self) -> str:
         return f"IndexNestedLoopJoin({self._kind})"

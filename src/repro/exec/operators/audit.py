@@ -86,5 +86,26 @@ class AuditOperator(PhysicalOperator):
         finally:
             context.add_probes(self._audit_name, probes)
 
+    def rows_lineage(self, context: "ExecutionContext"):
+        """Lineage mode: probe and record exactly as ``rows``; lineage
+        passes through untouched (the operator is a no-op data viewer)."""
+        slot = self._id_slot
+        sensitive = self._probe_set
+        record = None
+        probes = 0
+        try:
+            for pair in self._child.rows_lineage(context):
+                probes += 1
+                value = pair[0][slot]
+                if value is not None and value in sensitive:
+                    if record is None:
+                        record = context.accessed.setdefault(
+                            self._audit_name, set()
+                        ).add
+                    record(value)
+                yield pair
+        finally:
+            context.add_probes(self._audit_name, probes)
+
     def describe(self) -> str:
         return f"AuditOperator({self._audit_name}, slot={self._id_slot})"

@@ -19,6 +19,18 @@ Operators support two execution modes over the same plan:
 The base ``rows_batched`` wraps ``rows`` so every operator is batch-capable
 by default; hot operators override it with real vectorized loops.
 
+A third mode supports the lineage-based offline auditor:
+
+* **lineage-tagged** (``rows_lineage``) — yields ``(row, lineage)`` pairs
+  where ``lineage`` is a frozenset of primary keys of the context's
+  ``lineage_table`` that the row was derived from. One such run answers
+  every single-tuple deletion question ``Q(D − t) ≟ Q(D)`` for monotone
+  (SPJ) plans at once, replacing N re-executions. Operators without an
+  exact lineage semantics (bounded top-k, aggregation) do not override
+  the default, which raises :class:`~repro.errors.LineageError`; the
+  auditor certifies plan shapes up front so the error only signals a
+  certification bug, not a user-visible failure.
+
 Operators expose ``children()`` and ``describe()`` for plan inspection
 (EXPLAIN output and tests).
 """
@@ -27,8 +39,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.errors import LineageError
+
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
     from repro.exec.context import ExecutionContext
+
+#: shared empty lineage — the common case; avoids a frozenset per row
+EMPTY_LINEAGE: frozenset = frozenset()
 
 
 class PhysicalOperator:
@@ -57,6 +74,22 @@ class PhysicalOperator:
                 append = batch.append
         if batch:
             yield batch
+
+    def rows_lineage(
+        self, context: "ExecutionContext"
+    ) -> Iterator[tuple[tuple, frozenset]]:
+        """Start a fresh execution yielding ``(row, lineage)`` pairs.
+
+        ``lineage`` is the set of ``context.lineage_table`` primary keys
+        the row derives from; the invariant every override must keep is
+        *the row survives deletion of sensitive tuple t iff t is not in
+        its lineage*. Operators without an exact implementation inherit
+        this default and are rejected at plan-certification time.
+        """
+        raise LineageError(
+            f"{type(self).__name__} does not support lineage-tagged "
+            "execution"
+        )
 
     def children(self) -> tuple["PhysicalOperator", ...]:
         return ()

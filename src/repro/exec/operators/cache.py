@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
-from repro.exec.operators.base import PhysicalOperator
+from repro.exec.operators.base import EMPTY_LINEAGE, PhysicalOperator
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
     from repro.exec.context import ExecutionContext
@@ -56,6 +56,12 @@ class CacheOperator(PhysicalOperator):
         batch_size = context.batch_size
         for start in range(0, len(cached), batch_size):
             yield cached[start:start + batch_size]
+
+    def rows_lineage(self, context: "ExecutionContext"):
+        """Lineage mode: the operator only ever wraps subtrees that never
+        read the sensitive table, so every cached row has empty lineage."""
+        for row in self.rows(context):
+            yield row, EMPTY_LINEAGE
 
     def describe(self) -> str:
         return "Cache"

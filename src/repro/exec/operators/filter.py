@@ -37,5 +37,11 @@ class FilterOperator(PhysicalOperator):
             if kept:
                 yield kept
 
+    def rows_lineage(self, context: "ExecutionContext"):
+        predicate = self._compiled
+        for pair in self._child.rows_lineage(context):
+            if predicate(pair[0], context) is True:
+                yield pair
+
     def describe(self) -> str:
         return "Filter"

@@ -67,5 +67,15 @@ class ProjectOperator(PhysicalOperator):
         for batch in self._child.rows_batched(context):
             yield [projector(row, context) for row in batch]
 
+    def rows_lineage(self, context: "ExecutionContext"):
+        slots = self._simple_slots
+        if slots is not None:
+            for row, lineage in self._child.rows_lineage(context):
+                yield tuple(row[slot] for slot in slots), lineage
+            return
+        projector = self._projector
+        for row, lineage in self._child.rows_lineage(context):
+            yield projector(row, context), lineage
+
     def describe(self) -> str:
         return f"Project({len(self._expressions)} cols)"

@@ -14,7 +14,7 @@ from repro.errors import ExecutionError
 from repro.expr.compiler import compile_predicate
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expression
-from repro.exec.operators.base import PhysicalOperator
+from repro.exec.operators.base import EMPTY_LINEAGE, PhysicalOperator
 from repro.storage.index import OrderedIndex
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
@@ -77,6 +77,24 @@ class TableScan(PhysicalOperator):
             if chunk:
                 yield chunk
 
+    def rows_lineage(self, context: "ExecutionContext"):
+        """Lineage mode: tag each row of the sensitive table with its own
+        primary key (the base case of deletion provenance)."""
+        predicate = self._compiled
+        pk_positions = self._pk_positions
+        tagged = (
+            self._table.schema.name == context.lineage_table
+            and bool(pk_positions)
+        )
+        for row in self._table.rows():
+            if predicate is not None and predicate(row, context) is not True:
+                continue
+            if tagged:
+                pk = tuple(row[position] for position in pk_positions)
+                yield row, frozenset((pk,))
+            else:
+                yield row, EMPTY_LINEAGE
+
     def describe(self) -> str:
         suffix = " [filtered]" if self._predicate is not None else ""
         return f"TableScan({self._table.schema.name}){suffix}"
@@ -124,6 +142,19 @@ class IndexSeek(PhysicalOperator):
                 if evaluate(self._residual, row, context) is not True:
                     continue
             yield row
+
+    def rows_lineage(self, context: "ExecutionContext"):
+        tagged = (
+            self._table.schema.name == context.lineage_table
+            and bool(self._pk_positions)
+        )
+        pk_positions = self._pk_positions
+        for row in self.rows(context):
+            if tagged:
+                pk = tuple(row[position] for position in pk_positions)
+                yield row, frozenset((pk,))
+            else:
+                yield row, EMPTY_LINEAGE
 
     def describe(self) -> str:
         return (
@@ -185,6 +216,19 @@ class IndexRange(PhysicalOperator):
                     continue
             yield row
 
+    def rows_lineage(self, context: "ExecutionContext"):
+        tagged = (
+            self._table.schema.name == context.lineage_table
+            and bool(self._pk_positions)
+        )
+        pk_positions = self._pk_positions
+        for row in self.rows(context):
+            if tagged:
+                pk = tuple(row[position] for position in pk_positions)
+                yield row, frozenset((pk,))
+            else:
+                yield row, EMPTY_LINEAGE
+
     def describe(self) -> str:
         return (
             f"IndexRange({self._table.schema.name}.{self._index_name})"
@@ -196,6 +240,9 @@ class OneRowSource(PhysicalOperator):
 
     def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
         yield ()
+
+    def rows_lineage(self, context: "ExecutionContext"):
+        yield (), EMPTY_LINEAGE
 
     def describe(self) -> str:
         return "OneRow"

@@ -170,6 +170,42 @@ class TestIncrementalMaintenance:
         view.refresh()
         assert view.ids() == incremental == frozenset({7})
 
+    def test_refcounts_track_qualifying_rows(self, patients_db):
+        """The O(1) delete path rests on the per-ID qualifying-row counts
+        staying exact under mixed DML."""
+        patients_db.execute(
+            "CREATE TABLE visits (visitid INT PRIMARY KEY, "
+            "patientid INT, site VARCHAR)"
+        )
+        patients_db.execute(
+            "INSERT INTO visits VALUES (1, 7, 'north'), (2, 7, 'north'), "
+            "(3, 8, 'north'), (4, 7, 'south')"
+        )
+        patients_db.execute(
+            "CREATE AUDIT EXPRESSION audit_north AS SELECT * FROM visits "
+            "WHERE site = 'north' FOR SENSITIVE TABLE visits, "
+            "PARTITION BY patientid"
+        )
+        view = patients_db.audit_manager.view("audit_north")
+        assert dict(view._id_refcounts) == {7: 2, 8: 1}
+        # an UPDATE moving a row into the predicate bumps its ID's count
+        patients_db.execute(
+            "UPDATE visits SET site = 'north' WHERE visitid = 4"
+        )
+        assert dict(view._id_refcounts) == {7: 3, 8: 1}
+        patients_db.execute("DELETE FROM visits WHERE patientid = 7")
+        assert dict(view._id_refcounts) == {8: 1}
+        assert view.ids() == frozenset({8})
+
+    def test_refresh_rebuilds_refcounts(self, audited_db):
+        view = audited_db.audit_manager.view("audit_alice")
+        audited_db.execute(
+            "INSERT INTO patients VALUES (9, 'Alice', 33, '98108')"
+        )
+        before = dict(view._id_refcounts)
+        view.refresh()
+        assert dict(view._id_refcounts) == before == {1: 1, 9: 1}
+
     def test_dropped_expression_stops_maintaining(self, audited_db):
         view = audited_db.audit_manager.view("audit_alice")
         audited_db.execute("DROP AUDIT EXPRESSION audit_alice")

@@ -1,0 +1,453 @@
+"""Lineage-based offline auditing: exactness against the deletion oracle.
+
+The lineage auditor must be *exact* with respect to Definition 2.3 — it is
+the default offline strategy, so every divergence from the literal
+``Q(D) ≠ Q(D − t)`` test is a correctness bug, not an approximation. These
+tests pin:
+
+* the instance-dependent aggregate corners of Definition 2.3 (a deleted
+  tuple contributing 0 to a SUM, a duplicated MIN/MAX, an AVG unchanged
+  by deletion), asserted against both auditors;
+* a hypothesis differential: random SPJA workloads through the lineage
+  auditor and the deletion-test auditor produce identical accessed-ID
+  sets;
+* plan certification (which shapes fall back, and why);
+* the per-aggregate sensitivity rules in isolation;
+* the parallel deletion fallback and the auditor's LRU plan cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Database, OfflineAuditor
+from repro.audit.lineage import (
+    Certification,
+    aggregate_sensitivity,
+    certify_plan,
+)
+from repro.plan.logical import AggregateSpec
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_db(rows):
+    """patients(patientid, name, age, zip) with audit_all on patientid."""
+    db = Database()
+    db.execute(
+        "CREATE TABLE patients (patientid INT PRIMARY KEY, "
+        "name VARCHAR, age INT, zip VARCHAR)"
+    )
+    db.execute("CREATE TABLE disease (patientid INT, disease VARCHAR)")
+    for index, (name, age, zip_code) in enumerate(rows, start=1):
+        age_sql = "NULL" if age is None else str(age)
+        db.execute(
+            f"INSERT INTO patients VALUES ({index}, '{name}', {age_sql}, "
+            f"'{zip_code}')"
+        )
+    db.execute(
+        "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+        "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+    )
+    return db
+
+
+def both_auditors(db, query):
+    """(lineage answer, deletion answer) with lineage-use asserted."""
+    lineage = OfflineAuditor(db, mode="lineage")
+    deletion = OfflineAuditor(db, mode="deletion")
+    fast = lineage.audit(query, "audit_all")
+    truth = deletion.audit(query, "audit_all")
+    assert lineage.last_lineage_certified, lineage.last_fallback_reason
+    assert lineage.last_deletion_runs == 0
+    assert deletion.last_mode == "deletion"
+    return fast, truth
+
+
+class TestAggregateCorners:
+    """Instance-dependent deletions of Definition 2.3: whether a tuple is
+    accessed depends on the *values* around it, not the plan shape."""
+
+    def test_sum_zero_contribution_is_unaccessed(self):
+        # patient 2 contributes age 0: SUM('11111') is identical with or
+        # without that tuple, so Definition 2.3 says it was not accessed
+        db = make_db([
+            ("Alice", 40, "11111"),
+            ("Bob", 0, "11111"),
+            ("Carol", 25, "22222"),
+        ])
+        query = "SELECT zip, SUM(age) FROM patients GROUP BY zip"
+        fast, truth = both_auditors(db, query)
+        assert fast == truth
+        assert 2 not in truth
+        assert truth == {1, 3}
+
+    def test_duplicated_minimum_masks_deletion(self):
+        # two tuples tie the group minimum: deleting either leaves MIN
+        # unchanged; the unique minimum of the other group is accessed
+        db = make_db([
+            ("Alice", 30, "11111"),
+            ("Bob", 30, "11111"),
+            ("Carol", 55, "11111"),
+            ("Dave", 20, "22222"),
+            ("Eve", 60, "22222"),
+        ])
+        query = "SELECT zip, MIN(age) FROM patients GROUP BY zip"
+        fast, truth = both_auditors(db, query)
+        assert fast == truth
+        assert 1 not in truth and 2 not in truth
+        assert 4 in truth
+        # Carol never moves MIN('11111'); Eve never moves MIN('22222')…
+        # but deleting Eve still *vanishes no group* while deleting Dave
+        # changes its value — the rule must separate them
+        assert 3 not in truth
+
+    def test_duplicated_maximum_masks_deletion(self):
+        db = make_db([
+            ("Alice", 70, "11111"),
+            ("Bob", 70, "11111"),
+            ("Carol", 10, "11111"),
+        ])
+        query = "SELECT MAX(age) FROM patients"
+        fast, truth = both_auditors(db, query)
+        assert fast == truth == set()
+
+    def test_avg_unchanged_by_deleting_the_mean(self):
+        # ages 10, 20, 30: deleting the 20 leaves AVG at exactly 20.0, so
+        # the middle tuple is unaccessed even though COUNT/SUM both change
+        db = make_db([
+            ("Alice", 10, "11111"),
+            ("Bob", 20, "11111"),
+            ("Carol", 30, "11111"),
+        ])
+        query = "SELECT AVG(age) FROM patients"
+        fast, truth = both_auditors(db, query)
+        assert fast == truth
+        assert truth == {1, 3}
+        assert 2 not in truth
+
+    def test_count_star_touches_every_candidate(self):
+        db = make_db([
+            ("Alice", 10, "11111"),
+            ("Bob", None, "22222"),
+        ])
+        fast, truth = both_auditors(db, "SELECT COUNT(*) FROM patients")
+        assert fast == truth == {1, 2}
+
+    def test_count_column_ignores_null_contributions(self):
+        # COUNT(age) never sees Bob's NULL: deleting him changes nothing
+        db = make_db([
+            ("Alice", 10, "11111"),
+            ("Bob", None, "22222"),
+        ])
+        fast, truth = both_auditors(db, "SELECT COUNT(age) FROM patients")
+        assert fast == truth == {1}
+
+    def test_sum_collapsing_to_null_is_accessed(self):
+        # Alice holds the only non-NULL age: deleting her turns SUM into
+        # NULL even though her removal changes the sum by... her value;
+        # the subtle case is a *zero* sole contribution
+        db = make_db([
+            ("Alice", 0, "11111"),
+            ("Bob", None, "11111"),
+        ])
+        fast, truth = both_auditors(db, "SELECT SUM(age) FROM patients")
+        assert fast == truth == {1}
+
+    def test_group_vanishing_is_accessed(self):
+        # Carol's group has one row: deleting her removes an output row
+        db = make_db([
+            ("Alice", 40, "11111"),
+            ("Bob", 0, "11111"),
+            ("Carol", 25, "22222"),
+        ])
+        query = "SELECT zip, COUNT(*) FROM patients GROUP BY zip"
+        fast, truth = both_auditors(db, query)
+        assert fast == truth == {1, 2, 3}
+
+
+# -- differential property: lineage ≡ deletion over random SPJA workloads
+
+names = st.sampled_from(["Alice", "Bob", "Carol", "Dave", "Eve"])
+zips = st.sampled_from(["11111", "22222", "33333"])
+ages = st.one_of(st.none(), st.integers(min_value=0, max_value=90))
+patient_rows = st.lists(st.tuples(names, ages, zips), max_size=12)
+disease_rows = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=12),
+        st.sampled_from(["flu", "cancer", "diabetes"]),
+    ),
+    max_size=15,
+)
+
+spja_queries = st.sampled_from([
+    # select-project-join (pure lineage, no tail)
+    "SELECT name FROM patients WHERE age > 30",
+    "SELECT p.name, d.disease FROM patients p, disease d "
+    "WHERE p.patientid = d.patientid",
+    "SELECT p1.name, p2.name FROM patients p1, patients p2 "
+    "WHERE p1.zip = p2.zip AND p1.patientid < p2.patientid",
+    "SELECT DISTINCT zip FROM patients WHERE age IS NOT NULL",
+    "SELECT name FROM patients ORDER BY age, name",
+    # aggregate tails (incremental group re-derivation)
+    "SELECT zip, COUNT(*) FROM patients GROUP BY zip",
+    "SELECT zip, SUM(age), MIN(age) FROM patients GROUP BY zip",
+    "SELECT zip, AVG(age) FROM patients GROUP BY zip "
+    "HAVING COUNT(*) >= 2",
+    "SELECT MAX(age) FROM patients",
+    "SELECT COUNT(DISTINCT zip) FROM patients",
+    "SELECT d.disease, COUNT(*) FROM patients p, disease d "
+    "WHERE p.patientid = d.patientid GROUP BY d.disease",
+    "SELECT zip, COUNT(*) FROM patients GROUP BY zip "
+    "ORDER BY COUNT(*) DESC, zip LIMIT 2",
+    # top-k tails (replay over surviving core rows)
+    "SELECT name FROM patients ORDER BY age LIMIT 3",
+    "SELECT name, age FROM patients WHERE age >= 0 "
+    "ORDER BY age DESC LIMIT 4",
+])
+
+
+class TestLineageDeletionDifferential:
+    @_SETTINGS
+    @given(patients=patient_rows, sick=disease_rows, query=spja_queries)
+    def test_identical_accessed_sets(self, patients, sick, query):
+        db = Database()
+        db.execute(
+            "CREATE TABLE patients (patientid INT PRIMARY KEY, "
+            "name VARCHAR, age INT, zip VARCHAR)"
+        )
+        db.execute("CREATE TABLE disease (patientid INT, disease VARCHAR)")
+        for index, (name, age, zip_code) in enumerate(patients, start=1):
+            age_sql = "NULL" if age is None else str(age)
+            db.execute(
+                f"INSERT INTO patients VALUES ({index}, '{name}', "
+                f"{age_sql}, '{zip_code}')"
+            )
+        for patient_id, disease in sick:
+            if patient_id <= len(patients):
+                db.execute(
+                    f"INSERT INTO disease VALUES ({patient_id}, "
+                    f"'{disease}')"
+                )
+        db.execute(
+            "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        lineage = OfflineAuditor(db, mode="lineage")
+        deletion = OfflineAuditor(db, mode="deletion")
+        assert lineage.audit(query, "audit_all") == \
+            deletion.audit(query, "audit_all")
+
+
+class TestCertification:
+    """Which plan shapes the lineage engine takes, and why it refuses."""
+
+    def certification(self, db, query):
+        return certify_plan(db.plan_query(query), "patients")
+
+    def test_spj_certifies_with_empty_tail(self):
+        db = make_db([("Alice", 30, "11111")])
+        certification = self.certification(
+            db, "SELECT name FROM patients WHERE age > 10"
+        )
+        assert isinstance(certification, Certification)
+        assert certification.tail == ()
+
+    def test_aggregate_certifies_with_tail(self):
+        db = make_db([("Alice", 30, "11111")])
+        certification = self.certification(
+            db, "SELECT zip, COUNT(*) FROM patients GROUP BY zip"
+        )
+        assert isinstance(certification, Certification)
+        assert certification.tail  # aggregate spine above the core
+
+    def test_sensitive_subquery_refused(self):
+        db = make_db([("Alice", 30, "11111")])
+        refusal = self.certification(
+            db,
+            "SELECT name FROM patients WHERE age > "
+            "(SELECT AVG(age) FROM patients)",
+        )
+        assert isinstance(refusal, str)
+        assert "subquery" in refusal
+
+    def test_insensitive_subquery_certifies(self):
+        db = make_db([("Alice", 30, "11111")])
+        db.execute("INSERT INTO disease VALUES (1, 'flu')")
+        certification = self.certification(
+            db,
+            "SELECT name FROM patients WHERE patientid IN "
+            "(SELECT patientid FROM disease)",
+        )
+        assert isinstance(certification, Certification)
+
+    def test_uncertified_plan_falls_back_and_still_agrees(self):
+        db = make_db([
+            ("Alice", 30, "11111"),
+            ("Bob", 45, "22222"),
+        ])
+        query = (
+            "SELECT name FROM patients WHERE age > "
+            "(SELECT AVG(age) FROM patients)"
+        )
+        auditor = OfflineAuditor(db)
+        accessed = auditor.audit(query, "audit_all")
+        assert auditor.last_mode == "deletion"
+        assert not auditor.last_lineage_certified
+        assert auditor.last_fallback_reason is not None
+        assert auditor.last_deletion_runs > 0
+        truth = OfflineAuditor(db, mode="deletion").audit(
+            query, "audit_all"
+        )
+        assert accessed == truth
+
+
+class TestSensitivityRules:
+    """aggregate_sensitivity in isolation: True / False / None verdicts."""
+
+    def spec(self, name, distinct=False):
+        return AggregateSpec(name, None, distinct)
+
+    def test_count_changes_iff_nonnull_removed(self):
+        assert aggregate_sensitivity(self.spec("count"), [1], [1, 1], 3)
+        assert not aggregate_sensitivity(
+            self.spec("count"), [None], [1], 1
+        )
+
+    def test_sum_zero_delta_is_unchanged(self):
+        assert not aggregate_sensitivity(self.spec("sum"), [0], [5], 5)
+        assert aggregate_sensitivity(self.spec("sum"), [3], [5], 8)
+
+    def test_sum_cancelling_removals_are_unchanged(self):
+        # deleting contributions {-1, +1} together leaves the sum alone
+        assert not aggregate_sensitivity(
+            self.spec("sum"), [-1, 1], [5], 5
+        )
+
+    def test_sum_collapsing_to_null_changes(self):
+        assert aggregate_sensitivity(self.spec("sum"), [0], [None], 0)
+
+    def test_min_duplicated_extremum_is_unchanged(self):
+        assert not aggregate_sensitivity(
+            self.spec("min"), [2], [2, 7], 2
+        )
+        assert aggregate_sensitivity(self.spec("min"), [2], [7], 2)
+        assert not aggregate_sensitivity(self.spec("min"), [7], [2], 2)
+
+    def test_avg_is_undecided_by_rule(self):
+        assert aggregate_sensitivity(self.spec("avg"), [2], [4], 3) is None
+
+    def test_distinct_is_undecided_by_rule(self):
+        assert aggregate_sensitivity(
+            self.spec("count", distinct=True), [1], [1], 1
+        ) is None
+
+
+class TestParallelFallback:
+    def test_worker_pool_matches_serial(self):
+        rows = [
+            (name, age, zip_code)
+            for index, (name, age, zip_code) in enumerate(
+                [("Alice", 30, "11111"), ("Bob", 45, "22222"),
+                 ("Carol", 20, "11111"), ("Dave", 60, "33333"),
+                 ("Eve", 50, "22222"), ("Frank", 35, "11111")]
+            )
+        ]
+        db = make_db(rows)
+        # sensitive subquery: uncertifiable, every candidate gets the
+        # deletion test — exactly the path the pool parallelizes
+        query = (
+            "SELECT name FROM patients WHERE age > "
+            "(SELECT AVG(age) FROM patients)"
+        )
+        serial = OfflineAuditor(db, mode="deletion", workers=1)
+        pooled = OfflineAuditor(db, mode="deletion", workers=4)
+        assert serial.audit(query, "audit_all") == \
+            pooled.audit(query, "audit_all")
+        assert serial.last_deletion_runs == pooled.last_deletion_runs
+        assert pooled.last_workers == 4
+        assert serial.last_workers == 1
+
+    def test_database_knob_reaches_the_pool(self):
+        db = make_db([
+            ("Alice", 30, "11111"), ("Bob", 45, "22222"),
+            ("Carol", 20, "33333"),
+        ])
+        db.offline_audit_workers = 2
+        auditor = OfflineAuditor(db, mode="deletion")
+        auditor.audit("SELECT name FROM patients", "audit_all")
+        assert auditor.last_workers == 2
+
+
+class TestModeDispatch:
+    def test_auto_prefers_lineage(self):
+        db = make_db([("Alice", 30, "11111"), ("Bob", 45, "22222")])
+        auditor = OfflineAuditor(db)
+        auditor.audit("SELECT name FROM patients", "audit_all")
+        assert auditor.last_mode == "lineage"
+        assert auditor.last_deletion_runs == 0
+        assert auditor.last_deletion_runs_avoided == 2
+
+    def test_deletion_mode_never_uses_lineage(self):
+        db = make_db([("Alice", 30, "11111")])
+        auditor = OfflineAuditor(db, mode="deletion")
+        auditor.audit("SELECT name FROM patients", "audit_all")
+        assert auditor.last_mode == "deletion"
+        assert not auditor.last_lineage_certified
+        assert auditor.last_deletion_runs == 1
+
+    def test_database_mode_knob(self):
+        db = make_db([("Alice", 30, "11111")])
+        db.offline_audit_mode = "deletion"
+        auditor = OfflineAuditor(db)
+        auditor.audit("SELECT name FROM patients", "audit_all")
+        assert auditor.last_mode == "deletion"
+
+    def test_database_offline_audit_api(self):
+        db = make_db([("Alice", 30, "11111"), ("Bob", 45, "22222")])
+        accessed = db.offline_audit(
+            "SELECT name FROM patients WHERE age > 40", "audit_all"
+        )
+        assert accessed == {2}
+        assert db.offline_auditor.last_mode == "lineage"
+
+
+class TestAuditorPlanLru:
+    def test_hit_renews_entry(self):
+        db = make_db([("Alice", 30, "11111")])
+        auditor = OfflineAuditor(db)
+        first = "SELECT name FROM patients"
+        second = "SELECT zip FROM patients"
+        auditor.audit(first, "audit_all")
+        auditor.audit(second, "audit_all")
+        assert list(auditor._plans)[-1][0] == second
+        # a hit must move the entry to the MRU end (true LRU, not FIFO)
+        auditor.audit(first, "audit_all")
+        assert auditor.plan_cache_hits == 1
+        assert list(auditor._plans)[-1][0] == first
+
+    def test_capacity_evicts_least_recently_used(self):
+        db = make_db([("Alice", 30, "11111")])
+        auditor = OfflineAuditor(db)
+        hot = "SELECT name FROM patients"
+        auditor.audit(hot, "audit_all")
+        for index in range(63):
+            auditor.audit(
+                f"SELECT name FROM patients WHERE age > {index}",
+                "audit_all",
+            )
+        # the hot entry is the oldest *insertion*; renew it, then insert
+        # one more — FIFO would evict the hot plan, LRU evicts age > 0
+        auditor.audit(hot, "audit_all")
+        auditor.audit(
+            "SELECT name FROM patients WHERE age > 999", "audit_all"
+        )
+        assert len(auditor._plans) == 64
+        keys = [key[0] for key in auditor._plans]
+        assert hot in keys
+        assert "SELECT name FROM patients WHERE age > 0" not in keys
