@@ -1,0 +1,129 @@
+"""Concurrent serving benchmark: threads × trigger mode × auditing.
+
+Pytest usage (alongside the figure benchmarks)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_concurrency.py -q
+
+Standalone usage (CI smoke runs this)::
+
+    PYTHONPATH=src python benchmarks/bench_concurrency.py [--quick]
+
+Both write ``benchmarks/results/BENCH_concurrency.json`` — queries/second
+and p50/p95 execute latency at 1/2/4/8 serving threads for unaudited,
+synchronously audited, and asynchronously audited traffic, plus the
+zero-lost-firings proof (audit-log row counts vs the analytic expectation
+after ``drain_triggers``) and the 8-thread mixed SELECT/DML stress parity
+check against a serial replay.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_FILE = RESULTS_DIR / "BENCH_concurrency.json"
+
+
+def run(total_requests: int, rounds: int) -> dict:
+    from repro.bench.concurrency import concurrency_benchmark, stress_parity
+
+    results = concurrency_benchmark(
+        total_requests=total_requests, rounds=rounds
+    )
+    results["stress"] = stress_parity()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULT_FILE.write_text(json.dumps(results, indent=2, default=str) + "\n")
+    return results
+
+
+def _summarize(results: dict) -> str:
+    lines = [
+        f"concurrency benchmark ({results['total_requests']} requests, "
+        f"{results['simulated_stall_ms']:.1f} ms simulated stall, "
+        f"best of {results['rounds']})"
+    ]
+    for mode, cells in results["modes"].items():
+        parts = []
+        for threads, cell in cells.items():
+            parts.append(
+                f"{threads}t {cell['qps']:.0f} qps "
+                f"(p50 {cell['p50_ms']:.2f} ms)"
+            )
+        lines.append(f"  {mode:<14} " + " | ".join(parts))
+    lines.append(
+        f"  scaling 4 threads vs 1 (audited, async): "
+        f"{results['scaling_async_4v1']:.2f}x"
+    )
+    lines.append(
+        f"  async p50 < sync p50 per thread count: "
+        f"{results['async_p50_beats_sync']}"
+    )
+    lines.append(
+        f"  zero lost firings: {results['zero_lost_firings']}; "
+        f"pipeline {results['pipeline']}"
+    )
+    stress = results["stress"]
+    lines.append(
+        f"  stress parity ({stress['threads']} threads, "
+        f"{stress['operations']} mixed ops): concurrent "
+        f"{stress['concurrent_audit_rows']} rows vs serial "
+        f"{stress['serial_audit_rows']} -> match={stress['match']}"
+    )
+    lines.append(f"  written to {RESULT_FILE}")
+    return "\n".join(lines)
+
+
+def _check(results: dict) -> list[str]:
+    """Acceptance criteria; returns a list of failure descriptions."""
+    failures = []
+    if results["scaling_async_4v1"] < 2.5:
+        failures.append(
+            "audited async qps at 4 threads is only "
+            f"{results['scaling_async_4v1']:.2f}x the 1-thread qps (< 2.5x)"
+        )
+    if not results["zero_lost_firings"]:
+        failures.append("audit-log rows diverge from expected disclosures")
+    if not any(results["async_p50_beats_sync"].values()):
+        failures.append("async p50 never beats sync p50")
+    if not results["stress"]["match"]:
+        failures.append(
+            "stress: concurrent audit-log count != serial replay count"
+        )
+    if results["stress"]["trigger_errors"]:
+        failures.append("stress: async trigger firings raised errors")
+    return failures
+
+
+def test_report_concurrency():
+    from repro.bench.concurrency import DEFAULT_REQUESTS, DEFAULT_ROUNDS
+
+    results = run(DEFAULT_REQUESTS, DEFAULT_ROUNDS)
+    print()
+    print(_summarize(results))
+    assert not _check(results)
+
+
+def main(argv: list[str]) -> int:
+    from repro.bench.concurrency import (
+        DEFAULT_REQUESTS,
+        DEFAULT_ROUNDS,
+        QUICK_REQUESTS,
+        QUICK_ROUNDS,
+    )
+
+    quick = "--quick" in argv
+    results = run(
+        QUICK_REQUESTS if quick else DEFAULT_REQUESTS,
+        QUICK_ROUNDS if quick else DEFAULT_ROUNDS,
+    )
+    print(_summarize(results))
+    failures = _check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -20,3 +20,10 @@ echo "== offline lineage-vs-deletion differential (--quick) =="
 # exits non-zero if the one-pass lineage auditor and the deletion-test
 # oracle disagree on any accessed-ID set (exactness regression)
 PYTHONPATH=src python benchmarks/bench_offline_lineage.py --quick
+
+echo
+echo "== concurrent serving stress (--quick) =="
+# 8 threads of mixed audited SELECT / DML traffic with async triggers;
+# exits non-zero if the audit-log row count diverges from a serial
+# replay (lost or spurious firings) or the thread-scaling floor breaks
+PYTHONPATH=src python benchmarks/bench_concurrency.py --quick

@@ -9,6 +9,8 @@ A pure-Python relational database engine with the paper's auditing stack:
 * an offline auditor (the ground truth) with a one-pass lineage fast
   path, parallel deletion-test fallback, and an Oracle-FGA style
   static-analysis baseline;
+* a concurrent serving layer — snapshot SELECTs under a read-write lock
+  with an asynchronous audit-trigger pipeline (``trigger_mode='async'``);
 * a TPC-H workload generator and the paper's benchmark harness.
 
 Quickstart::
@@ -17,6 +19,7 @@ Quickstart::
     db = Database()
 """
 
+from repro.concurrency import ReadWriteLock, TriggerBatch, TriggerPipeline
 from repro.database import Database, QueryResult, connect
 from repro.errors import ReproError
 from repro.audit import (
@@ -45,5 +48,8 @@ __all__ = [
     "StaticAnalysisAuditor",
     "AuditLog",
     "install_audit_log",
+    "ReadWriteLock",
+    "TriggerBatch",
+    "TriggerPipeline",
     "__version__",
 ]

@@ -20,6 +20,7 @@ The view is maintained under DML via table change observers:
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import TYPE_CHECKING, Callable, Iterator
 
@@ -71,6 +72,11 @@ class IdView:
         #: the incremental-maintenance bookkeeping that makes DELETE/UPDATE
         #: maintenance O(1) instead of a table scan per removed row
         self._id_refcounts: Counter = Counter()
+        # Serializes maintenance (refcount read-modify-write, refresh)
+        # against concurrent DML threads; probes stay lock-free — the
+        # engine's read-write lock already excludes them from writers,
+        # and set membership itself is safe under the GIL.
+        self._lock = threading.RLock()
         if self._single_table:
             self._predicate_evaluator = _SingleTablePredicate(
                 expression, catalog
@@ -91,7 +97,8 @@ class IdView:
         return iter(self._ids)
 
     def ids(self) -> frozenset:
-        return frozenset(self._ids)
+        with self._lock:
+            return frozenset(self._ids)
 
     @property
     def live_id_set(self):
@@ -146,26 +153,28 @@ class IdView:
 
     def refresh(self) -> None:
         """Full re-materialization (in place: structure identity stable)."""
-        fresh = self._materializer(self.expression)
-        self._ids.clear()
-        self._ids.update(fresh)
-        if self._bloom is not None:
-            self._bloom.clear()
-            for value in self._ids:
-                self._bloom.add(value)
-        if self._single_table:
-            self._rebuild_refcounts()
+        with self._lock:
+            fresh = self._materializer(self.expression)
+            self._ids.clear()
+            self._ids.update(fresh)
+            if self._bloom is not None:
+                self._bloom.clear()
+                for value in self._ids:
+                    self._bloom.add(value)
+            if self._single_table:
+                self._rebuild_refcounts()
 
     def _rebuild_refcounts(self) -> None:
         """One scan establishing the per-ID qualifying-row counts."""
         evaluator = self._predicate_evaluator
         assert evaluator is not None
-        counts = self._id_refcounts
-        counts.clear()
-        table = self._catalog.table(self.expression.sensitive_table)
-        for row in table.rows():
-            if evaluator.matches(row):
-                counts[evaluator.id_of(row)] += 1
+        with self._lock:
+            counts = self._id_refcounts
+            counts.clear()
+            table = self._catalog.table(self.expression.sensitive_table)
+            for row in table.rows():
+                if evaluator.matches(row):
+                    counts[evaluator.id_of(row)] += 1
 
     def _add_id(self, value: object) -> None:
         if value not in self._ids:
@@ -185,25 +194,29 @@ class IdView:
             return
         evaluator = self._predicate_evaluator
         assert evaluator is not None
-        if change.old_row is not None:
-            if evaluator.matches(change.old_row):
-                self._release_id(evaluator.id_of(change.old_row))
-        if change.new_row is not None and evaluator.matches(change.new_row):
-            self._retain_id(evaluator.id_of(change.new_row))
+        with self._lock:
+            if change.old_row is not None:
+                if evaluator.matches(change.old_row):
+                    self._release_id(evaluator.id_of(change.old_row))
+            if change.new_row is not None \
+                    and evaluator.matches(change.new_row):
+                self._retain_id(evaluator.id_of(change.new_row))
 
     def _retain_id(self, id_value: object) -> None:
         """One more qualifying row carries this ID."""
-        self._id_refcounts[id_value] += 1
-        self._add_id(id_value)
+        with self._lock:
+            self._id_refcounts[id_value] += 1
+            self._add_id(id_value)
 
     def _release_id(self, id_value: object) -> None:
         """A qualifying row left; drop the ID when the last one does."""
-        remaining = self._id_refcounts[id_value] - 1
-        if remaining > 0:
-            self._id_refcounts[id_value] = remaining
-            return
-        self._id_refcounts.pop(id_value, None)
-        self._discard_id(id_value)
+        with self._lock:
+            remaining = self._id_refcounts[id_value] - 1
+            if remaining > 0:
+                self._id_refcounts[id_value] = remaining
+                return
+            self._id_refcounts.pop(id_value, None)
+            self._discard_id(id_value)
 
 
 class _SingleTablePredicate:

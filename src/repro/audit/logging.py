@@ -28,7 +28,13 @@ class AuditLog:
     id_column: str
 
     def entries(self) -> "QueryResult":
-        """All log entries, oldest first."""
+        """All log entries, oldest first.
+
+        Reader methods first drain the async trigger pipeline, so in
+        ``trigger_mode='async'`` the admin always sees the complete
+        trail up to the queries already executed — never a prefix.
+        """
+        self.database.drain_triggers()
         return self.database.execute(
             f"SELECT ts, uid, query, {self.id_column} "
             f"FROM {self.table_name} ORDER BY ts"
@@ -41,6 +47,7 @@ class AuditLog:
         (Example 1.1): candidate accesses recorded online; pass them to
         :class:`repro.audit.offline.OfflineAuditor` for verification.
         """
+        self.database.drain_triggers()
         return self.database.execute(
             f"SELECT DISTINCT uid, query FROM {self.table_name} "
             f"WHERE {self.id_column} = :individual",
@@ -49,6 +56,7 @@ class AuditLog:
 
     def access_counts_by_user(self) -> "QueryResult":
         """Distinct sensitive individuals each user has touched."""
+        self.database.drain_triggers()
         return self.database.execute(
             f"SELECT uid, COUNT(DISTINCT {self.id_column}) AS individuals "
             f"FROM {self.table_name} GROUP BY uid "
@@ -56,6 +64,7 @@ class AuditLog:
         )
 
     def clear(self) -> None:
+        self.database.drain_triggers()
         self.database.execute(f"DELETE FROM {self.table_name}")
 
 

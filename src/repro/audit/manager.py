@@ -15,6 +15,7 @@ instrumentation hook, and the trigger subsystem:
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.audit.expression import AuditExpression
@@ -56,6 +57,9 @@ class AuditManager:
         #: (or their views) changes; plan caches include it in their keys
         #: because instrumented plan shapes depend on this configuration
         self.config_version = 0
+        # Serializes registry mutation and the config_version bumps
+        # (read-modify-write) against concurrent DDL threads.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # expression lifecycle
@@ -63,31 +67,37 @@ class AuditManager:
     def create_expression(
         self, statement: "ast.CreateAuditExpressionStatement"
     ) -> AuditExpression:
-        expression = AuditExpression.from_statement(statement, self._catalog)
-        if expression.name in self._views:
-            raise AuditError(
-                f"audit expression {expression.name!r} already exists"
+        with self._lock:
+            expression = AuditExpression.from_statement(
+                statement, self._catalog
             )
-        view = IdView(
-            expression,
-            self._catalog,
-            self._materializer,
-            probe_structure=self.probe_structure,
-        )
-        view.install_observers()
-        self._views[expression.name] = view
-        self._catalog.add_audit_expression(expression.name, expression)
-        self.config_version += 1
-        return expression
+            if expression.name in self._views:
+                raise AuditError(
+                    f"audit expression {expression.name!r} already exists"
+                )
+            view = IdView(
+                expression,
+                self._catalog,
+                self._materializer,
+                probe_structure=self.probe_structure,
+            )
+            view.install_observers()
+            self._views[expression.name] = view
+            self._catalog.add_audit_expression(expression.name, expression)
+            self.config_version += 1
+            return expression
 
     def drop_expression(self, name: str) -> None:
-        key = name.lower()
-        view = self._views.pop(key, None)
-        if view is None:
-            raise AuditError(f"audit expression {name!r} does not exist")
-        view.uninstall_observers()
-        self._catalog.drop_audit_expression(key)
-        self.config_version += 1
+        with self._lock:
+            key = name.lower()
+            view = self._views.pop(key, None)
+            if view is None:
+                raise AuditError(
+                    f"audit expression {name!r} does not exist"
+                )
+            view.uninstall_observers()
+            self._catalog.drop_audit_expression(key)
+            self.config_version += 1
 
     def expression(self, name: str) -> AuditExpression:
         return self.view(name).expression
@@ -114,13 +124,15 @@ class AuditManager:
 
         class _Override:
             def __enter__(self) -> None:
-                self._previous = manager._views[name.lower()]
-                manager._views[name.lower()] = view
-                manager.config_version += 1
+                with manager._lock:
+                    self._previous = manager._views[name.lower()]
+                    manager._views[name.lower()] = view
+                    manager.config_version += 1
 
             def __exit__(self, *exc_info) -> None:
-                manager._views[name.lower()] = self._previous
-                manager.config_version += 1
+                with manager._lock:
+                    manager._views[name.lower()] = self._previous
+                    manager.config_version += 1
 
         return _Override()
 
@@ -131,12 +143,14 @@ class AuditManager:
 
         class _Suspend:
             def __enter__(self) -> None:
-                self._view = manager._views.pop(name.lower())
-                manager.config_version += 1
+                with manager._lock:
+                    self._view = manager._views.pop(name.lower())
+                    manager.config_version += 1
 
             def __exit__(self, *exc_info) -> None:
-                manager._views[name.lower()] = self._view
-                manager.config_version += 1
+                with manager._lock:
+                    manager._views[name.lower()] = self._view
+                    manager.config_version += 1
 
         return _Suspend()
 

@@ -1,0 +1,389 @@
+"""Concurrent serving benchmark: threads × trigger mode × auditing.
+
+Measures the engine as a multi-threaded query server. Each simulated
+client request pays a fixed GIL-releasing stall (``time.sleep``) modeling
+the client/storage round-trip, then executes one audited point query.
+On the single-core CI box the CPU work of concurrent requests cannot run
+in parallel under the GIL, but the stalls *can* overlap — exactly the
+regime a Python query server lives in — so throughput scales with thread
+count until the GIL-serialized CPU slice becomes the bottleneck.
+
+Three serving modes are compared at 1/2/4/8 threads:
+
+* ``unaudited``      — audit instrumentation off (the ceiling);
+* ``audited_sync``   — SELECT triggers fire on the caller's thread before
+  ``execute`` returns (the seed semantics); every firing takes the engine
+  write lock, stalling all concurrent readers;
+* ``audited_async``  — AFTER-timing firings are deferred to the trigger
+  pipeline; ``execute`` returns right after enqueueing.
+
+Each audited cell proves **zero lost firings**: after ``drain_triggers``
+the audit-log row count must equal the analytically expected number of
+sensitive-ID disclosures for the request mix.
+
+:func:`stress_parity` is the CI smoke check — 8 threads of mixed audited
+SELECT / DML traffic, then the identical operation sequence replayed
+serially on a fresh database; both audit logs must have the same row
+count.
+
+``benchmarks/bench_concurrency.py`` serializes the output to
+``benchmarks/results/BENCH_concurrency.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import threading
+import time
+
+from repro.database import Database
+from repro.audit.logging import install_audit_log
+
+#: serving threads compared in the scaling sweep
+THREAD_COUNTS = (1, 2, 4, 8)
+
+#: simulated per-request client/storage round-trip (GIL-releasing)
+DEFAULT_STALL_S = 0.003
+
+DEFAULT_REQUESTS = 120
+QUICK_REQUESTS = 48
+
+DEFAULT_ROUNDS = 3
+QUICK_ROUNDS = 1
+
+AUDIT_NAME = "audit_vips"
+LOG_TABLE = "access_log"
+
+#: wards (request partitions) and how many sensitive patients each holds;
+#: every ward holds at least one so the *median* audited request fires
+#: its logging trigger (sync mode pays it inline, async defers it)
+WARDS = tuple(f"w{i}" for i in range(8))
+VIPS_PER_WARD = {
+    "w0": 3, "w1": 2, "w2": 2, "w3": 1,
+    "w4": 1, "w5": 1, "w6": 1, "w7": 1,
+}
+
+PATIENTS_PER_WARD = 30
+
+SERVE_QUERY = "SELECT name, status FROM patients WHERE ward = :ward"
+
+
+class ServingFixture:
+    """A small clinic database built for concurrent point-query traffic.
+
+    ``patients`` has :data:`PATIENTS_PER_WARD` rows per ward; the wards in
+    :data:`VIPS_PER_WARD` contain that many sensitive (``vip = 1``) rows.
+    The audit expression covers the vips; :func:`install_audit_log` wires
+    the standard §II-C logging trigger over it, so every audited request
+    appends ``|vips-in-ward|`` rows to the log.
+    """
+
+    def __init__(self) -> None:
+        self.database = Database(user_id="server")
+        db = self.database
+        db.execute(
+            "CREATE TABLE patients (patientid INT PRIMARY KEY, "
+            "name VARCHAR, ward VARCHAR, vip INT, status VARCHAR)"
+        )
+        rows = []
+        pid = 0
+        self.vip_ids: set[int] = set()
+        for ward in WARDS:
+            vips = VIPS_PER_WARD.get(ward, 0)
+            for i in range(PATIENTS_PER_WARD):
+                vip = 1 if i < vips else 0
+                if vip:
+                    self.vip_ids.add(pid)
+                rows.append(
+                    f"({pid}, 'p{pid}', '{ward}', {vip}, 'stable')"
+                )
+                pid += 1
+        db.execute("INSERT INTO patients VALUES " + ", ".join(rows))
+        db.execute(
+            f"CREATE AUDIT EXPRESSION {AUDIT_NAME} AS "
+            "SELECT * FROM patients WHERE vip = 1 "
+            "FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+        )
+        self.audit_log = install_audit_log(
+            db, AUDIT_NAME, table_name=LOG_TABLE
+        )
+        # measured, not assumed: the sensitive IDs each ward's query
+        # actually discloses under the installed placement heuristic
+        self.hits_per_ward = {}
+        for ward in WARDS:
+            result = db.execute(SERVE_QUERY, {"ward": ward})
+            accessed = result.accessed.get(AUDIT_NAME, frozenset())
+            self.hits_per_ward[ward] = len(accessed)
+        self.audit_log.clear()
+
+    def log_rows(self) -> int:
+        self.database.drain_triggers()
+        return self.database.execute(
+            f"SELECT COUNT(*) FROM {LOG_TABLE}"
+        ).rows[0][0]
+
+    def expected_rows(self, requests: list[str]) -> int:
+        return sum(self.hits_per_ward[ward] for ward in requests)
+
+
+def request_mix(total: int) -> list[str]:
+    """Deterministic round-robin ward cycle of ``total`` requests."""
+    return [WARDS[i % len(WARDS)] for i in range(total)]
+
+
+def _serve(
+    database: Database,
+    requests: list[str],
+    threads: int,
+    stall_s: float,
+) -> tuple[float, list[float]]:
+    """Run ``requests`` across ``threads`` workers; returns
+    ``(wall_seconds, per-request execute() latencies)``.
+
+    Requests are dealt round-robin so every thread sees the same ward
+    mix. The wall clock covers stall + execution for the whole batch —
+    the quantity a client population experiences — while the latency
+    samples time ``execute`` alone (the engine's share of a request).
+    """
+    barrier = threading.Barrier(threads)
+    latencies: list[list[float]] = [[] for _ in range(threads)]
+    failures: list[BaseException] = []
+
+    def worker(index: int) -> None:
+        mine = requests[index::threads]
+        samples = latencies[index]
+        try:
+            barrier.wait()
+            for ward in mine:
+                time.sleep(stall_s)
+                start = time.perf_counter()
+                database.execute(SERVE_QUERY, {"ward": ward})
+                samples.append(time.perf_counter() - start)
+        except BaseException as error:  # pragma: no cover - surfaced below
+            failures.append(error)
+
+    pool = [
+        threading.Thread(target=worker, args=(i,), name=f"serve-{i}")
+        for i in range(threads)
+    ]
+    start = time.perf_counter()
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    wall = time.perf_counter() - start
+    if failures:
+        raise failures[0]
+    return wall, [sample for bucket in latencies for sample in bucket]
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _measure_cell(
+    fixture: ServingFixture,
+    mode: str,
+    threads: int,
+    requests: list[str],
+    stall_s: float,
+    rounds: int,
+) -> dict:
+    """Best-of-``rounds`` throughput for one (mode, thread-count) cell."""
+    db = fixture.database
+    db.audit_enabled = mode != "unaudited"
+    db.trigger_mode = "async" if mode == "audited_async" else "sync"
+    best: dict | None = None
+    try:
+        for _ in range(rounds):
+            fixture.audit_log.clear()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                wall, latencies = _serve(db, requests, threads, stall_s)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            drain_start = time.perf_counter()
+            db.drain_triggers()
+            drain_s = time.perf_counter() - drain_start
+            cell = {
+                "qps": len(requests) / wall,
+                "wall_s": wall,
+                "drain_s": drain_s,
+                "p50_ms": statistics.median(latencies) * 1e3,
+                "p95_ms": _percentile(latencies, 0.95) * 1e3,
+            }
+            if mode != "unaudited":
+                logged = fixture.log_rows()
+                expected = fixture.expected_rows(requests)
+                cell["audit_rows"] = logged
+                cell["expected_rows"] = expected
+                cell["zero_lost_firings"] = logged == expected
+            if best is None or cell["qps"] > best["qps"]:
+                best = cell
+    finally:
+        db.audit_enabled = True
+        db.trigger_mode = "sync"
+        fixture.audit_log.clear()
+    assert best is not None
+    return best
+
+
+def concurrency_benchmark(
+    total_requests: int = DEFAULT_REQUESTS,
+    rounds: int = DEFAULT_ROUNDS,
+    stall_s: float = DEFAULT_STALL_S,
+    thread_counts: tuple[int, ...] = THREAD_COUNTS,
+) -> dict:
+    """Full serving sweep; returns a JSON-ready dict."""
+    fixture = ServingFixture()
+    requests = request_mix(total_requests)
+    results: dict = {
+        "benchmark": "concurrency",
+        "total_requests": total_requests,
+        "rounds": rounds,
+        "simulated_stall_ms": stall_s * 1e3,
+        "thread_counts": list(thread_counts),
+        "hits_per_ward": dict(sorted(fixture.hits_per_ward.items())),
+        "modes": {},
+    }
+    for mode in ("unaudited", "audited_sync", "audited_async"):
+        cells = {}
+        for threads in thread_counts:
+            cells[str(threads)] = _measure_cell(
+                fixture, mode, threads, requests, stall_s, rounds
+            )
+        results["modes"][mode] = cells
+
+    async_cells = results["modes"]["audited_async"]
+    sync_cells = results["modes"]["audited_sync"]
+    four = str(4) if 4 in thread_counts else str(max(thread_counts))
+    one = str(min(thread_counts))
+    results["scaling_async_4v1"] = (
+        async_cells[four]["qps"] / async_cells[one]["qps"]
+    )
+    results["scaling_sync_4v1"] = (
+        sync_cells[four]["qps"] / sync_cells[one]["qps"]
+    )
+    results["async_p50_beats_sync"] = {
+        threads: async_cells[threads]["p50_ms"]
+        < sync_cells[threads]["p50_ms"]
+        for threads in async_cells
+    }
+    results["zero_lost_firings"] = all(
+        cell["zero_lost_firings"]
+        for mode in ("audited_sync", "audited_async")
+        for cell in results["modes"][mode].values()
+    )
+    results["pipeline"] = fixture.database.drain_triggers()
+    fixture.database.close()
+    return results
+
+
+# ----------------------------------------------------------------------
+# CI stress: concurrent mixed traffic vs serial replay
+
+
+def _stress_operations(
+    fixture: ServingFixture, threads: int, per_thread: int
+) -> list[list[tuple[str, dict]]]:
+    """Deterministic per-thread operation scripts: mostly audited SELECTs
+    with an UPDATE of a *non-sensitive* row every fourth request, so the
+    per-query ACCESSED sets — and hence the audit-log row count — are
+    independent of thread interleaving."""
+    safe_ids = sorted(
+        set(range(threads * per_thread)) - fixture.vip_ids
+    )
+    scripts = []
+    for t in range(threads):
+        script: list[tuple[str, dict]] = []
+        for j in range(per_thread):
+            if (t + j) % 4 == 3:
+                pid = safe_ids[(t * per_thread + j) % len(safe_ids)]
+                script.append((
+                    "UPDATE patients SET status = :status "
+                    "WHERE patientid = :pid",
+                    {"status": f"seen-{t}-{j}", "pid": pid},
+                ))
+            else:
+                ward = WARDS[(t + j) % len(WARDS)]
+                script.append((SERVE_QUERY, {"ward": ward}))
+        scripts.append(script)
+    return scripts
+
+
+def _run_scripts_concurrently(
+    database: Database, scripts: list[list[tuple[str, dict]]]
+) -> None:
+    barrier = threading.Barrier(len(scripts))
+    failures: list[BaseException] = []
+
+    def worker(script: list[tuple[str, dict]]) -> None:
+        try:
+            barrier.wait()
+            for sql, parameters in script:
+                database.execute(sql, parameters)
+        except BaseException as error:  # pragma: no cover
+            failures.append(error)
+
+    pool = [
+        threading.Thread(target=worker, args=(script,), name=f"stress-{i}")
+        for i, script in enumerate(scripts)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    if failures:
+        raise failures[0]
+
+
+def stress_parity(threads: int = 8, per_thread: int = 24) -> dict:
+    """8-thread mixed SELECT/DML stress with a serial ground-truth replay.
+
+    Runs the deterministic scripts concurrently in async trigger mode on
+    one database, then replays the identical statement sequence serially
+    (sync mode) on a fresh database. Equal audit-log row counts prove the
+    concurrent run lost no firings and produced no spurious ones.
+    """
+    concurrent = ServingFixture()
+    scripts = _stress_operations(concurrent, threads, per_thread)
+    concurrent.database.trigger_mode = "async"
+    _run_scripts_concurrently(concurrent.database, scripts)
+    drain_stats = concurrent.database.drain_triggers()
+    concurrent_rows = concurrent.log_rows()
+    concurrent.database.close()
+
+    serial = ServingFixture()
+    for script in scripts:
+        for sql, parameters in script:
+            serial.database.execute(sql, parameters)
+    serial_rows = serial.log_rows()
+
+    return {
+        "threads": threads,
+        "operations": threads * per_thread,
+        "concurrent_audit_rows": concurrent_rows,
+        "serial_audit_rows": serial_rows,
+        "match": concurrent_rows == serial_rows,
+        "pipeline": drain_stats,
+        "trigger_errors": len(concurrent.database.trigger_errors),
+    }
+
+
+__all__ = [
+    "ServingFixture",
+    "concurrency_benchmark",
+    "stress_parity",
+    "request_mix",
+    "THREAD_COUNTS",
+    "DEFAULT_STALL_S",
+    "DEFAULT_REQUESTS",
+    "QUICK_REQUESTS",
+    "DEFAULT_ROUNDS",
+    "QUICK_ROUNDS",
+]

@@ -8,6 +8,7 @@ which keeps the dependency graph acyclic (catalog ← storage ← executor ...).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
@@ -43,29 +44,43 @@ class Catalog:
         #: indexes, triggers); plan caches key their entries on it so any
         #: change that could alter a compiled plan invalidates
         self.version = 0
+        # Serializes registry mutation, version bumps, and the lazy
+        # statistics cache against concurrent DDL / serving threads.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # tables
 
-    def add_table(self, table: "Table") -> None:
-        name = table.schema.name.lower()
-        if name in self._tables:
-            raise CatalogError(f"table {name!r} already exists")
-        self._tables[name] = table
-        self.version += 1
+    def add_table(self, table: "Table", transient: bool = False) -> None:
+        """Register a table.
 
-    def drop_table(self, name: str) -> None:
-        key = name.lower()
-        if key not in self._tables:
-            raise CatalogError(f"table {name!r} does not exist")
-        del self._tables[key]
-        self._statistics.pop(key, None)
-        self._indexes = {
-            index_name: definition
-            for index_name, definition in self._indexes.items()
-            if definition.table != key
-        }
-        self.version += 1
+        ``transient=True`` skips the DDL version bump: the table is a
+        short-lived system relation (the trigger manager's ``accessed``)
+        that no cached user plan can reference, so registering it must
+        not invalidate every compiled plan on each trigger firing.
+        """
+        with self._lock:
+            name = table.schema.name.lower()
+            if name in self._tables:
+                raise CatalogError(f"table {name!r} already exists")
+            self._tables[name] = table
+            if not transient:
+                self.version += 1
+
+    def drop_table(self, name: str, transient: bool = False) -> None:
+        with self._lock:
+            key = name.lower()
+            if key not in self._tables:
+                raise CatalogError(f"table {name!r} does not exist")
+            del self._tables[key]
+            self._statistics.pop(key, None)
+            self._indexes = {
+                index_name: definition
+                for index_name, definition in self._indexes.items()
+                if definition.table != key
+            }
+            if not transient:
+                self.version += 1
 
     def table(self, name: str) -> "Table":
         try:
@@ -83,16 +98,19 @@ class Catalog:
     # secondary indexes
 
     def add_index(self, definition: IndexDefinition) -> None:
-        key = definition.name.lower()
-        if key in self._indexes:
-            raise CatalogError(f"index {definition.name!r} already exists")
-        if not self.has_table(definition.table):
-            raise CatalogError(
-                f"index {definition.name!r} references missing table "
-                f"{definition.table!r}"
-            )
-        self._indexes[key] = definition
-        self.version += 1
+        with self._lock:
+            key = definition.name.lower()
+            if key in self._indexes:
+                raise CatalogError(
+                    f"index {definition.name!r} already exists"
+                )
+            if not self.has_table(definition.table):
+                raise CatalogError(
+                    f"index {definition.name!r} references missing table "
+                    f"{definition.table!r}"
+                )
+            self._indexes[key] = definition
+            self.version += 1
 
     def indexes_on(self, table: str) -> list[IndexDefinition]:
         key = table.lower()
@@ -105,30 +123,33 @@ class Catalog:
         """Return fresh statistics, re-gathering if the table changed."""
         table = self.table(table_name)
         key = table_name.lower()
-        cached = self._statistics.get(key)
-        if cached is not None and cached.version == table.version:
-            return cached
-        stats = TableStatistics.gather(
-            table.schema.column_names, table.rows(), table.version
-        )
-        self._statistics[key] = stats
-        return stats
+        with self._lock:
+            cached = self._statistics.get(key)
+            if cached is not None and cached.version == table.version:
+                return cached
+            stats = TableStatistics.gather(
+                table.schema.column_names, table.rows(), table.version
+            )
+            self._statistics[key] = stats
+            return stats
 
     # ------------------------------------------------------------------
     # triggers
 
     def add_trigger(self, name: str, trigger: object) -> None:
-        key = name.lower()
-        if key in self._triggers:
-            raise CatalogError(f"trigger {name!r} already exists")
-        self._triggers[key] = trigger
-        self.version += 1
+        with self._lock:
+            key = name.lower()
+            if key in self._triggers:
+                raise CatalogError(f"trigger {name!r} already exists")
+            self._triggers[key] = trigger
+            self.version += 1
 
     def drop_trigger(self, name: str) -> None:
-        if name.lower() not in self._triggers:
-            raise CatalogError(f"trigger {name!r} does not exist")
-        del self._triggers[name.lower()]
-        self.version += 1
+        with self._lock:
+            if name.lower() not in self._triggers:
+                raise CatalogError(f"trigger {name!r} does not exist")
+            del self._triggers[name.lower()]
+            self.version += 1
 
     def trigger(self, name: str) -> object:
         try:

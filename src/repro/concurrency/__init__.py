@@ -1,0 +1,29 @@
+"""Concurrent serving: locks and the asynchronous audit-trigger pipeline.
+
+The engine's concurrency model (DESIGN.md §7) is two-layered:
+
+* :class:`ReadWriteLock` — a reentrant, writer-preferring read-write lock.
+  SELECTs execute under the read side (N concurrent snapshot readers),
+  every mutating statement (DML, DDL, trigger actions) takes the write
+  side. Nested statements — trigger bodies, ``INSERT ... SELECT`` — are
+  reentrant no-ops on a thread that already holds a side.
+* :class:`TriggerPipeline` — a bounded queue plus one background worker
+  that drains :class:`TriggerBatch` records (the ACCESSED state and query
+  metadata captured at SELECT time) and runs the AFTER-timing trigger
+  actions off the caller's critical path, with backpressure when full and
+  per-batch error isolation.
+"""
+
+from repro.concurrency.locks import ReadWriteLock
+from repro.concurrency.pipeline import (
+    DEFAULT_QUEUE_CAPACITY,
+    TriggerBatch,
+    TriggerPipeline,
+)
+
+__all__ = [
+    "ReadWriteLock",
+    "TriggerBatch",
+    "TriggerPipeline",
+    "DEFAULT_QUEUE_CAPACITY",
+]

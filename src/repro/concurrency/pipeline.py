@@ -1,0 +1,155 @@
+"""The asynchronous audit-trigger pipeline.
+
+The paper's promise is that SELECT-trigger auditing is light-weight *on
+the query path*; the audit-log INSERTs themselves need not be. In
+``trigger_mode='async'`` the engine captures a :class:`TriggerBatch` —
+the query's ACCESSED state plus the metadata its trigger actions read
+(``sql_text()``, ``user_id()``) — and hands it to a
+:class:`TriggerPipeline`: a bounded queue drained by one daemon worker
+that fires the AFTER-timing trigger actions as their own system
+transactions, off the caller's critical path.
+
+Guarantees:
+
+* **no lost firings** — ``put`` blocks when the queue is full
+  (backpressure slows producers instead of dropping batches), and
+  :meth:`drain` returns only after every submitted batch has been fired;
+* **error isolation** — a failing trigger action marks its batch failed
+  and is recorded in :attr:`errors`; subsequent batches still fire and
+  the worker never dies;
+* **ordering** — batches fire in submission order (one worker, FIFO
+  queue), so the audit log preserves the global submission sequence.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: default bound of the trigger queue; at typical audit-action cost this
+#: is a few hundred milliseconds of buffered work before backpressure
+DEFAULT_QUEUE_CAPACITY = 256
+
+#: retained error records (older ones are dropped, counts keep growing)
+ERROR_HISTORY = 64
+
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class TriggerBatch:
+    """One query's deferred trigger work: ACCESSED plus query metadata."""
+
+    #: audit expression name -> accessed partition-by IDs
+    accessed: dict[str, frozenset] = field(default_factory=dict)
+    #: the querying statement's text, as ``sql_text()`` must report it
+    sql_text: str = ""
+    #: the querying session's user, as ``user_id()`` must report it
+    user_id: str = ""
+
+
+class TriggerPipeline:
+    """Bounded FIFO of trigger batches drained by one worker thread."""
+
+    def __init__(
+        self,
+        fire: Callable[[TriggerBatch], None],
+        capacity: int = DEFAULT_QUEUE_CAPACITY,
+    ) -> None:
+        self._fire = fire
+        self._queue: queue.Queue = queue.Queue(maxsize=max(1, capacity))
+        self._state_lock = threading.Lock()
+        self._worker: threading.Thread | None = None
+        self._closed = False
+        self.submitted = 0
+        self.processed = 0
+        self.failed = 0
+        #: (batch, exception) records of failed firings, newest last
+        self.errors: deque = deque(maxlen=ERROR_HISTORY)
+
+    # ------------------------------------------------------------------
+    # producer side
+
+    def submit(self, batch: TriggerBatch) -> None:
+        """Enqueue one batch; blocks while the queue is full (backpressure)."""
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("trigger pipeline is closed")
+            self.submitted += 1
+            self._ensure_worker()
+        self._queue.put(batch)
+
+    def _ensure_worker(self) -> None:
+        if self._worker is not None and self._worker.is_alive():
+            return
+        self._worker = threading.Thread(
+            target=self._run, name="trigger-pipeline", daemon=True
+        )
+        self._worker.start()
+
+    def is_worker_thread(self) -> bool:
+        """True when called from the pipeline's own worker thread."""
+        worker = self._worker
+        return worker is not None \
+            and threading.get_ident() == worker.ident
+
+    # ------------------------------------------------------------------
+    # worker side
+
+    def _run(self) -> None:
+        while True:
+            batch = self._queue.get()
+            if batch is _SHUTDOWN:
+                self._queue.task_done()
+                return
+            try:
+                self._fire(batch)
+            except BaseException as error:  # noqa: BLE001 — isolation
+                with self._state_lock:
+                    self.failed += 1
+                    self.errors.append((batch, error))
+            finally:
+                with self._state_lock:
+                    self.processed += 1
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # flush / shutdown
+
+    def drain(self) -> None:
+        """Block until every submitted batch has been fired."""
+        self._queue.join()
+
+    def close(self) -> None:
+        """Drain, then stop the worker. The pipeline rejects new batches."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            worker = self._worker
+        if worker is not None and worker.is_alive():
+            self._queue.put(_SHUTDOWN)
+            worker.join()
+
+    # ------------------------------------------------------------------
+    # telemetry
+
+    def stats(self) -> dict[str, int]:
+        with self._state_lock:
+            return {
+                "submitted": self.submitted,
+                "processed": self.processed,
+                "failed": self.failed,
+                "pending": self.submitted - self.processed,
+            }
+
+
+__all__ = [
+    "TriggerBatch",
+    "TriggerPipeline",
+    "DEFAULT_QUEUE_CAPACITY",
+    "ERROR_HISTORY",
+]

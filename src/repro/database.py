@@ -27,10 +27,17 @@ their own system transaction (§II-C).
 from __future__ import annotations
 
 import datetime
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.audit.manager import AuditManager
+from repro.concurrency import (
+    DEFAULT_QUEUE_CAPACITY,
+    ReadWriteLock,
+    TriggerBatch,
+    TriggerPipeline,
+)
 from repro.audit.placement import HEURISTIC_HCN
 from repro.catalog.catalog import Catalog, IndexDefinition
 from repro.catalog.schema import Column, ForeignKey, TableSchema
@@ -125,11 +132,28 @@ class Database:
         self.plan_cache = PlanCache()
         #: messages emitted by SEND EMAIL / NOTIFY trigger actions
         self.notifications: list[str] = []
-        self._trigger_depth = 0
+        self._trigger_local = threading.local()
         # transaction state: the active undo log (explicit transaction or
-        # per-statement autocommit scope) and whether BEGIN is open
+        # per-statement autocommit scope) and whether BEGIN is open.
+        # Transactions are *session*-scoped: statements from any thread
+        # join the open transaction (all undo manipulation happens under
+        # the engine write lock, so the structures stay consistent).
         self._active_undo = None
         self._in_explicit_transaction = False
+        # concurrency: SELECTs share the read side, mutating statements
+        # and trigger actions take the write side (DESIGN.md §7)
+        self._engine_lock = ReadWriteLock()
+        #: SELECT-trigger firing: 'sync' runs AFTER-timing actions on the
+        #: caller's thread before execute() returns (the seed semantics);
+        #: 'async' defers them to the background trigger pipeline.
+        #: BEFORE-timing triggers always run synchronously — they gate
+        #: the query's results (DENY).
+        self._trigger_mode = "sync"
+        #: bound of the async trigger queue (backpressure when full);
+        #: read when the pipeline is first created
+        self.trigger_queue_capacity = DEFAULT_QUEUE_CAPACITY
+        self._trigger_pipeline: TriggerPipeline | None = None
+        self._pipeline_init_lock = threading.Lock()
 
     @property
     def join_strategy(self) -> str:
@@ -140,6 +164,72 @@ class Database:
     @join_strategy.setter
     def join_strategy(self, strategy: str) -> None:
         self._optimizer.join_strategy = strategy
+
+    # ------------------------------------------------------------------
+    # concurrency: trigger pipeline and serving knobs
+
+    @property
+    def trigger_mode(self) -> str:
+        """SELECT-trigger firing mode: ``'sync'`` or ``'async'``."""
+        return self._trigger_mode
+
+    @trigger_mode.setter
+    def trigger_mode(self, mode: str) -> None:
+        if mode not in ("sync", "async"):
+            raise ValueError(
+                f"trigger_mode must be 'sync' or 'async', got {mode!r}"
+            )
+        if mode == "sync":
+            # pending deferred batches must land before sync firings can
+            # interleave behind them, or the audit log loses its order
+            self.drain_triggers()
+        self._trigger_mode = mode
+
+    @property
+    def _trigger_depth(self) -> int:
+        """Per-thread nesting depth of trigger-body statement execution."""
+        return getattr(self._trigger_local, "depth", 0)
+
+    def _pipeline(self) -> TriggerPipeline:
+        pipeline = self._trigger_pipeline
+        if pipeline is None:
+            with self._pipeline_init_lock:
+                pipeline = self._trigger_pipeline
+                if pipeline is None:
+                    pipeline = TriggerPipeline(
+                        self._fire_trigger_batch,
+                        capacity=self.trigger_queue_capacity,
+                    )
+                    self._trigger_pipeline = pipeline
+        return pipeline
+
+    def drain_triggers(self) -> dict[str, int]:
+        """Block until every deferred trigger batch has fired.
+
+        Flush point for tests, shutdown, and audit-log readers in async
+        mode; a no-op returning zeroed stats when nothing was deferred.
+        """
+        pipeline = self._trigger_pipeline
+        if pipeline is None:
+            return {"submitted": 0, "processed": 0, "failed": 0,
+                    "pending": 0}
+        pipeline.drain()
+        return pipeline.stats()
+
+    @property
+    def trigger_errors(self) -> list:
+        """(batch, exception) records of failed async trigger firings."""
+        pipeline = self._trigger_pipeline
+        if pipeline is None:
+            return []
+        return list(pipeline.errors)
+
+    def close(self) -> None:
+        """Drain and stop the trigger pipeline (idempotent)."""
+        pipeline = self._trigger_pipeline
+        if pipeline is not None:
+            pipeline.close()
+            self._trigger_pipeline = None
 
     # ------------------------------------------------------------------
     # public execution API
@@ -179,11 +269,12 @@ class Database:
         statement = parse_statement(sql)
         if not isinstance(statement, ast.SelectStatement):
             raise UnsupportedSqlError("EXPLAIN supports only SELECT")
-        logical = self._optimizer.optimize_logical(
-            self._builder.build_select(statement),
-            instrument=self._instrument_hook(),
-        )
-        physical = self._optimizer.compile(logical)
+        with self._engine_lock.read():
+            logical = self._optimizer.optimize_logical(
+                self._builder.build_select(statement),
+                instrument=self._instrument_hook(),
+            )
+            physical = self._optimizer.compile(logical)
         return (
             "-- logical --\n"
             + format_plan(logical)
@@ -218,9 +309,10 @@ class Database:
         statement = parse_statement(sql)
         if not isinstance(statement, ast.SelectStatement):
             raise UnsupportedSqlError("plan_query supports only SELECT")
-        return self._optimizer.optimize_logical(
-            self._builder.build_select(statement)
-        )
+        with self._engine_lock.read():
+            return self._optimizer.optimize_logical(
+                self._builder.build_select(statement)
+            )
 
     def offline_audit(
         self,
@@ -255,7 +347,8 @@ class Database:
     ) -> QueryResult:
         """Run a compiled plan without trigger side effects (auditor use)."""
         context = self.make_context(parameters, tombstones=tombstones)
-        rows = collect_rows(physical, context, mode=self.exec_mode)
+        with self._engine_lock.read():
+            rows = collect_rows(physical, context, mode=self.exec_mode)
         return QueryResult(
             rows=rows,
             accessed={
@@ -272,7 +365,7 @@ class Database:
         pseudo_row: tuple | None = None,
     ) -> QueryResult:
         """Execute one trigger-body statement (NEW/OLD row optional)."""
-        self._trigger_depth += 1
+        self._trigger_local.depth = self._trigger_depth + 1
         try:
             return self._execute_statement(
                 statement,
@@ -281,7 +374,7 @@ class Database:
                 pseudo_row=pseudo_row,
             )
         finally:
-            self._trigger_depth -= 1
+            self._trigger_local.depth = self._trigger_depth - 1
 
     # ------------------------------------------------------------------
     # statement dispatch
@@ -295,10 +388,28 @@ class Database:
         sql_key: str | None = None,
     ) -> QueryResult:
         if isinstance(statement, ast.SelectStatement):
+            # SELECTs run under the shared (read) side of the engine
+            # lock, acquired inside the select path so trigger firing
+            # can happen after the lock is released
             return self._execute_select(
                 statement, parameters, scope_columns, pseudo_row,
                 sql_key=sql_key,
             )
+        # every other statement mutates engine state (tables, catalog,
+        # audit configuration, transaction scope): exclusive write side.
+        # Reentrant: trigger bodies and cascades already hold it.
+        with self._engine_lock.write():
+            return self._execute_write_statement(
+                statement, parameters, scope_columns, pseudo_row
+            )
+
+    def _execute_write_statement(
+        self,
+        statement: ast.Statement,
+        parameters: dict[str, object] | None,
+        scope_columns: tuple[PlanColumn, ...] | None = None,
+        pseudo_row: tuple | None = None,
+    ) -> QueryResult:
         if isinstance(statement, ast.InsertStatement):
             return self._atomic_dml(
                 lambda: self._execute_insert(
@@ -406,25 +517,29 @@ class Database:
         sql_key: str | None = None,
     ) -> QueryResult:
         outer_scope = Scope(scope_columns) if scope_columns else None
-        logical = self._builder.build_select(statement, outer_scope)
-        column_names = tuple(column.name for column in logical.columns)
-        logical = self._optimizer.optimize_logical(
-            logical, instrument=self._instrument_hook()
-        )
-        physical = self._optimizer.compile(logical)
-        # Top-level SELECTs are cacheable; trigger-body selects see NEW/OLD
-        # pseudo-rows through their scope and are compiled fresh each time.
-        if sql_key is not None and scope_columns is None \
-                and pseudo_row is None:
-            self.plan_cache.store(
-                CachedPlan(
-                    sql=sql_key,
-                    column_names=column_names,
-                    logical=logical,
-                    physical=physical,
-                    tags=self._plan_cache_tags(),
-                )
+        # compile under the read side: binding and planning read the
+        # catalog, statistics, and audit configuration
+        with self._engine_lock.read():
+            logical = self._builder.build_select(statement, outer_scope)
+            column_names = tuple(column.name for column in logical.columns)
+            logical = self._optimizer.optimize_logical(
+                logical, instrument=self._instrument_hook()
             )
+            physical = self._optimizer.compile(logical)
+            # Top-level SELECTs are cacheable; trigger-body selects see
+            # NEW/OLD pseudo-rows through their scope and are compiled
+            # fresh each time.
+            if sql_key is not None and scope_columns is None \
+                    and pseudo_row is None:
+                self.plan_cache.store(
+                    CachedPlan(
+                        sql=sql_key,
+                        column_names=column_names,
+                        logical=logical,
+                        physical=physical,
+                        tags=self._plan_cache_tags(),
+                    )
+                )
         return self._run_select(column_names, physical, parameters, pseudo_row)
 
     def _run_select(
@@ -438,24 +553,29 @@ class Database:
         context = self.make_context(parameters, base_outer_rows=base_rows)
         rows: list[tuple] = []
         try:
-            if self.exec_mode == "batch":
-                for batch in physical.rows_batched(context):
-                    rows.extend(batch)
-            else:
-                for row in physical.rows(context):
-                    rows.append(row)
+            # snapshot execution: N threads share the read side; the
+            # lock is released *before* trigger firing, which needs the
+            # write side for the actions' audit-log INSERTs
+            with self._engine_lock.read():
+                if self.exec_mode == "batch":
+                    for batch in physical.rows_batched(context):
+                        rows.extend(batch)
+                else:
+                    for row in physical.rows(context):
+                        rows.append(row)
         except BaseException:
             # §II: the (AFTER) action executes even if the query aborts,
             # to account for readers that consume a prefix of the result
-            self._fire_select_triggers(context, timing="after")
+            self._dispatch_after_triggers(context)
             raise
         # BEFORE-timing triggers gate the results: a DENY action raises
         # AccessDeniedError and the rows never reach the caller — but the
         # AFTER-timing audit actions still record the (attempted) access.
+        # BEFORE actions run synchronously in every trigger mode.
         try:
-            self._fire_select_triggers(context, timing="before")
+            self._fire_accessed(context.accessed, timing="before")
         finally:
-            self._fire_select_triggers(context, timing="after")
+            self._dispatch_after_triggers(context)
         return QueryResult(
             columns=column_names,
             rows=rows,
@@ -466,22 +586,57 @@ class Database:
             rowcount=len(rows),
         )
 
-    def _fire_select_triggers(
-        self, context: ExecutionContext, timing: str
-    ) -> None:
-        if not context.accessed:
+    def _dispatch_after_triggers(self, context: ExecutionContext) -> None:
+        """Fire or defer the AFTER-timing SELECT triggers of one query."""
+        accessed = context.accessed
+        if not accessed:
             return
-        # §II-C: the action executes as its own *system transaction* —
-        # its writes commit independently of any enclosing user
-        # transaction (a later ROLLBACK must not erase the audit trail)
-        previous_undo = self._active_undo
-        self._active_undo = None
-        try:
-            self.trigger_manager.fire_select_triggers(
-                context.accessed, timing
+        if (
+            self._trigger_mode == "async"
+            and self._trigger_depth == 0
+            and self.trigger_manager.has_select_triggers("after")
+        ):
+            # capture ACCESSED plus the metadata the actions read
+            # (sql_text() / user_id()); blocks when the queue is full —
+            # backpressure instead of dropped audit records. Cascaded
+            # firings (depth > 0) stay synchronous so the pipeline
+            # worker never deadlocks submitting to its own queue.
+            self._pipeline().submit(
+                TriggerBatch(
+                    accessed={
+                        name: frozenset(ids)
+                        for name, ids in accessed.items()
+                    },
+                    sql_text=self.session.sql_text,
+                    user_id=self.session.user_id,
+                )
             )
-        finally:
-            self._active_undo = previous_undo
+            return
+        self._fire_accessed(accessed, timing="after")
+
+    def _fire_trigger_batch(self, batch: TriggerBatch) -> None:
+        """Pipeline-worker entry: fire one deferred batch's actions."""
+        with self.session.override(batch.sql_text, batch.user_id):
+            self._fire_accessed(batch.accessed, timing="after")
+
+    def _fire_accessed(self, accessed: dict, timing: str) -> None:
+        if not accessed:
+            return
+        if not self.trigger_manager.has_select_triggers(timing):
+            return
+        # trigger actions mutate state (audit-log INSERTs, the transient
+        # ``accessed`` relation): exclusive write side
+        with self._engine_lock.write():
+            # §II-C: the action executes as its own *system transaction*
+            # — its writes commit independently of any enclosing user
+            # transaction (a later ROLLBACK must not erase the audit
+            # trail)
+            previous_undo = self._active_undo
+            self._active_undo = None
+            try:
+                self.trigger_manager.fire_select_triggers(accessed, timing)
+            finally:
+                self._active_undo = previous_undo
 
     # ------------------------------------------------------------------
     # transactions
@@ -866,11 +1021,16 @@ class Database:
     def _materialize_ids(self, expression) -> set:
         """Execute an audit expression's ID select (view materialization)."""
         statement = expression.id_select()
-        logical = self._builder.build_select(statement)
-        logical = self._optimizer.optimize_logical(logical)
-        physical = self._optimizer.compile(logical)
-        context = self.make_context()
-        return {row[0] for row in physical.rows(context) if row[0] is not None}
+        with self._engine_lock.read():
+            logical = self._builder.build_select(statement)
+            logical = self._optimizer.optimize_logical(logical)
+            physical = self._optimizer.compile(logical)
+            context = self.make_context()
+            return {
+                row[0]
+                for row in physical.rows(context)
+                if row[0] is not None
+            }
 
 
 def connect(**kwargs) -> Database:

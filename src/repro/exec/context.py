@@ -21,6 +21,8 @@ An :class:`ExecutionContext` is created per statement execution. It carries:
 from __future__ import annotations
 
 import datetime
+import threading
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ExecutionError
@@ -39,16 +41,60 @@ DEFAULT_BATCH_SIZE = 1024
 
 
 class Session:
-    """Per-connection state visible to session functions."""
+    """Per-connection state visible to session functions.
+
+    The session is shared by every thread serving queries on one
+    :class:`~repro.database.Database`, so the fields that are *per-query*
+    rather than per-connection are thread-isolated:
+
+    * ``sql_text`` — assignments land in thread-local storage; each
+      serving thread (and the async trigger worker, via :meth:`override`)
+      sees the text of the query *it* is executing, never a concurrent
+      thread's;
+    * ``user_id`` — assignment changes the connection-wide identity (the
+      shell's ``.user`` command), but a thread-local override installed
+      by :meth:`override` wins, which is how deferred trigger actions
+      report the identity captured when their query ran.
+    """
 
     def __init__(
         self,
         user_id: str = "anonymous",
         clock: Callable[[], datetime.datetime] | None = None,
     ) -> None:
-        self.user_id = user_id
-        self.sql_text = ""
+        self._base_user_id = user_id
         self._clock = clock or datetime.datetime.now
+        self._local = threading.local()
+
+    @property
+    def user_id(self) -> str:
+        override = getattr(self._local, "user_id", None)
+        return self._base_user_id if override is None else override
+
+    @user_id.setter
+    def user_id(self, value: str) -> None:
+        self._base_user_id = value
+
+    @property
+    def sql_text(self) -> str:
+        return getattr(self._local, "sql_text", "")
+
+    @sql_text.setter
+    def sql_text(self, value: str) -> None:
+        self._local.sql_text = value
+
+    @contextmanager
+    def override(self, sql_text: str, user_id: str):
+        """Thread-locally impersonate the query a trigger batch captured."""
+        previous_sql = getattr(self._local, "sql_text", "")
+        previous_user = getattr(self._local, "user_id", None)
+        self._local.sql_text = sql_text
+        self._local.user_id = user_id
+        try:
+            yield self
+        finally:
+            self._local.sql_text = previous_sql
+            self._local.user_id = previous_user
 
     def now(self) -> datetime.datetime:
         return self._clock()

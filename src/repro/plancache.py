@@ -23,6 +23,7 @@ place.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -46,55 +47,70 @@ class CachedPlan:
 
 
 class PlanCache:
-    """LRU cache of compiled plans keyed by SQL text, tag-validated."""
+    """LRU cache of compiled plans keyed by SQL text, tag-validated.
+
+    Thread-safe: the ``OrderedDict`` recency moves (``move_to_end`` /
+    ``popitem``) and the hit/miss/invalidation counters are read-modify-
+    write sequences, so every operation runs under one reentrant lock.
+    Cached entries themselves are immutable after compilation and may be
+    executed by any number of threads at once.
+    """
 
     def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY) -> None:
         self.capacity = capacity
         self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def lookup(self, sql: str, tags: tuple) -> CachedPlan | None:
         """Return a live entry for ``sql`` or None (and count the miss)."""
-        entry = self._entries.get(sql)
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.tags != tags:
-            del self._entries[sql]
-            self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(sql)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(sql)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.tags != tags:
+                del self._entries[sql]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(sql)
+            self.hits += 1
+            return entry
 
     def store(self, entry: CachedPlan) -> None:
-        self._entries[entry.sql] = entry
-        self._entries.move_to_end(entry.sql)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[entry.sql] = entry
+            self._entries.move_to_end(entry.sql)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def evict(self, sql: str) -> None:
         """Drop one entry (benchmarks use this to force a cold compile)."""
-        self._entries.pop(sql, None)
+        with self._lock:
+            self._entries.pop(sql, None)
 
     def clear(self) -> None:
-        if self._entries:
-            self.invalidations += len(self._entries)
-        self._entries.clear()
+        with self._lock:
+            if self._entries:
+                self.invalidations += len(self._entries)
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-        }
+        """A mutually consistent snapshot of the counters."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }
 
 
 __all__ = ["CachedPlan", "PlanCache", "DEFAULT_PLAN_CACHE_CAPACITY"]

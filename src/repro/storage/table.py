@@ -15,6 +15,7 @@ row triggers).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -63,6 +64,11 @@ class Table:
         self._secondary: dict[str, HashIndex | OrderedIndex] = {}
         self._unique_indexes: set[str] = set()
         self._observers: list[ChangeObserver] = []
+        # Serializes mutations and snapshot copies. Reentrant because
+        # observer callbacks (DML triggers) may mutate this same table.
+        # The engine-level read-write lock already excludes readers from
+        # writers; this lock additionally protects direct Table users.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # observers
@@ -87,31 +93,33 @@ class Table:
         ordered: bool = True,
         unique: bool = False,
     ) -> None:
-        if name in self._secondary:
-            raise StorageError(f"index {name!r} already exists on table")
-        positions = tuple(self.schema.position_of(c) for c in columns)
-        index: HashIndex | OrderedIndex
-        if ordered:
-            index = OrderedIndex(name, positions)
-        else:
-            index = HashIndex(name, positions)
-        if unique:
-            seen: set[tuple] = set()
-            for row in self._rows.values():
-                key = index.key_of(row)
-                if any(part is None for part in key):
-                    continue
-                if key in seen:
-                    raise ConstraintError(
-                        f"cannot create unique index {name!r}: duplicate "
-                        f"key {key!r} in table {self.schema.name!r}"
-                    )
-                seen.add(key)
-        for rid, row in self._rows.items():
-            index.insert(rid, row)
-        self._secondary[name] = index
-        if unique:
-            self._unique_indexes.add(name)
+        with self._lock:
+            if name in self._secondary:
+                raise StorageError(f"index {name!r} already exists on table")
+            positions = tuple(self.schema.position_of(c) for c in columns)
+            index: HashIndex | OrderedIndex
+            if ordered:
+                index = OrderedIndex(name, positions)
+            else:
+                index = HashIndex(name, positions)
+            if unique:
+                seen: set[tuple] = set()
+                for row in self._rows.values():
+                    key = index.key_of(row)
+                    if any(part is None for part in key):
+                        continue
+                    if key in seen:
+                        raise ConstraintError(
+                            f"cannot create unique index {name!r}: "
+                            f"duplicate key {key!r} in table "
+                            f"{self.schema.name!r}"
+                        )
+                    seen.add(key)
+            for rid, row in self._rows.items():
+                index.insert(rid, row)
+            self._secondary[name] = index
+            if unique:
+                self._unique_indexes.add(name)
 
     def _check_unique_indexes(
         self, row: tuple, ignore_rid: int | None = None
@@ -145,10 +153,12 @@ class Table:
 
     def rows(self) -> Iterator[tuple]:
         """Iterate row values (snapshot: safe against concurrent mutation)."""
-        return iter(list(self._rows.values()))
+        with self._lock:
+            return iter(list(self._rows.values()))
 
     def rows_with_rids(self) -> Iterator[tuple[int, tuple]]:
-        return iter(list(self._rows.items()))
+        with self._lock:
+            return iter(list(self._rows.items()))
 
     def row_by_rid(self, rid: int) -> tuple:
         try:
@@ -208,26 +218,28 @@ class Table:
         ``rid`` lets transaction rollback restore a deleted row under its
         original heap slot so earlier undo entries stay addressable.
         """
-        row = self._coerce_row(values)
-        key = self._pk_key(row)
-        if key is not None and key in self._pk_index:
-            raise ConstraintError(
-                f"duplicate primary key {key!r} in table {self.schema.name!r}"
-            )
-        self._check_unique_indexes(row)
-        if rid is None:
-            rid = self._next_rid
-            self._next_rid += 1
-        elif rid in self._rows:
-            raise StorageError(f"rid {rid} already occupied")
-        else:
-            self._next_rid = max(self._next_rid, rid + 1)
-        self._rows[rid] = row
-        if key is not None:
-            self._pk_index[key] = rid
-        for index in self._secondary.values():
-            index.insert(rid, row)
-        self.version += 1
+        with self._lock:
+            row = self._coerce_row(values)
+            key = self._pk_key(row)
+            if key is not None and key in self._pk_index:
+                raise ConstraintError(
+                    f"duplicate primary key {key!r} in table "
+                    f"{self.schema.name!r}"
+                )
+            self._check_unique_indexes(row)
+            if rid is None:
+                rid = self._next_rid
+                self._next_rid += 1
+            elif rid in self._rows:
+                raise StorageError(f"rid {rid} already occupied")
+            else:
+                self._next_rid = max(self._next_rid, rid + 1)
+            self._rows[rid] = row
+            if key is not None:
+                self._pk_index[key] = rid
+            for index in self._secondary.values():
+                index.insert(rid, row)
+            self.version += 1
         if notify:
             self._notify(
                 RowChange(
@@ -241,14 +253,15 @@ class Table:
         self, rid: int, notify: bool = True, compensating: bool = False
     ) -> tuple:
         """Delete by rid; returns the removed row."""
-        row = self.row_by_rid(rid)
-        del self._rows[rid]
-        key = self._pk_key(row)
-        if key is not None:
-            del self._pk_index[key]
-        for index in self._secondary.values():
-            index.delete(rid, row)
-        self.version += 1
+        with self._lock:
+            row = self.row_by_rid(rid)
+            del self._rows[rid]
+            key = self._pk_key(row)
+            if key is not None:
+                del self._pk_index[key]
+            for index in self._secondary.values():
+                index.delete(rid, row)
+            self.version += 1
         if notify:
             self._notify(
                 RowChange(
@@ -266,26 +279,27 @@ class Table:
         compensating: bool = False,
     ) -> tuple[tuple, tuple]:
         """Replace the row at ``rid``; returns ``(old_row, new_row)``."""
-        old_row = self.row_by_rid(rid)
-        new_row = self._coerce_row(values)
-        old_key = self._pk_key(old_row)
-        new_key = self._pk_key(new_row)
-        if new_key != old_key and new_key is not None:
-            if new_key in self._pk_index:
-                raise ConstraintError(
-                    f"duplicate primary key {new_key!r} in table "
-                    f"{self.schema.name!r}"
-                )
-        self._check_unique_indexes(new_row, ignore_rid=rid)
-        self._rows[rid] = new_row
-        if old_key is not None:
-            del self._pk_index[old_key]
-        if new_key is not None:
-            self._pk_index[new_key] = rid
-        for index in self._secondary.values():
-            index.delete(rid, old_row)
-            index.insert(rid, new_row)
-        self.version += 1
+        with self._lock:
+            old_row = self.row_by_rid(rid)
+            new_row = self._coerce_row(values)
+            old_key = self._pk_key(old_row)
+            new_key = self._pk_key(new_row)
+            if new_key != old_key and new_key is not None:
+                if new_key in self._pk_index:
+                    raise ConstraintError(
+                        f"duplicate primary key {new_key!r} in table "
+                        f"{self.schema.name!r}"
+                    )
+            self._check_unique_indexes(new_row, ignore_rid=rid)
+            self._rows[rid] = new_row
+            if old_key is not None:
+                del self._pk_index[old_key]
+            if new_key is not None:
+                self._pk_index[new_key] = rid
+            for index in self._secondary.values():
+                index.delete(rid, old_row)
+                index.insert(rid, new_row)
+            self.version += 1
         if notify:
             self._notify(
                 RowChange(
@@ -304,16 +318,17 @@ class Table:
 
     def truncate(self) -> None:
         """Remove all rows without firing observers (bulk-load helper)."""
-        self._rows.clear()
-        self._pk_index.clear()
-        for name, index in list(self._secondary.items()):
-            fresh: HashIndex | OrderedIndex
-            if isinstance(index, OrderedIndex):
-                fresh = OrderedIndex(index.name, index.positions)
-            else:
-                fresh = HashIndex(index.name, index.positions)
-            self._secondary[name] = fresh
-        self.version += 1
+        with self._lock:
+            self._rows.clear()
+            self._pk_index.clear()
+            for name, index in list(self._secondary.items()):
+                fresh: HashIndex | OrderedIndex
+                if isinstance(index, OrderedIndex):
+                    fresh = OrderedIndex(index.name, index.positions)
+                else:
+                    fresh = HashIndex(index.name, index.positions)
+                self._secondary[name] = fresh
+            self.version += 1
 
     def bulk_load(self, rows) -> int:
         """Insert many rows without observer notifications; returns count."""

@@ -13,6 +13,7 @@ a SELECT that fires further SELECT triggers, and so on.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING
 
 from repro.catalog.schema import Column, TableSchema
@@ -34,7 +35,9 @@ class TriggerManager:
         self._select_triggers: dict[str, SelectTrigger] = {}
         self._dml_triggers: dict[str, DmlTrigger] = {}
         self._observed_tables: set[str] = set()
-        self._depth = 0
+        # cascade depth is per-thread: the async pipeline worker fires
+        # triggers concurrently with serving threads' own cascades
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
     # registration
@@ -71,8 +74,13 @@ class TriggerManager:
             if trigger.audit_expression == audit_expression.lower()
         ]
 
-    def has_select_triggers(self) -> bool:
-        return bool(self._select_triggers)
+    def has_select_triggers(self, timing: str | None = None) -> bool:
+        if timing is None:
+            return bool(self._select_triggers)
+        return any(
+            trigger.timing == timing
+            for trigger in self._select_triggers.values()
+        )
 
     # ------------------------------------------------------------------
     # SELECT trigger firing (§II: after the query, own transaction)
@@ -108,7 +116,9 @@ class TriggerManager:
         )
         accessed_table = Table(schema)
         accessed_table.bulk_load((value,) for value in sorted(ids, key=repr))
-        database.catalog.add_table(accessed_table)
+        # transient: the firing-scoped system relation must not bump the
+        # catalog DDL version, or every firing would flush the plan cache
+        database.catalog.add_table(accessed_table, transient=True)
         try:
             self._enter()
             try:
@@ -124,7 +134,7 @@ class TriggerManager:
             finally:
                 self._leave()
         finally:
-            database.catalog.drop_table("accessed")
+            database.catalog.drop_table("accessed", transient=True)
 
     # ------------------------------------------------------------------
     # DML trigger firing (row-level AFTER)
@@ -156,14 +166,15 @@ class TriggerManager:
     # cascade depth
 
     def _enter(self) -> None:
-        if self._depth >= MAX_TRIGGER_DEPTH:
+        depth = getattr(self._local, "depth", 0)
+        if depth >= MAX_TRIGGER_DEPTH:
             raise TriggerError(
                 f"trigger cascade exceeded depth {MAX_TRIGGER_DEPTH}"
             )
-        self._depth += 1
+        self._local.depth = depth + 1
 
     def _leave(self) -> None:
-        self._depth -= 1
+        self._local.depth = getattr(self._local, "depth", 1) - 1
 
 
 def _trigger_row(table: Table, change: RowChange):
