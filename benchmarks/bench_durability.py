@@ -1,0 +1,130 @@
+"""Durability benchmark: audit-journal overhead per fsync policy.
+
+Pytest usage (alongside the figure benchmarks)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_durability.py -q
+
+Standalone usage (CI smoke runs this)::
+
+    PYTHONPATH=src python benchmarks/bench_durability.py [--quick]
+
+Both write ``benchmarks/results/BENCH_durability.json`` — audited
+queries/second with no journal and with a write-ahead audit journal under
+``fsync='off' | 'batch' | 'always'``, the overhead multiple of each
+policy against the no-journal baseline (``'batch'`` must stay within
+2x), and one injected-crash/recover/verify cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_FILE = RESULTS_DIR / "BENCH_durability.json"
+
+
+def run(total_requests: int, rounds: int) -> dict:
+    from repro.bench.durability import durability_benchmark
+
+    results = durability_benchmark(
+        total_requests=total_requests, rounds=rounds
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULT_FILE.write_text(json.dumps(results, indent=2, default=str) + "\n")
+    return results
+
+
+def _summarize(results: dict) -> str:
+    lines = [
+        f"durability benchmark ({results['total_requests']} audited "
+        f"queries, best of {results['rounds']})"
+    ]
+    for policy, cell in results["policies"].items():
+        extra = ""
+        if "journal_fsyncs" in cell:
+            extra = (
+                f", {cell['journal_appends']} appends / "
+                f"{cell['journal_fsyncs']} fsyncs"
+            )
+        lines.append(
+            f"  fsync={policy:<7} {cell['qps']:8.0f} qps  "
+            f"({cell['overhead_x']:.2f}x baseline{extra})"
+        )
+    lines.append(
+        f"  batch within {results['batch_max_overhead_x']:.1f}x bound: "
+        f"{results['batch_within_bound']}"
+    )
+    recovery = results["recovery"]
+    lines.append(
+        f"  crash/recover: crashed at request "
+        f"{recovery['crashed_at_request']}, replayed "
+        f"{recovery['replayed']}/{recovery['journal_intents']} intents, "
+        f"{recovery['recovered_audit_rows']} rows recovered "
+        f"(expected {recovery['expected_audit_rows']}) -> "
+        f"match={recovery['match']}"
+    )
+    lines.append(f"  written to {RESULT_FILE}")
+    return "\n".join(lines)
+
+
+def _check(results: dict) -> list[str]:
+    """Acceptance criteria; returns a list of failure descriptions."""
+    failures = []
+    if not results["batch_within_bound"]:
+        failures.append(
+            "fsync='batch' costs "
+            f"{results['policies']['batch']['overhead_x']:.2f}x the "
+            "no-journal baseline (> "
+            f"{results['batch_max_overhead_x']:.1f}x)"
+        )
+    for policy, cell in results["policies"].items():
+        if not cell["zero_lost_firings"]:
+            failures.append(
+                f"fsync={policy}: audit-log rows diverge from expected"
+            )
+        if "appends_per_query" in cell \
+                and abs(cell["appends_per_query"] - 2.0) > 1e-9:
+            failures.append(
+                f"fsync={policy}: {cell['appends_per_query']:.2f} journal "
+                "appends per query (expected 2: intent + commit)"
+            )
+    if not results["recovery"]["match"]:
+        failures.append(
+            "crash/recover cycle did not reproduce the expected audit log"
+        )
+    return failures
+
+
+def test_report_durability():
+    from repro.bench.durability import QUICK_REQUESTS, QUICK_ROUNDS
+
+    results = run(QUICK_REQUESTS, QUICK_ROUNDS)
+    print()
+    print(_summarize(results))
+    assert not _check(results)
+
+
+def main(argv: list[str]) -> int:
+    from repro.bench.durability import (
+        DEFAULT_REQUESTS,
+        DEFAULT_ROUNDS,
+        QUICK_REQUESTS,
+        QUICK_ROUNDS,
+    )
+
+    quick = "--quick" in argv
+    results = run(
+        QUICK_REQUESTS if quick else DEFAULT_REQUESTS,
+        QUICK_ROUNDS if quick else DEFAULT_ROUNDS,
+    )
+    print(_summarize(results))
+    failures = _check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -27,3 +27,10 @@ echo "== concurrent serving stress (--quick) =="
 # exits non-zero if the audit-log row count diverges from a serial
 # replay (lost or spurious firings) or the thread-scaling floor breaks
 PYTHONPATH=src python benchmarks/bench_concurrency.py --quick
+
+echo
+echo "== durability / fault-injection smoke (--quick) =="
+# audit-journal overhead per fsync policy (batch must stay within 2x of
+# the no-journal baseline) plus one injected-crash -> recover -> verify
+# cycle; exits non-zero if recovery loses or duplicates audit rows
+PYTHONPATH=src python benchmarks/bench_durability.py --quick

@@ -21,7 +21,14 @@ Quickstart::
 
 from repro.concurrency import ReadWriteLock, TriggerBatch, TriggerPipeline
 from repro.database import Database, QueryResult, connect
+from repro.durability import (
+    AuditJournal,
+    DeadLetterJournal,
+    RecoveryReport,
+    scan_journal,
+)
 from repro.errors import ReproError
+from repro.testing import CrashError, FaultInjector
 from repro.audit import (
     HEURISTIC_HCN,
     HEURISTIC_HIGHEST,
@@ -51,5 +58,11 @@ __all__ = [
     "ReadWriteLock",
     "TriggerBatch",
     "TriggerPipeline",
+    "AuditJournal",
+    "DeadLetterJournal",
+    "RecoveryReport",
+    "scan_journal",
+    "FaultInjector",
+    "CrashError",
     "__version__",
 ]

@@ -9,10 +9,15 @@ it from ACCESSED. :func:`install_audit_log` creates both in one call;
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.errors import AuditError
+from repro.errors import (
+    AuditError,
+    AuditTrailIncompleteError,
+    AuditTrailWarning,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
     from repro.database import Database, QueryResult
@@ -27,14 +32,42 @@ class AuditLog:
     expression_name: str
     id_column: str
 
+    def _drain_checked(self) -> None:
+        """Drain the pipeline, then refuse to present a damaged trail
+        as complete.
+
+        Failed or dead-lettered trigger batches and recorded journal
+        gaps mean the log may be missing disclosures. Under
+        ``audit_policy='fail_closed'`` reading it raises
+        :class:`AuditTrailIncompleteError`; under ``'fail_open'`` it
+        warns (:class:`AuditTrailWarning`) and serves what is there.
+        ``Database.acknowledge_audit_failures()`` clears the condition
+        once the admin has reconciled (e.g. via ``Database.recover`` or
+        a dead-letter replay).
+        """
+        self.database.drain_triggers()
+        health = self.database.audit_trail_health()
+        problems = {key: count for key, count in health.items() if count}
+        if not problems:
+            return
+        message = (
+            f"audit trail of {self.table_name!r} may be incomplete: "
+            + ", ".join(f"{key}={count}" for key, count in
+                        sorted(problems.items()))
+        )
+        if self.database.audit_policy == "fail_closed":
+            raise AuditTrailIncompleteError(message)
+        warnings.warn(message, AuditTrailWarning, stacklevel=3)
+
     def entries(self) -> "QueryResult":
         """All log entries, oldest first.
 
         Reader methods first drain the async trigger pipeline, so in
         ``trigger_mode='async'`` the admin always sees the complete
-        trail up to the queries already executed — never a prefix.
+        trail up to the queries already executed — never a prefix — and
+        then verify the trail is undamaged (see :meth:`_drain_checked`).
         """
-        self.database.drain_triggers()
+        self._drain_checked()
         return self.database.execute(
             f"SELECT ts, uid, query, {self.id_column} "
             f"FROM {self.table_name} ORDER BY ts"
@@ -47,7 +80,7 @@ class AuditLog:
         (Example 1.1): candidate accesses recorded online; pass them to
         :class:`repro.audit.offline.OfflineAuditor` for verification.
         """
-        self.database.drain_triggers()
+        self._drain_checked()
         return self.database.execute(
             f"SELECT DISTINCT uid, query FROM {self.table_name} "
             f"WHERE {self.id_column} = :individual",
@@ -56,7 +89,7 @@ class AuditLog:
 
     def access_counts_by_user(self) -> "QueryResult":
         """Distinct sensitive individuals each user has touched."""
-        self.database.drain_triggers()
+        self._drain_checked()
         return self.database.execute(
             f"SELECT uid, COUNT(DISTINCT {self.id_column}) AS individuals "
             f"FROM {self.table_name} GROUP BY uid "

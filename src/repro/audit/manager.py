@@ -102,6 +102,11 @@ class AuditManager:
     def expression(self, name: str) -> AuditExpression:
         return self.view(name).expression
 
+    def has_expression(self, name: str) -> bool:
+        """True when an audit expression named ``name`` is registered
+        (recovery uses this to drop intents for dropped expressions)."""
+        return name.lower() in self._views
+
     def expressions(self) -> list[AuditExpression]:
         return [view.expression for view in self._views.values()]
 

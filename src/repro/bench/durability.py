@@ -1,0 +1,194 @@
+"""Durability benchmark: audit-journal overhead × fsync policy, plus one
+crash/recover/verify cycle.
+
+The write-ahead audit journal (DESIGN.md §8) puts two appends on every
+audited query's critical path — the *intent* before ``execute`` returns
+and the *commit* after the AFTER-timing actions run. This benchmark
+prices that insurance: a serial stream of audited point queries (the
+:class:`repro.bench.concurrency.ServingFixture` clinic) is served with no
+journal, then with a journal under each fsync policy, and the throughput
+ratio to the no-journal baseline is reported per policy.
+
+The acceptance bar mirrors the design intent: ``fsync='batch'`` (the
+default — flush every append, fsync every
+:data:`~repro.durability.journal.DEFAULT_BATCH_INTERVAL`) must stay
+within **2x** of the no-journal baseline; ``'always'`` is the group-0
+durability price and may cost whatever the disk charges; ``'off'`` should
+be near-free.
+
+:func:`crash_recover_cycle` is the fault-injection smoke: a
+:class:`~repro.testing.CrashError` is armed mid-workload at the
+trigger-action site, the process "dies", and a fresh database recovers
+the journal — the rebuilt audit log must carry exactly the rows of every
+journaled intent.
+
+``benchmarks/bench_durability.py`` serializes the output to
+``benchmarks/results/BENCH_durability.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import tempfile
+import time
+
+from repro.bench.concurrency import ServingFixture, request_mix
+from repro.testing import CrashError, FaultInjector
+
+#: journal configurations compared; ``None`` is the no-journal baseline
+FSYNC_POLICIES = (None, "off", "batch", "always")
+
+DEFAULT_REQUESTS = 240
+QUICK_REQUESTS = 80
+
+DEFAULT_ROUNDS = 3
+QUICK_ROUNDS = 1
+
+#: acceptance bar: serving with ``fsync='batch'`` must retain at least
+#: half the no-journal throughput
+BATCH_MAX_OVERHEAD_X = 2.0
+
+
+def _serve_serial(fixture: ServingFixture, requests: list[str]) -> float:
+    """Wall seconds to serve ``requests`` on the caller's thread."""
+    from repro.bench.concurrency import SERVE_QUERY
+
+    db = fixture.database
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    start = time.perf_counter()
+    try:
+        for ward in requests:
+            db.execute(SERVE_QUERY, {"ward": ward})
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return time.perf_counter() - start
+
+
+def _measure_policy(
+    policy: str | None, requests: list[str], rounds: int
+) -> dict:
+    """Best-of-``rounds`` audited throughput under one fsync policy."""
+    with tempfile.TemporaryDirectory(prefix="bench-journal-") as tmp:
+        fixture = ServingFixture()
+        db = fixture.database
+        if policy is not None:
+            db.attach_journal(tmp, fsync=policy)
+        best_wall = None
+        for _ in range(rounds):
+            fixture.audit_log.clear()
+            wall = _serve_serial(fixture, requests)
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        logged = fixture.log_rows()
+        expected = fixture.expected_rows(requests)
+        cell = {
+            "qps": len(requests) / best_wall,
+            "wall_s": best_wall,
+            "zero_lost_firings": logged == expected,
+        }
+        if policy is not None:
+            journal = db.journal
+            # intent + commit per audited query, every round
+            cell["journal_appends"] = journal.appended
+            cell["journal_fsyncs"] = journal.fsyncs
+            cell["appends_per_query"] = journal.appended / (
+                rounds * len(requests)
+            )
+            cell["journal_segments"] = journal.scan().segments
+        db.close()
+        return cell
+
+
+def crash_recover_cycle(total_requests: int = 48) -> dict:
+    """One injected crash mid-workload, then recovery on a fresh database.
+
+    The crash fires at the trigger-action site of the middle request:
+    its intent is already journaled, its firing never completes — the
+    at-least-once case. Recovery must replay every journaled intent and
+    land exactly the analytically expected audit rows.
+    """
+    requests = request_mix(total_requests)
+    crash_at = total_requests // 2
+    with tempfile.TemporaryDirectory(prefix="bench-crash-") as tmp:
+        fixture = ServingFixture()
+        db = fixture.database
+        db.faults = FaultInjector()
+        db.attach_journal(tmp, fsync="always")
+        db.faults.arm("trigger-action", at_hit=crash_at, error=CrashError)
+
+        from repro.bench.concurrency import SERVE_QUERY
+
+        completed = 0
+        crashed = None
+        for index, ward in enumerate(requests):
+            try:
+                db.execute(SERVE_QUERY, {"ward": ward})
+            except CrashError:
+                crashed = index
+                break
+            completed = index + 1
+        # abandoned: no drain, no close — only the journal survives
+
+        survivor = ServingFixture()
+        report = survivor.database.recover(tmp)
+        recovered_rows = survivor.log_rows()
+        # the crashed request's intent was journaled before its firing
+        journaled = requests[: completed + (1 if crashed is not None else 0)]
+        expected_rows = fixture.expected_rows(journaled)
+        result = {
+            "requests": total_requests,
+            "crashed_at_request": crashed,
+            "completed_before_crash": completed,
+            "journal_intents": report.intents,
+            "replayed": report.replayed,
+            "uncommitted_intents": report.uncommitted,
+            "recovered_audit_rows": recovered_rows,
+            "expected_audit_rows": expected_rows,
+            "match": (
+                recovered_rows == expected_rows
+                and report.replayed == report.intents == len(journaled)
+                and crashed is not None
+            ),
+        }
+        survivor.database.close()
+        return result
+
+
+def durability_benchmark(
+    total_requests: int = DEFAULT_REQUESTS,
+    rounds: int = DEFAULT_ROUNDS,
+) -> dict:
+    """Full fsync-policy sweep plus the crash/recover cycle."""
+    requests = request_mix(total_requests)
+    results: dict = {
+        "benchmark": "durability",
+        "total_requests": total_requests,
+        "rounds": rounds,
+        "policies": {},
+    }
+    for policy in FSYNC_POLICIES:
+        key = policy or "none"
+        results["policies"][key] = _measure_policy(policy, requests, rounds)
+    baseline_qps = results["policies"]["none"]["qps"]
+    for key, cell in results["policies"].items():
+        cell["overhead_x"] = baseline_qps / cell["qps"]
+    results["batch_max_overhead_x"] = BATCH_MAX_OVERHEAD_X
+    results["batch_within_bound"] = (
+        results["policies"]["batch"]["overhead_x"] <= BATCH_MAX_OVERHEAD_X
+    )
+    results["recovery"] = crash_recover_cycle()
+    return results
+
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "BATCH_MAX_OVERHEAD_X",
+    "DEFAULT_REQUESTS",
+    "DEFAULT_ROUNDS",
+    "QUICK_REQUESTS",
+    "QUICK_ROUNDS",
+    "durability_benchmark",
+    "crash_recover_cycle",
+]

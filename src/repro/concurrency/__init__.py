@@ -17,6 +17,8 @@ The engine's concurrency model (DESIGN.md §7) is two-layered:
 from repro.concurrency.locks import ReadWriteLock
 from repro.concurrency.pipeline import (
     DEFAULT_QUEUE_CAPACITY,
+    DEFAULT_RETRY_LIMIT,
+    EMPTY_STATS,
     TriggerBatch,
     TriggerPipeline,
 )
@@ -26,4 +28,6 @@ __all__ = [
     "TriggerBatch",
     "TriggerPipeline",
     "DEFAULT_QUEUE_CAPACITY",
+    "DEFAULT_RETRY_LIMIT",
+    "EMPTY_STATS",
 ]

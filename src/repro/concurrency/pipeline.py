@@ -13,10 +13,20 @@ Guarantees:
 
 * **no lost firings** — ``put`` blocks when the queue is full
   (backpressure slows producers instead of dropping batches), and
-  :meth:`drain` returns only after every submitted batch has been fired;
-* **error isolation** — a failing trigger action marks its batch failed
-  and is recorded in :attr:`errors`; subsequent batches still fire and
-  the worker never dies;
+  :meth:`drain` returns only after every submitted batch has been fired
+  or durably accounted for — it resurrects a crashed worker rather than
+  hanging on its backlog;
+* **retry with capped exponential backoff** — a failing firing is
+  retried ``retry_limit`` times before it is declared failed, so a
+  transient stall (lock contention, a briefly-missing table) does not
+  cost an audit record;
+* **no silent loss on permanent failure** — a batch that exhausts its
+  retries is appended to the bounded in-memory :attr:`errors` history
+  *and* handed to the durable dead-letter sink; evicting an old record
+  from the bounded deque therefore never discards the only copy;
+* **typed lifecycle errors** — :meth:`submit` after :meth:`close` raises
+  :class:`~repro.errors.PipelineClosedError` instead of blocking on (or
+  leaking into) a queue nobody drains; ``close`` itself is idempotent;
 * **ordering** — batches fire in submission order (one worker, FIFO
   queue), so the audit log preserves the global submission sequence.
 """
@@ -25,18 +35,33 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.errors import PipelineClosedError
+from repro.testing.faults import NO_FAULTS, FaultInjector
 
 #: default bound of the trigger queue; at typical audit-action cost this
 #: is a few hundred milliseconds of buffered work before backpressure
 DEFAULT_QUEUE_CAPACITY = 256
 
-#: retained error records (older ones are dropped, counts keep growing)
+#: retained error records (older ones are dropped from memory — their
+#: batches are already in the dead-letter sink — counts keep growing)
 ERROR_HISTORY = 64
 
+#: retries before a batch is declared permanently failed
+DEFAULT_RETRY_LIMIT = 2
+
+#: first retry delay; doubles per attempt, capped at BACKOFF_CAP_S
+DEFAULT_BACKOFF_BASE_S = 0.01
+DEFAULT_BACKOFF_CAP_S = 1.0
+
 _SHUTDOWN = object()
+
+#: spill callback: (batch, error, reason, attempts) -> None
+DeadLetterSink = Callable[["TriggerBatch", BaseException, str, int], None]
 
 
 @dataclass(frozen=True)
@@ -49,6 +74,9 @@ class TriggerBatch:
     sql_text: str = ""
     #: the querying session's user, as ``user_id()`` must report it
     user_id: str = ""
+    #: sequence number of this batch's intent record in the audit
+    #: journal (None when no journal is attached)
+    journal_seq: int | None = None
 
 
 class TriggerPipeline:
@@ -58,15 +86,30 @@ class TriggerPipeline:
         self,
         fire: Callable[[TriggerBatch], None],
         capacity: int = DEFAULT_QUEUE_CAPACITY,
+        retry_limit: int = DEFAULT_RETRY_LIMIT,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+        dead_letter: DeadLetterSink | None = None,
+        faults: FaultInjector = NO_FAULTS,
     ) -> None:
         self._fire = fire
         self._queue: queue.Queue = queue.Queue(maxsize=max(1, capacity))
-        self._state_lock = threading.Lock()
+        self._condition = threading.Condition()
         self._worker: threading.Thread | None = None
         self._closed = False
+        self._retry_limit = max(0, retry_limit)
+        self._backoff_base_s = backoff_base_s
+        self._backoff_cap_s = backoff_cap_s
+        self._dead_letter = dead_letter
+        self._faults = faults
         self.submitted = 0
         self.processed = 0
         self.failed = 0
+        self.retried = 0
+        #: batches abandoned mid-flight by a crashed worker (dead-lettered)
+        self.lost = 0
+        #: batches handed to the dead-letter sink (monotonic)
+        self.dead_lettered = 0
         #: (batch, exception) records of failed firings, newest last
         self.errors: deque = deque(maxlen=ERROR_HISTORY)
 
@@ -74,15 +117,36 @@ class TriggerPipeline:
     # producer side
 
     def submit(self, batch: TriggerBatch) -> None:
-        """Enqueue one batch; blocks while the queue is full (backpressure)."""
-        with self._state_lock:
+        """Enqueue one batch; blocks while the queue is full (backpressure).
+
+        Raises :class:`PipelineClosedError` once :meth:`close` has run —
+        including when close happens while this call is waiting for queue
+        space — instead of parking the batch where no worker will ever
+        fire it.
+        """
+        with self._condition:
             if self._closed:
-                raise RuntimeError("trigger pipeline is closed")
+                raise PipelineClosedError(
+                    "trigger pipeline is closed; the batch was not enqueued"
+                )
             self.submitted += 1
             self._ensure_worker()
-        self._queue.put(batch)
+        while True:
+            try:
+                self._queue.put(batch, timeout=0.05)
+                return
+            except queue.Full:
+                with self._condition:
+                    if self._closed:
+                        self.submitted -= 1
+                        raise PipelineClosedError(
+                            "trigger pipeline closed while waiting for "
+                            "queue space; the batch was not enqueued"
+                        ) from None
+                    self._ensure_worker()
 
     def _ensure_worker(self) -> None:
+        """Start (or resurrect) the worker; caller holds the condition."""
         if self._worker is not None and self._worker.is_alive():
             return
         self._worker = threading.Thread(
@@ -103,32 +167,105 @@ class TriggerPipeline:
         while True:
             batch = self._queue.get()
             if batch is _SHUTDOWN:
-                self._queue.task_done()
                 return
             try:
+                self._faults.fire("pipeline-worker")
+                # _process absorbs every Exception (retry, then
+                # dead-letter); only a BaseException — process death,
+                # simulated by CrashError — escapes to the handler below
+                self._process(batch)
+            except BaseException as error:
+                # worker death: account for the in-flight batch (durably,
+                # via the dead-letter sink) so drain() can tell "worker
+                # crashed" from "still working", then die
+                self._spill(batch, error, "worker-crash", 0)
+                with self._condition:
+                    self.lost += 1
+                    self._condition.notify_all()
+                raise
+
+    def _process(self, batch: TriggerBatch) -> None:
+        delay = self._backoff_base_s
+        attempts = 0
+        while True:
+            try:
                 self._fire(batch)
-            except BaseException as error:  # noqa: BLE001 — isolation
-                with self._state_lock:
-                    self.failed += 1
-                    self.errors.append((batch, error))
-            finally:
-                with self._state_lock:
-                    self.processed += 1
-                self._queue.task_done()
+                break
+            except Exception as error:  # noqa: BLE001 — isolation
+                attempts += 1
+                if attempts > self._retry_limit:
+                    self._spill(batch, error, "retries-exhausted", attempts)
+                    with self._condition:
+                        self.failed += 1
+                        self.errors.append((batch, error))
+                    break
+                with self._condition:
+                    self.retried += 1
+                time.sleep(min(self._backoff_cap_s, delay))
+                delay *= 2
+        with self._condition:
+            self.processed += 1
+            self._condition.notify_all()
+
+    def _spill(
+        self,
+        batch: TriggerBatch,
+        error: BaseException,
+        reason: str,
+        attempts: int,
+    ) -> None:
+        with self._condition:
+            self.dead_lettered += 1
+        if self._dead_letter is None:
+            return
+        try:
+            self._dead_letter(batch, error, reason, attempts)
+        except Exception:  # noqa: BLE001 — the sink must not kill the worker
+            pass
 
     # ------------------------------------------------------------------
     # flush / shutdown
 
-    def drain(self) -> None:
-        """Block until every submitted batch has been fired."""
-        self._queue.join()
+    def _outstanding(self) -> int:
+        """Batches not yet fired or lost; caller holds the condition."""
+        return self.submitted - self.processed - self.lost
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every submitted batch is fired or accounted lost.
+
+        Unlike a bare ``queue.join``, drain survives a crashed worker: it
+        resurrects the worker for any backlog (the in-flight batch the
+        crash abandoned is counted in :attr:`lost` and dead-lettered, so
+        the accounting still converges). Returns False only when
+        ``timeout`` (seconds) elapses first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while self._outstanding() > 0:
+                if not self._closed:
+                    self._ensure_worker()
+                remaining = 0.05
+                if deadline is not None:
+                    remaining = min(remaining, deadline - time.monotonic())
+                    if remaining <= 0:
+                        return False
+                self._condition.wait(remaining)
+        return True
 
     def close(self) -> None:
-        """Drain, then stop the worker. The pipeline rejects new batches."""
-        with self._state_lock:
+        """Drain the backlog, then stop the worker.
+
+        Idempotent: later calls (and concurrent ones) return without
+        effect. After close, :meth:`submit` raises
+        :class:`PipelineClosedError`.
+        """
+        with self._condition:
             if self._closed:
                 return
             self._closed = True
+            if self._outstanding() > 0:
+                # a dead worker must not strand its backlog on close
+                self._ensure_worker()
             worker = self._worker
         if worker is not None and worker.is_alive():
             self._queue.put(_SHUTDOWN)
@@ -138,18 +275,35 @@ class TriggerPipeline:
     # telemetry
 
     def stats(self) -> dict[str, int]:
-        with self._state_lock:
+        with self._condition:
             return {
                 "submitted": self.submitted,
                 "processed": self.processed,
                 "failed": self.failed,
-                "pending": self.submitted - self.processed,
+                "pending": self._outstanding(),
+                "retried": self.retried,
+                "lost": self.lost,
+                "dead_letter_count": self.dead_lettered,
             }
+
+
+#: the zeroed shape of :meth:`TriggerPipeline.stats`
+EMPTY_STATS = {
+    "submitted": 0,
+    "processed": 0,
+    "failed": 0,
+    "pending": 0,
+    "retried": 0,
+    "lost": 0,
+    "dead_letter_count": 0,
+}
 
 
 __all__ = [
     "TriggerBatch",
     "TriggerPipeline",
     "DEFAULT_QUEUE_CAPACITY",
+    "DEFAULT_RETRY_LIMIT",
     "ERROR_HISTORY",
+    "EMPTY_STATS",
 ]

@@ -34,6 +34,8 @@ from typing import Callable, Iterable
 from repro.audit.manager import AuditManager
 from repro.concurrency import (
     DEFAULT_QUEUE_CAPACITY,
+    DEFAULT_RETRY_LIMIT,
+    EMPTY_STATS,
     ReadWriteLock,
     TriggerBatch,
     TriggerPipeline,
@@ -43,11 +45,15 @@ from repro.catalog.catalog import Catalog, IndexDefinition
 from repro.catalog.schema import Column, ForeignKey, TableSchema
 from repro.datatypes import type_from_name
 from repro.errors import (
+    AuditUnavailableError,
     CatalogError,
     ConstraintError,
+    DurabilityError,
     ExecutionError,
+    PipelineClosedError,
     UnsupportedSqlError,
 )
+from repro.testing.faults import NO_FAULTS, FaultInjector
 from repro.exec.context import DEFAULT_BATCH_SIZE, ExecutionContext, Session
 from repro.exec.operators.base import PhysicalOperator, collect_rows
 from repro.expr.evaluator import evaluate
@@ -100,6 +106,10 @@ class Database:
         user_id: str = "admin",
         audit_heuristic: str = HEURISTIC_HCN,
         clock: Callable[[], datetime.datetime] | None = None,
+        journal_path: str | None = None,
+        journal_fsync: str = "batch",
+        audit_policy: str = "fail_open",
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         self.catalog = Catalog()
         self.session = Session(user_id=user_id, clock=clock)
@@ -154,6 +164,29 @@ class Database:
         self.trigger_queue_capacity = DEFAULT_QUEUE_CAPACITY
         self._trigger_pipeline: TriggerPipeline | None = None
         self._pipeline_init_lock = threading.Lock()
+        #: retries before an async trigger batch is dead-lettered; read
+        #: when the pipeline is first created
+        self.trigger_retry_limit = DEFAULT_RETRY_LIMIT
+        #: first retry delay (doubles per attempt)
+        self.trigger_backoff_base_s = 0.01
+        # durability (DESIGN.md §8): the write-ahead audit journal, its
+        # dead-letter companion, and the degraded-mode policy
+        self.faults = fault_injector or NO_FAULTS
+        self._journal = None
+        self._dead_letter_journal = None
+        self._audit_policy = "fail_open"
+        self.audit_policy = audit_policy  # validates
+        #: fail-open degradation events: audit work the engine could not
+        #: make durable (site, error, sql, user)
+        self.audit_gaps: list[dict] = []
+        # journal sequence numbers whose firings completed in this
+        # process — the dedup set for at-least-once recovery replay
+        self._applied_seqs: set[int] = set()
+        self._seq_lock = threading.Lock()
+        # audit_trail_health() baseline set by acknowledge_audit_failures
+        self._acknowledged_failures: dict[str, int] = {}
+        if journal_path is not None:
+            self.attach_journal(journal_path, fsync=journal_fsync)
 
     @property
     def join_strategy(self) -> str:
@@ -199,6 +232,10 @@ class Database:
                     pipeline = TriggerPipeline(
                         self._fire_trigger_batch,
                         capacity=self.trigger_queue_capacity,
+                        retry_limit=self.trigger_retry_limit,
+                        backoff_base_s=self.trigger_backoff_base_s,
+                        dead_letter=self._spill_dead_letter,
+                        faults=self.faults,
                     )
                     self._trigger_pipeline = pipeline
         return pipeline
@@ -211,8 +248,7 @@ class Database:
         """
         pipeline = self._trigger_pipeline
         if pipeline is None:
-            return {"submitted": 0, "processed": 0, "failed": 0,
-                    "pending": 0}
+            return dict(EMPTY_STATS)
         pipeline.drain()
         return pipeline.stats()
 
@@ -225,11 +261,211 @@ class Database:
         return list(pipeline.errors)
 
     def close(self) -> None:
-        """Drain and stop the trigger pipeline (idempotent)."""
+        """Drain and stop the trigger pipeline, flush and close the
+        audit journal (idempotent)."""
         pipeline = self._trigger_pipeline
         if pipeline is not None:
             pipeline.close()
             self._trigger_pipeline = None
+        if self._journal is not None:
+            self._journal.close()
+        if self._dead_letter_journal is not None:
+            self._dead_letter_journal.close()
+
+    # ------------------------------------------------------------------
+    # durability: the audit journal, policies, and recovery
+
+    @property
+    def audit_policy(self) -> str:
+        """Degraded-mode policy when the audit trail cannot be made
+        durable: ``'fail_closed'`` (queries raise
+        :class:`AuditUnavailableError`) or ``'fail_open'`` (serve the
+        results, record the gap in :attr:`audit_gaps`)."""
+        return self._audit_policy
+
+    @audit_policy.setter
+    def audit_policy(self, policy: str) -> None:
+        if policy not in ("fail_open", "fail_closed"):
+            raise ValueError(
+                "audit_policy must be 'fail_open' or 'fail_closed', "
+                f"got {policy!r}"
+            )
+        self._audit_policy = policy
+
+    @property
+    def journal(self):
+        """The attached :class:`~repro.durability.AuditJournal` (or None)."""
+        return self._journal
+
+    @property
+    def dead_letter_journal(self):
+        """The attached :class:`~repro.durability.DeadLetterJournal`
+        (or None)."""
+        return self._dead_letter_journal
+
+    def attach_journal(self, path, fsync: str = "batch"):
+        """Attach a write-ahead audit journal at directory ``path``.
+
+        From this point every audited query appends an *intent* record
+        before its results are returned and a *commit* record when its
+        AFTER-timing trigger actions complete; permanently-failed async
+        batches spill to ``<path>/dead-letter.jsonl``. Appending to an
+        existing journal continues its sequence numbers.
+        """
+        from repro.durability import AuditJournal, DeadLetterJournal
+        import pathlib
+
+        if self._journal is not None:
+            raise DurabilityError("an audit journal is already attached")
+        self._journal = AuditJournal(path, fsync=fsync, faults=self.faults)
+        self._dead_letter_journal = DeadLetterJournal(
+            pathlib.Path(path) / "dead-letter.jsonl", faults=self.faults
+        )
+        return self._journal
+
+    def recover(self, journal_path=None, strict: bool = True):
+        """Rebuild the audit trail from a journal after a crash.
+
+        Scans the journal's segments (verifying every CRC; a torn final
+        line is tolerated, interior corruption raises
+        :class:`~repro.errors.JournalCorruptionError` unless
+        ``strict=False``), then re-fires each intent's AFTER-timing
+        trigger actions under the originating query's
+        ``sql_text``/``user_id``. Delivery is at-least-once, deduplicated
+        by journal sequence number — see
+        :mod:`repro.durability.recovery`. The database must already hold
+        the crashed instance's schema, audit expressions, and triggers.
+
+        ``journal_path`` defaults to the attached journal's directory, so
+        a database constructed with ``journal_path=...`` over a surviving
+        journal recovers in place and keeps journaling into it. Returns a
+        :class:`~repro.durability.RecoveryReport`.
+        """
+        from repro.durability.recovery import recover_database
+
+        path = journal_path
+        if path is None:
+            if self._journal is None:
+                raise DurabilityError(
+                    "no journal attached and no journal_path given"
+                )
+            path = self._journal.path
+        return recover_database(self, path, strict=strict)
+
+    def is_seq_applied(self, seq: int) -> bool:
+        with self._seq_lock:
+            return seq in self._applied_seqs
+
+    def mark_seq_applied(self, seq: int, recovered: bool = False) -> None:
+        """Record that intent ``seq``'s firing completed in this process.
+
+        During recovery (``recovered=True``) a commit record is also
+        journaled when a journal is attached, so post-crash verification
+        tools see the replay.
+        """
+        with self._seq_lock:
+            self._applied_seqs.add(seq)
+        if recovered and self._journal is not None:
+            try:
+                self._journal.append(
+                    "commit", {"intent": seq, "recovered": True}
+                )
+            except (DurabilityError, OSError) as error:
+                self._note_gap("journal-commit", error)
+
+    def audit_trail_health(self) -> dict[str, int]:
+        """Unacknowledged audit-trail damage counters.
+
+        Non-zero values mean the in-memory audit log may be missing
+        disclosures; :class:`~repro.audit.logging.AuditLog` readers raise
+        (``fail_closed``) or warn (``fail_open``) on them.
+        """
+        pipeline = self._trigger_pipeline
+        stats = pipeline.stats() if pipeline is not None else EMPTY_STATS
+        current = {
+            "failed_batches": stats["failed"],
+            "lost_batches": stats["lost"],
+            "dead_letters": stats["dead_letter_count"],
+            "audit_gaps": len(self.audit_gaps),
+        }
+        return {
+            key: max(0, value - self._acknowledged_failures.get(key, 0))
+            for key, value in current.items()
+        }
+
+    def acknowledge_audit_failures(self) -> dict[str, int]:
+        """Mark current trail damage as handled by the admin.
+
+        Returns the counters that were acknowledged; subsequent
+        :meth:`audit_trail_health` calls report only *new* damage.
+        """
+        acknowledged = self.audit_trail_health()
+        for key, value in acknowledged.items():
+            self._acknowledged_failures[key] = (
+                self._acknowledged_failures.get(key, 0) + value
+            )
+        return acknowledged
+
+    # -- internal durability plumbing ----------------------------------
+
+    def _journal_intent(self, accessed: dict) -> int | None:
+        """Append the intent record for one query's ACCESSED state.
+
+        Returns the sequence number, or None when no journal is attached
+        or the append failed under ``fail_open`` (the gap is recorded);
+        raises :class:`AuditUnavailableError` under ``fail_closed``.
+        """
+        journal = self._journal
+        if journal is None:
+            return None
+        payload = {
+            "accessed": {
+                name: sorted(ids, key=repr)
+                for name, ids in accessed.items()
+            },
+            "sql": self.session.sql_text,
+            "user": self.session.user_id,
+        }
+        try:
+            return journal.append("intent", payload)
+        except (DurabilityError, OSError) as error:
+            self._record_audit_gap("journal-intent", error)
+            return None
+
+    def _journal_commit(self, seq: int | None) -> None:
+        """Append the commit record matching intent ``seq`` (if any)."""
+        if seq is None:
+            return
+        self.mark_seq_applied(seq)
+        journal = self._journal
+        if journal is None:
+            return
+        try:
+            journal.append("commit", {"intent": seq})
+        except (DurabilityError, OSError) as error:
+            self._record_audit_gap("journal-commit", error)
+
+    def _record_audit_gap(self, site: str, error: BaseException) -> None:
+        """Apply the degraded-mode policy to one durability failure."""
+        if self._audit_policy == "fail_closed":
+            raise AuditUnavailableError(
+                f"audit trail unavailable at {site}: {error}"
+            ) from error
+        self._note_gap(site, error)
+
+    def _note_gap(self, site: str, error: BaseException) -> None:
+        self.audit_gaps.append({
+            "site": site,
+            "error": repr(error),
+            "sql": self.session.sql_text,
+            "user": self.session.user_id,
+        })
+
+    def _spill_dead_letter(self, batch, error, reason, attempts) -> None:
+        """Pipeline dead-letter sink: durable when a journal is attached."""
+        journal = self._dead_letter_journal
+        if journal is not None:
+            journal.spill(batch, error, reason=reason, attempts=attempts)
 
     # ------------------------------------------------------------------
     # public execution API
@@ -587,43 +823,76 @@ class Database:
         )
 
     def _dispatch_after_triggers(self, context: ExecutionContext) -> None:
-        """Fire or defer the AFTER-timing SELECT triggers of one query."""
+        """Fire or defer the AFTER-timing SELECT triggers of one query.
+
+        With a journal attached, the query's *intent* is journaled here —
+        synchronously, before ``execute`` returns its results — so a
+        firing lost anywhere downstream (a crash, a dead pipeline worker,
+        an exhausted retry budget) is detectable and replayable.
+        """
         accessed = context.accessed
         if not accessed:
             return
+        has_after = self.trigger_manager.has_select_triggers("after")
+        seq = None
+        if has_after and self._trigger_depth == 0:
+            # cascaded firings (depth > 0) are part of their parent
+            # intent; journaling them too would double-replay cascades
+            seq = self._journal_intent(accessed)
         if (
             self._trigger_mode == "async"
             and self._trigger_depth == 0
-            and self.trigger_manager.has_select_triggers("after")
+            and has_after
         ):
             # capture ACCESSED plus the metadata the actions read
             # (sql_text() / user_id()); blocks when the queue is full —
             # backpressure instead of dropped audit records. Cascaded
             # firings (depth > 0) stay synchronous so the pipeline
             # worker never deadlocks submitting to its own queue.
-            self._pipeline().submit(
-                TriggerBatch(
-                    accessed={
-                        name: frozenset(ids)
-                        for name, ids in accessed.items()
-                    },
-                    sql_text=self.session.sql_text,
-                    user_id=self.session.user_id,
-                )
+            batch = TriggerBatch(
+                accessed={
+                    name: frozenset(ids)
+                    for name, ids in accessed.items()
+                },
+                sql_text=self.session.sql_text,
+                user_id=self.session.user_id,
+                journal_seq=seq,
             )
+            try:
+                self._pipeline().submit(batch)
+            except PipelineClosedError as error:
+                if self._audit_policy == "fail_closed":
+                    raise AuditUnavailableError(
+                        "trigger pipeline is closed; the access cannot "
+                        "be audited asynchronously"
+                    ) from error
+                # fail_open degraded mode: fire on the caller's thread so
+                # the trail stays complete; note the degradation
+                self._note_gap("pipeline-closed", error)
+                self._fire_accessed(accessed, timing="after")
+                self._journal_commit(seq)
             return
         self._fire_accessed(accessed, timing="after")
+        self._journal_commit(seq)
 
     def _fire_trigger_batch(self, batch: TriggerBatch) -> None:
         """Pipeline-worker entry: fire one deferred batch's actions."""
         with self.session.override(batch.sql_text, batch.user_id):
             self._fire_accessed(batch.accessed, timing="after")
+        # the firing succeeded: a commit-append failure must NOT bubble
+        # into the pipeline's retry loop (re-firing would duplicate the
+        # audit rows) — record it as a gap instead, whatever the policy
+        try:
+            self._journal_commit(batch.journal_seq)
+        except AuditUnavailableError as error:
+            self._note_gap("journal-commit", error)
 
     def _fire_accessed(self, accessed: dict, timing: str) -> None:
         if not accessed:
             return
         if not self.trigger_manager.has_select_triggers(timing):
             return
+        self.faults.fire("trigger-action")
         # trigger actions mutate state (audit-log INSERTs, the transient
         # ``accessed`` relation): exclusive write side
         with self._engine_lock.write():

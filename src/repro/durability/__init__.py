@@ -1,0 +1,45 @@
+"""Crash-safe durability for the audit trail (DESIGN.md §8).
+
+Three pieces:
+
+* :class:`AuditJournal` — segmented, CRC-checked, append-only JSONL
+  write-ahead journal of audit *intents* and *commits*, with a
+  configurable fsync policy (``always`` / ``batch`` / ``off``);
+* :class:`DeadLetterJournal` — durable sink for trigger batches the
+  pipeline permanently failed to fire;
+* :func:`recover_database` — scan, verify, and replay a journal into a
+  reconstructed database (at-least-once, deduplicated by sequence
+  number), surfaced as ``Database.recover``.
+"""
+
+from repro.durability.deadletter import DeadLetterJournal
+from repro.durability.journal import (
+    DEFAULT_BATCH_INTERVAL,
+    DEFAULT_SEGMENT_BYTES,
+    FSYNC_POLICIES,
+    AuditJournal,
+    JournalRecord,
+    ScanResult,
+    scan_journal,
+    segment_paths,
+)
+from repro.durability.recovery import (
+    RecoveryReport,
+    recover_database,
+    uncommitted_intents,
+)
+
+__all__ = [
+    "AuditJournal",
+    "DeadLetterJournal",
+    "JournalRecord",
+    "ScanResult",
+    "RecoveryReport",
+    "scan_journal",
+    "segment_paths",
+    "recover_database",
+    "uncommitted_intents",
+    "FSYNC_POLICIES",
+    "DEFAULT_SEGMENT_BYTES",
+    "DEFAULT_BATCH_INTERVAL",
+]

@@ -1,0 +1,116 @@
+"""The dead-letter journal: durable parking lot for failed trigger batches.
+
+When the trigger pipeline exhausts its retries on a batch — or a worker
+crash strands one mid-flight — the batch must not evaporate into a
+bounded in-memory error deque. It is spilled here: a single append-only
+JSONL file using the same CRC line format as the audit journal, holding
+everything needed to re-fire the batch by hand (:meth:`replay`) or to
+reconcile the trail against the intent journal.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.durability.journal import decode_line, encode_record
+from repro.errors import DurabilityError
+from repro.testing.faults import NO_FAULTS, FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.concurrency.pipeline import TriggerBatch
+
+
+class DeadLetterJournal:
+    """Append-only file of permanently-failed trigger batches."""
+
+    def __init__(
+        self,
+        path: os.PathLike | str,
+        faults: FaultInjector = NO_FAULTS,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._faults = faults
+        self._lock = threading.Lock()
+        self._closed = False
+        self._count = sum(1 for _ in self._iter_payloads()) \
+            if self.path.exists() else 0
+        self._handle = open(self.path, "ab")
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def spill(
+        self,
+        batch: "TriggerBatch",
+        error: BaseException,
+        reason: str = "retries-exhausted",
+        attempts: int = 0,
+    ) -> None:
+        """Durably record one failed batch."""
+        payload = {
+            "accessed": {
+                name: sorted(ids, key=repr)
+                for name, ids in batch.accessed.items()
+            },
+            "sql": batch.sql_text,
+            "user": batch.user_id,
+            "journal_seq": batch.journal_seq,
+            "error": repr(error),
+            "reason": reason,
+            "attempts": attempts,
+        }
+        with self._lock:
+            if self._closed:
+                raise DurabilityError("dead-letter journal is closed")
+            self._handle.write(
+                encode_record({"kind": "dead-letter", "data": payload})
+            )
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._count += 1
+
+    def _iter_payloads(self):
+        with open(self.path, "rb") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                try:
+                    yield decode_line(line)["data"]
+                except ValueError:
+                    # torn tail of the dead-letter file itself
+                    return
+
+    def entries(self) -> list[dict]:
+        """All dead-lettered batch payloads, oldest first."""
+        with self._lock:
+            if not self._closed:
+                self._handle.flush()
+        if not self.path.exists():
+            return []
+        return list(self._iter_payloads())
+
+    def replay(self, fire: Callable[[dict], None]) -> int:
+        """Hand every entry to ``fire`` (admin-driven re-delivery).
+
+        Returns the number of entries replayed; ``fire`` raising aborts
+        the replay at that entry.
+        """
+        entries = self.entries()
+        for payload in entries:
+            fire(payload)
+        return len(entries)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._handle.close()
+
+
+__all__ = ["DeadLetterJournal"]

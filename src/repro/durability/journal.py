@@ -1,0 +1,310 @@
+"""The append-only audit journal: segmented JSONL with per-record CRC.
+
+The journal is the durable half of the paper's no-false-negatives
+guarantee (Claim 3.6). The engine appends an **intent** record — the
+query's ACCESSED map plus the session metadata its trigger actions read —
+synchronously inside ``Database.execute`` *before* results are returned,
+and a matching **commit** record once the AFTER-timing actions complete.
+An intent with no commit is a firing the process lost (crash, dead
+worker, dropped batch); :func:`repro.durability.recovery.recover_database`
+re-fires it.
+
+On-disk format, chosen so a journal is greppable and a torn tail is
+detectable without framing metadata:
+
+* a journal is a *directory* of segments ``audit-NNNNNN.jsonl``;
+* each record is one line: ``<crc32:08x> <compact-json>\n``, the CRC
+  taken over the JSON bytes;
+* segments rotate at :data:`DEFAULT_SEGMENT_BYTES`; sequence numbers are
+  global and strictly increasing across segments.
+
+Durability knob (``fsync``):
+
+* ``'always'`` — flush + ``os.fsync`` after every append (group-0 loss);
+* ``'batch'``  — flush every append, fsync every
+  :data:`DEFAULT_BATCH_INTERVAL` appends and on close (bounded loss,
+  near-``off`` throughput — the default);
+* ``'off'``    — flush only; the OS decides when bytes reach the platter.
+
+:func:`scan_journal` is the read side shared by recovery, verification,
+and the tests: it validates every CRC, tolerates a torn final line of the
+*final* segment (the expected artifact of a crash mid-append), and treats
+corruption anywhere else as :class:`~repro.errors.JournalCorruptionError`
+(or skips it when ``strict=False``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import DurabilityError, JournalCorruptionError
+from repro.testing.faults import NO_FAULTS, FaultInjector
+
+SEGMENT_PREFIX = "audit-"
+SEGMENT_SUFFIX = ".jsonl"
+
+#: rotate segments at ~1 MiB so recovery never holds one huge file
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+#: ``fsync='batch'``: appends between fsyncs
+DEFAULT_BATCH_INTERVAL = 32
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One decoded journal line."""
+
+    seq: int
+    kind: str  # 'intent' | 'commit' | 'gap' | 'dead-letter'
+    data: dict
+    segment: str = ""
+    line: int = 0
+
+
+@dataclass
+class ScanResult:
+    """Outcome of a full journal scan."""
+
+    records: list[JournalRecord]
+    segments: int = 0
+    #: torn (undecodable) lines dropped from the tail of the last segment
+    torn_tail: int = 0
+    #: corrupt interior records skipped (``strict=False`` only)
+    corrupt: int = 0
+
+
+def encode_record(payload: dict) -> bytes:
+    """One journal line: crc32 of the compact JSON, then the JSON."""
+    data = json.dumps(
+        payload, separators=(",", ":"), sort_keys=True, default=repr
+    ).encode("utf-8")
+    return b"%08x " % zlib.crc32(data) + data + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Inverse of :func:`encode_record`; raises ``ValueError`` on damage."""
+    crc_hex, _, data = line.rstrip(b"\n").partition(b" ")
+    if not data:
+        raise ValueError("truncated journal line")
+    if int(crc_hex, 16) != zlib.crc32(data):
+        raise ValueError("journal line CRC mismatch")
+    return json.loads(data)
+
+
+def _segment_name(index: int) -> str:
+    return f"{SEGMENT_PREFIX}{index:06d}{SEGMENT_SUFFIX}"
+
+
+def segment_paths(path: os.PathLike | str) -> list[pathlib.Path]:
+    """The journal directory's segment files, in rotation order."""
+    directory = pathlib.Path(path)
+    if not directory.exists():
+        return []
+    return sorted(
+        entry
+        for entry in directory.iterdir()
+        if entry.name.startswith(SEGMENT_PREFIX)
+        and entry.name.endswith(SEGMENT_SUFFIX)
+    )
+
+
+def scan_journal(path: os.PathLike | str, strict: bool = True) -> ScanResult:
+    """Read and verify every record of the journal at ``path``.
+
+    A run of undecodable lines at the very end of the *last* segment is a
+    torn write (crash mid-append): those lines are dropped and counted in
+    ``torn_tail``. A bad line anywhere else — or a bad line *followed by
+    a good one* in the last segment — is corruption:
+    :class:`JournalCorruptionError` under ``strict`` (the default), else
+    skipped and counted in ``corrupt``.
+    """
+    segments = segment_paths(path)
+    result = ScanResult(records=[], segments=len(segments))
+    for position, segment in enumerate(segments):
+        last_segment = position == len(segments) - 1
+        pending_bad: list[tuple[int, ValueError]] = []
+        with open(segment, "rb") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    payload = decode_line(line)
+                except ValueError as error:
+                    if last_segment:
+                        # may be the torn tail — decided once we know
+                        # whether any good record follows
+                        pending_bad.append((line_no, error))
+                        continue
+                    if strict:
+                        raise JournalCorruptionError(
+                            f"{segment.name}:{line_no}: {error}"
+                        ) from error
+                    result.corrupt += 1
+                    continue
+                if pending_bad:
+                    # a good record after a bad one: not a torn tail
+                    bad_line, bad_error = pending_bad[0]
+                    if strict:
+                        raise JournalCorruptionError(
+                            f"{segment.name}:{bad_line}: {bad_error}"
+                        ) from bad_error
+                    result.corrupt += len(pending_bad)
+                    pending_bad.clear()
+                result.records.append(
+                    JournalRecord(
+                        seq=payload.get("seq", -1),
+                        kind=payload.get("kind", ""),
+                        data=payload.get("data", {}),
+                        segment=segment.name,
+                        line=line_no,
+                    )
+                )
+        result.torn_tail += len(pending_bad)
+    return result
+
+
+class AuditJournal:
+    """Thread-safe append side of a segmented audit journal."""
+
+    def __init__(
+        self,
+        path: os.PathLike | str,
+        fsync: str = "batch",
+        segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+        batch_interval: int = DEFAULT_BATCH_INTERVAL,
+        faults: FaultInjector = NO_FAULTS,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self.path = pathlib.Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._segment_max_bytes = max(1, segment_max_bytes)
+        self._batch_interval = max(1, batch_interval)
+        self._faults = faults
+        self._lock = threading.Lock()
+        self._unsynced = 0
+        self._closed = False
+        #: appends that reached the file (telemetry for benchmarks)
+        self.appended = 0
+        self.fsyncs = 0
+
+        existing = segment_paths(self.path)
+        if existing:
+            # continue the global sequence after the last decodable record
+            scan = scan_journal(self.path, strict=True)
+            self._next_seq = max(
+                (record.seq for record in scan.records), default=-1
+            ) + 1
+            self._segment_index = int(
+                existing[-1].name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+            )
+            self._segment_path = existing[-1]
+        else:
+            self._next_seq = 0
+            self._segment_index = 0
+            self._segment_path = self.path / _segment_name(0)
+        self._handle = open(self._segment_path, "ab")
+
+    # ------------------------------------------------------------------
+    # append side
+
+    def append(self, kind: str, data: dict) -> int:
+        """Durably append one record; returns its sequence number."""
+        with self._lock:
+            if self._closed:
+                raise DurabilityError("audit journal is closed")
+            self._faults.fire("journal-write")
+            seq = self._next_seq
+            line = encode_record({"seq": seq, "kind": kind, "data": data})
+            if self._handle.tell() + len(line) > self._segment_max_bytes \
+                    and self._handle.tell() > 0:
+                self._rotate()
+            self._handle.write(line)
+            self._next_seq = seq + 1
+            self.appended += 1
+            self._handle.flush()
+            if self.fsync == "always":
+                self._fsync()
+            elif self.fsync == "batch":
+                self._unsynced += 1
+                if self._unsynced >= self._batch_interval:
+                    self._fsync()
+            return seq
+
+    def _rotate(self) -> None:
+        if self.fsync != "off":
+            self._handle.flush()
+            self._fsync()
+        self._handle.close()
+        self._segment_index += 1
+        self._segment_path = self.path / _segment_name(self._segment_index)
+        self._handle = open(self._segment_path, "ab")
+
+    def _fsync(self) -> None:
+        self._faults.fire("journal-fsync")
+        os.fsync(self._handle.fileno())
+        self.fsyncs += 1
+        self._unsynced = 0
+
+    def flush(self) -> None:
+        """Flush buffers; fsync unless the policy is ``'off'``."""
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.flush()
+            if self.fsync != "off":
+                self._fsync()
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.flush()
+            if self.fsync != "off" and self._unsynced:
+                try:
+                    self._fsync()
+                except BaseException:  # noqa: BLE001 — best-effort close
+                    pass
+            self._closed = True
+            self._handle.close()
+
+    # ------------------------------------------------------------------
+    # read side
+
+    def scan(self, strict: bool = True) -> ScanResult:
+        with self._lock:
+            if not self._closed:
+                self._handle.flush()
+        return scan_journal(self.path, strict=strict)
+
+
+__all__ = [
+    "AuditJournal",
+    "JournalRecord",
+    "ScanResult",
+    "scan_journal",
+    "segment_paths",
+    "encode_record",
+    "decode_line",
+    "DEFAULT_SEGMENT_BYTES",
+    "DEFAULT_BATCH_INTERVAL",
+    "FSYNC_POLICIES",
+]

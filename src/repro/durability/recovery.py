@@ -1,0 +1,138 @@
+"""Crash recovery: rebuild the audit trail from the intent journal.
+
+The engine is in-memory, so a process crash loses the audit-log *table*
+entirely — committed firings included. What survives is the journal:
+every returned query that touched sensitive data left an **intent**
+record. :func:`recover_database` replays those intents in sequence order
+against a freshly-reconstructed database (same schema, audit
+expressions, and triggers), re-firing each one's AFTER-timing actions
+under the originating query's ``sql_text``/``user_id``.
+
+Delivery is **at-least-once, deduplicated by journal sequence number**:
+the database remembers which sequence numbers it has applied in this
+process (``Database._applied_seqs``), so
+
+* running ``recover`` twice is a no-op the second time;
+* ``recover`` on a *live* database that wrote the journal itself replays
+  only the intents whose firings never completed (lost async batches);
+* a crash *during* recovery is survivable — re-running ``recover`` on
+  the same database skips the intents already replayed, and a fresh
+  process simply replays everything again.
+
+Commit records do not gate replay (the in-memory rows they vouch for
+died with the process); they are the *verification* signal —
+:func:`uncommitted_intents` lists firings the crashed process provably
+never completed, which is what the fault-injection tests assert on.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.durability.journal import scan_journal
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.database import Database
+
+
+@dataclass
+class RecoveryReport:
+    """What one :func:`recover_database` pass found and did."""
+
+    segments: int = 0
+    records: int = 0
+    intents: int = 0
+    commits: int = 0
+    #: intents re-fired by this pass
+    replayed: int = 0
+    #: intents skipped because this process already applied their seq
+    skipped_applied: int = 0
+    #: audit-expression names dropped because they no longer exist
+    skipped_unknown: int = 0
+    #: intents with no commit record (firings the writer never finished)
+    uncommitted: int = 0
+    torn_tail: int = 0
+    corrupt: int = 0
+    #: partition IDs replayed per audit expression (diagnostics)
+    replayed_ids: dict = field(default_factory=dict)
+
+
+def uncommitted_intents(path: os.PathLike | str, strict: bool = True
+                        ) -> list[int]:
+    """Sequence numbers of intents with no matching commit record."""
+    scan = scan_journal(path, strict=strict)
+    commits = {
+        record.data.get("intent")
+        for record in scan.records
+        if record.kind == "commit"
+    }
+    return [
+        record.seq
+        for record in scan.records
+        if record.kind == "intent" and record.seq not in commits
+    ]
+
+
+def recover_database(
+    database: "Database",
+    path: os.PathLike | str,
+    strict: bool = True,
+) -> RecoveryReport:
+    """Replay the journal at ``path`` into ``database``.
+
+    See the module docstring for the delivery semantics. The database
+    must already hold the schema, audit expressions, and triggers of the
+    crashed instance (recovery replays *firings*, not DDL); intents
+    naming audit expressions that no longer exist are counted in
+    ``skipped_unknown`` and otherwise ignored.
+    """
+    scan = scan_journal(path, strict=strict)
+    commits = {
+        record.data.get("intent")
+        for record in scan.records
+        if record.kind == "commit"
+    }
+    intents = sorted(
+        (record for record in scan.records if record.kind == "intent"),
+        key=lambda record: record.seq,
+    )
+    report = RecoveryReport(
+        segments=scan.segments,
+        records=len(scan.records),
+        intents=len(intents),
+        commits=len(commits - {None}),
+        uncommitted=sum(
+            1 for record in intents if record.seq not in commits
+        ),
+        torn_tail=scan.torn_tail,
+        corrupt=scan.corrupt,
+    )
+    manager = database.audit_manager
+    for record in intents:
+        if database.is_seq_applied(record.seq):
+            report.skipped_applied += 1
+            continue
+        accessed: dict[str, set] = {}
+        for name, ids in record.data.get("accessed", {}).items():
+            if manager.has_expression(name):
+                accessed[name] = set(ids)
+            else:
+                report.skipped_unknown += 1
+        # mid-recovery crash site: fires before the intent is applied, so
+        # a killed recovery never half-counts the current intent
+        database.faults.fire("recovery-replay")
+        if accessed:
+            with database.session.override(
+                record.data.get("sql", ""), record.data.get("user", "")
+            ):
+                database._fire_accessed(accessed, timing="after")
+            for name, ids in accessed.items():
+                report.replayed_ids.setdefault(name, set()).update(ids)
+            report.replayed += 1
+        database.mark_seq_applied(record.seq, recovered=True)
+    return report
+
+
+__all__ = ["RecoveryReport", "recover_database", "uncommitted_intents"]

@@ -54,6 +54,14 @@ class TriggerError(ReproError):
     """Trigger definition or firing failed (e.g. cascade depth exceeded)."""
 
 
+class PipelineClosedError(TriggerError):
+    """A trigger batch was submitted to a closed trigger pipeline.
+
+    Raised instead of blocking on (or silently dropping into) the queue of
+    a pipeline whose worker has been shut down.
+    """
+
+
 class AccessDeniedError(TriggerError):
     """A BEFORE-timing SELECT trigger vetoed the query's results.
 
@@ -78,6 +86,42 @@ class LineageError(AuditError):
     implementation; the offline auditor treats it as "fall back to
     deletion testing", never as a user-visible failure.
     """
+
+
+class DurabilityError(ReproError):
+    """A failure in the durable audit journal subsystem."""
+
+
+class JournalCorruptionError(DurabilityError):
+    """A journal segment contains a record that fails its CRC check.
+
+    Torn writes at the tail of the *last* segment are expected after a
+    crash and are tolerated; corruption anywhere else means the journal
+    (or the disk under it) was damaged and recovery refuses to guess.
+    """
+
+
+class AuditUnavailableError(DurabilityError):
+    """The audit trail cannot be made durable and policy is ``fail_closed``.
+
+    Queries that accessed sensitive data raise this instead of returning
+    results when the audit journal or the trigger pipeline is down —
+    serving the rows would create an unauditable disclosure.
+    """
+
+
+class AuditTrailIncompleteError(AuditError):
+    """An audit-log read under ``fail_closed`` while the trail has gaps.
+
+    Failed trigger batches, dead-lettered firings, or recorded journal
+    gaps mean the log may be missing disclosures; ``fail_closed`` refuses
+    to present it as complete.
+    """
+
+
+class AuditTrailWarning(UserWarning):
+    """The audit trail may be incomplete (``fail_open`` counterpart of
+    :class:`AuditTrailIncompleteError`)."""
 
 
 class TransactionError(ReproError):

@@ -1,0 +1,16 @@
+"""Test-support utilities shipped with the engine.
+
+:mod:`repro.testing.faults` provides the named-site fault injector the
+crash-recovery differential tests and the durability benchmark use to
+kill the engine at precise points (journal write, fsync, trigger action,
+pipeline worker, mid-recovery).
+"""
+
+from repro.testing.faults import (
+    FAULT_SITES,
+    NO_FAULTS,
+    CrashError,
+    FaultInjector,
+)
+
+__all__ = ["FAULT_SITES", "NO_FAULTS", "CrashError", "FaultInjector"]

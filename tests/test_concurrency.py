@@ -10,7 +10,7 @@ import pytest
 
 from repro import Database
 from repro.concurrency import ReadWriteLock, TriggerBatch, TriggerPipeline
-from repro.errors import AccessDeniedError
+from repro.errors import AccessDeniedError, PipelineClosedError
 
 
 @pytest.fixture
@@ -94,6 +94,71 @@ class TestReadWriteLock:
             with pytest.raises(RuntimeError, match="upgrade"):
                 lock.acquire_write()
 
+    def test_upgrade_raise_leaves_lock_usable(self):
+        """A refused upgrade must not corrupt lock state: the reader can
+        keep reading, release, and then take the write side normally."""
+        lock = ReadWriteLock()
+        with lock.read():
+            with pytest.raises(RuntimeError, match="upgrade"):
+                lock.acquire_write()
+            assert lock.held_read()
+            with lock.read():  # still reentrant after the refusal
+                pass
+        assert not lock.held_read()
+        with lock.write():
+            assert lock.held_write()
+        assert not lock.held_write()
+
+    def test_unbalanced_releases_raise(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError, match="release_read"):
+            lock.release_read()
+        with pytest.raises(RuntimeError, match="release_write"):
+            lock.release_write()
+
+    def test_writer_preference_blocks_new_readers(self):
+        """Once a writer waits, a *new* reader queues behind it even
+        though a reader currently holds the lock (no writer starvation)."""
+        lock = ReadWriteLock()
+        order: list[str] = []
+        reader_in = threading.Event()
+        writer_waiting = threading.Event()
+        release_first_reader = threading.Event()
+
+        def first_reader():
+            with lock.read():
+                reader_in.set()
+                release_first_reader.wait(timeout=5)
+            order.append("reader1-out")
+
+        def writer():
+            reader_in.wait(timeout=5)
+            writer_waiting.set()
+            with lock.write():
+                order.append("writer")
+
+        def late_reader():
+            writer_waiting.wait(timeout=5)
+            time.sleep(0.05)  # let the writer reach its wait loop
+            with lock.read():
+                order.append("reader2")
+
+        threads = [
+            threading.Thread(target=first_reader),
+            threading.Thread(target=writer),
+            threading.Thread(target=late_reader),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.15)  # writer + late reader both queued behind reader1
+        assert order == []  # nobody got in while reader1 holds the lock
+        release_first_reader.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+        # the waiting writer beat the reader that arrived after it
+        assert order.index("writer") < order.index("reader2")
+
 
 # ---------------------------------------------------------------------------
 # the pipeline in isolation
@@ -112,7 +177,8 @@ class TestTriggerPipeline:
         pipeline.drain()
         assert fired == [f"q{i}" for i in range(20)]
         assert pipeline.stats() == {
-            "submitted": 20, "processed": 20, "failed": 0, "pending": 0
+            "submitted": 20, "processed": 20, "failed": 0, "pending": 0,
+            "retried": 0, "lost": 0, "dead_letter_count": 0,
         }
         pipeline.close()
 
@@ -138,13 +204,119 @@ class TestTriggerPipeline:
         assert isinstance(error, RuntimeError)
         pipeline.close()
 
-    def test_submit_after_close_raises(self):
+    def test_submit_after_close_raises_typed_error(self):
         pipeline = TriggerPipeline(lambda batch: None)
         pipeline.close()
-        with pytest.raises(RuntimeError, match="closed"):
+        with pytest.raises(PipelineClosedError, match="closed"):
             pipeline.submit(
                 TriggerBatch(accessed={}, sql_text="q", user_id="u")
             )
+
+    def test_close_is_idempotent(self):
+        fired: list[str] = []
+        pipeline = TriggerPipeline(lambda batch: fired.append(batch.sql_text))
+        pipeline.submit(TriggerBatch(accessed={}, sql_text="q", user_id="u"))
+        pipeline.close()
+        pipeline.close()  # second close is a no-op, not an error
+        assert fired == ["q"]
+        with pytest.raises(PipelineClosedError):
+            pipeline.submit(
+                TriggerBatch(accessed={}, sql_text="late", user_id="u")
+            )
+
+    def test_transient_failure_retries_then_succeeds(self):
+        attempts: list[str] = []
+
+        def fire(batch: TriggerBatch) -> None:
+            attempts.append(batch.sql_text)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+
+        pipeline = TriggerPipeline(fire, retry_limit=3, backoff_base_s=0.001)
+        pipeline.submit(TriggerBatch(accessed={}, sql_text="q", user_id="u"))
+        pipeline.drain()
+        stats = pipeline.stats()
+        assert attempts == ["q", "q", "q"]  # 1 try + 2 retries
+        assert stats["retried"] == 2
+        assert stats["failed"] == 0 and stats["dead_letter_count"] == 0
+        assert not pipeline.errors
+        pipeline.close()
+
+    def test_permanent_failure_spills_to_dead_letter(self):
+        spilled: list[tuple] = []
+
+        def always_fails(batch: TriggerBatch) -> None:
+            raise RuntimeError("permanent")
+
+        pipeline = TriggerPipeline(
+            always_fails,
+            retry_limit=1,
+            backoff_base_s=0.001,
+            dead_letter=lambda batch, error, reason, attempts: spilled.append(
+                (batch.sql_text, reason, attempts)
+            ),
+        )
+        pipeline.submit(TriggerBatch(accessed={}, sql_text="q", user_id="u"))
+        pipeline.drain()
+        stats = pipeline.stats()
+        assert stats["failed"] == 1 and stats["retried"] == 1
+        assert stats["dead_letter_count"] == 1
+        assert spilled == [("q", "retries-exhausted", 2)]
+        pipeline.close()
+
+    def test_error_eviction_never_loses_the_only_copy(self):
+        """The bounded error deque may evict old records because every
+        permanently-failed batch was already handed to the dead-letter
+        sink at failure time (the satellite fix for silent discards)."""
+        from repro.concurrency.pipeline import ERROR_HISTORY
+
+        spilled: list[str] = []
+        pipeline = TriggerPipeline(
+            lambda batch: (_ for _ in ()).throw(RuntimeError("boom")),
+            retry_limit=0,
+            dead_letter=lambda batch, error, reason, attempts:
+                spilled.append(batch.sql_text),
+        )
+        total = ERROR_HISTORY + 5
+        for i in range(total):
+            pipeline.submit(
+                TriggerBatch(accessed={}, sql_text=f"q{i}", user_id="u")
+            )
+        pipeline.drain()
+        assert len(pipeline.errors) == ERROR_HISTORY  # deque clipped
+        assert pipeline.stats()["dead_letter_count"] == total
+        assert spilled == [f"q{i}" for i in range(total)]  # nothing lost
+        pipeline.close()
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_drain_survives_worker_crash(self):
+        """A worker killed mid-batch must not hang drain(): the in-flight
+        batch is accounted lost (and dead-lettered) and a fresh worker
+        finishes the backlog."""
+        from repro.testing import CrashError, FaultInjector
+
+        fired: list[str] = []
+        spilled: list[str] = []
+        faults = FaultInjector()
+        faults.arm("pipeline-worker", at_hit=2, error=CrashError)
+        pipeline = TriggerPipeline(
+            lambda batch: fired.append(batch.sql_text),
+            dead_letter=lambda batch, error, reason, attempts:
+                spilled.append((batch.sql_text, reason)),
+            faults=faults,
+        )
+        for i in range(4):
+            pipeline.submit(
+                TriggerBatch(accessed={}, sql_text=f"q{i}", user_id="u")
+            )
+        assert pipeline.drain(timeout=10)
+        stats = pipeline.stats()
+        assert stats["lost"] == 1 and stats["pending"] == 0
+        assert fired == ["q0", "q2", "q3"]  # q1 died with the worker
+        assert spilled == [("q1", "worker-crash")]
+        pipeline.close()
 
 
 # ---------------------------------------------------------------------------
