@@ -53,6 +53,7 @@ from repro.errors import (
     PipelineClosedError,
     UnsupportedSqlError,
 )
+from repro.durability.journal import encode_id
 from repro.testing.faults import NO_FAULTS, FaultInjector
 from repro.exec.context import DEFAULT_BATCH_SIZE, ExecutionContext, Session
 from repro.exec.operators.base import PhysicalOperator, collect_rows
@@ -418,15 +419,21 @@ class Database:
         journal = self._journal
         if journal is None:
             return None
-        payload = {
-            "accessed": {
-                name: sorted(ids, key=repr)
-                for name, ids in accessed.items()
-            },
-            "sql": self.session.sql_text,
-            "user": self.session.user_id,
-        }
         try:
+            # encode_id raises DurabilityError on IDs that cannot be
+            # journaled losslessly, feeding the same policy as a failed
+            # disk write — a lossy stand-in would replay wrong IDs
+            payload = {
+                "accessed": {
+                    name: [
+                        encode_id(value)
+                        for value in sorted(ids, key=repr)
+                    ]
+                    for name, ids in accessed.items()
+                },
+                "sql": self.session.sql_text,
+                "user": self.session.user_id,
+            }
             return journal.append("intent", payload)
         except (DurabilityError, OSError) as error:
             self._record_audit_gap("journal-intent", error)
@@ -464,8 +471,15 @@ class Database:
     def _spill_dead_letter(self, batch, error, reason, attempts) -> None:
         """Pipeline dead-letter sink: durable when a journal is attached."""
         journal = self._dead_letter_journal
-        if journal is not None:
+        if journal is None:
+            return
+        try:
             journal.spill(batch, error, reason=reason, attempts=attempts)
+        except (DurabilityError, OSError) as spill_error:
+            # the pipeline swallows sink exceptions (a worker must not
+            # die over bookkeeping), so a failed spill would otherwise
+            # vanish — record it as trail damage
+            self._note_gap("dead-letter-spill", spill_error)
 
     # ------------------------------------------------------------------
     # public execution API

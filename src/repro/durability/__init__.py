@@ -20,6 +20,9 @@ from repro.durability.journal import (
     AuditJournal,
     JournalRecord,
     ScanResult,
+    decode_id,
+    encode_id,
+    repair_torn_tail,
     scan_journal,
     segment_paths,
 )
@@ -37,6 +40,9 @@ __all__ = [
     "RecoveryReport",
     "scan_journal",
     "segment_paths",
+    "repair_torn_tail",
+    "encode_id",
+    "decode_id",
     "recover_database",
     "uncommitted_intents",
     "FSYNC_POLICIES",

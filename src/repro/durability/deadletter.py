@@ -6,6 +6,13 @@ bounded in-memory error deque. It is spilled here: a single append-only
 JSONL file using the same CRC line format as the audit journal, holding
 everything needed to re-fire the batch by hand (:meth:`replay`) or to
 reconcile the trail against the intent journal.
+
+Failure semantics mirror the audit journal's: a torn tail left by a
+crash mid-spill is truncated when the file is reopened (so the next
+spill never glues onto a partial line), while an undecodable line with
+good records *after* it is interior corruption and raises
+:class:`~repro.errors.JournalCorruptionError` — a dead-letter file that
+silently under-reports lost firings would defeat its whole purpose.
 """
 
 from __future__ import annotations
@@ -15,8 +22,14 @@ import pathlib
 import threading
 from typing import TYPE_CHECKING, Callable
 
-from repro.durability.journal import decode_line, encode_record
-from repro.errors import DurabilityError
+from repro.durability.journal import (
+    decode_id,
+    decode_line,
+    encode_id,
+    encode_record,
+    repair_torn_tail,
+)
+from repro.errors import DurabilityError, JournalCorruptionError
 from repro.testing.faults import NO_FAULTS, FaultInjector
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
@@ -36,8 +49,9 @@ class DeadLetterJournal:
         self._faults = faults
         self._lock = threading.Lock()
         self._closed = False
-        self._count = sum(1 for _ in self._iter_payloads()) \
-            if self.path.exists() else 0
+        #: torn-tail bytes truncated off the file at open
+        self.repaired_tail_bytes = repair_torn_tail(self.path)
+        self._count = len(self._read_payloads()) if self.path.exists() else 0
         self._handle = open(self.path, "ab")
 
     @property
@@ -54,7 +68,7 @@ class DeadLetterJournal:
         """Durably record one failed batch."""
         payload = {
             "accessed": {
-                name: sorted(ids, key=repr)
+                name: [encode_id(value) for value in sorted(ids, key=repr)]
                 for name, ids in batch.accessed.items()
             },
             "sql": batch.sql_text,
@@ -74,25 +88,53 @@ class DeadLetterJournal:
             os.fsync(self._handle.fileno())
             self._count += 1
 
-    def _iter_payloads(self):
+    def _read_payloads(self) -> list[dict]:
+        """Decode every entry; tolerate only a torn *tail*.
+
+        A trailing run of undecodable lines is the expected artifact of a
+        crash mid-spill and is dropped. An undecodable line followed by a
+        good one is interior corruption: raise rather than silently hide
+        the later entries (and undercount lost failures).
+        """
+        payloads: list[dict] = []
+        pending_bad: tuple[int, ValueError] | None = None
         with open(self.path, "rb") as handle:
-            for line in handle:
+            for line_no, line in enumerate(handle, start=1):
                 if not line.strip():
                     continue
                 try:
-                    yield decode_line(line)["data"]
-                except ValueError:
-                    # torn tail of the dead-letter file itself
-                    return
+                    payload = decode_line(line)
+                except ValueError as error:
+                    if pending_bad is None:
+                        pending_bad = (line_no, error)
+                    continue
+                if pending_bad is not None:
+                    bad_line, bad_error = pending_bad
+                    raise JournalCorruptionError(
+                        f"{self.path.name}:{bad_line}: {bad_error}"
+                    ) from bad_error
+                payloads.append(payload["data"])
+        return payloads
 
     def entries(self) -> list[dict]:
-        """All dead-lettered batch payloads, oldest first."""
+        """All dead-lettered batch payloads, oldest first.
+
+        Partition IDs in each payload's ``accessed`` map are decoded back
+        to their original types (see
+        :func:`repro.durability.journal.decode_id`).
+        """
         with self._lock:
             if not self._closed:
                 self._handle.flush()
         if not self.path.exists():
             return []
-        return list(self._iter_payloads())
+        payloads = self._read_payloads()
+        for payload in payloads:
+            payload["accessed"] = {
+                name: [decode_id(value) for value in ids]
+                for name, ids in payload.get("accessed", {}).items()
+            }
+        return payloads
 
     def replay(self, fire: Callable[[dict], None]) -> int:
         """Hand every entry to ``fire`` (admin-driven re-delivery).

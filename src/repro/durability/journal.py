@@ -35,6 +35,8 @@ corruption anywhere else as :class:`~repro.errors.JournalCorruptionError`
 
 from __future__ import annotations
 
+import datetime
+import decimal
 import json
 import os
 import pathlib
@@ -81,11 +83,68 @@ class ScanResult:
 
 
 def encode_record(payload: dict) -> bytes:
-    """One journal line: crc32 of the compact JSON, then the JSON."""
-    data = json.dumps(
-        payload, separators=(",", ":"), sort_keys=True, default=repr
-    ).encode("utf-8")
+    """One journal line: crc32 of the compact JSON, then the JSON.
+
+    The payload must be JSON-native; anything else raises
+    :class:`DurabilityError` so the append fails loudly into the
+    ``fail_open``/``fail_closed`` policy instead of silently journaling a
+    lossy stand-in. Rich partition-ID types go through
+    :func:`encode_id` first.
+    """
+    try:
+        data = json.dumps(
+            payload, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise DurabilityError(
+            f"journal payload is not JSON-serializable: {error}"
+        ) from error
     return b"%08x " % zlib.crc32(data) + data + b"\n"
+
+
+#: tag key marking a non-JSON-native partition ID in a journal payload
+ID_TAG = "$id"
+
+
+def encode_id(value: object) -> object:
+    """JSON-safe encoding of one partition ID, round-trippable.
+
+    JSON-native scalars pass through untouched; dates, datetimes,
+    Decimals, and composite (tuple/list) keys become ``{"$id": tag,
+    "v": ...}`` wrappers that :func:`decode_id` inverts exactly. Any
+    other type raises :class:`DurabilityError` — recovery replaying a
+    lossy stand-in would corrupt the reconstructed trail.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, datetime.datetime):  # before date: a subclass
+        return {ID_TAG: "datetime", "v": value.isoformat()}
+    if isinstance(value, datetime.date):
+        return {ID_TAG: "date", "v": value.isoformat()}
+    if isinstance(value, decimal.Decimal):
+        return {ID_TAG: "decimal", "v": str(value)}
+    if isinstance(value, (tuple, list)):
+        return {ID_TAG: "tuple", "v": [encode_id(item) for item in value]}
+    raise DurabilityError(
+        f"partition ID of type {type(value).__name__} cannot be "
+        f"journaled losslessly: {value!r}"
+    )
+
+
+def decode_id(value: object) -> object:
+    """Inverse of :func:`encode_id`."""
+    if isinstance(value, dict) and ID_TAG in value:
+        tag, raw = value[ID_TAG], value.get("v")
+        if tag == "datetime":
+            return datetime.datetime.fromisoformat(raw)
+        if tag == "date":
+            return datetime.date.fromisoformat(raw)
+        if tag == "decimal":
+            return decimal.Decimal(raw)
+        if tag == "tuple":
+            return tuple(decode_id(item) for item in raw)
+        raise JournalCorruptionError(f"unknown partition-ID tag {tag!r}")
+    return value
 
 
 def decode_line(line: bytes) -> dict:
@@ -100,6 +159,52 @@ def decode_line(line: bytes) -> dict:
 
 def _segment_name(index: int) -> str:
     return f"{SEGMENT_PREFIX}{index:06d}{SEGMENT_SUFFIX}"
+
+
+def repair_torn_tail(path: os.PathLike | str) -> int:
+    """Truncate a crash's torn tail off one journal file; return bytes cut.
+
+    A torn tail is the trailing run of undecodable lines left by a crash
+    mid-append. Reopening such a file in append mode would glue the next
+    record onto the partial line — silently losing that record and turning
+    the journal corrupt once another follows — so writers call this before
+    opening for append. Only the *trailing* invalid run is cut: a bad line
+    with a good one after it is interior corruption and is left in place
+    for :func:`scan_journal` to report. A final line whose record decodes
+    but lost its newline is repaired in place rather than dropped.
+    """
+    segment = pathlib.Path(path)
+    if not segment.exists():
+        return 0
+    raw = segment.read_bytes()
+    valid_end = 0  # offset just past the last decodable record
+    pending_bad = False
+    needs_newline = False
+    offset = 0
+    for line in raw.splitlines(keepends=True):
+        offset += len(line)
+        if not line.strip():
+            if not pending_bad:
+                valid_end = offset
+            continue
+        try:
+            decode_line(line)
+        except ValueError:
+            pending_bad = True
+            continue
+        pending_bad = False
+        valid_end = offset
+        needs_newline = not line.endswith(b"\n")
+    dropped = len(raw) - valid_end
+    if dropped or needs_newline:
+        with open(segment, "r+b") as handle:
+            handle.truncate(valid_end)
+            if needs_newline:
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+    return dropped
 
 
 def segment_paths(path: os.PathLike | str) -> list[pathlib.Path]:
@@ -197,9 +302,15 @@ class AuditJournal:
         #: appends that reached the file (telemetry for benchmarks)
         self.appended = 0
         self.fsyncs = 0
+        #: torn-tail bytes truncated off the last segment at open
+        self.repaired_tail_bytes = 0
 
         existing = segment_paths(self.path)
         if existing:
+            # a crash mid-append leaves a torn tail on the last segment;
+            # cut it before opening for append, or the first post-restart
+            # record glues onto the partial line and is lost
+            self.repaired_tail_bytes = repair_torn_tail(existing[-1])
             # continue the global sequence after the last decodable record
             scan = scan_journal(self.path, strict=True)
             self._next_seq = max(
@@ -302,8 +413,11 @@ __all__ = [
     "ScanResult",
     "scan_journal",
     "segment_paths",
+    "repair_torn_tail",
     "encode_record",
     "decode_line",
+    "encode_id",
+    "decode_id",
     "DEFAULT_SEGMENT_BYTES",
     "DEFAULT_BATCH_INTERVAL",
     "FSYNC_POLICIES",

@@ -31,7 +31,7 @@ import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.durability.journal import scan_journal
+from repro.durability.journal import decode_id, scan_journal
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
     from repro.database import Database
@@ -49,7 +49,8 @@ class RecoveryReport:
     replayed: int = 0
     #: intents skipped because this process already applied their seq
     skipped_applied: int = 0
-    #: audit-expression names dropped because they no longer exist
+    #: intents naming at least one audit expression that no longer
+    #: exists (the known expressions of such an intent still replay)
     skipped_unknown: int = 0
     #: intents with no commit record (firings the writer never finished)
     uncommitted: int = 0
@@ -115,11 +116,14 @@ def recover_database(
             report.skipped_applied += 1
             continue
         accessed: dict[str, set] = {}
+        names_unknown = False
         for name, ids in record.data.get("accessed", {}).items():
             if manager.has_expression(name):
-                accessed[name] = set(ids)
+                accessed[name] = {decode_id(value) for value in ids}
             else:
-                report.skipped_unknown += 1
+                names_unknown = True
+        if names_unknown:
+            report.skipped_unknown += 1
         # mid-recovery crash site: fires before the intent is applied, so
         # a killed recovery never half-counts the current intent
         database.faults.fire("recovery-replay")

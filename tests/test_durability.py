@@ -16,7 +16,9 @@ from repro.durability import (
     scan_journal,
 )
 from repro.durability.journal import (
+    decode_id,
     decode_line,
+    encode_id,
     encode_record,
     segment_paths,
 )
@@ -186,6 +188,66 @@ class TestJournalDamage:
         scan = scan_journal(tmp_path / "j", strict=False)
         assert scan.corrupt == 1 and scan.torn_tail == 0
 
+    def test_reopen_truncates_torn_tail_before_appending(self, tmp_path):
+        """A torn tail must be cut on reopen: appending in 'ab' mode onto
+        the partial line would silently lose the first post-restart record
+        and corrupt the journal once another followed."""
+        self._write_journal(tmp_path / "j", n=3)
+        segment = segment_paths(tmp_path / "j")[-1]
+        size_before_tear = segment.stat().st_size
+        with open(segment, "ab") as handle:
+            handle.write(b'0badc0de {"seq":99,"ki')  # crash mid-append
+        journal = AuditJournal(tmp_path / "j", fsync="always")
+        assert journal.repaired_tail_bytes > 0
+        assert segment.stat().st_size == size_before_tear
+        assert journal.append("intent", {"n": 3}) == 3
+        journal.append("intent", {"n": 4})
+        journal.close()
+        # strict scan (what Database.recover uses): nothing lost, no raise
+        scan = scan_journal(tmp_path / "j")
+        assert [r.seq for r in scan.records] == [0, 1, 2, 3, 4]
+        assert [r.data["n"] for r in scan.records] == [0, 1, 2, 3, 4]
+        assert scan.torn_tail == 0 and scan.corrupt == 0
+
+    def test_reopen_survives_second_crash(self, tmp_path):
+        """Tear, reopen, append, tear again, reopen again — each restart
+        repairs its own tail and loses nothing durable."""
+        self._write_journal(tmp_path / "j", n=2)
+        for round_no in range(2):
+            segment = segment_paths(tmp_path / "j")[-1]
+            with open(segment, "ab") as handle:
+                handle.write(b"deadbeef {torn")
+            journal = AuditJournal(tmp_path / "j", fsync="always")
+            journal.append("intent", {"round": round_no})
+            journal.close()
+        scan = scan_journal(tmp_path / "j")
+        assert [r.seq for r in scan.records] == [0, 1, 2, 3]
+
+    def test_reopen_repairs_record_missing_its_newline(self, tmp_path):
+        """A tear exactly at the newline boundary leaves a decodable final
+        record: it must be kept (it is durable data), with the newline
+        restored so the next append starts a fresh line."""
+        self._write_journal(tmp_path / "j", n=2)
+        segment = segment_paths(tmp_path / "j")[-1]
+        segment.write_bytes(segment.read_bytes()[:-1])  # drop final \n
+        journal = AuditJournal(tmp_path / "j", fsync="always")
+        assert journal.append("intent", {"n": 2}) == 2
+        journal.close()
+        scan = scan_journal(tmp_path / "j")
+        assert [r.seq for r in scan.records] == [0, 1, 2]
+        assert scan.torn_tail == 0 and scan.corrupt == 0
+
+    def test_reopen_keeps_interior_corruption_for_scan(self, tmp_path):
+        """Repair only cuts the trailing invalid run; a bad line with a
+        good one after it is corruption and still raises under strict."""
+        self._write_journal(tmp_path / "j", n=3)
+        segment = segment_paths(tmp_path / "j")[-1]
+        lines = segment.read_bytes().splitlines(keepends=True)
+        lines[1] = b"deadbeef not-json\n"
+        segment.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorruptionError):
+            AuditJournal(tmp_path / "j")
+
     def test_crc_catches_payload_swap(self, tmp_path):
         """A record whose JSON was tampered with (valid JSON, stale CRC)
         is corruption, not a torn tail."""
@@ -251,6 +313,106 @@ class TestDeadLetterJournal:
         assert dead.replay(lambda payload: seen.append(payload["sql"])) == 3
         assert seen == ["q0", "q1", "q2"]
         dead.close()
+
+    def test_reopen_truncates_torn_tail_before_appending(self, tmp_path):
+        """A crash mid-spill leaves a torn line; reopening must cut it so
+        the next spill does not glue onto it and vanish from reads."""
+        dead = DeadLetterJournal(tmp_path / "dead.jsonl")
+        batch = TriggerBatch(accessed={}, sql_text="q0", user_id="u")
+        dead.spill(batch, RuntimeError("x"))
+        dead.close()
+        with open(tmp_path / "dead.jsonl", "ab") as handle:
+            handle.write(b'0badc0de {"kind":"dead-l')  # crash mid-spill
+        reopened = DeadLetterJournal(tmp_path / "dead.jsonl")
+        assert reopened.repaired_tail_bytes > 0
+        assert reopened.count == 1
+        reopened.spill(
+            TriggerBatch(accessed={}, sql_text="q1", user_id="u"),
+            RuntimeError("y"),
+        )
+        assert reopened.count == 2
+        assert [e["sql"] for e in reopened.entries()] == ["q0", "q1"]
+        reopened.close()
+
+    def test_interior_corruption_raises_not_hides(self, tmp_path):
+        """An undecodable line with good entries after it must raise:
+        returning early would silently hide every later dead letter."""
+        dead = DeadLetterJournal(tmp_path / "dead.jsonl")
+        batch = TriggerBatch(accessed={}, sql_text="q", user_id="u")
+        for _ in range(3):
+            dead.spill(batch, RuntimeError("x"))
+        dead.close()
+        path = tmp_path / "dead.jsonl"
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b"deadbeef not-json\n"
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(JournalCorruptionError):
+            DeadLetterJournal(path)
+
+    def test_rich_partition_ids_roundtrip_through_spill(self, tmp_path):
+        import datetime
+
+        day = datetime.date(2026, 8, 7)
+        dead = DeadLetterJournal(tmp_path / "dead.jsonl")
+        dead.spill(
+            TriggerBatch(
+                accessed={"by_day": frozenset({day})},
+                sql_text="q", user_id="u",
+            ),
+            RuntimeError("x"),
+        )
+        (entry,) = dead.entries()
+        assert entry["accessed"] == {"by_day": [day]}  # date, not repr str
+        dead.close()
+
+
+# ---------------------------------------------------------------------------
+# the typed partition-ID codec
+
+
+class TestPartitionIdCodec:
+    def test_json_native_scalars_pass_through(self):
+        for value in (None, True, 0, -3, 2.5, "a string"):
+            assert encode_id(value) is value or encode_id(value) == value
+            assert decode_id(encode_id(value)) == value
+
+    def test_rich_types_roundtrip_exactly(self):
+        import datetime
+        import decimal
+
+        for value in (
+            datetime.date(1995, 1, 1),
+            datetime.datetime(2026, 8, 7, 12, 30, 15),
+            decimal.Decimal("19.99"),
+            (1, datetime.date(2000, 2, 29), "k"),
+        ):
+            encoded = encode_id(value)
+            json.dumps(encoded)  # must be JSON-native
+            decoded = decode_id(encoded)
+            assert decoded == value and type(decoded) is type(value)
+
+    def test_unsupported_type_fails_loudly(self):
+        with pytest.raises(DurabilityError, match="losslessly"):
+            encode_id(object())
+
+    def test_encode_record_rejects_non_json_payload(self):
+        """No silent default=repr: a payload the codec missed must raise
+        (feeding fail_open/fail_closed), not journal a lossy stand-in."""
+        with pytest.raises(DurabilityError, match="JSON-serializable"):
+            encode_record({"seq": 0, "kind": "intent", "data": object()})
+
+    def test_unknown_tag_is_corruption(self):
+        with pytest.raises(JournalCorruptionError, match="tag"):
+            decode_id({"$id": "warp-core", "v": "x"})
+
+    def test_unencodable_id_feeds_fail_open_policy(self, tmp_path):
+        db = _audited_db(journal_path=tmp_path / "j",
+                         audit_policy="fail_open")
+        assert db._journal_intent({"audit_all": {object()}}) is None
+        (gap,) = db.audit_gaps
+        assert gap["site"] == "journal-intent"
+        assert "losslessly" in gap["error"]
+        db.close()
 
 
 # ---------------------------------------------------------------------------
@@ -400,6 +562,77 @@ class TestDatabaseJournaling:
         report = fresh.recover(tmp_path / "j")
         assert report.skipped_unknown == 1 and report.replayed == 0
         assert _log_rows(fresh) == set()
+        fresh.close()
+
+    def test_skipped_unknown_counts_intents_not_expressions(self, tmp_path):
+        """One intent naming two dropped expressions is ONE skipped
+        intent, so reconciliation against report.intents stays sane."""
+        def build(journal_path=None):
+            db = _audited_db(journal_path=journal_path)
+            db.execute(
+                "CREATE AUDIT EXPRESSION audit_too AS SELECT * FROM "
+                "patients FOR SENSITIVE TABLE patients, "
+                "PARTITION BY patientid"
+            )
+            return db
+
+        db = build(journal_path=tmp_path / "j")
+        db.execute("SELECT * FROM patients WHERE patientid = 1")
+        db.close()
+        records = scan_journal(tmp_path / "j").records
+        assert len(records[0].data["accessed"]) == 2  # both exprs fired
+
+        fresh = build()
+        fresh.execute("DROP AUDIT EXPRESSION audit_all")
+        fresh.execute("DROP AUDIT EXPRESSION audit_too")
+        report = fresh.recover(tmp_path / "j")
+        assert report.intents == 1
+        assert report.skipped_unknown == 1  # not 2
+        assert report.skipped_unknown <= report.intents
+        fresh.close()
+
+    def test_recover_replays_date_partition_ids_exactly(self, tmp_path):
+        """DATE partition IDs journal as typed values and replay as
+        datetime.date — not as repr strings that no longer match."""
+        import datetime
+
+        def build(journal_path=None):
+            db = Database(journal_path=journal_path)
+            db.execute(
+                "CREATE TABLE visits (day DATE PRIMARY KEY, who VARCHAR)"
+            )
+            db.execute("CREATE TABLE vlog (uid VARCHAR, day DATE)")
+            db.execute(
+                "INSERT INTO visits VALUES ('2026-08-07', 'Alice'), "
+                "('2026-08-08', 'Bob')"
+            )
+            db.execute(
+                "CREATE AUDIT EXPRESSION by_day AS SELECT * FROM visits "
+                "FOR SENSITIVE TABLE visits, PARTITION BY day"
+            )
+            db.execute(
+                "CREATE TRIGGER vrecord ON ACCESS TO by_day AS "
+                "INSERT INTO vlog SELECT user_id(), day FROM accessed"
+            )
+            return db
+
+        db = build(journal_path=tmp_path / "j")
+        db.session.user_id = "mallory"
+        db.execute("SELECT * FROM visits")
+        expected = set(map(tuple, db.execute("SELECT * FROM vlog").rows))
+        db.close()
+
+        fresh = build()
+        report = fresh.recover(tmp_path / "j")
+        assert report.replayed == 1
+        assert report.replayed_ids == {
+            "by_day": {datetime.date(2026, 8, 7), datetime.date(2026, 8, 8)}
+        }
+        recovered = set(map(tuple, fresh.execute("SELECT * FROM vlog").rows))
+        assert recovered == expected
+        assert all(
+            isinstance(day, datetime.date) for _uid, day in recovered
+        )
         fresh.close()
 
     @pytest.mark.filterwarnings(
