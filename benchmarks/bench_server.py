@@ -1,0 +1,113 @@
+"""Network serving benchmark: the wire vs the in-process engine.
+
+Pytest usage (alongside the figure benchmarks)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_server.py -q
+
+Standalone usage (CI smoke runs this)::
+
+    PYTHONPATH=src python benchmarks/bench_server.py [--quick]
+
+Both write ``benchmarks/results/BENCH_server.json`` — queries/second and
+p50/p99 latency at 1/4/16 concurrent clients, in-process vs over TCP,
+with and without an armed (async) audit trigger, plus the zero-lost-
+firings proof for every armed cell.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_FILE = RESULTS_DIR / "BENCH_server.json"
+
+
+def run(total_requests: int, rounds: int) -> dict:
+    from repro.bench.server import server_benchmark
+
+    results = server_benchmark(
+        total_requests=total_requests, rounds=rounds
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULT_FILE.write_text(json.dumps(results, indent=2, default=str) + "\n")
+    return results
+
+
+def _summarize(results: dict) -> str:
+    lines = [
+        f"server benchmark ({results['total_requests']} requests, "
+        f"best of {results['rounds']})"
+    ]
+    for mode, cells in results["modes"].items():
+        parts = []
+        for clients, cell in cells.items():
+            parts.append(
+                f"{clients}c {cell['qps']:.0f} qps "
+                f"(p50 {cell['p50_ms']:.2f} / p99 {cell['p99_ms']:.2f} ms)"
+            )
+        lines.append(f"  {mode:<18} " + " | ".join(parts))
+    lines.append(
+        f"  wire overhead (1 client, unarmed): "
+        f"{results['wire_overhead_1c']:.2f}x"
+    )
+    lines.append(
+        f"  audit overhead over the wire (1 client): "
+        f"{results['audit_overhead_server_1c']:.2f}x"
+    )
+    lines.append(
+        f"  zero lost firings: {results['zero_lost_firings']}; "
+        f"all requests served: {results['all_requests_served']}"
+    )
+    lines.append(f"  written to {RESULT_FILE}")
+    return "\n".join(lines)
+
+
+def _check(results: dict) -> list[str]:
+    """Acceptance criteria; returns a list of failure descriptions."""
+    failures = []
+    if not results["zero_lost_firings"]:
+        failures.append(
+            "an armed cell lost audit firings (log rows != requests)"
+        )
+    if not results["all_requests_served"]:
+        failures.append("a cell dropped requests or raised client errors")
+    for mode, cells in results["modes"].items():
+        for clients, cell in cells.items():
+            if cell["qps"] <= 0:
+                failures.append(f"{mode}@{clients}: qps is zero")
+    return failures
+
+
+def test_report_server():
+    from repro.bench.server import QUICK_REQUESTS, QUICK_ROUNDS
+
+    results = run(QUICK_REQUESTS, QUICK_ROUNDS)
+    print()
+    print(_summarize(results))
+    assert not _check(results)
+
+
+def main(argv: list[str]) -> int:
+    from repro.bench.server import (
+        DEFAULT_REQUESTS,
+        DEFAULT_ROUNDS,
+        QUICK_REQUESTS,
+        QUICK_ROUNDS,
+    )
+
+    quick = "--quick" in argv
+    results = run(
+        QUICK_REQUESTS if quick else DEFAULT_REQUESTS,
+        QUICK_ROUNDS if quick else DEFAULT_ROUNDS,
+    )
+    print(_summarize(results))
+    failures = _check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

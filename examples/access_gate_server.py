@@ -1,0 +1,108 @@
+"""The access gate, served: DENY and attribution over the wire.
+
+``examples/access_gate.py`` gates bulk VIP exports inside one process.
+This variant puts the same database behind :class:`repro.server.Server`
+and drives it from authenticated client connections — the deployment
+shape the paper assumes (§II: a DBMS serving live queries from many
+users). Three things change, none of them the triggers:
+
+* each client authenticates once; every audit-log row it causes is
+  attributed to *its* user, even though all clients share one engine;
+* ``DENY`` crosses the wire as a typed
+  :class:`~repro.errors.AccessDeniedError` the client re-raises;
+* shutdown is audited — the server drains in-flight statements and the
+  trigger pipeline before closing, so the log is complete when the
+  process exits.
+
+Run:  python examples/access_gate_server.py
+"""
+
+from repro import Database
+from repro.errors import AccessDeniedError
+from repro.server import Connection, StaticAuthenticator
+
+
+def build_database() -> Database:
+    db = Database(user_id="dba")
+    db.execute(
+        "CREATE TABLE customers (custid INT PRIMARY KEY, name VARCHAR, "
+        "tier VARCHAR, balance FLOAT)"
+    )
+    db.execute(
+        "CREATE TABLE audit_log (uid VARCHAR, query VARCHAR, custid INT)"
+    )
+    rows = ", ".join(
+        f"({index}, 'Customer{index}', "
+        f"'{'vip' if index % 4 == 0 else 'standard'}', {index * 100.0})"
+        for index in range(1, 21)
+    )
+    db.execute(f"INSERT INTO customers VALUES {rows}")
+    db.execute(
+        "CREATE AUDIT EXPRESSION audit_vips AS "
+        "SELECT * FROM customers WHERE tier = 'vip' "
+        "FOR SENSITIVE TABLE customers, PARTITION BY custid"
+    )
+    db.execute(
+        "CREATE TRIGGER log_vip_access ON ACCESS TO audit_vips AS "
+        "INSERT INTO audit_log SELECT user_id(), sql_text(), custid "
+        "FROM accessed"
+    )
+    db.execute(
+        "CREATE TRIGGER gate_bulk ON ACCESS TO audit_vips BEFORE AS "
+        "IF ((SELECT COUNT(*) FROM accessed) > 2) "
+        "DENY 'bulk export of VIP records requires approval'"
+    )
+    # firings ride the async pipeline: the serving configuration
+    db.trigger_mode = "async"
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    authenticator = StaticAuthenticator(
+        {"support_rep": "rep-pw", "analyst": "analyst-pw"}
+    )
+    server = db.serve(port=0, authenticator=authenticator).start()
+    print(f"server listening on {server.host}:{server.port}")
+
+    print("\n1) support_rep looks up one customer: allowed, attributed")
+    with Connection(
+        server.host, server.port, user_id="support_rep", password="rep-pw"
+    ) as rep:
+        result = rep.execute("SELECT * FROM customers WHERE custid = 4")
+        print("   rows returned:", len(result.rows))
+        print("   ACCESSED:", dict(result.accessed))
+
+    print("\n2) analyst tries a full dump: DENIED across the wire")
+    with Connection(
+        server.host, server.port, user_id="analyst", password="analyst-pw"
+    ) as analyst:
+        try:
+            analyst.execute("SELECT * FROM customers")
+        except AccessDeniedError as error:
+            print("   DENIED:", error.message)
+
+    print("\n3) wrong password never reaches the engine")
+    try:
+        Connection(
+            server.host, server.port, user_id="analyst", password="guess"
+        )
+    except Exception as error:  # AuthenticationError
+        print(f"   {type(error).__name__}: {error}")
+
+    # audited graceful shutdown: drain statements, drain firings, close
+    server.shutdown()
+
+    print("\n4) the audit log survived shutdown, attributed per client:")
+    log = db.execute(
+        "SELECT uid, COUNT(*) FROM audit_log GROUP BY uid"
+    )
+    for uid, count in sorted(log.rows):
+        print(f"   {uid}: {count} VIP record(s) on file")
+    total = db.execute("SELECT COUNT(*) FROM audit_log").scalar()
+    assert total == 1 + 5, "both accesses must be on record"
+    print("\ndenial withholds data, not evidence — now over TCP.")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,3 +34,18 @@ echo "== durability / fault-injection smoke (--quick) =="
 # the no-journal baseline) plus one injected-crash -> recover -> verify
 # cycle; exits non-zero if recovery loses or duplicates audit rows
 PYTHONPATH=src python benchmarks/bench_durability.py --quick
+
+echo
+echo "== network serving smoke =="
+# boots python -m repro.server as a subprocess, runs a scripted
+# multi-user client session (auth rejection, attributed point queries,
+# one DENY-trigger rejection over the wire), then SIGTERMs it; exits
+# non-zero unless shutdown is clean with zero uncommitted journal intents
+PYTHONPATH=src python scripts/server_smoke.py
+
+echo
+echo "== server benchmark (--quick) =="
+# in-process vs over-TCP qps/latency grid with and without an armed
+# audit trigger; exits non-zero if any armed cell loses firings or any
+# cell drops requests
+PYTHONPATH=src python benchmarks/bench_server.py --quick

@@ -1,0 +1,154 @@
+"""CI smoke for the network serving layer.
+
+Boots ``python -m repro.server`` as a real subprocess (journaled, async
+triggers, static auth), drives a scripted multi-user client session —
+including one DENY-trigger rejection crossing the wire — then shuts the
+server down with SIGTERM and proves the audited-shutdown contract: exit
+code 0 and **zero uncommitted intents** left in the journal.
+
+Usage:  PYTHONPATH=src python scripts/server_smoke.py
+Exits non-zero on the first violated expectation.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+INIT_SQL = """
+CREATE TABLE patients (pid INT PRIMARY KEY, name VARCHAR, age INT);
+CREATE TABLE log (uid VARCHAR, query VARCHAR, pid INT);
+INSERT INTO patients VALUES
+    (1, 'Alice', 34), (2, 'Bob', 41), (3, 'Carol', 29), (4, 'Dan', 57);
+CREATE AUDIT EXPRESSION aud AS SELECT * FROM patients
+    FOR SENSITIVE TABLE patients, PARTITION BY pid;
+CREATE TRIGGER ins_log ON ACCESS TO aud AS
+    INSERT INTO log SELECT user_id(), sql_text(), pid FROM accessed;
+CREATE TRIGGER gate ON ACCESS TO aud BEFORE AS
+    IF ((SELECT COUNT(*) FROM accessed) > 2)
+    DENY 'bulk access denied'
+"""
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.durability.recovery import uncommitted_intents
+    from repro.errors import AccessDeniedError, AuthenticationError
+    from repro.server.client import Connection
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-server-smoke-")
+    journal_dir = pathlib.Path(tmp.name) / "journal"
+    init_file = pathlib.Path(tmp.name) / "init.sql"
+    init_file.write_text(INIT_SQL)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.server",
+            "--port", "0",
+            "--init", str(init_file),
+            "--journal", str(journal_dir),
+            "--fsync", "always",
+            "--trigger-mode", "async",
+            "--user", "alice:wonder", "--user", "bob:builder",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    try:
+        line = process.stdout.readline().strip()
+        if "listening on" not in line:
+            fail(f"unexpected server banner: {line!r}")
+        port = int(line.rsplit(":", 1)[1])
+        print(f"  server up on port {port}")
+
+        # 1) authentication is enforced
+        try:
+            Connection("127.0.0.1", port, user_id="alice", password="nope")
+            fail("bad password was accepted")
+        except AuthenticationError:
+            print("  bad password rejected")
+
+        # 2) two authenticated users, attributed point queries
+        with Connection(
+            "127.0.0.1", port, user_id="alice", password="wonder"
+        ) as alice:
+            for pid in (1, 2):
+                result = alice.execute(
+                    f"SELECT name FROM patients WHERE pid = {pid}"
+                )
+                if result.accessed.get("aud") != frozenset({pid}):
+                    fail(f"alice ACCESSED wrong for pid={pid}")
+
+            # 3) the DENY trigger rejects a bulk read over the wire
+            try:
+                alice.execute("SELECT * FROM patients")
+                fail("bulk read was not denied")
+            except AccessDeniedError as error:
+                print(f"  bulk read denied: {error}")
+
+        with Connection(
+            "127.0.0.1", port, user_id="bob", password="builder"
+        ) as bob:
+            result = bob.execute("SELECT * FROM patients WHERE pid = 3")
+            if len(result.rows) != 1:
+                fail("bob's point query returned wrong rows")
+
+            # 4) per-user attribution is visible in the shared log
+            #    (drain by polling: firings ride the async pipeline)
+            import time
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                rows = sorted(
+                    bob.execute("SELECT uid, pid FROM log").rows
+                )
+                if len(rows) == 7:  # 2 + 4 (denied-but-audited) + 1
+                    break
+                time.sleep(0.05)
+            expected = sorted(
+                [("alice", 1), ("alice", 2), ("bob", 3)]
+                + [("alice", pid) for pid in (1, 2, 3, 4)]
+            )
+            if rows != expected:
+                fail(f"attribution mismatch: {rows}")
+            print(f"  {len(rows)} audit rows, attributed per user")
+    except Exception:
+        process.kill()
+        raise
+    finally:
+        if process.poll() is None:
+            # 5) SIGTERM: audited graceful shutdown
+            process.send_signal(signal.SIGTERM)
+        code = process.wait(timeout=60)
+        output = process.stdout.read()
+
+    if code != 0:
+        fail(f"server exited {code}; output:\n{output}")
+    if "repro server stopped" not in output:
+        fail(f"missing shutdown banner; output:\n{output}")
+    leftovers = uncommitted_intents(journal_dir)
+    if leftovers:
+        fail(f"shutdown lost {len(leftovers)} journaled firings")
+    print("  clean shutdown, zero uncommitted intents")
+    tmp.cleanup()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

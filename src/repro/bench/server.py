@@ -1,0 +1,257 @@
+"""Network serving benchmark: wire overhead vs the in-process engine.
+
+Measures what :mod:`repro.server` costs. The same audited point-query
+workload runs two ways at 1/4/16 concurrent clients:
+
+* ``inprocess`` — each client thread calls ``Database.execute`` directly
+  (under ``Session.override``, mirroring the server's attribution path);
+* ``server``    — each client thread drives its own authenticated
+  :class:`~repro.server.client.Connection` against a live TCP server
+  multiplexing onto the same database.
+
+Both are run with the audit trigger **armed** (audit expression + async
+logging trigger — the serving configuration) and **unarmed** (audit
+machinery absent, the ceiling), giving the four-way grid the paper's
+serving story needs: what the wire costs, what auditing costs, and
+whether the two compose.
+
+Every armed cell proves **zero lost firings**: after ``drain_triggers``
+the audit log must have grown by exactly one row per request (each point
+query discloses exactly one sensitive ID).
+
+``benchmarks/bench_server.py`` serializes the output to
+``benchmarks/results/BENCH_server.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import threading
+import time
+
+from repro.database import Database
+
+#: concurrent clients compared in the scaling sweep
+CLIENT_COUNTS = (1, 4, 16)
+
+DEFAULT_REQUESTS = 240
+QUICK_REQUESTS = 48
+
+DEFAULT_ROUNDS = 2
+QUICK_ROUNDS = 1
+
+N_PATIENTS = 32
+
+ARM_SQL = """
+CREATE AUDIT EXPRESSION aud AS SELECT * FROM patients
+    FOR SENSITIVE TABLE patients, PARTITION BY pid;
+CREATE TRIGGER ins_log ON ACCESS TO aud AS
+    INSERT INTO log SELECT user_id(), pid FROM accessed
+"""
+
+
+def _build_database(armed: bool) -> Database:
+    db = Database(user_id="bench")
+    db.execute(
+        "CREATE TABLE patients (pid INT PRIMARY KEY, name VARCHAR)"
+    )
+    db.execute("CREATE TABLE log (uid VARCHAR, pid INT)")
+    rows = ", ".join(f"({pid}, 'P{pid}')" for pid in range(1, N_PATIENTS + 1))
+    db.execute(f"INSERT INTO patients VALUES {rows}")
+    if armed:
+        db.execute_script(ARM_SQL)
+        db.trigger_mode = "async"
+    return db
+
+
+def _queries(total_requests: int, clients: int) -> list[list[str]]:
+    """Split the request mix into per-client scripts of point queries."""
+    scripts: list[list[str]] = [[] for _ in range(clients)]
+    for index in range(total_requests):
+        pid = index % N_PATIENTS + 1
+        scripts[index % clients].append(
+            f"SELECT name FROM patients WHERE pid = {pid}"
+        )
+    return scripts
+
+
+def _percentiles(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "p50_ms": statistics.median(ordered) * 1000.0,
+        "p99_ms": ordered[min(len(ordered) - 1,
+                              int(len(ordered) * 0.99))] * 1000.0,
+    }
+
+
+def _log_count(db: Database) -> int:
+    return db.execute("SELECT COUNT(*) FROM log").scalar()
+
+
+def _run_clients(workers: list) -> tuple[list[float], list[str], float]:
+    """Start one thread per worker; collect latencies, errors, wall time."""
+    latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    def body(work) -> None:
+        execute, script = work
+        mine: list[float] = []
+        try:
+            for sql in script:
+                started = time.perf_counter()
+                execute(sql)
+                mine.append(time.perf_counter() - started)
+        except Exception as error:  # noqa: BLE001 — reported, fails _check
+            with lock:
+                errors.append(f"{type(error).__name__}: {error}")
+        with lock:
+            latencies.extend(mine)
+
+    threads = [
+        threading.Thread(target=body, args=(work,)) for work in workers
+    ]
+    gc.collect()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    return latencies, errors, wall
+
+
+def _measure_inprocess(
+    db: Database, armed: bool, total_requests: int, clients: int
+) -> dict:
+    scripts = _queries(total_requests, clients)
+
+    def make_execute(user: str):
+        def execute(sql: str):
+            with db.session.override(sql, user):
+                return db.execute(sql)
+        return execute
+
+    workers = [
+        (make_execute(f"client{index}"), script)
+        for index, script in enumerate(scripts)
+    ]
+    before = _log_count(db) if armed else 0
+    latencies, errors, wall = _run_clients(workers)
+    cell = _cell(latencies, errors, wall, total_requests)
+    if armed:
+        db.drain_triggers()
+        cell["lost_firings"] = (
+            before + total_requests - _log_count(db)
+        )
+    return cell
+
+
+def _measure_server(
+    db: Database, armed: bool, total_requests: int, clients: int
+) -> dict:
+    from repro.server.client import Connection
+
+    scripts = _queries(total_requests, clients)
+    with db.serve(
+        max_connections=max(CLIENT_COUNTS) + 4, close_database=False
+    ) as server:
+        connections = [
+            Connection(server.host, server.port, user_id=f"client{index}")
+            for index in range(clients)
+        ]
+        try:
+            workers = [
+                (connection.execute, script)
+                for connection, script in zip(connections, scripts)
+            ]
+            before = _log_count(db) if armed else 0
+            latencies, errors, wall = _run_clients(workers)
+        finally:
+            for connection in connections:
+                connection.close()
+    cell = _cell(latencies, errors, wall, total_requests)
+    if armed:
+        db.drain_triggers()
+        cell["lost_firings"] = (
+            before + total_requests - _log_count(db)
+        )
+    return cell
+
+
+def _cell(
+    latencies: list[float], errors: list[str], wall: float, expected: int
+) -> dict:
+    cell = {
+        "requests": len(latencies),
+        "expected": expected,
+        "qps": (len(latencies) / wall) if wall > 0 else 0.0,
+        "errors": errors,
+    }
+    if latencies:
+        cell.update(_percentiles(latencies))
+    return cell
+
+
+def server_benchmark(
+    total_requests: int = DEFAULT_REQUESTS, rounds: int = DEFAULT_ROUNDS
+) -> dict:
+    """The full grid; best-of-``rounds`` per cell by qps."""
+    grid: dict[str, dict] = {}
+    for armed in (False, True):
+        db = _build_database(armed)
+        try:
+            for transport, measure in (
+                ("inprocess", _measure_inprocess),
+                ("server", _measure_server),
+            ):
+                mode = f"{transport}_{'armed' if armed else 'unarmed'}"
+                cells: dict[str, dict] = {}
+                for clients in CLIENT_COUNTS:
+                    best: dict | None = None
+                    for _ in range(rounds):
+                        cell = measure(db, armed, total_requests, clients)
+                        if best is None or cell["qps"] > best["qps"]:
+                            best = cell
+                    cells[str(clients)] = best
+                grid[mode] = cells
+        finally:
+            db.close()
+    results: dict = {
+        "total_requests": total_requests,
+        "rounds": rounds,
+        "client_counts": list(CLIENT_COUNTS),
+        "modes": grid,
+    }
+    one = str(CLIENT_COUNTS[0])
+    results["wire_overhead_1c"] = (
+        grid["inprocess_unarmed"][one]["qps"]
+        / max(grid["server_unarmed"][one]["qps"], 1e-9)
+    )
+    results["audit_overhead_server_1c"] = (
+        grid["server_unarmed"][one]["qps"]
+        / max(grid["server_armed"][one]["qps"], 1e-9)
+    )
+    results["zero_lost_firings"] = all(
+        cell.get("lost_firings", 0) == 0
+        for mode, cells in grid.items()
+        if mode.endswith("_armed")
+        for cell in cells.values()
+    )
+    results["all_requests_served"] = all(
+        cell["requests"] == cell["expected"] and not cell["errors"]
+        for cells in grid.values()
+        for cell in cells.values()
+    )
+    return results
+
+
+__all__ = [
+    "server_benchmark",
+    "CLIENT_COUNTS",
+    "DEFAULT_REQUESTS",
+    "DEFAULT_ROUNDS",
+    "QUICK_REQUESTS",
+    "QUICK_ROUNDS",
+]

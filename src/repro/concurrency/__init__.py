@@ -12,8 +12,13 @@ The engine's concurrency model (DESIGN.md §7) is two-layered:
   metadata captured at SELECT time) and runs the AFTER-timing trigger
   actions off the caller's critical path, with backpressure when full and
   per-batch error isolation.
+* :class:`DrainGate` — in-flight work accounting for graceful shutdown:
+  the network server admits each statement through the gate, and
+  shutdown closes it and drains before the trigger pipeline and the
+  audit journal are closed (DESIGN.md §9).
 """
 
+from repro.concurrency.gate import DrainGate, GateClosedError
 from repro.concurrency.locks import ReadWriteLock
 from repro.concurrency.pipeline import (
     DEFAULT_QUEUE_CAPACITY,
@@ -24,6 +29,8 @@ from repro.concurrency.pipeline import (
 )
 
 __all__ = [
+    "DrainGate",
+    "GateClosedError",
     "ReadWriteLock",
     "TriggerBatch",
     "TriggerPipeline",

@@ -1,0 +1,105 @@
+"""In-flight work accounting for graceful shutdown.
+
+A :class:`DrainGate` counts units of work currently executing (server
+statements, recovery replays — anything shutdown must wait for). The
+shutdown path closes the gate so new work is refused, then drains it:
+``drain`` returns once every admitted unit has left. The gate carries no
+policy about *what* the work is; callers map a refused entry to their own
+typed error (the server raises
+:class:`~repro.errors.ServerShutdownError`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+
+class GateClosedError(RuntimeError):
+    """Raised by :meth:`DrainGate.entered` when the gate has been closed."""
+
+
+class DrainGate:
+    """A closeable counter of in-flight work units.
+
+    * :meth:`try_enter` admits one unit (False once closed);
+    * :meth:`leave` retires it;
+    * :meth:`close` refuses future entries (idempotent);
+    * :meth:`drain` blocks until the in-flight count reaches zero.
+
+    Closing does not interrupt admitted work — that is the point: drain
+    waits for it.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._active = 0
+        self._closed = False
+        #: units ever admitted / refused (telemetry)
+        self.entered_total = 0
+        self.refused_total = 0
+
+    @property
+    def active(self) -> int:
+        with self._condition:
+            return self._active
+
+    @property
+    def closed(self) -> bool:
+        with self._condition:
+            return self._closed
+
+    def try_enter(self) -> bool:
+        """Admit one unit of work; False when the gate is closed."""
+        with self._condition:
+            if self._closed:
+                self.refused_total += 1
+                return False
+            self._active += 1
+            self.entered_total += 1
+            return True
+
+    def leave(self) -> None:
+        with self._condition:
+            if self._active <= 0:
+                raise RuntimeError("DrainGate.leave() without a matching enter")
+            self._active -= 1
+            if self._active == 0:
+                self._condition.notify_all()
+
+    @contextmanager
+    def entered(self):
+        """Context manager form; raises :class:`GateClosedError` if closed."""
+        if not self.try_enter():
+            raise GateClosedError("gate is closed to new work")
+        try:
+            yield self
+        finally:
+            self.leave()
+
+    def close(self) -> None:
+        """Refuse new entries from now on (idempotent, non-blocking)."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no work is in flight; False if ``timeout`` expires.
+
+        Usually called after :meth:`close`, but draining an open gate is
+        legal (it waits for a momentary zero).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while self._active > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._condition.wait(remaining)
+        return True
+
+
+__all__ = ["DrainGate", "GateClosedError"]

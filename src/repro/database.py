@@ -165,6 +165,10 @@ class Database:
         self.trigger_queue_capacity = DEFAULT_QUEUE_CAPACITY
         self._trigger_pipeline: TriggerPipeline | None = None
         self._pipeline_init_lock = threading.Lock()
+        # close() serialization: signal handlers and server shutdown may
+        # race; the lock keeps the drain -> journal-close order intact
+        # under concurrent callers
+        self._close_lock = threading.Lock()
         #: retries before an async trigger batch is dead-lettered; read
         #: when the pipeline is first created
         self.trigger_retry_limit = DEFAULT_RETRY_LIMIT
@@ -262,16 +266,42 @@ class Database:
         return list(pipeline.errors)
 
     def close(self) -> None:
-        """Drain and stop the trigger pipeline, flush and close the
-        audit journal (idempotent)."""
-        pipeline = self._trigger_pipeline
-        if pipeline is not None:
-            pipeline.close()
-            self._trigger_pipeline = None
-        if self._journal is not None:
-            self._journal.close()
-        if self._dead_letter_journal is not None:
-            self._dead_letter_journal.close()
+        """Shut the engine's background machinery down, in order.
+
+        Ordering is the durability contract: the trigger pipeline is
+        drained and stopped *first* (its firings append commit records),
+        then the audit journal and its dead-letter companion are closed.
+        Safe from a signal-handler path: idempotent, and concurrent
+        callers serialize on an internal lock — the second caller blocks
+        until the first close completes, then returns.
+        """
+        with self._close_lock:
+            pipeline = self._trigger_pipeline
+            if pipeline is not None:
+                pipeline.close()
+                self._trigger_pipeline = None
+            if self._journal is not None:
+                self._journal.close()
+            if self._dead_letter_journal is not None:
+                self._dead_letter_journal.close()
+
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **kwargs,
+    ):
+        """Start a network server over this database (not yet accepting
+        until ``.start()`` — or use it as a context manager).
+
+        Returns a :class:`repro.server.Server`; see that class for the
+        admission/timeout/authentication knobs. The server's graceful
+        shutdown closes this database (pipeline drain, then journal
+        close) unless ``close_database=False`` is passed.
+        """
+        from repro.server import Server
+
+        return Server(self, host=host, port=port, **kwargs)
 
     # ------------------------------------------------------------------
     # durability: the audit journal, policies, and recovery

@@ -124,6 +124,47 @@ class AuditTrailWarning(UserWarning):
     :class:`AuditTrailIncompleteError`)."""
 
 
+class ServerError(ReproError):
+    """A failure in the network serving layer (``repro.server``)."""
+
+
+class ProtocolError(ServerError):
+    """A malformed, oversized, or out-of-sequence wire-protocol frame."""
+
+
+class AuthenticationError(ServerError):
+    """The connection handshake presented credentials the server rejects."""
+
+
+class ServerOverloadedError(ServerError):
+    """Admission control shed this connection.
+
+    The server is at its connection cap and the bounded admission queue
+    is full (or the queue wait timed out). Load is shed with this typed
+    error instead of queueing unboundedly; clients should back off and
+    retry.
+    """
+
+
+class StatementTimeoutError(ServerError):
+    """A statement exceeded the server's per-statement timeout.
+
+    The client gets this error instead of rows. The server does not kill
+    the executing thread (Python offers no safe preemption): the
+    statement runs to completion in the background and its audit-trigger
+    firings still land — a timeout withholds results, never evidence.
+    """
+
+
+class ServerShutdownError(ServerError):
+    """The statement arrived while the server was draining for shutdown."""
+
+
+class ConnectionClosedError(ServerError):
+    """The server closed this connection (shutdown, idle reaping, or a
+    network failure) before or while a response was expected."""
+
+
 class TransactionError(ReproError):
     """Invalid transaction control (COMMIT/ROLLBACK without BEGIN, ...)."""
 

@@ -1,0 +1,45 @@
+"""repro.server — the network serving layer (DESIGN.md §9).
+
+The paper's setting is a DBMS serving live queries from many
+authenticated users; this package gives the reproduction that boundary:
+
+* :class:`Server` — threaded TCP server multiplexing clients onto one
+  shared :class:`~repro.database.Database`, with authenticated sessions,
+  admission control (connection cap + bounded queue +
+  :class:`~repro.errors.ServerOverloadedError` shedding), per-statement
+  timeouts, idle-connection reaping, and audited graceful shutdown;
+* :class:`Connection` — the blocking client library (also what
+  ``python -m repro --connect host:port`` uses);
+* :mod:`repro.server.protocol` — the length-prefixed JSON wire protocol.
+
+Run a standalone server with ``python -m repro.server``; embed one with
+``Database.serve(...)``.
+"""
+
+from repro.server.admission import AdmissionController
+from repro.server.auth import (
+    Authenticator,
+    ClientSession,
+    OpenAuthenticator,
+    StaticAuthenticator,
+)
+from repro.server.client import Connection
+from repro.server.server import (
+    DEFAULT_ADMISSION_QUEUE,
+    DEFAULT_BATCH_ROWS,
+    DEFAULT_MAX_CONNECTIONS,
+    Server,
+)
+
+__all__ = [
+    "Server",
+    "Connection",
+    "AdmissionController",
+    "Authenticator",
+    "OpenAuthenticator",
+    "StaticAuthenticator",
+    "ClientSession",
+    "DEFAULT_MAX_CONNECTIONS",
+    "DEFAULT_ADMISSION_QUEUE",
+    "DEFAULT_BATCH_ROWS",
+]

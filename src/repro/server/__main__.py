@@ -1,0 +1,161 @@
+"""Standalone server: ``python -m repro.server``.
+
+Starts a :class:`~repro.server.Server` over a fresh
+:class:`~repro.database.Database`, optionally journaled and seeded from
+an SQL script, and serves until SIGTERM/SIGINT — which trigger the
+audited graceful shutdown (drain statements, drain triggers, close the
+journal) before the process exits.
+
+Examples::
+
+    python -m repro.server --port 7432
+    python -m repro.server --port 0 --journal /var/lib/repro/journal \\
+        --init schema.sql --trigger-mode async --user alice:s3cret
+
+The bound address is printed as ``repro server listening on HOST:PORT``
+(useful with ``--port 0``); scripted harnesses parse that line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from repro.database import Database
+from repro.server.auth import StaticAuthenticator
+from repro.server.server import (
+    DEFAULT_ADMISSION_QUEUE,
+    DEFAULT_MAX_CONNECTIONS,
+    Server,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a repro database over TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7432,
+        help="TCP port (0 = ephemeral, printed at startup)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="attach a write-ahead audit journal at this directory",
+    )
+    parser.add_argument(
+        "--fsync", default="batch", choices=("always", "batch", "off"),
+        help="journal fsync policy (default: batch)",
+    )
+    parser.add_argument(
+        "--audit-policy", default="fail_open",
+        choices=("fail_open", "fail_closed"),
+    )
+    parser.add_argument(
+        "--trigger-mode", default="sync", choices=("sync", "async"),
+        help="SELECT-trigger firing mode (default: sync)",
+    )
+    parser.add_argument(
+        "--init", default=None, metavar="FILE",
+        help="SQL script executed once at startup (schema, triggers, data)",
+    )
+    parser.add_argument(
+        "--max-connections", type=int, default=DEFAULT_MAX_CONNECTIONS,
+    )
+    parser.add_argument(
+        "--admission-queue", type=int, default=DEFAULT_ADMISSION_QUEUE,
+        help="connections allowed to wait for a slot before shedding",
+    )
+    parser.add_argument(
+        "--admission-timeout", type=float, default=5.0,
+        help="seconds a queued connection waits before it is shed",
+    )
+    parser.add_argument(
+        "--statement-timeout", type=float, default=None, metavar="SECONDS",
+    )
+    parser.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="reap connections silent for this long",
+    )
+    parser.add_argument(
+        "--user", action="append", default=[], metavar="NAME:PASSWORD",
+        help="enable static authentication; repeatable",
+    )
+    parser.add_argument(
+        "--shutdown-timeout", type=float, default=30.0,
+        help="seconds graceful shutdown waits for in-flight statements",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    database = Database(
+        user_id="server",
+        journal_path=arguments.journal,
+        journal_fsync=arguments.fsync,
+        audit_policy=arguments.audit_policy,
+    )
+    database.trigger_mode = arguments.trigger_mode
+    if arguments.init:
+        with open(arguments.init, "r", encoding="utf-8") as handle:
+            database.execute_script(handle.read())
+    authenticator = None
+    if arguments.user:
+        credentials = {}
+        for pair in arguments.user:
+            name, separator, password = pair.partition(":")
+            if not separator:
+                print(
+                    f"--user must be NAME:PASSWORD, got {pair!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            credentials[name] = password
+        authenticator = StaticAuthenticator(credentials)
+    server = Server(
+        database,
+        host=arguments.host,
+        port=arguments.port,
+        max_connections=arguments.max_connections,
+        admission_queue=arguments.admission_queue,
+        admission_timeout=arguments.admission_timeout,
+        statement_timeout=arguments.statement_timeout,
+        idle_timeout=arguments.idle_timeout,
+        authenticator=authenticator,
+    )
+    server.start()
+    print(
+        f"repro server listening on {server.host}:{server.port}", flush=True
+    )
+
+    def _graceful(signum, frame):  # noqa: ARG001 — signal signature
+        # run the drain off the signal frame; serve_forever unblocks
+        # when shutdown completes
+        import threading
+
+        threading.Thread(
+            target=server.shutdown,
+            kwargs={"timeout": arguments.shutdown_timeout},
+            name="repro-shutdown",
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    server.serve_forever()
+    stats = server.stats()
+    print(
+        f"repro server stopped "
+        f"(statements={stats['statements_total']}, "
+        f"timeouts={stats['timeouts_total']}, "
+        f"reaped={stats['reaped_total']})",
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

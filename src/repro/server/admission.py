@@ -1,0 +1,120 @@
+"""Connection admission control: cap, bounded queue, load shedding.
+
+The server multiplexes clients onto one :class:`~repro.database.Database`
+whose write side is exclusive, so admitting unbounded connections only
+converts overload into timeouts. Instead admission is two-stage:
+
+* up to ``max_active`` connections are served concurrently;
+* up to ``queue_limit`` more *wait* (bounded, FIFO-fair via the
+  condition queue) for at most ``queue_timeout`` seconds;
+* everyone else is shed immediately with
+  :class:`~repro.errors.ServerOverloadedError` — a typed, retryable
+  signal rather than a hung socket.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ServerOverloadedError
+
+
+class AdmissionController:
+    """Bounded two-stage admission: active slots plus a waiting room."""
+
+    def __init__(
+        self,
+        max_active: int,
+        queue_limit: int = 0,
+        queue_timeout: float = 5.0,
+    ) -> None:
+        if max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        self._condition = threading.Condition()
+        self._max_active = max_active
+        self._queue_limit = max(0, queue_limit)
+        self._queue_timeout = queue_timeout
+        self._active = 0
+        self._waiting = 0
+        self._closed = False
+        # telemetry
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.peak_active = 0
+        self.peak_waiting = 0
+
+    @property
+    def active(self) -> int:
+        with self._condition:
+            return self._active
+
+    @property
+    def waiting(self) -> int:
+        with self._condition:
+            return self._waiting
+
+    def close(self) -> None:
+        """Refuse new admissions (shutdown); waiters are woken and shed."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def admit(self) -> None:
+        """Claim one active slot or raise :class:`ServerOverloadedError`.
+
+        Blocks in the bounded waiting room when the cap is reached;
+        sheds immediately when the waiting room is full, when the wait
+        exceeds ``queue_timeout``, or when the controller is closed.
+        """
+        deadline = time.monotonic() + self._queue_timeout
+        with self._condition:
+            if self._closed:
+                self.shed_total += 1
+                raise ServerOverloadedError("server is shutting down")
+            if self._active >= self._max_active:
+                if self._waiting >= self._queue_limit:
+                    self.shed_total += 1
+                    raise ServerOverloadedError(
+                        f"server at capacity ({self._max_active} active, "
+                        f"{self._waiting} queued); retry later"
+                    )
+                self._waiting += 1
+                self.peak_waiting = max(self.peak_waiting, self._waiting)
+                try:
+                    while self._active >= self._max_active:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or self._closed:
+                            self.shed_total += 1
+                            raise ServerOverloadedError(
+                                "gave up waiting for a connection slot "
+                                f"after {self._queue_timeout:.1f}s"
+                            )
+                        self._condition.wait(remaining)
+                finally:
+                    self._waiting -= 1
+            self._active += 1
+            self.admitted_total += 1
+            self.peak_active = max(self.peak_active, self._active)
+
+    def release(self) -> None:
+        """Return one active slot; wakes a queued waiter."""
+        with self._condition:
+            if self._active <= 0:
+                raise RuntimeError("release() without a matching admit()")
+            self._active -= 1
+            self._condition.notify()
+
+    def stats(self) -> dict[str, int]:
+        with self._condition:
+            return {
+                "active": self._active,
+                "waiting": self._waiting,
+                "admitted_total": self.admitted_total,
+                "shed_total": self.shed_total,
+                "peak_active": self.peak_active,
+                "peak_waiting": self.peak_waiting,
+            }
+
+
+__all__ = ["AdmissionController"]

@@ -1,0 +1,226 @@
+"""Blocking client: ``Connection`` speaks the wire protocol.
+
+Usage mirrors the in-process API — the same
+:class:`~repro.database.QueryResult` comes back, ACCESSED metadata
+included, and server-side engine errors re-raise as the same
+:mod:`repro.errors` classes::
+
+    from repro.server.client import Connection
+
+    with Connection("127.0.0.1", 7432, user_id="dr_house") as conn:
+        result = conn.execute("SELECT * FROM patients WHERE age > 30")
+        result.accessed   # {'audit_alice': frozenset({1})}
+
+A ``Connection`` is one authenticated session: the handshake pins
+``user_id`` server-side, so every audit-log row this connection causes
+is attributed to it. One connection serves one thread at a time (a lock
+serializes concurrent ``execute`` calls); open one connection per worker
+thread for parallel load.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.errors import ConnectionClosedError, ProtocolError
+from repro.server import protocol
+
+
+class Connection:
+    """A blocking, authenticated connection to a :class:`~repro.server.Server`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        user_id: str = "anonymous",
+        password: str | None = None,
+        connect_timeout: float = 10.0,
+        response_timeout: float | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.user_id = user_id
+        self._lock = threading.Lock()
+        self._closed = False
+        self.session_id: int | None = None
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as error:
+            raise ConnectionClosedError(
+                f"cannot connect to {host}:{port}: {error}"
+            ) from error
+        self._sock.settimeout(response_timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            self._send(
+                {
+                    "type": "hello",
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "user": user_id,
+                    "password": password,
+                }
+            )
+            frame = self._recv()
+            if frame.get("type") != "hello_ok":
+                # typed rejections (AuthenticationError,
+                # ServerOverloadedError, ...) re-raise as themselves
+                self._dispatch_control(frame)
+            self.session_id = frame.get("session")
+        except BaseException:
+            self._abort()
+            raise
+
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: dict[str, object] | None = None):
+        """Run one statement; returns a :class:`~repro.database.QueryResult`.
+
+        Engine failures raise the same :mod:`repro.errors` classes the
+        in-process API raises (``AccessDeniedError``, ``SqlSyntaxError``,
+        ``StatementTimeoutError``, ...).
+        """
+        from repro.database import QueryResult
+
+        message: dict = {"type": "execute", "sql": sql}
+        if parameters:
+            message["parameters"] = {
+                name: protocol.encode_value(value)
+                for name, value in parameters.items()
+            }
+        with self._lock:
+            self._send(message)
+            rows: list[tuple] = []
+            while True:
+                frame = self._recv()
+                kind = frame.get("type")
+                if kind == "rows":
+                    rows.extend(
+                        protocol.decode_row(row) for row in frame["rows"]
+                    )
+                elif kind == "done":
+                    return QueryResult(
+                        columns=tuple(frame.get("columns", ())),
+                        rows=rows,
+                        accessed=protocol.decode_accessed(
+                            frame.get("accessed", {})
+                        ),
+                        rowcount=frame.get("rowcount", len(rows)),
+                    )
+                else:
+                    self._dispatch_control(frame)
+
+    def set_user(self, user_id: str, password: str | None = None) -> str:
+        """Re-authenticate this connection as ``user_id``."""
+        with self._lock:
+            self._send(
+                {"type": "set_user", "user": user_id, "password": password}
+            )
+            frame = self._recv()
+            if frame.get("type") != "ok":
+                self._dispatch_control(frame)
+            self.user_id = frame["user"]
+            return self.user_id
+
+    def ping(self) -> bool:
+        with self._lock:
+            self._send({"type": "ping"})
+            frame = self._recv()
+            if frame.get("type") != "pong":
+                self._dispatch_control(frame)
+            return True
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Announce quit and close the socket (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            try:
+                protocol.send_frame(self._sock, {"type": "quit"})
+            except OSError:
+                pass
+            self._abort()
+
+    def _abort(self) -> None:
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        try:
+            protocol.send_frame(self._sock, message)
+        except OSError as error:
+            self._abort()
+            raise ConnectionClosedError(
+                f"send failed: {error}"
+            ) from error
+
+    def _recv(self) -> dict:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        try:
+            frame = protocol.recv_frame(self._sock)
+        except socket.timeout as error:
+            self._abort()
+            raise ConnectionClosedError(
+                "timed out waiting for a server response"
+            ) from error
+        except OSError as error:
+            self._abort()
+            raise ConnectionClosedError(
+                f"receive failed: {error}"
+            ) from error
+        if frame is None:
+            self._abort()
+            raise ConnectionClosedError(
+                "server closed the connection"
+            )
+        return frame
+
+    def _dispatch_control(self, frame: dict) -> None:
+        """Handle an error/goodbye frame arriving where data was expected."""
+        kind = frame.get("type")
+        if kind == "error":
+            protocol.raise_error_frame(frame)
+        if kind == "goodbye":
+            self._abort()
+            raise ConnectionClosedError(
+                f"server closed the connection: {frame.get('reason')}"
+            )
+        raise ProtocolError(f"unexpected frame type {kind!r}")
+
+
+def connect(
+    host: str,
+    port: int,
+    user_id: str = "anonymous",
+    password: str | None = None,
+    **kwargs,
+) -> Connection:
+    """Convenience constructor mirroring :func:`repro.database.connect`."""
+    return Connection(host, port, user_id=user_id, password=password, **kwargs)
+
+
+__all__ = ["Connection", "connect"]

@@ -1,0 +1,219 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+Every message on the socket is one *frame*: a 4-byte big-endian length
+followed by that many bytes of UTF-8 compact JSON encoding a single
+object with a ``type`` key. Length-prefixing (rather than line framing)
+keeps SQL text and string values unescaped-newline-safe; JSON keeps the
+journal, the protocol, and the tests mutually greppable.
+
+Client → server frame types::
+
+    {"type": "hello", "protocol": 1, "user": ..., "password": ...}
+    {"type": "execute", "sql": ..., "parameters": {...}?}
+    {"type": "set_user", "user": ..., "password": ...}
+    {"type": "ping"}
+    {"type": "quit"}
+
+Server → client::
+
+    {"type": "hello_ok", "server": ..., "protocol": 1, "session": ...}
+    {"type": "rows", "rows": [[...], ...]}          # 1 per batch
+    {"type": "done", "columns": [...], "rowcount": N,
+     "accessed": {expr: [ids]}}
+    {"type": "ok", ...}                              # set_user ack
+    {"type": "pong"}
+    {"type": "error", "code": <exception class name>, "message": ...}
+    {"type": "goodbye", "reason": ...}
+
+A statement's response is zero or more ``rows`` frames terminated by
+exactly one ``done`` or ``error`` frame, so a client can stream large
+results without buffering the whole set. Values ride the wire through
+the same typed codec the audit journal uses
+(:func:`repro.durability.journal.encode_id`), so dates, datetimes,
+Decimals, and composite keys round-trip exactly; SQL ``INTERVAL`` values
+get their own tag here. Error frames carry the *name* of the
+:mod:`repro.errors` class that was raised server-side; the client
+re-raises the same class, so ``except AccessDeniedError:`` works
+identically in-process and over the network.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro import errors as _errors
+from repro.datatypes.intervals import Interval
+from repro.durability.journal import ID_TAG, decode_id, encode_id
+from repro.errors import (
+    ConnectionClosedError,
+    DurabilityError,
+    ProtocolError,
+    ReproError,
+)
+
+PROTOCOL_VERSION = 1
+
+#: refuse frames larger than this (a corrupt length prefix must not
+#: allocate gigabytes)
+MAX_FRAME_BYTES = 32 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+# ----------------------------------------------------------------------
+# value codec
+
+def encode_value(value: object) -> object:
+    """JSON-safe encoding of one SQL value, round-trippable.
+
+    Delegates to the journal's partition-ID codec and adds the one
+    engine value type the journal never sees (``INTERVAL``). Raises
+    :class:`ProtocolError` on a value that cannot ride the wire
+    losslessly.
+    """
+    if isinstance(value, Interval):
+        return {ID_TAG: "interval", "v": [value.count, value.unit]}
+    try:
+        return encode_id(value)
+    except DurabilityError as error:
+        raise ProtocolError(str(error)) from error
+
+
+def decode_value(value: object) -> object:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict) and value.get(ID_TAG) == "interval":
+        count, unit = value["v"]
+        return Interval(count, unit)
+    return decode_id(value)
+
+
+def encode_row(row: tuple) -> list:
+    return [encode_value(value) for value in row]
+
+
+def decode_row(row: list) -> tuple:
+    return tuple(decode_value(value) for value in row)
+
+
+def encode_accessed(accessed: dict) -> dict:
+    return {
+        name: [encode_value(value) for value in sorted(ids, key=repr)]
+        for name, ids in accessed.items()
+    }
+
+
+def decode_accessed(accessed: dict) -> dict:
+    return {
+        name: frozenset(decode_value(value) for value in ids)
+        for name, ids in accessed.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# error codec
+
+def _error_registry() -> dict[str, type]:
+    """Name → class for every engine exception (ReproError subclasses)."""
+    registry: dict[str, type] = {}
+    for name in dir(_errors):
+        candidate = getattr(_errors, name)
+        if isinstance(candidate, type) and issubclass(candidate, ReproError):
+            registry[name] = candidate
+    return registry
+
+
+ERROR_TYPES = _error_registry()
+
+
+def error_frame(error: BaseException) -> dict:
+    """The wire form of one server-side failure."""
+    code = type(error).__name__
+    if code not in ERROR_TYPES:
+        # engine internals (KeyError, AssertionError, ...) must not leak
+        # their types into the protocol contract
+        code = "ExecutionError"
+    return {"type": "error", "code": code, "message": str(error)}
+
+
+def raise_error_frame(frame: dict) -> None:
+    """Re-raise the engine exception an ``error`` frame describes."""
+    exc_type = ERROR_TYPES.get(frame.get("code", ""), ReproError)
+    raise exc_type(frame.get("message", "server error"))
+
+
+# ----------------------------------------------------------------------
+# framing
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Serialize and send one frame (atomic ``sendall``)."""
+    try:
+        data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(
+            f"frame is not JSON-serializable: {error}"
+        ) from error
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(data)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    sock.sendall(_LENGTH.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Receive one frame; None on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LENGTH.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"incoming frame claims {length} bytes "
+            f"(limit {MAX_FRAME_BYTES}); stream is corrupt or hostile"
+        )
+    data = _recv_exact(sock, length, eof_ok=False)
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("frame is not an object with a 'type' key")
+    return message
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, eof_ok: bool
+) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise ConnectionClosedError(
+                "connection closed mid-frame "
+                f"({count - remaining}/{count} bytes received)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ERROR_TYPES",
+    "encode_value",
+    "decode_value",
+    "encode_row",
+    "decode_row",
+    "encode_accessed",
+    "decode_accessed",
+    "error_frame",
+    "raise_error_frame",
+    "send_frame",
+    "recv_frame",
+]

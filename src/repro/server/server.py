@@ -1,0 +1,531 @@
+"""The threaded TCP server multiplexing clients onto one ``Database``.
+
+Architecture (DESIGN.md §9)::
+
+    accept thread ──► AdmissionController ──► handler thread per client
+                                                   │  (handshake, frames)
+                                                   ▼
+                                   statement executor (thread pool)
+                                     DrainGate ▸ Session.override ▸
+                                     Database.execute ▸ stream batches
+
+Each connection is authenticated once (the handshake sets its
+``user_id``); every statement then executes under
+``Session.override(sql, user)`` on an executor thread, so audit-trigger
+attribution is per-connection even though the engine and its async
+trigger pipeline are shared. Results stream back in bounded ``rows``
+frames followed by a ``done`` frame carrying the ACCESSED metadata;
+engine errors become typed ``error`` frames the client re-raises.
+
+Production-shape controls are built in, not bolted on:
+
+* **admission control** — connection cap + bounded wait queue, typed
+  :class:`~repro.errors.ServerOverloadedError` shedding;
+* **per-statement timeout** — the client gets
+  :class:`~repro.errors.StatementTimeoutError`; the statement itself
+  runs to completion so its audit firings still land;
+* **idle reaping** — connections silent past ``idle_timeout`` are closed
+  with a ``goodbye`` frame;
+* **audited graceful shutdown** — stop accepting, shed queued
+  admissions, drain in-flight statements (:class:`DrainGate`), drain the
+  async trigger pipeline, and only then close the database (which closes
+  the audit journal) — so every journaled intent gets its commit and no
+  recorded firing is lost.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import socket
+import threading
+from typing import TYPE_CHECKING
+
+from repro.concurrency import DrainGate, GateClosedError
+from repro.errors import (
+    AuthenticationError,
+    ConnectionClosedError,
+    ProtocolError,
+    ReproError,
+    ServerError,
+    ServerOverloadedError,
+    ServerShutdownError,
+    StatementTimeoutError,
+)
+from repro.server.admission import AdmissionController
+from repro.server.auth import (
+    Authenticator,
+    ClientSession,
+    OpenAuthenticator,
+)
+from repro.server import protocol
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.database import Database, QueryResult
+
+#: rows per ``rows`` frame (bounds per-frame memory, keeps latency low)
+DEFAULT_BATCH_ROWS = 256
+
+DEFAULT_MAX_CONNECTIONS = 32
+DEFAULT_ADMISSION_QUEUE = 8
+
+
+class Server:
+    """A threaded TCP front end over one :class:`~repro.database.Database`.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`). The server owns the database's shutdown by default
+    (``close_database=True``): :meth:`shutdown` drains and closes it so
+    the audit journal ends with zero uncommitted intents.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        admission_queue: int = DEFAULT_ADMISSION_QUEUE,
+        admission_timeout: float = 5.0,
+        statement_timeout: float | None = None,
+        idle_timeout: float | None = None,
+        reap_interval: float = 0.25,
+        handshake_timeout: float = 5.0,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        authenticator: Authenticator | None = None,
+        close_database: bool = True,
+    ) -> None:
+        self.database = database
+        self.host = host
+        self.port = port
+        self.statement_timeout = statement_timeout
+        self.idle_timeout = idle_timeout
+        self.batch_rows = max(1, batch_rows)
+        self.authenticator = authenticator or OpenAuthenticator()
+        self._close_database = close_database
+        self._handshake_timeout = handshake_timeout
+        self._reap_interval = reap_interval
+        self.admission = AdmissionController(
+            max_connections,
+            queue_limit=admission_queue,
+            queue_timeout=admission_timeout,
+        )
+        #: in-flight statement accounting; closed+drained by shutdown
+        self.gate = DrainGate()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_connections + 4,
+            thread_name_prefix="repro-stmt",
+        )
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._reaper_thread: threading.Thread | None = None
+        self._connections: dict[socket.socket, ClientSession] = {}
+        self._handlers: list[threading.Thread] = []
+        self._conn_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._started = False
+        # telemetry
+        self.statements_total = 0
+        self.timeouts_total = 0
+        self.reaped_total = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def start(self) -> "Server":
+        """Bind, listen, and spawn the accept (and reaper) threads."""
+        if self._started:
+            raise ServerError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(128)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._started = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-accept", daemon=True
+        )
+        self._accept_thread.start()
+        if self.idle_timeout is not None:
+            self._reaper_thread = threading.Thread(
+                target=self._reap_loop, name="repro-reaper", daemon=True
+            )
+            self._reaper_thread.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def __enter__(self) -> "Server":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.shutdown()
+        return False
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes (signal-handler friendly)."""
+        if not self._started:
+            self.start()
+        self._stopped.wait()
+
+    def shutdown(self, timeout: float | None = 30.0) -> dict:
+        """Audited graceful shutdown; idempotent and thread-safe.
+
+        Ordering is the durability contract: (1) stop accepting and shed
+        queued admissions, (2) refuse new statements, (3) drain in-flight
+        statements, (4) drain the async trigger pipeline so every
+        journaled intent commits, (5) close client connections, (6) close
+        the database — trigger pipeline then audit journal. Returns a
+        stats dict describing what was drained.
+        """
+        with self._shutdown_lock:
+            if self._stopped.is_set():
+                return self._shutdown_stats(drained=True)
+            self._stopping.set()
+            self.admission.close()
+            if self._listener is not None:
+                _quietly_close(self._listener)
+            self.gate.close()
+            drained = self.gate.drain(timeout)
+            self.database.drain_triggers()
+            with self._conn_lock:
+                sockets = list(self._connections)
+            for sock in sockets:
+                _say_goodbye(sock, "server shutdown")
+            accept = self._accept_thread
+            if accept is not None and accept is not threading.current_thread():
+                accept.join(timeout=5.0)
+            with self._conn_lock:
+                handlers = list(self._handlers)
+            for handler in handlers:
+                if handler is not threading.current_thread():
+                    handler.join(timeout=5.0)
+            self._executor.shutdown(wait=False)
+            if self._close_database:
+                self.database.close()
+            self._stopped.set()
+            return self._shutdown_stats(drained=drained)
+
+    def _shutdown_stats(self, drained: bool) -> dict:
+        return {
+            "drained": drained,
+            "statements_total": self.statements_total,
+            "timeouts_total": self.timeouts_total,
+            "reaped_total": self.reaped_total,
+            "admission": self.admission.stats(),
+        }
+
+    def stats(self) -> dict:
+        """Live serving counters (tests and operators)."""
+        with self._conn_lock:
+            connections = len(self._connections)
+        return {
+            "connections": connections,
+            "in_flight": self.gate.active,
+            "statements_total": self.statements_total,
+            "timeouts_total": self.timeouts_total,
+            "reaped_total": self.reaped_total,
+            "admission": self.admission.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # accept / reap threads
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            # without TCP_NODELAY, Nagle holds the small rows/done frames
+            # for the peer's delayed ACK — ~40 ms per statement on
+            # loopback, dwarfing execution itself
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(sock, f"{addr[0]}:{addr[1]}"),
+                name=f"repro-client-{addr[1]}",
+                daemon=True,
+            )
+            with self._conn_lock:
+                self._handlers.append(handler)
+            handler.start()
+
+    def _reap_loop(self) -> None:
+        while not self._stopping.is_set():
+            self._stopping.wait(self._reap_interval)
+            if self._stopping.is_set():
+                return
+            assert self.idle_timeout is not None
+            with self._conn_lock:
+                victims = [
+                    sock
+                    for sock, session in self._connections.items()
+                    if session.idle_for() > self.idle_timeout
+                ]
+            for sock in victims:
+                self.reaped_total += 1
+                _say_goodbye(sock, "idle timeout")
+
+    # ------------------------------------------------------------------
+    # per-connection handler
+
+    def _serve_connection(self, sock: socket.socket, peer: str) -> None:
+        session: ClientSession | None = None
+        try:
+            try:
+                self.admission.admit()
+            except ServerOverloadedError as error:
+                _quietly_send(sock, protocol.error_frame(error))
+                return
+            try:
+                session = self._handshake(sock, peer)
+                if session is None:
+                    return
+                with self._conn_lock:
+                    self._connections[sock] = session
+                self._frame_loop(sock, session)
+            finally:
+                self.admission.release()
+        except (ConnectionClosedError, OSError):
+            pass  # peer vanished; nothing to tell it
+        except ProtocolError as error:
+            _quietly_send(sock, protocol.error_frame(error))
+        finally:
+            if session is not None:
+                with self._conn_lock:
+                    self._connections.pop(sock, None)
+            _quietly_close(sock)
+            with self._conn_lock:
+                if threading.current_thread() in self._handlers:
+                    self._handlers.remove(threading.current_thread())
+
+    def _handshake(
+        self, sock: socket.socket, peer: str
+    ) -> ClientSession | None:
+        sock.settimeout(self._handshake_timeout)
+        try:
+            frame = protocol.recv_frame(sock)
+        except socket.timeout:
+            _quietly_send(
+                sock,
+                protocol.error_frame(
+                    ProtocolError("handshake timed out waiting for hello")
+                ),
+            )
+            return None
+        finally:
+            sock.settimeout(None)
+        if frame is None:
+            return None
+        if frame.get("type") != "hello":
+            raise ProtocolError(
+                f"expected a hello frame, got {frame.get('type')!r}"
+            )
+        if frame.get("protocol") != protocol.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {frame.get('protocol')!r} "
+                f"(server speaks {protocol.PROTOCOL_VERSION})"
+            )
+        try:
+            user = self.authenticator.authenticate(
+                frame.get("user", ""), frame.get("password")
+            )
+        except AuthenticationError as error:
+            _quietly_send(sock, protocol.error_frame(error))
+            return None
+        session = ClientSession(user_id=user, peer=peer)
+        protocol.send_frame(
+            sock,
+            {
+                "type": "hello_ok",
+                "server": "repro",
+                "protocol": protocol.PROTOCOL_VERSION,
+                "session": session.session_id,
+            },
+        )
+        return session
+
+    def _frame_loop(self, sock: socket.socket, session: ClientSession) -> None:
+        while True:
+            frame = protocol.recv_frame(sock)
+            if frame is None:
+                return
+            session.touch()
+            kind = frame.get("type")
+            if kind == "execute":
+                self._handle_execute(sock, session, frame)
+                session.touch()
+            elif kind == "set_user":
+                self._handle_set_user(sock, session, frame)
+            elif kind == "ping":
+                protocol.send_frame(sock, {"type": "pong"})
+            elif kind == "quit":
+                _say_goodbye(sock, "client quit")
+                return
+            else:
+                protocol.send_frame(
+                    sock,
+                    protocol.error_frame(
+                        ProtocolError(f"unknown frame type {kind!r}")
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _handle_execute(
+        self, sock: socket.socket, session: ClientSession, frame: dict
+    ) -> None:
+        sql = frame.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            protocol.send_frame(
+                sock,
+                protocol.error_frame(
+                    ProtocolError("execute frame carries no sql")
+                ),
+            )
+            return
+        raw_parameters = frame.get("parameters") or None
+        parameters = None
+        if raw_parameters is not None:
+            parameters = {
+                name: protocol.decode_value(value)
+                for name, value in raw_parameters.items()
+            }
+        future = self._executor.submit(
+            self._run_statement, session, sql, parameters
+        )
+        try:
+            result = future.result(timeout=self.statement_timeout)
+        except concurrent.futures.TimeoutError:
+            # the statement is NOT killed: Python offers no safe thread
+            # preemption, and killing it would strand a journaled intent
+            # without its firing. Results are withheld; audit runs on.
+            self.timeouts_total += 1
+            protocol.send_frame(
+                sock,
+                protocol.error_frame(
+                    StatementTimeoutError(
+                        f"statement exceeded {self.statement_timeout:.3f}s "
+                        "(it completes in the background; its audit "
+                        "records are preserved)"
+                    )
+                ),
+            )
+            return
+        except GateClosedError:
+            protocol.send_frame(
+                sock,
+                protocol.error_frame(
+                    ServerShutdownError(
+                        "server is draining for shutdown; statement refused"
+                    )
+                ),
+            )
+            return
+        except ReproError as error:
+            protocol.send_frame(sock, protocol.error_frame(error))
+            return
+        except Exception as error:  # noqa: BLE001 — typed frame, not a dead conn
+            protocol.send_frame(sock, protocol.error_frame(error))
+            return
+        self.statements_total += 1
+        self._stream_result(sock, result)
+
+    def _run_statement(
+        self,
+        session: ClientSession,
+        sql: str,
+        parameters: dict[str, object] | None,
+    ) -> "QueryResult":
+        """Executor-thread body: gate, impersonate, execute."""
+        with self.gate.entered():
+            session.statements += 1
+            # the override pins this executor thread's identity to the
+            # connection for the duration of the statement — including
+            # the ACCESSED capture the async pipeline snapshots — so a
+            # shared engine still attributes per-connection
+            with self.database.session.override(sql, session.user_id):
+                return self.database.execute(sql, parameters)
+
+    def _stream_result(self, sock: socket.socket, result: "QueryResult") -> None:
+        rows = result.rows
+        for start in range(0, len(rows), self.batch_rows):
+            protocol.send_frame(
+                sock,
+                {
+                    "type": "rows",
+                    "rows": [
+                        protocol.encode_row(row)
+                        for row in rows[start:start + self.batch_rows]
+                    ],
+                },
+            )
+        protocol.send_frame(
+            sock,
+            {
+                "type": "done",
+                "columns": list(result.columns),
+                "rowcount": result.rowcount,
+                "accessed": protocol.encode_accessed(result.accessed),
+            },
+        )
+
+    def _handle_set_user(
+        self, sock: socket.socket, session: ClientSession, frame: dict
+    ) -> None:
+        try:
+            user = self.authenticator.authenticate(
+                frame.get("user", ""), frame.get("password")
+            )
+        except AuthenticationError as error:
+            protocol.send_frame(sock, protocol.error_frame(error))
+            return
+        session.user_id = user
+        protocol.send_frame(sock, {"type": "ok", "user": user})
+
+
+# ----------------------------------------------------------------------
+# socket helpers (best-effort: the peer may already be gone)
+
+def _quietly_send(sock: socket.socket, frame: dict) -> None:
+    try:
+        protocol.send_frame(sock, frame)
+    except OSError:
+        pass
+
+
+def _say_goodbye(sock: socket.socket, reason: str) -> None:
+    _quietly_send(sock, {"type": "goodbye", "reason": reason})
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+
+
+def _quietly_close(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+__all__ = [
+    "Server",
+    "DEFAULT_BATCH_ROWS",
+    "DEFAULT_MAX_CONNECTIONS",
+    "DEFAULT_ADMISSION_QUEUE",
+]

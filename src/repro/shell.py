@@ -14,6 +14,13 @@ features. Statements end with ``;``; dot-commands inspect state:
 
 The shell prints each SELECT's rows plus its ACCESSED state, making the
 audit machinery visible interactively.
+
+The same REPL also speaks to a remote server
+(``python -m repro --connect host:port --user alice``): statements go
+over the wire through :class:`repro.server.client.Connection`, errors
+come back as the same typed exceptions, and ``.user`` re-authenticates
+the connection. Engine-introspection dot commands (``.tables``,
+``.explain``, ...) need the in-process engine and say so in remote mode.
 """
 
 from __future__ import annotations
@@ -40,17 +47,33 @@ Statements end with ';'. Dot commands:
   .quit                 exit\
 """
 
+#: dot commands that read engine internals and so need a local database
+_LOCAL_ONLY = (".tables", ".schema", ".audit", ".explain", ".heuristic",
+               ".notifications")
+
 
 class Shell:
-    """REPL state: one database, one output stream."""
+    """REPL state: one database (local engine or remote connection),
+    one output stream."""
 
     def __init__(
         self,
-        database: Database | None = None,
+        database: object | None = None,
         stdout: IO[str] | None = None,
     ) -> None:
         self.database = database or Database(user_id="shell")
         self.stdout = stdout or sys.stdout
+        #: remote mode: ``database`` is a server Connection, not an engine
+        self.remote = not hasattr(self.database, "catalog")
+        # The shell's identity. Locally this is applied per statement via
+        # the thread-local ``Session.override`` — NOT by mutating
+        # ``session.user_id``, which would change the process-wide base
+        # identity and mis-attribute concurrent queries (e.g. async
+        # trigger batches of other threads) to the shell user.
+        if self.remote:
+            self.user_id = self.database.user_id
+        else:
+            self.user_id = self.database.session.user_id
 
     # ------------------------------------------------------------------
 
@@ -88,7 +111,17 @@ class Shell:
 
     def execute(self, sql: str) -> None:
         try:
-            result = self.database.execute(sql)
+            if self.remote:
+                result = self.database.execute(sql)
+            else:
+                # thread-local impersonation: the statement (and the
+                # ACCESSED metadata its trigger actions capture) runs as
+                # the shell's user without touching the engine's base
+                # identity
+                with self.database.session.override(
+                    sql.strip(), self.user_id
+                ):
+                    result = self.database.execute(sql)
         except ReproError as error:
             self.write(f"error: {error}")
             return
@@ -120,6 +153,13 @@ class Shell:
             return False
         if command == ".help":
             self.write(_HELP)
+        elif command == ".user":
+            self._switch_user(argument)
+        elif command in _LOCAL_ONLY and self.remote:
+            self.write(
+                f"error: {command} needs the in-process engine "
+                "(this shell is connected to a server)"
+            )
         elif command == ".tables":
             for table in sorted(
                 self.database.catalog.tables(),
@@ -135,10 +175,6 @@ class Shell:
                 self.write(self.database.explain(argument))
             except ReproError as error:
                 self.write(f"error: {error}")
-        elif command == ".user":
-            if argument:
-                self.database.session.user_id = argument
-            self.write(f"user: {self.database.session.user_id}")
         elif command == ".heuristic":
             if argument:
                 self.database.audit_manager.heuristic = argument
@@ -156,6 +192,20 @@ class Shell:
         else:
             self.write(f"unknown command {command!r} (try .help)")
         return True
+
+    def _switch_user(self, argument: str) -> None:
+        if argument:
+            if self.remote:
+                try:
+                    # re-authenticate: the server, not the client,
+                    # decides whether the identity switch is allowed
+                    self.user_id = self.database.set_user(argument)
+                except ReproError as error:
+                    self.write(f"error: {error}")
+                    return
+            else:
+                self.user_id = argument
+        self.write(f"user: {self.user_id}")
 
     def _schema(self, table_name: str) -> None:
         try:
@@ -199,13 +249,74 @@ def _render(value: object) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
-    arguments = argv if argv is not None else sys.argv[1:]
-    database = Database(user_id="shell")
-    if arguments and arguments[0] == "--tpch":
-        scale = float(arguments[1]) if len(arguments) > 1 else 0.002
+    arguments = list(argv if argv is not None else sys.argv[1:])
+    connect_to: str | None = None
+    user = "shell"
+    password: str | None = None
+    tpch_scale: float | None = None
+    index = 0
+    while index < len(arguments):
+        argument = arguments[index]
+        if argument == "--connect":
+            index += 1
+            connect_to = arguments[index]
+        elif argument == "--user":
+            index += 1
+            user = arguments[index]
+        elif argument == "--password":
+            index += 1
+            password = arguments[index]
+        elif argument == "--tpch":
+            tpch_scale = 0.002
+            if index + 1 < len(arguments):
+                try:
+                    tpch_scale = float(arguments[index + 1])
+                    index += 1
+                except ValueError:
+                    pass
+        else:
+            print(f"unknown argument {argument!r}", file=sys.stderr)
+            print(
+                "usage: python -m repro [--tpch [SF]] "
+                "[--connect HOST:PORT [--user NAME] [--password PW]]",
+                file=sys.stderr,
+            )
+            return 2
+        index += 1
+
+    if connect_to is not None:
+        from repro.server.client import Connection
+
+        host, _, port_text = connect_to.rpartition(":")
+        if not host:
+            print(
+                f"--connect expects HOST:PORT, got {connect_to!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            connection = Connection(
+                host, int(port_text), user_id=user, password=password
+            )
+        except ReproError as error:
+            print(f"cannot connect: {error}", file=sys.stderr)
+            return 1
+        shell = Shell(connection)
+        shell.write(
+            f"repro shell — connected to {connect_to} as "
+            f"{connection.user_id}; .help for commands"
+        )
+        try:
+            shell.run()
+        finally:
+            connection.close()
+        return 0
+
+    database = Database(user_id=user)
+    if tpch_scale is not None:
         from repro.tpch import load_tpch
 
-        counts = load_tpch(database, scale_factor=scale)
+        counts = load_tpch(database, scale_factor=tpch_scale)
         print(
             "loaded TPC-H "
             + ", ".join(f"{name}={count}" for name, count in counts.items())

@@ -118,6 +118,79 @@ class TestDotCommands:
         assert "(1 rows)" not in output
 
 
+class TestUserAttribution:
+    def _audited_db(self) -> Database:
+        db = Database(user_id="shell")
+        db.execute("CREATE TABLE p (pid INT PRIMARY KEY, n VARCHAR)")
+        db.execute("CREATE TABLE log (uid VARCHAR, pid INT)")
+        db.execute("INSERT INTO p VALUES (1, 'Alice')")
+        db.execute(
+            "CREATE AUDIT EXPRESSION a AS SELECT * FROM p "
+            "FOR SENSITIVE TABLE p, PARTITION BY pid"
+        )
+        db.execute(
+            "CREATE TRIGGER t ON ACCESS TO a AS "
+            "INSERT INTO log SELECT user_id(), pid FROM accessed"
+        )
+        return db
+
+    def test_user_switch_does_not_mutate_base_identity(self):
+        """.user impersonates via the thread-local override; the engine's
+        process-wide base identity must stay untouched (other threads —
+        e.g. async trigger batches — would otherwise inherit it)."""
+        db = self._audited_db()
+        run_script([".user dr_house", "SELECT * FROM p;"], db)
+        assert db.session.user_id == "shell"
+        db.drain_triggers()
+        assert db.execute("SELECT uid FROM log").rows == [("dr_house",)]
+
+    def test_async_firings_attribute_to_shell_user(self):
+        db = self._audited_db()
+        db.trigger_mode = "async"
+        run_script([".user auditor", "SELECT * FROM p;"], db)
+        db.drain_triggers()
+        assert db.execute("SELECT uid FROM log").rows == [("auditor",)]
+        db.close()
+
+
+class TestRemoteShell:
+    def test_remote_statements_and_user_switch(self):
+        from repro.server.client import Connection
+
+        db = Database(user_id="server")
+        db.execute("CREATE TABLE p (pid INT PRIMARY KEY, n VARCHAR)")
+        db.execute("CREATE TABLE log (uid VARCHAR, pid INT)")
+        db.execute("INSERT INTO p VALUES (1, 'Alice')")
+        db.execute(
+            "CREATE AUDIT EXPRESSION a AS SELECT * FROM p "
+            "FOR SENSITIVE TABLE p, PARTITION BY pid"
+        )
+        db.execute(
+            "CREATE TRIGGER t ON ACCESS TO a AS "
+            "INSERT INTO log SELECT user_id(), pid FROM accessed"
+        )
+        with db.serve(close_database=False) as server:
+            conn = Connection(server.host, server.port, user_id="alice")
+            try:
+                output = run_script(
+                    [
+                        "SELECT * FROM p;",
+                        ".user bob",
+                        "SELECT n FROM p;",
+                        ".tables",
+                    ],
+                    conn,
+                )
+            finally:
+                conn.close()
+        assert "ACCESSED[a]: 1" in output
+        assert "user: bob" in output
+        assert "needs the in-process engine" in output
+        db.drain_triggers()
+        rows = sorted(db.execute("SELECT uid, pid FROM log").rows)
+        assert rows == [("alice", 1), ("bob", 1)]
+
+
 class TestMain:
     def test_main_with_tpch(self, capsys, monkeypatch):
         import io as _io
