@@ -22,6 +22,13 @@ echo "== offline lineage-vs-deletion differential (--quick) =="
 PYTHONPATH=src python benchmarks/bench_offline_lineage.py --quick
 
 echo
+echo "== data-skipping on/off differential (--quick) =="
+# small TPC-H load audited at several sensitive selectivities with the
+# block-skipping knob on vs off; exits non-zero if ACCESSED sets or
+# offline-audit verdicts differ (conservative-skip regression)
+PYTHONPATH=src python benchmarks/bench_skipping.py --quick
+
+echo
 echo "== concurrent serving stress (--quick) =="
 # 8 threads of mixed audited SELECT / DML traffic with async triggers;
 # exits non-zero if the audit-log row count diverges from a serial

@@ -521,6 +521,17 @@ class LineageAuditor:
         physical = self._compile_core(certification.core, table_name)
         context = self._database.make_context(parameters)
         context.lineage_table = table_name
+        # Classification only ever looks up candidate primary keys, so
+        # scans may consult block sketches and tag rows of blocks that
+        # provably hold no candidate ID with empty lineage — skipping the
+        # per-row pk-set construction without changing any verdict.
+        context.lineage_candidates = set(tuples_by_id)
+        try:
+            context.lineage_id_position = self._database.catalog.table(
+                table_name
+            ).schema.position_of(expression.partition_by)
+        except Exception:
+            context.lineage_id_position = None
         pairs = list(physical.rows_lineage(context))
 
         pk_to_id: dict[tuple, object] = {}

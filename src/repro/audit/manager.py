@@ -21,7 +21,9 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from repro.audit.expression import AuditExpression
 from repro.audit.idview import IdView
 from repro.audit.placement import (
+    HEURISTIC_COST,
     HEURISTIC_HCN,
+    HEURISTIC_LEAF,
     AuditTarget,
     instrument_plan,
 )
@@ -84,6 +86,12 @@ class AuditManager:
             view.install_observers()
             self._views[expression.name] = view
             self._catalog.add_audit_expression(expression.name, expression)
+            # Sketch the partition-by column in the sensitive table's
+            # block summaries so scans under this expression's audit
+            # operators can skip blocks with no sensitive rows.
+            self._catalog.table(
+                expression.sensitive_table
+            ).register_sketch_column(expression.partition_by)
             self.config_version += 1
             return expression
 
@@ -187,6 +195,28 @@ class AuditManager:
         heuristic: str | None = None,
     ) -> LogicalPlan:
         """Insert + place audit operators (Algorithm 1)."""
-        return instrument_plan(
-            plan, self.targets(names), heuristic or self.heuristic
-        )
+        targets = self.targets(names)
+        chosen = heuristic or self.heuristic
+        if chosen == HEURISTIC_COST:
+            return self._instrument_costed(plan, targets)
+        return instrument_plan(plan, targets, chosen)
+
+    def _instrument_costed(
+        self, plan: LogicalPlan, targets: Sequence[AuditTarget]
+    ) -> LogicalPlan:
+        """Pick leaf vs HCN placement by estimated probe count.
+
+        Leaf placement probes every sensitive-table row but fuses with
+        the scan's block sketches; HCN probes only rows surviving
+        filters/joins but cannot consult block summaries above the scan.
+        The sketch-selectivity-aware cost model prices both and the
+        cheaper candidate wins (ties go to HCN, the paper's default).
+        """
+        from repro.optimizer.cost import CostModel  # local: cycle guard
+
+        candidates = [
+            instrument_plan(plan, targets, heuristic)
+            for heuristic in (HEURISTIC_HCN, HEURISTIC_LEAF)
+        ]
+        model = CostModel(self._catalog, self.resolve_view)
+        return min(candidates, key=model.estimate_plan_probes)

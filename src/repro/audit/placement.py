@@ -50,6 +50,12 @@ from repro.plan.logical import Audit, LogicalPlan
 HEURISTIC_LEAF = "leaf-node"
 HEURISTIC_HCN = "highest-commutative-node"
 HEURISTIC_HIGHEST = "highest-node"
+#: costed placement: the manager compiles the leaf and HCN candidates and
+#: picks the one whose estimated probe count (sketch-selectivity-aware,
+#: see :meth:`CostModel.estimate_plan_probes`) is lower. Not a member of
+#: ``_HEURISTICS`` — it is resolved in :meth:`AuditManager.instrument`
+#: before ``instrument_plan`` runs.
+HEURISTIC_COST = "cost"
 
 _HEURISTICS = (HEURISTIC_LEAF, HEURISTIC_HCN, HEURISTIC_HIGHEST)
 

@@ -44,6 +44,13 @@ class Catalog:
         #: indexes, triggers); plan caches key their entries on it so any
         #: change that could alter a compiled plan invalidates
         self.version = 0
+        #: statistics epoch, bumped alongside :attr:`version` whenever any
+        #: table's row count crosses a power-of-two bucket since the last
+        #: check — DML that materially changes cardinalities invalidates
+        #: cached plans costed against the old statistics, while steady
+        #: small churn does not thrash the plan cache
+        self.stats_version = 0
+        self._stats_buckets: dict[str, int] = {}
         # Serializes registry mutation, version bumps, and the lazy
         # statistics cache against concurrent DDL / serving threads.
         self._lock = threading.RLock()
@@ -128,10 +135,71 @@ class Catalog:
             if cached is not None and cached.version == table.version:
                 return cached
             stats = TableStatistics.gather(
-                table.schema.column_names, table.rows(), table.version
+                table.schema.column_names, table.rows(), table.version,
+                block_count=getattr(table, "block_count", 0),
             )
             self._statistics[key] = stats
             return stats
+
+    def refresh_stats_version(self) -> int:
+        """Advance :attr:`stats_version` if any table's cardinality moved.
+
+        DML does not bump the DDL :attr:`version` (that would defeat plan
+        caching), but a plan costed when a table was empty should not
+        survive a bulk load. Row counts are bucketed by power of two: the
+        epoch advances exactly when some table's count crosses a bucket
+        boundary, i.e. when cached cost estimates are off by more than
+        2x. Cheap enough (one ``len`` per table) to run per statement.
+        """
+        with self._lock:
+            buckets = {
+                name: len(table).bit_length()
+                for name, table in self._tables.items()
+            }
+            if buckets != self._stats_buckets:
+                self._stats_buckets = buckets
+                self.stats_version += 1
+            return self.stats_version
+
+    def sketch_block_selectivity(
+        self, table_name: str, column_name: str, ids
+    ) -> float:
+        """Fraction of the table's blocks that may contain any of ``ids``.
+
+        The data-skipping cost input: an audit operator placed directly
+        over a scan of ``table_name`` probes only the blocks whose
+        sensitive-ID sketch (plus zone range) admits a candidate, so its
+        expected probe cardinality is ``row_count x`` this fraction.
+        Returns 1.0 (no skipping benefit) whenever the column is not
+        sketched or the consult would not be conservative-cheap.
+        """
+        table = self.table(table_name)
+        try:
+            position = table.schema.position_of(column_name)
+        except Exception:
+            return 1.0
+        if position not in getattr(table, "sketch_positions", ()):
+            return 1.0
+        blocks = table.blocks()
+        if not blocks:
+            return 1.0
+        ids = set(ids)
+        if not ids:
+            return 0.0
+        if len(ids) > 2048:
+            return 1.0
+        try:
+            lo, hi = min(ids), max(ids)
+        except TypeError:
+            lo = hi = None
+        admitted = sum(
+            1
+            for block in blocks
+            if table.fresh_summary(block).may_contain_any(
+                position, ids, lo, hi
+            )
+        )
+        return admitted / len(blocks)
 
     # ------------------------------------------------------------------
     # triggers

@@ -64,10 +64,21 @@ class TableStatistics:
     columns: dict[str, ColumnStatistics] = field(default_factory=dict)
     #: value of the table's modification counter when stats were gathered
     version: int = -1
+    #: storage blocks backing the table (block-partitioned heap)
+    block_count: int = 0
+
+    @property
+    def avg_block_rows(self) -> float:
+        """Mean block fill — the unit the data-skipping cost model
+        converts block-selectivity fractions back into row estimates
+        with."""
+        if self.block_count <= 0:
+            return float(self.row_count)
+        return self.row_count / self.block_count
 
     @classmethod
-    def gather(cls, column_names: tuple[str, ...], rows, version: int
-               ) -> "TableStatistics":
+    def gather(cls, column_names: tuple[str, ...], rows, version: int,
+               block_count: int = 0) -> "TableStatistics":
         """Compute statistics with a single scan over ``rows``."""
         distinct: list[set] = [set() for __ in column_names]
         nulls = [0] * len(column_names)
@@ -94,4 +105,5 @@ class TableStatistics:
             )
             for index, name in enumerate(column_names)
         }
-        return cls(row_count=row_count, columns=columns, version=version)
+        return cls(row_count=row_count, columns=columns, version=version,
+                   block_count=block_count)

@@ -65,6 +65,7 @@ from repro.plancache import CachedPlan, PlanCache
 from repro.plan.logical import LogicalPlan, PlanColumn
 from repro.sql import ast
 from repro.sql.parser import parse_statement, parse_statements
+from repro.storage.blocks import DEFAULT_BLOCK_CAPACITY
 from repro.storage.table import Table
 from repro.triggers.definitions import DmlTrigger, SelectTrigger
 from repro.triggers.manager import TriggerManager
@@ -130,6 +131,13 @@ class Database:
         self.exec_mode = "batch"
         #: rows per batch in batch mode
         self.batch_size = DEFAULT_BATCH_SIZE
+        #: rows per storage block in tables created after the change
+        #: (each block keeps zone maps + a sensitive-ID sketch)
+        self.block_size = DEFAULT_BLOCK_CAPACITY
+        #: consult block zone maps / ID sketches to skip blocks during
+        #: scans and audit probes; skips are conservative, so results,
+        #: ACCESSED sets, and audit verdicts are knob-independent
+        self.skipping = True
         #: offline-auditor strategy: 'auto' (one lineage-capturing run
         #: when the plan shape is certifiable, deletion tests otherwise),
         #: 'lineage' (same, kept as an explicit request), or 'deletion'
@@ -580,6 +588,7 @@ class Database:
         )
         if tombstones:
             context.tombstones = tombstones
+        context.data_skipping = self.skipping
         return context
 
     def plan_query(
@@ -775,12 +784,15 @@ class Database:
         """Version tags a cached plan must match to stay servable.
 
         Catalog DDL version and audit configuration version cover CREATE /
-        DROP of tables, indexes, triggers, and audit expressions; the knob
-        values cover instrumentation and physical-planning choices baked
-        into the compiled tree.
+        DROP of tables, indexes, triggers, and audit expressions; the
+        statistics epoch covers DML that materially moves cardinalities
+        (a plan costed against an empty table must not survive a bulk
+        load); the knob values cover instrumentation and physical-planning
+        choices baked into the compiled tree.
         """
         return (
             self.catalog.version,
+            self.catalog.refresh_stats_version(),
             self.audit_manager.config_version,
             self.audit_enabled,
             self.audit_manager.heuristic,
@@ -1209,7 +1221,7 @@ class Database:
             primary_key=statement.primary_key,
             foreign_keys=foreign_keys,
         )
-        table = Table(schema)
+        table = Table(schema, block_capacity=self.block_size)
         self.catalog.add_table(table)
         table.add_observer(self._record_change)  # transaction undo feed
         if len(schema.primary_key) >= 1:

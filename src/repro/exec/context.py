@@ -133,6 +133,24 @@ class ExecutionContext:
         #: sensitive table whose primary keys ``rows_lineage`` tags rows
         #: with (None = lineage-capturing execution disabled)
         self.lineage_table: str | None = None
+        #: consult per-block zone maps / sensitive-ID sketches to skip
+        #: blocks (the engine's ``skipping`` knob; skips are conservative,
+        #: so results, ACCESSED, and verdicts are knob-independent)
+        self.data_skipping = True
+        #: blocks materialized by table scans this execution
+        self.blocks_scanned = 0
+        #: blocks skipped via zone maps (predicate provably unsatisfiable)
+        self.blocks_zone_skipped = 0
+        #: blocks whose audit probe pass was skipped via the ID sketch
+        self.audit_blocks_skipped = 0
+        #: per-row audit probes avoided by sketch-skipped blocks
+        self.audit_probes_skipped = 0
+        #: candidate partition-by IDs of the offline lineage run: blocks
+        #: of ``lineage_table`` provably disjoint from these IDs tag rows
+        #: with empty lineage instead of their primary key
+        self.lineage_candidates: set | None = None
+        #: position of the partition-by column in ``lineage_table``
+        self.lineage_id_position: int | None = None
 
     # ------------------------------------------------------------------
     # parameters

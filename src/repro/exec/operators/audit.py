@@ -6,6 +6,18 @@ A pass-through "data viewer": for every row flowing by, it probes slot
 context's ACCESSED state. It outputs every input row unchanged — as far as
 the rest of the plan is concerned it is a no-op — which is what guarantees
 the instrumented plan returns exactly the original query result.
+
+When the operator sits directly above a :class:`TableScan` of the
+sensitive table (leaf placement, or any single-table plan where the
+commutative pull-up leaves it there), it fuses with the scan's block
+stream: for each block it first consults the block's sensitive-ID sketch
+(zone-range shortcut, then a Bloom membership test per sensitive ID) and
+skips the per-row membership pass entirely when the block provably holds
+no sensitive value. The consult is conservative — a skipped block cannot
+contain any probe-set member — so ACCESSED is byte-identical with and
+without skipping; only the probe count drops. Row mode and batch mode
+share the fused path, preserving the probe-count equivalence between
+execution modes (Claim 3.6 must survive batching *and* skipping).
 """
 
 from __future__ import annotations
@@ -13,6 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Container, Iterator
 
 from repro.exec.operators.base import PhysicalOperator
+from repro.exec.operators.scan import MAX_CONSULT_IDS, TableScan, chunked
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
     from repro.exec.context import ExecutionContext
@@ -39,12 +52,87 @@ class AuditOperator(PhysicalOperator):
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self._child,)
 
+    # ------------------------------------------------------------------
+    # block-sketch fusion
+
+    def _exact_ids(self) -> frozenset | None:
+        """Enumerable exact sensitive-ID set, or None when unavailable.
+
+        The sketch consult tests each sensitive ID against the block's
+        Bloom filter, which requires enumerating the *exact* set — an
+        ``IdView`` always maintains one, even under the bloom probe
+        structure (the consult then being exact-relative keeps every
+        truly sensitive value probed, so the bloom probe's one-sided
+        ACCESSED superset is preserved).
+        """
+        source = self._sensitive_ids
+        ids = getattr(source, "ids", None)
+        if callable(ids):
+            return ids()
+        if isinstance(source, (set, frozenset)):
+            return frozenset(source)
+        return None
+
+    def _fusion(self, context: "ExecutionContext"):
+        """(scan, slot, ids, lo, hi) when block-level skipping applies."""
+        if not context.data_skipping:
+            return None
+        child = self._child
+        if not isinstance(child, TableScan):
+            return None
+        slot = self._id_slot
+        if slot not in child.table.sketch_positions:
+            return None
+        ids = self._exact_ids()
+        if ids is None or len(ids) > MAX_CONSULT_IDS:
+            return None
+        try:
+            lo, hi = min(ids), max(ids)
+        except (ValueError, TypeError):
+            lo = hi = None
+        return child, slot, ids, lo, hi
+
+    def _fused_blocks(self, context: "ExecutionContext", fusion):
+        """Yield ``(rows, probe_needed)`` per surviving block."""
+        scan, slot, ids, lo, hi = fusion
+        table = scan.table
+        for block, rows in scan.scan_blocks(context):
+            summary = table.fresh_summary(block)
+            if summary.may_contain_any(slot, ids, lo, hi):
+                yield rows, True
+            else:
+                context.audit_blocks_skipped += 1
+                context.audit_probes_skipped += len(rows)
+                yield rows, False
+
+    # ------------------------------------------------------------------
+    # execution modes
+
     def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        fusion = self._fusion(context)
         slot = self._id_slot
         sensitive = self._probe_set
         record = None  # bound on first hit so clean queries leave no trace
         probes = 0
         try:
+            if fusion is not None:
+                for rows, probe_needed in self._fused_blocks(
+                    context, fusion
+                ):
+                    if not probe_needed:
+                        yield from rows
+                        continue
+                    probes += len(rows)
+                    for row in rows:
+                        value = row[slot]
+                        if value is not None and value in sensitive:
+                            if record is None:
+                                record = context.accessed.setdefault(
+                                    self._audit_name, set()
+                                ).add
+                            record(value)
+                        yield row
+                return
             for row in self._child.rows(context):
                 probes += 1
                 value = row[slot]
@@ -67,11 +155,29 @@ class AuditOperator(PhysicalOperator):
         count and ACCESSED contents as ``rows`` (Claim 3.6 must survive
         batching). Batches pass through unchanged.
         """
+        fusion = self._fusion(context)
         slot = self._id_slot
         sensitive = self._probe_set
         record = None
         probes = 0
         try:
+            if fusion is not None:
+                batch_size = context.batch_size
+                for rows, probe_needed in self._fused_blocks(
+                    context, fusion
+                ):
+                    if probe_needed:
+                        probes += len(rows)
+                        for row in rows:
+                            value = row[slot]
+                            if value is not None and value in sensitive:
+                                if record is None:
+                                    record = context.accessed.setdefault(
+                                        self._audit_name, set()
+                                    ).add
+                                record(value)
+                    yield from chunked(rows, batch_size)
+                return
             for batch in self._child.rows_batched(context):
                 probes += len(batch)
                 for row in batch:

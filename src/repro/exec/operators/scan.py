@@ -3,23 +3,109 @@
 All access paths honor the context's tombstones: rows whose primary key is
 tombstoned are invisible, which is how the offline auditor evaluates
 ``Q(D − t)`` without mutating the database.
+
+:class:`TableScan` iterates the table block by block and consults each
+block's zone maps against the predicate's sargable conjuncts (extracted
+once at construction) to skip blocks that provably cannot produce a row —
+the conservative data-skipping fast path (see
+:mod:`repro.storage.blocks`). The audit operator reuses the same block
+stream via :meth:`TableScan.scan_blocks` to additionally skip the
+per-row sensitive-ID probe for sketch-disjoint blocks.
 """
 
 from __future__ import annotations
 
-from itertools import islice
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ExecutionError
 from repro.expr.compiler import compile_predicate
 from repro.expr.evaluator import evaluate
-from repro.expr.nodes import Expression
+from repro.expr.nodes import (
+    Between,
+    Binary,
+    ColumnRef,
+    Expression,
+    IsNull,
+    conjuncts,
+    contains_subquery,
+    referenced_slots,
+)
 from repro.exec.operators.base import EMPTY_LINEAGE, PhysicalOperator
 from repro.storage.index import OrderedIndex
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
     from repro.exec.context import ExecutionContext
     from repro.storage.table import Table
+
+#: skip the sketch consult when the candidate-ID set is larger than this
+#: (the consult is O(|ids|) per block; past this point probing the rows
+#: directly is no slower and always exact)
+MAX_CONSULT_IDS = 2048
+
+_COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+def _sargable_conjuncts(
+    predicate: Expression | None,
+) -> tuple[tuple[str, int, Expression | None], ...]:
+    """Zone-map-checkable conjuncts as (op, slot, bound-expression).
+
+    Matches ``col <cmp> <row-independent expr>`` (either side),
+    ``col BETWEEN lo AND hi``, and ``col IS [NOT] NULL``. Bound
+    expressions are evaluated once per execution; anything else —
+    subqueries, row-dependent bounds, OR trees — is simply not sargable
+    and contributes no skip (conservative by omission).
+    """
+    found: list[tuple[str, int, Expression | None]] = []
+    for conjunct in conjuncts(predicate):
+        if isinstance(conjunct, Binary) and conjunct.op in _COMPARISON_OPS:
+            for column, bound, op in (
+                (conjunct.left, conjunct.right, conjunct.op),
+                (conjunct.right, conjunct.left, _FLIPPED[conjunct.op]),
+            ):
+                if (
+                    isinstance(column, ColumnRef)
+                    and column.outer_level == 0
+                    and column.index is not None
+                    and not referenced_slots(bound)
+                    and not contains_subquery(bound)
+                ):
+                    found.append((op, column.index, bound))
+                    break
+        elif isinstance(conjunct, Between) and not conjunct.negated:
+            column = conjunct.operand
+            if not (
+                isinstance(column, ColumnRef)
+                and column.outer_level == 0
+                and column.index is not None
+            ):
+                continue
+            for op, bound in ((">=", conjunct.low), ("<=", conjunct.high)):
+                if not referenced_slots(bound) \
+                        and not contains_subquery(bound):
+                    found.append((op, column.index, bound))
+        elif isinstance(conjunct, IsNull):
+            column = conjunct.operand
+            if (
+                isinstance(column, ColumnRef)
+                and column.outer_level == 0
+                and column.index is not None
+            ):
+                found.append(
+                    ("notnull" if conjunct.negated else "isnull",
+                     column.index, None)
+                )
+    return tuple(found)
+
+
+def chunked(rows: list, batch_size: int):
+    """Yield ``rows`` as one batch, or several when over ``batch_size``."""
+    if len(rows) <= batch_size:
+        yield rows
+        return
+    for start in range(0, len(rows), batch_size):
+        yield rows[start:start + batch_size]
 
 
 class TableScan(PhysicalOperator):
@@ -32,68 +118,133 @@ class TableScan(PhysicalOperator):
         self._compiled = (
             compile_predicate(predicate) if predicate is not None else None
         )
+        self._sargable = _sargable_conjuncts(predicate)
         self._pk_positions = table.schema.primary_key_positions()
 
     @property
     def table(self) -> "Table":
         return self._table
 
-    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
-        table_name = self._table.schema.name
-        hidden = context.tombstones.get(table_name)
-        predicate = self._predicate
-        pk_positions = self._pk_positions
-        for row in self._table.rows():
-            if hidden is not None and pk_positions:
-                key = tuple(row[position] for position in pk_positions)
-                if key in hidden:
-                    continue
-            if predicate is not None:
-                if evaluate(predicate, row, context) is not True:
-                    continue
-            yield row
+    def _zone_bounds(
+        self, context: "ExecutionContext"
+    ) -> tuple[tuple[str, int, object], ...]:
+        """Evaluate the sargable bounds once per execution.
 
-    def rows_batched(self, context: "ExecutionContext"):
-        hidden = context.tombstones.get(self._table.schema.name)
+        A bound that fails to evaluate (e.g. a missing parameter that the
+        per-row predicate would also trip on) is dropped — no skip from
+        it. A bound evaluating to NULL stays: ``col <op> NULL`` is never
+        True, which :meth:`BlockSummary.may_match` turns into a full skip.
+        """
+        bounds = []
+        for op, position, expression in self._sargable:
+            if expression is None:
+                bounds.append((op, position, None))
+                continue
+            try:
+                value = evaluate(expression, (), context)
+            except Exception:
+                continue
+            bounds.append((op, position, value))
+        return tuple(bounds)
+
+    def scan_blocks(self, context: "ExecutionContext"):
+        """Yield ``(block, surviving_rows)`` per non-skipped block.
+
+        Zone maps are consulted only when the context has data skipping
+        enabled; tombstone and predicate filtering always run, so this
+        stream is exactly the scan's output partitioned by block (the
+        audit operator fuses on it for sketch-level probe skipping).
+        """
+        table = self._table
+        hidden = context.tombstones.get(table.schema.name)
         predicate = self._compiled
         pk_positions = self._pk_positions
-        batch_size = context.batch_size
-        source = iter(self._table.rows())
-        while True:
-            chunk = list(islice(source, batch_size))
-            if not chunk:
-                return
+        skipping = context.data_skipping
+        bounds = (
+            self._zone_bounds(context)
+            if skipping and self._sargable else ()
+        )
+        for block in table.blocks():
+            if skipping and bounds:
+                summary = table.fresh_summary(block)
+                if not all(
+                    summary.may_match(position, op, value)
+                    for op, position, value in bounds
+                ):
+                    context.blocks_zone_skipped += 1
+                    continue
+            context.blocks_scanned += 1
+            with table._lock:
+                rows = block.rows_snapshot()
             if hidden is not None and pk_positions:
-                chunk = [
+                rows = [
                     row
-                    for row in chunk
+                    for row in rows
                     if tuple(row[position] for position in pk_positions)
                     not in hidden
                 ]
             if predicate is not None:
-                chunk = [
-                    row for row in chunk if predicate(row, context) is True
+                rows = [
+                    row for row in rows if predicate(row, context) is True
                 ]
-            if chunk:
-                yield chunk
+            if rows:
+                yield block, rows
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        for __, rows in self.scan_blocks(context):
+            yield from rows
+
+    def rows_batched(self, context: "ExecutionContext"):
+        batch_size = context.batch_size
+        for __, rows in self.scan_blocks(context):
+            yield from chunked(rows, batch_size)
 
     def rows_lineage(self, context: "ExecutionContext"):
         """Lineage mode: tag each row of the sensitive table with its own
-        primary key (the base case of deletion provenance)."""
-        predicate = self._compiled
+        primary key (the base case of deletion provenance).
+
+        When the offline auditor published its candidate-ID set and this
+        table sketches the partition-by column, blocks provably disjoint
+        from every candidate tag their rows with empty lineage instead:
+        those rows cannot derive from any candidate tuple, so every
+        classification the auditor performs is unchanged, and the
+        per-row key-tuple construction is skipped.
+        """
+        table = self._table
         pk_positions = self._pk_positions
         tagged = (
-            self._table.schema.name == context.lineage_table
+            table.schema.name == context.lineage_table
             and bool(pk_positions)
         )
-        for row in self._table.rows():
-            if predicate is not None and predicate(row, context) is not True:
-                continue
-            if tagged:
-                pk = tuple(row[position] for position in pk_positions)
-                yield row, frozenset((pk,))
+        consult = None
+        if (
+            tagged
+            and context.data_skipping
+            and context.lineage_candidates is not None
+            and context.lineage_id_position in table.sketch_positions
+            and len(context.lineage_candidates) <= MAX_CONSULT_IDS
+        ):
+            candidates = context.lineage_candidates
+            try:
+                lo, hi = min(candidates), max(candidates)
+            except (ValueError, TypeError):
+                lo = hi = None
+            position = context.lineage_id_position
+            consult = (position, candidates, lo, hi)
+        for block, rows in self.scan_blocks(context):
+            block_tagged = tagged
+            if consult is not None:
+                summary = table.fresh_summary(block)
+                if not summary.may_contain_any(*consult):
+                    context.audit_blocks_skipped += 1
+                    block_tagged = False
+            if block_tagged:
+                for row in rows:
+                    pk = tuple(row[position] for position in pk_positions)
+                    yield row, frozenset((pk,))
             else:
-                yield row, EMPTY_LINEAGE
+                for row in rows:
+                    yield row, EMPTY_LINEAGE
 
     def describe(self) -> str:
         suffix = " [filtered]" if self._predicate is not None else ""

@@ -3,12 +3,13 @@
 A classical textbook model: per-conjunct selectivities multiplied together,
 equi-join cardinality via distinct-value counts, and fixed fallbacks when
 statistics cannot help. The estimates drive only *relative* choices (hash
-build side, index-vs-scan), so rough numbers suffice.
+build side, index-vs-scan, audit-operator placement), so rough numbers
+suffice.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Container
 
 from repro.expr.nodes import (
     Between,
@@ -35,8 +36,13 @@ _DEFAULT_OTHER_SELECTIVITY = 0.5
 class CostModel:
     """Estimates output cardinalities of logical plans."""
 
-    def __init__(self, catalog: "Catalog") -> None:
+    def __init__(
+        self,
+        catalog: "Catalog",
+        audit_view_resolver: Callable[[str], Container] | None = None,
+    ) -> None:
         self._catalog = catalog
+        self._audit_view_resolver = audit_view_resolver
 
     # ------------------------------------------------------------------
 
@@ -66,6 +72,45 @@ class CostModel:
         if isinstance(plan, L.Distinct):
             return max(1.0, self.estimate_rows(plan.child) / 2.0)
         return 1000.0
+
+    # ------------------------------------------------------------------
+    # audit probe estimation (data-skipping-aware placement)
+
+    def estimate_audit_probes(self, plan: L.Audit) -> float:
+        """Expected per-row probes an audit operator will perform.
+
+        Normally the child's cardinality. When the operator sits directly
+        over a scan of the sensitive table it fuses with the scan's block
+        stream and consults the per-block sensitive-ID sketch, probing
+        only admitted blocks — the estimate shrinks by the fraction of
+        blocks the sketch admits for the view's current ID set.
+        """
+        base = self.estimate_rows(plan.child)
+        child = plan.child
+        if not isinstance(child, L.Scan):
+            return base
+        if self._audit_view_resolver is None:
+            return base
+        try:
+            view = self._audit_view_resolver(plan.audit_name)
+            expression = view.expression
+            if child.table_name != expression.sensitive_table:
+                return base
+            fraction = self._catalog.sketch_block_selectivity(
+                child.table_name, expression.partition_by, view.ids()
+            )
+        except Exception:  # resolver/view shape mismatch: no discount
+            return base
+        return base * fraction
+
+    def estimate_plan_probes(self, plan: L.LogicalPlan) -> float:
+        """Total estimated audit probes over every operator in ``plan``."""
+        from repro.audit.placement import audit_operators
+
+        return sum(
+            self.estimate_audit_probes(operator)
+            for operator in audit_operators(plan)
+        )
 
     # ------------------------------------------------------------------
 

@@ -41,7 +41,7 @@ class Optimizer:
         self._planner = PhysicalPlanner(catalog, audit_view_resolver)
         from repro.optimizer.cost import CostModel
 
-        self._cost = CostModel(catalog)
+        self._cost = CostModel(catalog, audit_view_resolver)
         #: set False to keep joins in FROM order (ablation / debugging)
         self.join_reorder = True
 

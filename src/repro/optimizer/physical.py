@@ -71,7 +71,7 @@ class PhysicalPlanner:
         ] | None = None,
     ) -> None:
         self._catalog = catalog
-        self._cost = CostModel(catalog)
+        self._cost = CostModel(catalog, audit_view_resolver)
         self._audit_view_resolver = audit_view_resolver
         self._node_wrapper = node_wrapper
         #: 'auto' | 'hash' | 'index-nl' (see JOIN_* constants)

@@ -1,6 +1,13 @@
-"""Heap tables with a clustered primary-key index and change observation.
+"""Heap tables, block-partitioned, with a clustered PK index and change
+observation.
 
-A :class:`Table` stores rows as tuples in a rid-addressed dict (a "heap").
+A :class:`Table` stores rows as tuples in a rid-addressed heap that is
+physically partitioned into fixed-capacity :class:`~repro.storage.blocks.Block`
+objects. Each block maintains per-column zone maps plus sensitive-ID
+sketches over registered columns (the audit expressions' partition-by
+columns), which scans and audit operators consult to skip whole blocks —
+see :mod:`repro.storage.blocks` for the conservative-skip invariant.
+
 When the schema declares a primary key, the table maintains a clustered
 index (key -> rid) and enforces uniqueness and NOT NULL on the key columns
 — mirroring the paper's observation that in SQL Server the partition-by key
@@ -22,6 +29,7 @@ from typing import Callable, Iterator
 from repro.catalog.schema import TableSchema
 from repro.datatypes import coerce_value
 from repro.errors import ConstraintError, StorageError
+from repro.storage.blocks import DEFAULT_BLOCK_CAPACITY, Block, BlockSummary
 from repro.storage.index import HashIndex, OrderedIndex
 
 CHANGE_INSERT = "insert"
@@ -51,11 +59,25 @@ ChangeObserver = Callable[[RowChange], None]
 
 
 class Table:
-    """An in-memory heap table with optional clustered PK index."""
+    """An in-memory block-partitioned heap table with optional PK index."""
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(
+        self,
+        schema: TableSchema,
+        block_capacity: int = DEFAULT_BLOCK_CAPACITY,
+    ) -> None:
         self.schema = schema
-        self._rows: dict[int, tuple] = {}
+        if block_capacity < 1:
+            raise StorageError("block_capacity must be >= 1")
+        self.block_capacity = block_capacity
+        self._blocks: list[Block] = []
+        #: rid -> owning block (rids are stable; blocks never move rows)
+        self._rid_block: dict[int, Block] = {}
+        #: the block currently accepting inserts (None = allocate fresh)
+        self._tail: Block | None = None
+        self._row_count = 0
+        #: column positions carrying a per-block sensitive-ID sketch
+        self._sketch_positions: tuple[int, ...] = ()
         self._next_rid = 0
         #: modification counter; bumped on every mutation (drives lazy stats)
         self.version = 0
@@ -84,6 +106,69 @@ class Table:
             observer(change)
 
     # ------------------------------------------------------------------
+    # blocks and data skipping
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def sketch_positions(self) -> tuple[int, ...]:
+        return self._sketch_positions
+
+    def blocks(self) -> list[Block]:
+        """Snapshot of the block list (blocks themselves are live)."""
+        with self._lock:
+            return list(self._blocks)
+
+    def register_sketch_column(self, column_name: str) -> int:
+        """Maintain a per-block sketch of ``column_name``; returns its
+        position. Idempotent; existing blocks are re-summarized so the
+        sketch covers current contents."""
+        position = self.schema.position_of(column_name)
+        with self._lock:
+            if position in self._sketch_positions:
+                return position
+            self._sketch_positions = tuple(
+                sorted((*self._sketch_positions, position))
+            )
+            column_count = len(self.schema.columns)
+            for block in self._blocks:
+                block.rebuild_summary(column_count, self._sketch_positions)
+        return position
+
+    def fresh_summary(self, block: Block) -> BlockSummary:
+        """The block's summary, rebuilt if stale (double-checked under the
+        table lock; the swap itself is atomic, so concurrent readers that
+        lose the race keep consulting the conservative stale summary)."""
+        summary = block.summary
+        if not summary.stale:
+            return summary
+        with self._lock:
+            summary = block.summary
+            if summary.stale:
+                summary = block.rebuild_summary(
+                    len(self.schema.columns), self._sketch_positions
+                )
+            return summary
+
+    def _place_row(self, rid: int, row: tuple) -> None:
+        """Append the row to the tail block, opening a new one when full."""
+        block = self._tail
+        if block is None or block.is_full:
+            block = Block(
+                len(self._blocks),
+                self.block_capacity,
+                len(self.schema.columns),
+                self._sketch_positions,
+            )
+            self._blocks.append(block)
+            self._tail = block
+        block.insert(rid, row)
+        self._rid_block[rid] = block
+        self._row_count += 1
+
+    # ------------------------------------------------------------------
     # secondary indexes
 
     def create_secondary_index(
@@ -104,7 +189,7 @@ class Table:
                 index = HashIndex(name, positions)
             if unique:
                 seen: set[tuple] = set()
-                for row in self._rows.values():
+                for __, row in self._iter_items():
                     key = index.key_of(row)
                     if any(part is None for part in key):
                         continue
@@ -115,7 +200,7 @@ class Table:
                             f"{self.schema.name!r}"
                         )
                     seen.add(key)
-            for rid, row in self._rows.items():
+            for rid, row in self._iter_items():
                 index.insert(rid, row)
             self._secondary[name] = index
             if unique:
@@ -149,29 +234,38 @@ class Table:
     # row access
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self._row_count
+
+    def _iter_items(self):
+        """(rid, row) pairs in block order; caller holds the lock."""
+        for block in self._blocks:
+            yield from block.rows.items()
 
     def rows(self) -> Iterator[tuple]:
         """Iterate row values (snapshot: safe against concurrent mutation)."""
         with self._lock:
-            return iter(list(self._rows.values()))
+            return iter([
+                row
+                for block in self._blocks
+                for row in block.rows.values()
+            ])
 
     def rows_with_rids(self) -> Iterator[tuple[int, tuple]]:
         with self._lock:
-            return iter(list(self._rows.items()))
+            return iter(list(self._iter_items()))
 
     def row_by_rid(self, rid: int) -> tuple:
-        try:
-            return self._rows[rid]
-        except KeyError:
-            raise StorageError(f"rid {rid} not found") from None
+        block = self._rid_block.get(rid)
+        if block is None:
+            raise StorageError(f"rid {rid} not found")
+        return block.rows[rid]
 
     def lookup_pk(self, key: tuple) -> tuple | None:
         """Clustered-index point lookup; None if absent or no PK declared."""
         rid = self._pk_index.get(key)
         if rid is None:
             return None
-        return self._rows[rid]
+        return self.row_by_rid(rid)
 
     # ------------------------------------------------------------------
     # validation
@@ -216,7 +310,9 @@ class Table:
         """Insert one row; returns its rid.
 
         ``rid`` lets transaction rollback restore a deleted row under its
-        original heap slot so earlier undo entries stay addressable.
+        original heap slot so earlier undo entries stay addressable. The
+        row lands in the current tail block regardless (rid -> block is an
+        explicit map, not an address computation).
         """
         with self._lock:
             row = self._coerce_row(values)
@@ -230,11 +326,11 @@ class Table:
             if rid is None:
                 rid = self._next_rid
                 self._next_rid += 1
-            elif rid in self._rows:
+            elif rid in self._rid_block:
                 raise StorageError(f"rid {rid} already occupied")
             else:
                 self._next_rid = max(self._next_rid, rid + 1)
-            self._rows[rid] = row
+            self._place_row(rid, row)
             if key is not None:
                 self._pk_index[key] = rid
             for index in self._secondary.values():
@@ -255,7 +351,9 @@ class Table:
         """Delete by rid; returns the removed row."""
         with self._lock:
             row = self.row_by_rid(rid)
-            del self._rows[rid]
+            block = self._rid_block.pop(rid)
+            block.remove(rid)
+            self._row_count -= 1
             key = self._pk_key(row)
             if key is not None:
                 del self._pk_index[key]
@@ -291,7 +389,7 @@ class Table:
                         f"{self.schema.name!r}"
                     )
             self._check_unique_indexes(new_row, ignore_rid=rid)
-            self._rows[rid] = new_row
+            self._rid_block[rid].replace(rid, new_row)
             if old_key is not None:
                 del self._pk_index[old_key]
             if new_key is not None:
@@ -319,7 +417,10 @@ class Table:
     def truncate(self) -> None:
         """Remove all rows without firing observers (bulk-load helper)."""
         with self._lock:
-            self._rows.clear()
+            self._blocks.clear()
+            self._rid_block.clear()
+            self._tail = None
+            self._row_count = 0
             self._pk_index.clear()
             for name, index in list(self._secondary.items()):
                 fresh: HashIndex | OrderedIndex
