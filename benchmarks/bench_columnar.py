@@ -1,0 +1,114 @@
+"""Columnar execution benchmark: row vs batch vs columnar.
+
+Pytest usage (alongside the figure benchmarks)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_columnar.py -q
+
+Standalone usage (CI smoke runs this)::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py [--quick]
+
+Both write ``benchmarks/results/BENCH_columnar.json`` — the three-mode ×
+armed/unarmed timing grid over scan-heavy queries, proof that results,
+ACCESSED sets, and audit probe counts are identical across modes for
+every cell, and the ``__slots__`` allocation micro-benchmark note. The
+standalone entry point exits non-zero when any cell's three-mode
+comparison diverges, which is the CI differential gate.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_FILE = RESULTS_DIR / "BENCH_columnar.json"
+
+
+def run(repeats: int) -> dict:
+    from repro.bench import BenchmarkFixture
+    from repro.bench.columnar import columnar_benchmark
+
+    fixture = BenchmarkFixture()
+    results = columnar_benchmark(fixture, repeats=repeats)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULT_FILE.write_text(json.dumps(results, indent=2, default=str) + "\n")
+    return results
+
+
+def _summarize(results: dict) -> str:
+    lines = [f"columnar benchmark (SF {results['scale_factor']}, "
+             f"best of {results['repeats']})"]
+    for name, entry in results["queries"].items():
+        for cell in ("armed", "unarmed"):
+            data = entry[cell]
+            lines.append(
+                f"  {name}/{cell}: row {data['row_s'] * 1e3:.2f} ms, "
+                f"batch {data['batch_s'] * 1e3:.2f} ms, "
+                f"columnar {data['columnar_s'] * 1e3:.2f} ms "
+                f"({data['speedup_columnar_vs_batch']:.2f}x vs batch), "
+                f"artifacts equal: {data['artifacts_equal']}"
+            )
+    note = results["slots_microbenchmark"]
+    lines.append(
+        f"  __slots__: {note['slotted_alloc_ns']:.0f} ns/alloc vs "
+        f"{note['dict_alloc_ns']:.0f} ns with __dict__, "
+        f"{note['bytes_saved_per_instance']} bytes saved per batch"
+    )
+    lines.append(f"  written to {RESULT_FILE}")
+    return "\n".join(lines)
+
+
+def _speedup_gated(results: dict) -> bool:
+    from repro.bench.columnar import SPEEDUP_GATE_SCALE_FACTOR
+
+    return results["scale_factor"] >= SPEEDUP_GATE_SCALE_FACTOR
+
+
+def test_report_columnar():
+    from repro.bench.columnar import DEFAULT_REPEATS
+
+    results = run(DEFAULT_REPEATS)
+    print()
+    print(_summarize(results))
+    # columnar mode is a pure optimization: identical results, ACCESSED
+    # sets, and probe counts in every cell of the grid
+    assert results["artifacts_equal_all"]
+    if _speedup_gated(results):
+        # ISSUE acceptance: ≥2x over batch on scan-heavy armed queries
+        for name in results["scan_heavy"]:
+            cell = results["queries"][name]["armed"]
+            assert cell["speedup_columnar_vs_batch"] >= 2.0, name
+
+
+def main(argv: list[str]) -> int:
+    from repro.bench.columnar import DEFAULT_REPEATS, QUICK_REPEATS
+
+    repeats = QUICK_REPEATS if "--quick" in argv else DEFAULT_REPEATS
+    results = run(repeats)
+    print(_summarize(results))
+    if not results["artifacts_equal_all"]:
+        diverged = [
+            f"{name}/{cell}"
+            for name, entry in results["queries"].items()
+            for cell in ("armed", "unarmed")
+            if not entry[cell]["artifacts_equal"]
+        ]
+        print(f"FAIL: three-mode artifacts diverge for {diverged}")
+        return 1
+    if _speedup_gated(results):
+        slow = [
+            name
+            for name in results["scan_heavy"]
+            if results["queries"][name]["armed"][
+                "speedup_columnar_vs_batch"] < 2.0
+        ]
+        if slow:
+            print(f"FAIL: columnar speedup below 2x on {slow}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

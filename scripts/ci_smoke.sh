@@ -16,6 +16,13 @@ echo "== pipeline benchmark (--quick) =="
 PYTHONPATH=src python benchmarks/bench_pipeline.py --quick
 
 echo
+echo "== columnar three-mode differential (--quick) =="
+# row vs batch vs columnar over the same compiled plans, armed and
+# unarmed; exits non-zero if any cell's results, ACCESSED sets, or
+# audit probe counts diverge across the three execution modes
+PYTHONPATH=src python benchmarks/bench_columnar.py --quick
+
+echo
 echo "== offline lineage-vs-deletion differential (--quick) =="
 # exits non-zero if the one-pass lineage auditor and the deletion-test
 # oracle disagree on any accessed-ID set (exactness regression)

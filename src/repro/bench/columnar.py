@@ -1,0 +1,243 @@
+"""Columnar-execution benchmark: row vs batch vs columnar, armed/unarmed.
+
+Times scan-heavy workloads through the three execution modes over the
+same pre-compiled physical plan:
+
+* ``row``      — the classic Volcano loop;
+* ``batch``    — tuple batches with compiled predicate closures;
+* ``columnar`` — :class:`~repro.exec.batch.ColumnBatch` pipelines where
+  filters narrow a selection vector and a scan-fused audit operator
+  probes the partition-by column in one bulk pass per block.
+
+Every (query, armed/unarmed) cell is run in all three modes and the
+results, ACCESSED sets, and audit probe counts are compared — any
+divergence is an equivalence bug and flips ``artifacts_equal`` to False,
+which the standalone script (and CI smoke) turns into a non-zero exit.
+*Armed* cells instrument the query with leaf placement, the placement
+that fuses the audit probe with the sensitive-table scan; *unarmed*
+cells compile without instrumentation, isolating the executor's own
+columnar win from the probe win.
+
+Timings are best-of-N with modes interleaved per round and the GC
+disabled, matching the harness conventions. The output is a
+JSON-ready dict that ``benchmarks/bench_columnar.py`` serializes to
+``benchmarks/results/BENCH_columnar.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import time
+from typing import TYPE_CHECKING
+
+from repro.audit.placement import HEURISTIC_LEAF
+from repro.bench.harness import AUDIT_NAME
+from repro.exec.batch import ColumnBatch
+from repro.exec.operators.base import collect_rows
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.bench.harness import BenchmarkFixture
+
+DEFAULT_REPEATS = 7
+QUICK_REPEATS = 3
+
+#: ISSUE acceptance gate: the ≥2x columnar-vs-batch claim is only
+#: meaningful once per-row Python overheads dominate, i.e. at scale
+#: factors from here up (at toy scales fixed costs drown the signal)
+SPEEDUP_GATE_SCALE_FACTOR = 0.05
+
+MODES = ("row", "batch", "columnar")
+
+#: scan-heavy statements over the sensitive table (customer): the armed
+#: variants place the audit operator at the leaf, so the whole per-row
+#: cost is scan + predicate + probe — exactly what columnar vectorizes
+SCAN_HEAVY_QUERIES = {
+    "full_scan": "SELECT c_custkey, c_acctbal FROM customer",
+    "filter_scan": (
+        "SELECT c_custkey, c_name, c_acctbal FROM customer "
+        "WHERE c_acctbal > 9000.0"
+    ),
+    # no equality conjunct: an indexable '=' would compile to an
+    # IndexSeek and the cell would stop measuring the scan at all
+    "conjunct_scan": (
+        "SELECT c_custkey FROM customer "
+        "WHERE c_acctbal BETWEEN 0.0 AND 5000.0 "
+        "AND c_mktsegment <> 'MACHINERY'"
+    ),
+}
+
+#: rides along un-gated: exercises the columnar aggregate fast path but
+#: is not scan-dominated, so it carries no speedup requirement
+EXTRA_QUERIES = {
+    "aggregate_scan": (
+        "SELECT c_mktsegment, COUNT(*), SUM(c_acctbal) FROM customer "
+        "GROUP BY c_mktsegment"
+    ),
+}
+
+
+def _artifacts(database, physical) -> dict[str, dict]:
+    """Result/ACCESSED/probe fingerprint of each mode, one plan."""
+    out: dict[str, dict] = {}
+    for mode in MODES:
+        context = database.make_context()
+        rows = collect_rows(physical, context, mode=mode)
+        out[mode] = {
+            "rows": rows,  # the full sequence — equality means identical
+            "accessed": {
+                name: sorted(ids)
+                for name, ids in context.accessed.items()
+            },
+            "audit_probes": context.audit_probe_count,
+            "audit_probes_by_name": dict(
+                sorted(context.audit_probe_counts.items())
+            ),
+        }
+    return out
+
+
+def _time_modes(database, physical, repeats: int) -> dict[str, float]:
+    """Best-of-N seconds per mode, interleaved round-robin."""
+
+    def run(mode: str) -> None:
+        context = database.make_context()
+        collect_rows(physical, context, mode=mode)
+
+    best = {mode: float("inf") for mode in MODES}
+    was_enabled = gc.isenabled()
+    try:
+        for mode in MODES:  # warm-up
+            run(mode)
+        gc.disable()
+        for __ in range(repeats):
+            for mode in MODES:
+                start = time.perf_counter()
+                run(mode)
+                elapsed = time.perf_counter() - start
+                if elapsed < best[mode]:
+                    best[mode] = elapsed
+    finally:
+        if was_enabled:
+            gc.enable()
+    return {f"{mode}_s": best[mode] for mode in MODES}
+
+
+def _cell(fixture: "BenchmarkFixture", sql: str, armed: bool,
+          repeats: int) -> dict:
+    heuristic = HEURISTIC_LEAF if armed else None
+    physical = fixture.compile_with_heuristic(sql, heuristic)
+    database = fixture.database
+    artifacts = _artifacts(database, physical)
+    reference = artifacts["row"]
+    entry = _time_modes(database, physical, repeats)
+    entry["speedup_columnar_vs_row"] = _ratio(
+        entry["row_s"], entry["columnar_s"]
+    )
+    entry["speedup_columnar_vs_batch"] = _ratio(
+        entry["batch_s"], entry["columnar_s"]
+    )
+    entry["artifacts_equal"] = all(
+        artifacts[mode] == reference for mode in MODES
+    )
+    entry["result_rows"] = len(reference["rows"])
+    entry["audit_probes"] = reference["audit_probes"]
+    entry["accessed_counts"] = {
+        name: len(ids) for name, ids in reference["accessed"].items()
+    }
+    return entry
+
+
+def _slots_note(iterations: int = 100_000) -> dict:
+    """Micro-benchmark: what ``__slots__`` buys on the hot batch class.
+
+    Compares :class:`ColumnBatch` construction against a shape-identical
+    class that carries an instance ``__dict__``, and reports per-instance
+    memory as measured by ``sys.getsizeof`` (object header plus the dict
+    the slotted class never allocates).
+    """
+
+    class _DictBatch:  # ColumnBatch minus __slots__, for comparison
+        def __init__(self, columns, length, selection=None):
+            self.columns = columns
+            self.length = length
+            self.selection = selection
+
+    columns = ((1, 2, 3, 4), ("a", "b", "c", "d"))
+
+    def _time(factory) -> float:
+        best = float("inf")
+        for __ in range(5):
+            start = time.perf_counter()
+            for __ in range(iterations):
+                factory(columns, 4, None)
+            elapsed = time.perf_counter() - start
+            if elapsed < best:
+                best = elapsed
+        return best
+
+    was_enabled = gc.isenabled()
+    try:
+        gc.disable()
+        slotted_s = _time(ColumnBatch)
+        dict_s = _time(_DictBatch)
+    finally:
+        if was_enabled:
+            gc.enable()
+    slotted = ColumnBatch(columns, 4, None)
+    plain = _DictBatch(columns, 4, None)
+    slotted_bytes = sys.getsizeof(slotted)
+    dict_bytes = sys.getsizeof(plain) + sys.getsizeof(plain.__dict__)
+    return {
+        "iterations": iterations,
+        "slotted_alloc_ns": slotted_s / iterations * 1e9,
+        "dict_alloc_ns": dict_s / iterations * 1e9,
+        "alloc_speedup": _ratio(dict_s, slotted_s),
+        "slotted_instance_bytes": slotted_bytes,
+        "dict_instance_bytes": dict_bytes,
+        "bytes_saved_per_instance": dict_bytes - slotted_bytes,
+    }
+
+
+def columnar_benchmark(
+    fixture: "BenchmarkFixture", repeats: int = DEFAULT_REPEATS
+) -> dict:
+    """Run the three-mode × armed/unarmed grid; returns a JSON dict."""
+    results: dict = {
+        "benchmark": "columnar",
+        "scale_factor": fixture.scale_factor,
+        "repeats": repeats,
+        "audit_expression": AUDIT_NAME,
+        "armed_heuristic": HEURISTIC_LEAF,
+        "scan_heavy": sorted(SCAN_HEAVY_QUERIES),
+        "queries": {},
+    }
+    workloads = {**SCAN_HEAVY_QUERIES, **EXTRA_QUERIES}
+    for name, sql in workloads.items():
+        results["queries"][name] = {
+            "sql": sql,
+            "armed": _cell(fixture, sql, armed=True, repeats=repeats),
+            "unarmed": _cell(fixture, sql, armed=False, repeats=repeats),
+        }
+    results["artifacts_equal_all"] = all(
+        entry[cell]["artifacts_equal"]
+        for entry in results["queries"].values()
+        for cell in ("armed", "unarmed")
+    )
+    results["slots_microbenchmark"] = _slots_note()
+    return results
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    if denominator <= 0:
+        return 0.0
+    return numerator / denominator
+
+
+__all__ = [
+    "columnar_benchmark",
+    "DEFAULT_REPEATS",
+    "QUICK_REPEATS",
+    "SCAN_HEAVY_QUERIES",
+    "SPEEDUP_GATE_SCALE_FACTOR",
+]

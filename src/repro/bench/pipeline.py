@@ -23,6 +23,7 @@ disabled, matching the harness conventions.
 from __future__ import annotations
 
 import gc
+import logging
 import time
 from typing import TYPE_CHECKING
 
@@ -39,6 +40,12 @@ MICRO_SELECTIVITY = 0.4
 
 DEFAULT_REPEATS = 7
 QUICK_REPEATS = 3
+
+#: estimated-vs-actual probe ratio above which the planner's cardinality
+#: model is considered off the rails for this workload (either direction)
+PROBE_ESTIMATE_WARN_RATIO = 4.0
+
+_LOG = logging.getLogger(__name__)
 
 
 def _workloads(fixture: "BenchmarkFixture") -> dict[str, tuple[str, dict]]:
@@ -136,6 +143,49 @@ def _audit_artifacts(
     return artifacts
 
 
+def _estimated_probes(fixture: "BenchmarkFixture", sql: str) -> float:
+    """Cost-model estimate of total audit probes for ``sql``.
+
+    Re-runs the logical half of the pipeline (build, rewrite, instrument)
+    and asks the placement cost model for its probe estimate of the
+    instrumented plan — the same number 'cost' placement minimizes, so
+    comparing it against the measured probe count calibrates the model.
+    """
+    from repro.optimizer.cost import CostModel
+    from repro.sql.parser import parse_statement
+
+    database = fixture.database
+    manager = database.audit_manager
+    logical = database._optimizer.optimize_logical(
+        database._builder.build_select(parse_statement(sql)),
+        instrument=manager.instrument,
+    )
+    model = CostModel(database.catalog, manager.resolve_view)
+    return model.estimate_plan_probes(logical)
+
+
+def _probe_estimate_entry(estimated: float, actual: int) -> dict:
+    """Estimated-vs-actual probe accounting, with the 4x drift warning."""
+    if estimated <= 0 and actual <= 0:
+        ratio = 1.0
+    elif estimated <= 0 or actual <= 0:
+        ratio = float("inf")
+    else:
+        ratio = max(estimated / actual, actual / estimated)
+    if ratio > PROBE_ESTIMATE_WARN_RATIO:
+        _LOG.warning(
+            "audit probe estimate off by %.1fx (estimated %.0f, "
+            "actual %d) — cost-based placement may be mis-ranking "
+            "candidates on this workload",
+            ratio, estimated, actual,
+        )
+    return {
+        "audit_probes_estimated": estimated,
+        "probe_estimate_ratio": ratio if ratio != float("inf") else None,
+        "probe_estimate_within_bounds": ratio <= PROBE_ESTIMATE_WARN_RATIO,
+    }
+
+
 def pipeline_benchmark(
     fixture: "BenchmarkFixture", repeats: int = DEFAULT_REPEATS
 ) -> dict:
@@ -162,6 +212,11 @@ def pipeline_benchmark(
         entry["audit_artifacts_equal"] = row == batch
         entry["result_rows"] = row["result_rows"]
         entry["audit_probes"] = row["audit_probes"]
+        entry.update(
+            _probe_estimate_entry(
+                _estimated_probes(fixture, sql), row["audit_probes"]
+            )
+        )
         entry["accessed_counts"] = {
             audit: len(ids) for audit, ids in row["accessed"].items()
         }
@@ -181,4 +236,5 @@ __all__ = [
     "DEFAULT_REPEATS",
     "QUICK_REPEATS",
     "MICRO_SELECTIVITY",
+    "PROBE_ESTIMATE_WARN_RATIO",
 ]

@@ -125,9 +125,11 @@ class Database:
         self.trigger_manager = TriggerManager(self)
         #: set False to execute queries without audit instrumentation
         self.audit_enabled = True
-        #: execution mode: 'batch' (vectorized, default) or 'row' (the
-        #: classic Volcano loop); both produce identical results,
-        #: ACCESSED sets, and audit probe counts
+        #: execution mode: 'batch' (tuple batches, default), 'row' (the
+        #: classic Volcano loop), or 'columnar' (ColumnBatch exchange
+        #: with selection vectors and one-pass audit probes); all three
+        #: produce identical results, ACCESSED sets, and audit probe
+        #: counts
         self.exec_mode = "batch"
         #: rows per batch in batch mode
         self.batch_size = DEFAULT_BATCH_SIZE
@@ -210,6 +212,23 @@ class Database:
     @join_strategy.setter
     def join_strategy(self, strategy: str) -> None:
         self._optimizer.join_strategy = strategy
+
+    @property
+    def exec_mode(self) -> str:
+        """Execution mode knob: ``'row'``, ``'batch'``, or ``'columnar'``."""
+        return self._exec_mode
+
+    @exec_mode.setter
+    def exec_mode(self, mode: str) -> None:
+        if mode not in ("row", "batch", "columnar"):
+            raise ValueError(
+                "exec_mode must be 'row', 'batch', or 'columnar', "
+                f"got {mode!r}"
+            )
+        self._exec_mode = mode
+        # the cost model discounts fused audit probes under the columnar
+        # sweep, so 'cost' placement can shift between modes
+        self.audit_manager.columnar_mode = mode == "columnar"
 
     # ------------------------------------------------------------------
     # concurrency: trigger pipeline and serving knobs
@@ -798,6 +817,10 @@ class Database:
             self.audit_manager.heuristic,
             self.join_strategy,
             self._optimizer.join_reorder,
+            # row and batch modes share compiled plans; columnar is
+            # tagged apart because costed audit placement may differ
+            # under the columnar probe discount
+            self.exec_mode == "columnar",
         )
 
     def _execute_select(
@@ -852,6 +875,9 @@ class Database:
                 if self.exec_mode == "batch":
                     for batch in physical.rows_batched(context):
                         rows.extend(batch)
+                elif self.exec_mode == "columnar":
+                    for column_batch in physical.rows_columnar(context):
+                        rows.extend(column_batch.to_rows())
                 else:
                     for row in physical.rows(context):
                         rows.append(row)

@@ -57,6 +57,8 @@ class Session:
       report the identity captured when their query ran.
     """
 
+    __slots__ = ("_base_user_id", "_clock", "_local")
+
     def __init__(
         self,
         user_id: str = "anonymous",
@@ -102,6 +104,29 @@ class Session:
 
 class ExecutionContext:
     """Mutable state threaded through one statement execution."""
+
+    __slots__ = (
+        "session",
+        "_parameters",
+        "_compile_subquery",
+        "_outer_rows",
+        "_subquery_plans",
+        "_subquery_memo",
+        "_free_refs_cache",
+        "tombstones",
+        "accessed",
+        "audit_probe_count",
+        "audit_probe_counts",
+        "batch_size",
+        "lineage_table",
+        "data_skipping",
+        "blocks_scanned",
+        "blocks_zone_skipped",
+        "audit_blocks_skipped",
+        "audit_probes_skipped",
+        "lineage_candidates",
+        "lineage_id_position",
+    )
 
     def __init__(
         self,

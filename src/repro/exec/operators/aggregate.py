@@ -4,12 +4,23 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.exec.batch import ColumnBatch
 from repro.expr.aggregates import make_accumulator
 from repro.expr.compiler import compile_expression
 from repro.expr.evaluator import evaluate
 from repro.exec.operators.base import PhysicalOperator
 from repro.plan.logical import AggregateSpec
-from repro.expr.nodes import Expression
+from repro.expr.nodes import ColumnRef, Expression
+
+
+def _simple_slot(expression: Expression | None) -> int | None:
+    if (
+        isinstance(expression, ColumnRef)
+        and expression.outer_level == 0
+        and expression.index is not None
+    ):
+        return expression.index
+    return None
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
     from repro.exec.context import ExecutionContext
@@ -43,6 +54,19 @@ class HashAggregate(PhysicalOperator):
             else None
             for spec in specs
         )
+        # columnar fast path: group keys and aggregate arguments that are
+        # all plain column refs (or COUNT(*)) fold directly over gathered
+        # columns without pivoting rows
+        group_slots = tuple(
+            _simple_slot(expression) for expression in group_expressions
+        )
+        argument_slots = tuple(_simple_slot(spec.argument) for spec in specs)
+        self._columnar_slots: tuple[tuple, tuple] | None = None
+        if all(slot is not None for slot in group_slots) and all(
+            slot is not None or spec.argument is None
+            for slot, spec in zip(argument_slots, specs)
+        ):
+            self._columnar_slots = (group_slots, argument_slots)
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self._child,)
@@ -78,18 +102,95 @@ class HashAggregate(PhysicalOperator):
                 accumulator.result() for accumulator in accumulators
             )
 
-    def rows_batched(self, context: "ExecutionContext"):
-        groups: dict[tuple, list] = {}
+    def _fold_rows(
+        self, groups: dict, rows: list, context: "ExecutionContext"
+    ) -> None:
         compiled_groups = self._compiled_groups
         compiled_arguments = self._compiled_arguments
         specs = self._specs
         get = groups.get
+        for row in rows:
+            key = tuple(
+                expression(row, context)
+                for expression in compiled_groups
+            )
+            accumulators = get(key)
+            if accumulators is None:
+                accumulators = [
+                    make_accumulator(spec.name, spec.distinct)
+                    for spec in specs
+                ]
+                groups[key] = accumulators
+            for argument, accumulator in zip(
+                compiled_arguments, accumulators
+            ):
+                if argument is None:
+                    accumulator.add(1)  # COUNT(*)
+                else:
+                    accumulator.add(argument(row, context))
+
+    def _finish(self, groups: dict) -> list[tuple]:
+        specs = self._specs
+        if not groups and not self._group_expressions:
+            groups[()] = [
+                make_accumulator(spec.name, spec.distinct) for spec in specs
+            ]
+        return [
+            key
+            + tuple(accumulator.result() for accumulator in accumulators)
+            for key, accumulators in groups.items()
+        ]
+
+    def rows_batched(self, context: "ExecutionContext"):
+        groups: dict[tuple, list] = {}
         for batch in self._child.rows_batched(context):
-            for row in batch:
-                key = tuple(
-                    expression(row, context)
-                    for expression in compiled_groups
-                )
+            self._fold_rows(groups, batch, context)
+        out = self._finish(groups)
+        batch_size = context.batch_size
+        for start in range(0, len(out), batch_size):
+            yield out[start:start + batch_size]
+
+    def rows_columnar(self, context: "ExecutionContext"):
+        """Columnar mode: fold over gathered columns when every group key
+        and aggregate argument is a plain column ref (a global SUM/COUNT
+        then sweeps each argument column in one tight loop); computed
+        keys or arguments pivot the batch and reuse the row fold."""
+        groups: dict[tuple, list] = {}
+        slots = self._columnar_slots
+        specs = self._specs
+        get = groups.get
+        for batch in self._child.rows_columnar(context):
+            if slots is None:
+                self._fold_rows(groups, batch.to_rows(), context)
+                continue
+            group_slots, argument_slots = slots
+            key_columns = [batch.column(slot) for slot in group_slots]
+            argument_columns = [
+                None if slot is None else batch.column(slot)
+                for slot in argument_slots
+            ]
+            count = batch.row_count
+            if not key_columns:
+                accumulators = get(())
+                if accumulators is None:
+                    accumulators = [
+                        make_accumulator(spec.name, spec.distinct)
+                        for spec in specs
+                    ]
+                    groups[()] = accumulators
+                for column, accumulator in zip(
+                    argument_columns, accumulators
+                ):
+                    add = accumulator.add
+                    if column is None:
+                        for __ in range(count):
+                            add(1)  # COUNT(*)
+                    else:
+                        for value in column:
+                            add(value)
+                continue
+            for i in range(count):
+                key = tuple(column[i] for column in key_columns)
                 accumulators = get(key)
                 if accumulators is None:
                     accumulators = [
@@ -97,25 +198,17 @@ class HashAggregate(PhysicalOperator):
                         for spec in specs
                     ]
                     groups[key] = accumulators
-                for argument, accumulator in zip(
-                    compiled_arguments, accumulators
+                for column, accumulator in zip(
+                    argument_columns, accumulators
                 ):
-                    if argument is None:
+                    if column is None:
                         accumulator.add(1)  # COUNT(*)
                     else:
-                        accumulator.add(argument(row, context))
-        if not groups and not self._group_expressions:
-            groups[()] = [
-                make_accumulator(spec.name, spec.distinct) for spec in specs
-            ]
-        out = [
-            key
-            + tuple(accumulator.result() for accumulator in accumulators)
-            for key, accumulators in groups.items()
-        ]
+                        accumulator.add(column[i])
+        out = self._finish(groups)
         batch_size = context.batch_size
         for start in range(0, len(out), batch_size):
-            yield out[start:start + batch_size]
+            yield ColumnBatch.from_rows(out[start:start + batch_size])
 
     def describe(self) -> str:
         return (

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.exec.batch import ColumnBatch
 from repro.expr.compiler import compile_predicate
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expression
 from repro.exec.operators.base import PhysicalOperator
-from repro.exec.operators.join import combine_lineage
+from repro.exec.operators.join import combine_lineage, row_batches
 from repro.plan.logical import JOIN_ANTI, JOIN_LEFT, JOIN_SEMI
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
@@ -78,6 +79,13 @@ class IndexNestedLoopJoin(PhysicalOperator):
                 yield left_row + null_extension
 
     def rows_batched(self, context: "ExecutionContext"):
+        yield from self._run_batched(context, columnar=False)
+
+    def rows_columnar(self, context: "ExecutionContext"):
+        for out in self._run_batched(context, columnar=True):
+            yield ColumnBatch.from_rows(out)
+
+    def _run_batched(self, context: "ExecutionContext", columnar: bool):
         """Batch mode: outer rows arrive in batches; the inner subplan is
         still executed per outer row (it is an index seek parameterized by
         the outer-row stack, inherently row-at-a-time)."""
@@ -86,7 +94,7 @@ class IndexNestedLoopJoin(PhysicalOperator):
         null_extension = (None,) * self._inner_arity
         batch_size = context.batch_size
         out: list[tuple] = []
-        for batch in self._left.rows_batched(context):
+        for batch in row_batches(self._left, context, columnar):
             for left_row in batch:
                 context.push_outer_row(left_row)
                 try:

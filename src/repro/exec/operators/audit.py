@@ -93,11 +93,17 @@ class AuditOperator(PhysicalOperator):
         return child, slot, ids, lo, hi
 
     def _fused_blocks(self, context: "ExecutionContext", fusion):
-        """Yield ``(rows, probe_needed)`` per surviving block."""
+        """Yield ``(rows, probe_needed)`` per surviving block.
+
+        Reuses the summary the scan's zone-map consult already fetched
+        (one lazy fetch per block per scan); only blocks the zone maps
+        never looked at fetch one here.
+        """
         scan, slot, ids, lo, hi = fusion
         table = scan.table
-        for block, rows in scan.scan_blocks(context):
-            summary = table.fresh_summary(block)
+        for block, rows, summary in scan.scan_blocks(context):
+            if summary is None:
+                summary = table.fresh_summary(block)
             if summary.may_contain_any(slot, ids, lo, hi):
                 yield rows, True
             else:
@@ -188,6 +194,66 @@ class AuditOperator(PhysicalOperator):
                                 self._audit_name, set()
                             ).add
                         record(value)
+                yield batch
+        finally:
+            context.add_probes(self._audit_name, probes)
+
+    def rows_columnar(self, context: "ExecutionContext"):
+        """Columnar mode: one bulk pass over the partition-by column.
+
+        Per batch the probe is a single ``set.intersection`` between the
+        sensitive-ID set and the selected slice of the ID column — ACCESSED
+        grows by the whole hit set at once instead of per row. Every live
+        row still counts as exactly one probe, and a NULL ID can never be
+        in the sensitive set, so probe counts and ACCESSED contents are
+        identical to the row and batch modes (Claim 3.6 survives the
+        columnar layout). Probe structures without set semantics (the
+        counting Bloom filter) keep a per-value membership loop.
+        """
+        fusion = self._fusion(context)
+        slot = self._id_slot
+        sensitive = self._probe_set
+        bulk = isinstance(sensitive, (set, frozenset))
+        accessed = None
+        probes = 0
+
+        def _probe(values):
+            nonlocal accessed
+            if bulk:
+                hits = sensitive.intersection(values)
+            else:
+                hits = {
+                    value
+                    for value in values
+                    if value is not None and value in sensitive
+                }
+            if hits:
+                if accessed is None:
+                    accessed = context.accessed.setdefault(
+                        self._audit_name, set()
+                    )
+                accessed.update(hits)
+
+        try:
+            if fusion is not None:
+                scan, fused_slot, ids, lo, hi = fusion
+                table = scan.table
+                for block, batch, summary in scan.scan_column_blocks(
+                    context
+                ):
+                    if summary is None:
+                        summary = table.fresh_summary(block)
+                    if summary.may_contain_any(fused_slot, ids, lo, hi):
+                        probes += batch.row_count
+                        _probe(batch.column(slot))
+                    else:
+                        context.audit_blocks_skipped += 1
+                        context.audit_probes_skipped += batch.row_count
+                    yield batch
+                return
+            for batch in self._child.rows_columnar(context):
+                probes += batch.row_count
+                _probe(batch.column(slot))
                 yield batch
         finally:
             context.add_probes(self._audit_name, probes)

@@ -19,6 +19,15 @@ Operators support two execution modes over the same plan:
 The base ``rows_batched`` wraps ``rows`` so every operator is batch-capable
 by default; hot operators override it with real vectorized loops.
 
+* **columnar** (``rows_columnar``) — yields
+  :class:`~repro.exec.batch.ColumnBatch` objects (per-column vectors plus
+  a selection vector) instead of lists of row-tuples. Filters narrow the
+  selection without touching data; the audit operator probes the
+  partition-by column in one bulk pass. Row order, ACCESSED contents,
+  and probe counts are identical to the other modes — the base default
+  pivots ``rows_batched`` so every operator is columnar-capable, and hot
+  operators override it with true column sweeps.
+
 A third mode supports the lineage-based offline auditor:
 
 * **lineage-tagged** (``rows_lineage``) — yields ``(row, lineage)`` pairs
@@ -40,6 +49,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import LineageError
+from repro.exec.batch import ColumnBatch
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
     from repro.exec.context import ExecutionContext
@@ -74,6 +84,18 @@ class PhysicalOperator:
                 append = batch.append
         if batch:
             yield batch
+
+    def rows_columnar(
+        self, context: "ExecutionContext"
+    ) -> Iterator[ColumnBatch]:
+        """Start a fresh execution and yield non-empty column batches.
+
+        Default: pivot ``rows_batched()`` at the mode boundary. Overrides
+        must preserve row order and never yield batches with an empty
+        selection.
+        """
+        for batch in self.rows_batched(context):
+            yield ColumnBatch.from_rows(batch)
 
     def rows_lineage(
         self, context: "ExecutionContext"
@@ -113,6 +135,11 @@ def collect_rows(
         rows: list[tuple] = []
         for batch in operator.rows_batched(context):
             rows.extend(batch)
+        return rows
+    if mode == "columnar":
+        rows = []
+        for column_batch in operator.rows_columnar(context):
+            rows.extend(column_batch.to_rows())
         return rows
     if mode == "row":
         return list(operator.rows(context))

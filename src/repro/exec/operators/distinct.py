@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.exec.batch import ColumnBatch
 from repro.exec.operators.base import PhysicalOperator
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
@@ -39,6 +40,21 @@ class DistinctOperator(PhysicalOperator):
                     append(row)
             if fresh:
                 yield fresh
+
+    def rows_columnar(self, context: "ExecutionContext"):
+        """Columnar mode: the seen-set keys on whole tuples, so pivot at
+        the boundary and re-pivot the surviving first occurrences."""
+        seen: set[tuple] = set()
+        add = seen.add
+        for batch in self._child.rows_columnar(context):
+            fresh: list[tuple] = []
+            append = fresh.append
+            for row in batch.to_rows():
+                if row not in seen:
+                    add(row)
+                    append(row)
+            if fresh:
+                yield ColumnBatch.from_rows(fresh)
 
     def rows_lineage(self, context: "ExecutionContext"):
         """Lineage mode: a distinct row's lineage is the *intersection* of

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
-from repro.expr.compiler import compile_predicate
+from repro.exec.batch import ColumnBatch
+from repro.expr.compiler import compile_column_predicate, compile_predicate
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expression
 from repro.exec.operators.base import PhysicalOperator
@@ -20,6 +21,7 @@ class FilterOperator(PhysicalOperator):
         self._child = child
         self._predicate = predicate
         self._compiled = compile_predicate(predicate)
+        self._column_sweep = compile_column_predicate(predicate)
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self._child,)
@@ -36,6 +38,18 @@ class FilterOperator(PhysicalOperator):
             kept = [row for row in batch if predicate(row, context) is True]
             if kept:
                 yield kept
+
+    def rows_columnar(self, context: "ExecutionContext"):
+        """Columnar mode: narrow the selection vector, share the columns."""
+        sweep = self._column_sweep
+        for batch in self._child.rows_columnar(context):
+            kept = sweep(batch.columns, batch.indices(), context)
+            if kept:
+                yield ColumnBatch(
+                    batch.columns,
+                    batch.length,
+                    None if len(kept) == batch.length else kept,
+                )
 
     def rows_lineage(self, context: "ExecutionContext"):
         predicate = self._compiled

@@ -9,11 +9,28 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
+from repro.exec.batch import ColumnBatch
 from repro.expr.compiler import compile_predicate
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import Expression
 from repro.exec.operators.base import EMPTY_LINEAGE, PhysicalOperator
 from repro.plan.logical import JOIN_ANTI, JOIN_INNER, JOIN_LEFT, JOIN_SEMI
+
+
+def row_batches(
+    operator: PhysicalOperator, context, columnar: bool
+):
+    """An operator's output as row-tuple batches in either mode.
+
+    Joins hash and concatenate whole tuples, so they pivot columnar
+    inputs at their boundary (the documented conversion rule) and run
+    one shared tuple-at-a-time core for both modes.
+    """
+    if columnar:
+        for batch in operator.rows_columnar(context):
+            yield batch.to_rows()
+    else:
+        yield from operator.rows_batched(context)
 
 
 def combine_lineage(left: frozenset, right: frozenset) -> frozenset:
@@ -56,9 +73,16 @@ class NestedLoopJoin(PhysicalOperator):
         return (self._left, self._right)
 
     def rows_batched(self, context: "ExecutionContext"):
+        yield from self._run_batched(context, columnar=False)
+
+    def rows_columnar(self, context: "ExecutionContext"):
+        for out in self._run_batched(context, columnar=True):
+            yield ColumnBatch.from_rows(out)
+
+    def _run_batched(self, context: "ExecutionContext", columnar: bool):
         right_rows = [
             row
-            for batch in self._right.rows_batched(context)
+            for batch in row_batches(self._right, context, columnar)
             for row in batch
         ]
         condition = self._compiled_condition
@@ -66,7 +90,7 @@ class NestedLoopJoin(PhysicalOperator):
         null_extension = (None,) * self._right_arity
         batch_size = context.batch_size
         out: list[tuple] = []
-        for batch in self._left.rows_batched(context):
+        for batch in row_batches(self._left, context, columnar):
             for left_row in batch:
                 matched = False
                 for right_row in right_rows:
@@ -193,15 +217,25 @@ class HashJoin(PhysicalOperator):
         else:
             yield from self._run_build_right_batched(context)
 
+    def rows_columnar(self, context: "ExecutionContext"):
+        batches = (
+            self._run_build_left_batched(context, columnar=True)
+            if self._build_left
+            else self._run_build_right_batched(context, columnar=True)
+        )
+        for out in batches:
+            yield ColumnBatch.from_rows(out)
+
     def _build_table(
         self,
         operator: PhysicalOperator,
         keys: tuple[int, ...],
         context: "ExecutionContext",
+        columnar: bool = False,
     ) -> dict[tuple, list[tuple]]:
         table: dict[tuple, list[tuple]] = {}
         setdefault = table.setdefault
-        for batch in operator.rows_batched(context):
+        for batch in row_batches(operator, context, columnar):
             for row in batch:
                 key = tuple(row[slot] for slot in keys)
                 if any(part is None for part in key):
@@ -209,8 +243,12 @@ class HashJoin(PhysicalOperator):
                 setdefault(key, []).append(row)
         return table
 
-    def _run_build_right_batched(self, context: "ExecutionContext"):
-        table = self._build_table(self._right, self._right_keys, context)
+    def _run_build_right_batched(
+        self, context: "ExecutionContext", columnar: bool = False
+    ):
+        table = self._build_table(
+            self._right, self._right_keys, context, columnar
+        )
         residual = self._compiled_residual
         kind = self._kind
         left_keys = self._left_keys
@@ -219,7 +257,7 @@ class HashJoin(PhysicalOperator):
         batch_size = context.batch_size
         get = table.get
         out: list[tuple] = []
-        for batch in self._left.rows_batched(context):
+        for batch in row_batches(self._left, context, columnar):
             for left_row in batch:
                 key = tuple(left_row[slot] for slot in left_keys)
                 matches = get(key, empty) if None not in key else empty
@@ -245,15 +283,19 @@ class HashJoin(PhysicalOperator):
         if out:
             yield out
 
-    def _run_build_left_batched(self, context: "ExecutionContext"):
-        table = self._build_table(self._left, self._left_keys, context)
+    def _run_build_left_batched(
+        self, context: "ExecutionContext", columnar: bool = False
+    ):
+        table = self._build_table(
+            self._left, self._left_keys, context, columnar
+        )
         residual = self._compiled_residual
         right_keys = self._right_keys
         empty: tuple = ()
         batch_size = context.batch_size
         get = table.get
         out: list[tuple] = []
-        for batch in self._right.rows_batched(context):
+        for batch in row_batches(self._right, context, columnar):
             for right_row in batch:
                 key = tuple(right_row[slot] for slot in right_keys)
                 if None in key:

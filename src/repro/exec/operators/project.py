@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator
 
-from repro.expr.compiler import compile_projector
+from repro.exec.batch import ColumnBatch
+from repro.expr.compiler import compile_expression, compile_projector
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import ColumnRef, Expression
 from repro.exec.operators.base import PhysicalOperator
@@ -38,6 +39,9 @@ class ProjectOperator(PhysicalOperator):
                 for expression in expressions
             )
         self._projector = compile_projector(expressions)
+        self._compiled_each = tuple(
+            compile_expression(expression) for expression in expressions
+        )
 
     def children(self) -> tuple[PhysicalOperator, ...]:
         return (self._child,)
@@ -66,6 +70,45 @@ class ProjectOperator(PhysicalOperator):
         projector = self._projector
         for batch in self._child.rows_batched(context):
             yield [projector(row, context) for row in batch]
+
+    def rows_columnar(self, context: "ExecutionContext"):
+        """Columnar mode: column permutations re-point the column tuple
+        (zero copy, selection shared); anything computed pivots once and
+        evaluates per output expression into a fresh dense column."""
+        slots = self._simple_slots
+        if slots is not None:
+            for batch in self._child.rows_columnar(context):
+                if batch.selection is None:
+                    yield ColumnBatch(
+                        tuple(batch.columns[slot] for slot in slots),
+                        batch.length,
+                    )
+                else:
+                    # gather through the selection now: pivoting whole
+                    # lazy columns to keep a sparse selection is wasted
+                    # work, and downstream sees a dense batch either way
+                    yield ColumnBatch(
+                        tuple(batch.column(slot) for slot in slots),
+                        batch.row_count,
+                    )
+            return
+        expressions = self._expressions
+        compiled = self._compiled_each
+        for batch in self._child.rows_columnar(context):
+            rows = batch.to_rows()
+            columns = []
+            for expression, closure in zip(expressions, compiled):
+                if (
+                    isinstance(expression, ColumnRef)
+                    and expression.outer_level == 0
+                    and expression.index is not None
+                ):
+                    columns.append(batch.column(expression.index))
+                else:
+                    columns.append(
+                        [closure(row, context) for row in rows]
+                    )
+            yield ColumnBatch(tuple(columns), len(rows))
 
     def rows_lineage(self, context: "ExecutionContext"):
         slots = self._simple_slots

@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import ExecutionError
-from repro.expr.compiler import compile_predicate
+from repro.exec.batch import ColumnBatch, LazyColumns
+from repro.expr.compiler import compile_column_predicate, compile_predicate
 from repro.expr.evaluator import evaluate
 from repro.expr.nodes import (
     Between,
@@ -118,6 +119,10 @@ class TableScan(PhysicalOperator):
         self._compiled = (
             compile_predicate(predicate) if predicate is not None else None
         )
+        self._column_sweep = (
+            compile_column_predicate(predicate)
+            if predicate is not None else None
+        )
         self._sargable = _sargable_conjuncts(predicate)
         self._pk_positions = table.schema.primary_key_positions()
 
@@ -147,17 +152,17 @@ class TableScan(PhysicalOperator):
             bounds.append((op, position, value))
         return tuple(bounds)
 
-    def scan_blocks(self, context: "ExecutionContext"):
-        """Yield ``(block, surviving_rows)`` per non-skipped block.
+    def _live_blocks(self, context: "ExecutionContext"):
+        """Yield ``(block, live_rows, summary)`` per non-skipped block.
 
-        Zone maps are consulted only when the context has data skipping
-        enabled; tombstone and predicate filtering always run, so this
-        stream is exactly the scan's output partitioned by block (the
-        audit operator fuses on it for sketch-level probe skipping).
+        ``summary`` is the block's fresh :class:`BlockSummary` when the
+        zone-map consult fetched one, else ``None`` — downstream consults
+        (the audit sketch, the lineage-candidate sketch) reuse it instead
+        of re-fetching, so each block is summarized at most once per scan.
+        Rows are tombstone-filtered but *not* yet predicate-filtered.
         """
         table = self._table
         hidden = context.tombstones.get(table.schema.name)
-        predicate = self._compiled
         pk_positions = self._pk_positions
         skipping = context.data_skipping
         bounds = (
@@ -165,6 +170,7 @@ class TableScan(PhysicalOperator):
             if skipping and self._sargable else ()
         )
         for block in table.blocks():
+            summary = None
             if skipping and bounds:
                 summary = table.fresh_summary(block)
                 if not all(
@@ -183,21 +189,63 @@ class TableScan(PhysicalOperator):
                     if tuple(row[position] for position in pk_positions)
                     not in hidden
                 ]
+            if rows:
+                yield block, rows, summary
+
+    def scan_blocks(self, context: "ExecutionContext"):
+        """Yield ``(block, surviving_rows, summary)`` per non-skipped block.
+
+        Zone maps are consulted only when the context has data skipping
+        enabled; tombstone and predicate filtering always run, so this
+        stream is exactly the scan's output partitioned by block (the
+        audit operator fuses on it for sketch-level probe skipping, and
+        reuses ``summary`` — possibly ``None`` — for its sketch consult).
+        """
+        predicate = self._compiled
+        for block, rows, summary in self._live_blocks(context):
             if predicate is not None:
                 rows = [
                     row for row in rows if predicate(row, context) is True
                 ]
             if rows:
-                yield block, rows
+                yield block, rows, summary
+
+    def scan_column_blocks(self, context: "ExecutionContext"):
+        """Columnar twin of :meth:`scan_blocks`.
+
+        Yields ``(block, batch, summary)``: each surviving block's rows
+        wrapped in a :class:`ColumnBatch` over :class:`LazyColumns` —
+        only the columns an operator actually touches (predicate sweep,
+        audit probe, projected slots) are ever pivoted out of the block —
+        with the compiled column sweep already applied as the selection
+        vector; the predicate never materializes row-tuples.
+        """
+        sweep = self._column_sweep
+        width = len(self._table.schema.columns)
+        for block, rows, summary in self._live_blocks(context):
+            columns = LazyColumns(rows, width)
+            length = len(rows)
+            selection = None
+            if sweep is not None:
+                selection = sweep(columns, range(length), context)
+                if not selection:
+                    continue
+                if len(selection) == length:
+                    selection = None
+            yield block, ColumnBatch(columns, length, selection), summary
 
     def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
-        for __, rows in self.scan_blocks(context):
+        for __, rows, __summary in self.scan_blocks(context):
             yield from rows
 
     def rows_batched(self, context: "ExecutionContext"):
         batch_size = context.batch_size
-        for __, rows in self.scan_blocks(context):
+        for __, rows, __summary in self.scan_blocks(context):
             yield from chunked(rows, batch_size)
+
+    def rows_columnar(self, context: "ExecutionContext"):
+        for __, batch, __summary in self.scan_column_blocks(context):
+            yield batch
 
     def rows_lineage(self, context: "ExecutionContext"):
         """Lineage mode: tag each row of the sensitive table with its own
@@ -231,10 +279,11 @@ class TableScan(PhysicalOperator):
                 lo = hi = None
             position = context.lineage_id_position
             consult = (position, candidates, lo, hi)
-        for block, rows in self.scan_blocks(context):
+        for block, rows, summary in self.scan_blocks(context):
             block_tagged = tagged
             if consult is not None:
-                summary = table.fresh_summary(block)
+                if summary is None:
+                    summary = table.fresh_summary(block)
                 if not summary.may_contain_any(*consult):
                     context.audit_blocks_skipped += 1
                     block_tagged = False

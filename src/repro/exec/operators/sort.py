@@ -10,6 +10,7 @@ import heapq
 from typing import TYPE_CHECKING, Iterator
 
 from repro.datatypes import value_sort_key
+from repro.exec.batch import ColumnBatch
 from repro.expr.compiler import compile_expression
 from repro.expr.evaluator import evaluate
 from repro.exec.operators.base import PhysicalOperator
@@ -63,6 +64,27 @@ class SortOperator(PhysicalOperator):
         for start in range(0, len(buffered), batch_size):
             yield buffered[start:start + batch_size]
 
+    def rows_columnar(self, context: "ExecutionContext"):
+        """Columnar mode: a sort buffer needs whole tuples, so pivot at
+        the boundary, run the identical stable multi-pass, re-pivot."""
+        buffered = [
+            row
+            for batch in self._child.rows_columnar(context)
+            for row in batch.to_rows()
+        ]
+        for key, compiled in zip(
+            reversed(self._keys), reversed(self._compiled_keys)
+        ):
+            buffered.sort(
+                key=lambda row: value_sort_key(compiled(row, context)),
+                reverse=not key.ascending,
+            )
+        batch_size = context.batch_size
+        for start in range(0, len(buffered), batch_size):
+            yield ColumnBatch.from_rows(
+                buffered[start:start + batch_size]
+            )
+
     def rows_lineage(self, context: "ExecutionContext"):
         """Lineage mode: sort the (row, lineage) pairs by row rank. The
         same stable multi-pass as ``rows`` keeps tie order identical, so
@@ -110,6 +132,19 @@ class LimitOperator(PhysicalOperator):
                 yield batch[:remaining]
                 return
             remaining -= len(batch)
+            yield batch
+
+    def rows_columnar(self, context: "ExecutionContext"):
+        """Columnar mode: truncate the selection vector, not the data."""
+        remaining = self._count
+        if remaining <= 0:
+            return
+        for batch in self._child.rows_columnar(context):
+            count = batch.row_count
+            if count >= remaining:
+                yield batch.take(remaining)
+                return
+            remaining -= count
             yield batch
 
     def describe(self) -> str:
@@ -196,6 +231,29 @@ class TopKOperator(PhysicalOperator):
         ordered = sorted(heap, key=lambda e: (e.rank, e.sequence))
         if ordered:
             yield [entry.row for entry in ordered]
+
+    def rows_columnar(self, context: "ExecutionContext"):
+        """Columnar mode: the bounded heap ranks whole tuples — pivot at
+        the boundary and emit the final top-k as one dense batch."""
+        if self._count <= 0:
+            return
+        heap: list[_HeapEntry] = []
+        count = self._count
+        sequence = 0
+        for batch in self._child.rows_columnar(context):
+            for row in batch.to_rows():
+                entry = _HeapEntry(self._rank(row, context), sequence, row)
+                sequence += 1
+                if len(heap) < count:
+                    heapq.heappush(heap, entry)
+                elif entry.rank < heap[0].rank or (
+                    entry.rank == heap[0].rank
+                    and entry.sequence < heap[0].sequence
+                ):
+                    heapq.heapreplace(heap, entry)
+        ordered = sorted(heap, key=lambda e: (e.rank, e.sequence))
+        if ordered:
+            yield ColumnBatch.from_rows([entry.row for entry in ordered])
 
     def describe(self) -> str:
         return f"TopK({self._count}, {len(self._keys)} keys)"

@@ -38,6 +38,9 @@ from repro.expr.nodes import (
     Literal,
     Parameter,
     Unary,
+    conjuncts,
+    contains_subquery,
+    referenced_slots,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
@@ -283,3 +286,363 @@ def _compile_function(node: FunctionCall) -> CompiledExpression:
         )
 
     return _call
+
+
+# ---------------------------------------------------------------------------
+# columnar compilation (the ``rows_columnar`` execution mode)
+#
+# A *column sweep* is ``f(columns, indices, context) -> surviving indices``:
+# it narrows a selection vector over column-major data without building
+# row-tuples. ``compile_column_predicate`` decomposes a predicate into its
+# top-level conjuncts and chains one sweep per conjunct — the selection
+# shrinks between conjuncts, which is both the vectorized short-circuit
+# (later conjuncts never see rows an earlier one dropped, exactly like the
+# row closure's AND short-circuit) and the early exit (an empty selection
+# stops the chain).
+#
+# Each specialized sweep replicates the row closure's SQL semantics branch
+# for branch: a row survives iff the conjunct is exactly TRUE, NULLs on
+# either side exclude it, and comparisons use the same raw ``<``/``>``
+# calls as ``sql_compare`` (so incomparable types raise identically).
+# Conjuncts the specializer does not recognize fall back to the compiled
+# row closure over a pivoted row — never wrong, just not vectorized.
+
+#: a compiled column sweep: columns, selection, context -> new selection
+ColumnSweep = Callable[
+    [tuple, "Sequence[int]", "ExecutionContext"], "Sequence[int]"
+]
+
+
+def compile_column_predicate(expression: Expression) -> ColumnSweep:
+    """Compile a predicate into a selection-narrowing column sweep."""
+    sweeps = tuple(
+        _compile_conjunct_sweep(conjunct)
+        for conjunct in conjuncts(expression)
+    )
+    if len(sweeps) == 1:
+        return sweeps[0]
+
+    def _chain(columns, indices, context):
+        for sweep in sweeps:
+            if not indices:
+                return indices
+            indices = sweep(columns, indices, context)
+        return indices
+
+    return _chain
+
+
+def _row_independent(expression: Expression) -> bool:
+    """True when the expression is hoistable to once-per-batch evaluation.
+
+    Requires no level-0 column slots, no subqueries, and no function
+    calls — session functions (``now()``) are live per call, so hoisting
+    them out of the per-row loop would change what each row sees.
+    """
+    if referenced_slots(expression) or contains_subquery(expression):
+        return False
+    return not any(
+        isinstance(node, FunctionCall) for node in expression.walk()
+    )
+
+
+def _simple_column(expression: Expression) -> int | None:
+    """Slot ordinal when the expression is a bound level-0 column ref."""
+    if (
+        isinstance(expression, ColumnRef)
+        and expression.outer_level == 0
+        and expression.index is not None
+    ):
+        return expression.index
+    return None
+
+
+_COLUMN_FLIP = {
+    "<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"
+}
+
+
+def _compile_conjunct_sweep(conjunct: Expression) -> ColumnSweep:
+    if isinstance(conjunct, Binary) and conjunct.op in _COLUMN_FLIP:
+        for column, bound, op in (
+            (conjunct.left, conjunct.right, conjunct.op),
+            (conjunct.right, conjunct.left, _COLUMN_FLIP[conjunct.op]),
+        ):
+            slot = _simple_column(column)
+            if slot is not None and _row_independent(bound):
+                return _comparison_sweep(
+                    op, slot, compile_expression(bound)
+                )
+    elif isinstance(conjunct, IsNull):
+        slot = _simple_column(conjunct.operand)
+        if slot is not None:
+            return _is_null_sweep(slot, conjunct.negated)
+    elif isinstance(conjunct, Between) and not conjunct.negated:
+        slot = _simple_column(conjunct.operand)
+        if (
+            slot is not None
+            and _row_independent(conjunct.low)
+            and _row_independent(conjunct.high)
+        ):
+            return _between_sweep(
+                slot,
+                compile_expression(conjunct.low),
+                compile_expression(conjunct.high),
+            )
+    elif isinstance(conjunct, Like):
+        slot = _simple_column(conjunct.operand)
+        if slot is not None and _row_independent(conjunct.pattern):
+            return _like_sweep(
+                slot, compile_expression(conjunct.pattern), conjunct.negated
+            )
+    elif isinstance(conjunct, InList):
+        sweep = _in_list_sweep(conjunct)
+        if sweep is not None:
+            return sweep
+    return _fallback_sweep(compile_expression(conjunct))
+
+
+def _fallback_sweep(closure: CompiledExpression) -> ColumnSweep:
+    """Pivot each selected row and delegate to the row closure."""
+
+    def _sweep(columns, indices, context):
+        rows = getattr(columns, "rows", None)  # LazyColumns backing
+        if rows is not None:
+            return [
+                i for i in indices if closure(rows[i], context) is True
+            ]
+        return [
+            i
+            for i in indices
+            if closure(
+                tuple(column[i] for column in columns), context
+            ) is True
+        ]
+
+    return _sweep
+
+
+def _comparison_sweep(
+    op: str, slot: int, bound_closure: CompiledExpression
+) -> ColumnSweep:
+    # Each branch mirrors ``sql_compare`` + the op's verdict: NULL on
+    # either side is never TRUE, and ``<=``/``>=`` are the negations of
+    # the strict comparisons under the same comparison protocol. Lazy
+    # (row-backed) batches are swept straight off the backing rows —
+    # one fused pass instead of pivot-the-column-then-compare.
+    if op == "=":
+
+        def _sweep(columns, indices, context):
+            bound = bound_closure((), context)
+            if bound is None:
+                return []
+            rows = getattr(columns, "rows", None)
+            if rows is not None:
+                return [
+                    i for i in indices
+                    if (value := rows[i][slot]) is not None
+                    and not (value < bound or value > bound)
+                ]
+            column = columns[slot]
+            return [
+                i for i in indices
+                if (value := column[i]) is not None
+                and not (value < bound or value > bound)
+            ]
+
+    elif op == "<>":
+
+        def _sweep(columns, indices, context):
+            bound = bound_closure((), context)
+            if bound is None:
+                return []
+            rows = getattr(columns, "rows", None)
+            if rows is not None:
+                return [
+                    i for i in indices
+                    if (value := rows[i][slot]) is not None
+                    and (value < bound or value > bound)
+                ]
+            column = columns[slot]
+            return [
+                i for i in indices
+                if (value := column[i]) is not None
+                and (value < bound or value > bound)
+            ]
+
+    elif op == "<":
+
+        def _sweep(columns, indices, context):
+            bound = bound_closure((), context)
+            if bound is None:
+                return []
+            rows = getattr(columns, "rows", None)
+            if rows is not None:
+                return [
+                    i for i in indices
+                    if (value := rows[i][slot]) is not None
+                    and value < bound
+                ]
+            column = columns[slot]
+            return [
+                i for i in indices
+                if (value := column[i]) is not None and value < bound
+            ]
+
+    elif op == "<=":
+
+        def _sweep(columns, indices, context):
+            bound = bound_closure((), context)
+            if bound is None:
+                return []
+            rows = getattr(columns, "rows", None)
+            if rows is not None:
+                return [
+                    i for i in indices
+                    if (value := rows[i][slot]) is not None
+                    and not value > bound
+                ]
+            column = columns[slot]
+            return [
+                i for i in indices
+                if (value := column[i]) is not None and not value > bound
+            ]
+
+    elif op == ">":
+
+        def _sweep(columns, indices, context):
+            bound = bound_closure((), context)
+            if bound is None:
+                return []
+            rows = getattr(columns, "rows", None)
+            if rows is not None:
+                return [
+                    i for i in indices
+                    if (value := rows[i][slot]) is not None
+                    and value > bound
+                ]
+            column = columns[slot]
+            return [
+                i for i in indices
+                if (value := column[i]) is not None and value > bound
+            ]
+
+    else:  # ">="
+
+        def _sweep(columns, indices, context):
+            bound = bound_closure((), context)
+            if bound is None:
+                return []
+            rows = getattr(columns, "rows", None)
+            if rows is not None:
+                return [
+                    i for i in indices
+                    if (value := rows[i][slot]) is not None
+                    and not value < bound
+                ]
+            column = columns[slot]
+            return [
+                i for i in indices
+                if (value := column[i]) is not None and not value < bound
+            ]
+
+    return _sweep
+
+
+def _is_null_sweep(slot: int, negated: bool) -> ColumnSweep:
+    if negated:
+
+        def _sweep(columns, indices, context):
+            column = columns[slot]
+            return [i for i in indices if column[i] is not None]
+
+    else:
+
+        def _sweep(columns, indices, context):
+            column = columns[slot]
+            return [i for i in indices if column[i] is None]
+
+    return _sweep
+
+
+def _between_sweep(
+    slot: int,
+    low_closure: CompiledExpression,
+    high_closure: CompiledExpression,
+) -> ColumnSweep:
+    def _sweep(columns, indices, context):
+        low = low_closure((), context)
+        high = high_closure((), context)
+        if low is None or high is None:
+            return []
+        rows = getattr(columns, "rows", None)
+        if rows is not None:
+            return [
+                i for i in indices
+                if (value := rows[i][slot]) is not None
+                and not value < low
+                and not value > high
+            ]
+        column = columns[slot]
+        return [
+            i for i in indices
+            if (value := column[i]) is not None
+            and not value < low
+            and not value > high
+        ]
+
+    return _sweep
+
+
+def _like_sweep(
+    slot: int, pattern_closure: CompiledExpression, negated: bool
+) -> ColumnSweep:
+    verdict = False if negated else True
+
+    def _sweep(columns, indices, context):
+        pattern = pattern_closure((), context)
+        column = columns[slot]
+        return [
+            i for i in indices
+            if sql_like(column[i], pattern) is verdict
+        ]
+
+    return _sweep
+
+
+def _in_list_sweep(node: InList) -> ColumnSweep | None:
+    """Set-membership sweep; None when the list is not a constant set."""
+    slot = _simple_column(node.operand)
+    if slot is None:
+        return None
+    members = []
+    for item in node.items:
+        # only non-NULL literals: a NULL member changes FALSE verdicts to
+        # NULL, which the set-membership shortcut cannot express
+        if not isinstance(item, Literal) or item.value is None:
+            return None
+        members.append(item.value)
+    try:
+        member_set = frozenset(members)
+    except TypeError:  # unhashable literal: keep the row closure
+        return None
+    if node.negated:
+
+        def _sweep(columns, indices, context):
+            column = columns[slot]
+            return [
+                i for i in indices
+                if (value := column[i]) is not None
+                and value not in member_set
+            ]
+
+    else:
+
+        def _sweep(columns, indices, context):
+            column = columns[slot]
+            return [
+                i for i in indices
+                if (value := column[i]) is not None and value in member_set
+            ]
+
+    return _sweep

@@ -201,6 +201,12 @@ class BlockSummary:
         sketch = self.sketches.get(position)
         if sketch is None:
             return True
+        # Economics guard: a consult may probe every value, and a hit
+        # only saves ``row_count`` downstream probes — once the probe
+        # set outnumbers the block's rows the consult costs more than
+        # the skip it could buy. "May contain" is always conservative.
+        if len(values) > self.row_count:
+            return True
         return any(value in sketch for value in values)
 
 

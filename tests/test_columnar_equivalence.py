@@ -1,0 +1,153 @@
+"""Columnar-mode execution equivalence (three-mode differential).
+
+``rows_columnar`` is a pure optimization exactly like batching: for the
+same physical plan it must produce the identical row sequence, the
+identical ACCESSED sets, and the identical audit probe counts as both
+the Volcano row loop and the tuple-batch pipeline. The hypothesis
+property drives random SPJ and aggregate statements (with an audit
+expression installed) through all three pipelines at adversarial batch
+sizes, with data skipping both on and off — the audit operator's fused
+columnar path and its plain bulk-probe path are both exercised.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import Database
+from repro.exec.batch import ColumnBatch
+
+from tests.test_batch_equivalence import (
+    _SETTINGS,
+    batch_sizes,
+    build_db,
+    compile_select,
+    disease_rows,
+    patient_rows,
+    queries,
+    run_mode,
+)
+
+
+class TestColumnarEquivalence:
+    @_SETTINGS
+    @given(
+        patients=patient_rows,
+        sick=disease_rows,
+        query=queries,
+        batch_size=batch_sizes,
+        skipping=st.booleans(),
+    )
+    def test_same_plan_same_artifacts(
+        self, patients, sick, query, batch_size, skipping
+    ):
+        db = build_db(patients, sick)
+        db.batch_size = batch_size
+        db.skipping = skipping
+        physical = compile_select(db, query)
+        outputs = {
+            mode: run_mode(db, physical, mode)
+            for mode in ("row", "batch", "columnar")
+        }
+        reference = outputs["row"]
+        for mode in ("batch", "columnar"):
+            # identical row *sequence*, not just identical bags
+            assert outputs[mode][0] == reference[0], mode
+            assert outputs[mode][1] == reference[1], mode  # ACCESSED
+            assert outputs[mode][2] == reference[2], mode  # total probes
+            assert outputs[mode][3] == reference[3], mode  # per-expression
+
+    @_SETTINGS
+    @given(patients=patient_rows, sick=disease_rows, query=queries)
+    def test_execute_end_to_end(self, patients, sick, query):
+        db = build_db(patients, sick)
+        results = {}
+        for mode in ("row", "batch", "columnar"):
+            db.exec_mode = mode
+            results[mode] = db.execute(query)
+        for mode in ("batch", "columnar"):
+            assert results[mode].rows == results["row"].rows
+            assert results[mode].accessed == results["row"].accessed
+            assert results[mode].columns == results["row"].columns
+
+    @_SETTINGS
+    @given(patients=patient_rows, sick=disease_rows, query=queries)
+    def test_cost_placement_stays_sound(self, patients, sick, query):
+        """'cost' placement may shift toward the leaf under the columnar
+        probe discount. Query results must not move, and because the
+        discount only ever makes the fused leaf cheaper, a shift can only
+        move the operator *down* — recording a superset of the accesses
+        the pulled-up placement records (leaf sees every scanned row, HCN
+        only result contributors)."""
+        db = build_db(patients, sick)
+        db.audit_manager.heuristic = "cost"
+        db.exec_mode = "batch"
+        batch_result = db.execute(query)
+        db.exec_mode = "columnar"
+        columnar_result = db.execute(query)
+        assert columnar_result.rows == batch_result.rows
+        for name, ids in batch_result.accessed.items():
+            assert ids <= columnar_result.accessed.get(name, frozenset())
+
+
+class TestExecModeKnob:
+    def test_rejects_unknown_mode(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            db.exec_mode = "vectorized"
+
+    def test_columnar_plans_cached_apart_from_row_and_batch(self):
+        db = build_db([("Alice", 30, "11111")], [])
+        sql = "SELECT * FROM patients"
+        db.exec_mode = "row"
+        db.execute(sql)
+        db.exec_mode = "batch"
+        db.execute(sql)  # row/batch share one cached plan
+        assert db.plan_cache.hits == 1
+        db.exec_mode = "columnar"
+        db.execute(sql)  # mode-tagged: columnar compiles its own entry
+        assert db.plan_cache.hits == 1
+        db.execute(sql)
+        assert db.plan_cache.hits == 2
+
+
+class TestColumnBatch:
+    def test_round_trip_and_selection(self):
+        rows = [(1, "a"), (2, "b"), (3, "c")]
+        batch = ColumnBatch.from_rows(rows)
+        assert batch.row_count == 3
+        assert batch.to_rows() == rows
+        narrowed = ColumnBatch(batch.columns, batch.length, [0, 2])
+        assert narrowed.row_count == 2
+        assert narrowed.to_rows() == [(1, "a"), (3, "c")]
+        assert narrowed.column(1) == ["a", "c"]
+        assert narrowed.take(1).to_rows() == [(1, "a")]
+
+    def test_zero_arity_rows(self):
+        batch = ColumnBatch.from_rows([(), ()])
+        assert batch.row_count == 2
+        assert batch.to_rows() == [(), ()]
+
+    def test_slots_block_instance_dicts(self):
+        batch = ColumnBatch.from_rows([(1,)])
+        with pytest.raises(AttributeError):
+            batch.extra = 1
+
+
+class TestColumnarProbeFlushOnAbort:
+    """Probe accounting survives a consumer abandoning the iterator."""
+
+    def test_partial_consumption_flushes_probes(self):
+        db = build_db(
+            [("Alice", 30, "11111"), ("Bob", 40, "22222"),
+             ("Carol", 50, "33333"), ("Dave", 60, "11111")],
+            [],
+        )
+        physical = compile_select(db, "SELECT * FROM patients")
+        context = db.make_context()
+        iterator = physical.rows_columnar(context)
+        batch = next(iterator)
+        iterator.close()  # GeneratorExit mid-stream
+        assert context.audit_probe_count >= batch.row_count
+        assert context.audit_probe_counts.get("audit_all", 0) >= 1
