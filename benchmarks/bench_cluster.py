@@ -1,0 +1,113 @@
+"""Cluster scatter-gather benchmark: 1/2/4/8-shard sweep.
+
+Pytest usage (alongside the figure benchmarks)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cluster.py -q
+
+Standalone usage (CI smoke runs ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py [--quick]
+
+Both write ``benchmarks/results/BENCH_cluster.json`` — per-shard-count
+qps over a scan-heavy armed workload on the TPC-H customer table, gated
+on result parity, ACCESSED parity, and zero lost trigger firings against
+the 1-shard baseline. The ``modeled_io`` timings use the coordinator's
+``simulated_io_us_per_row`` stall (recorded in the JSON); compute-only
+timings are reported alongside and stay flat under the GIL.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_FILE = RESULTS_DIR / "BENCH_cluster.json"
+
+
+def run(scale_factor: float, repeats: int, shard_counts) -> dict:
+    from repro.bench.cluster import cluster_benchmark
+
+    results = cluster_benchmark(
+        scale_factor=scale_factor,
+        repeats=repeats,
+        shard_counts=shard_counts,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULT_FILE.write_text(json.dumps(results, indent=2, default=str) + "\n")
+    return results
+
+
+def _summarize(results: dict) -> str:
+    lines = [
+        f"cluster benchmark (SF {results['scale_factor']}, "
+        f"{results['customer_rows']} customers, "
+        f"{len(results['workload'])} armed queries, "
+        f"io stall {results['io_us_per_row']} us/row, "
+        f"best of {results['repeats']})"
+    ]
+    for shards, entry in results["shards"].items():
+        lines.append(
+            f"  {shards} shard(s): qps {entry['qps']:.1f} "
+            f"({entry['speedup_vs_1shard']:.2f}x vs 1-shard), "
+            f"compute {entry['compute_only_s'] * 1e3:.1f} ms, "
+            f"modeled-io {entry['modeled_io_s'] * 1e3:.1f} ms, "
+            f"firings {entry['firings']} "
+            f"(lost {entry['lost_firings']})"
+        )
+    lines.append(f"  written to {RESULT_FILE}")
+    return "\n".join(lines)
+
+
+def _invariants_ok(results: dict) -> bool:
+    return all(
+        entry["lost_firings"] == 0
+        for entry in results["shards"].values()
+    )
+
+
+def test_report_cluster():
+    from repro.bench.cluster import (
+        DEFAULT_REPEATS,
+        DEFAULT_SCALE_FACTOR,
+        SHARD_COUNTS,
+    )
+
+    results = run(DEFAULT_SCALE_FACTOR, DEFAULT_REPEATS, SHARD_COUNTS)
+    print()
+    print(_summarize(results))
+    assert _invariants_ok(results)
+    # ISSUE acceptance: ≥2x aggregate qps at 4 shards on the scan-heavy
+    # armed workload vs the 1-shard baseline, zero lost firings
+    assert results["shards"]["4"]["speedup_vs_1shard"] >= 2.0
+
+
+def main(argv: list[str]) -> int:
+    from repro.bench.cluster import (
+        DEFAULT_REPEATS,
+        DEFAULT_SCALE_FACTOR,
+        QUICK_REPEATS,
+        QUICK_SCALE_FACTOR,
+        QUICK_SHARD_COUNTS,
+        SHARD_COUNTS,
+    )
+
+    quick = "--quick" in argv
+    results = run(
+        QUICK_SCALE_FACTOR if quick else DEFAULT_SCALE_FACTOR,
+        QUICK_REPEATS if quick else DEFAULT_REPEATS,
+        QUICK_SHARD_COUNTS if quick else SHARD_COUNTS,
+    )
+    print(_summarize(results))
+    if not _invariants_ok(results):
+        print("FAIL: lost trigger firings in a sharded configuration")
+        return 1
+    if not quick and results["shards"]["4"]["speedup_vs_1shard"] < 2.0:
+        print("FAIL: <2x qps at 4 shards")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -36,6 +36,13 @@ echo "== data-skipping on/off differential (--quick) =="
 PYTHONPATH=src python benchmarks/bench_skipping.py --quick
 
 echo
+echo "== sharded-vs-single-node differential (--quick) =="
+# 2-shard scatter-gather cluster vs a single-node run of the same armed
+# workload; exits non-zero on any result, ACCESSED, or trigger-firing
+# divergence (lost firings) across the shard boundary
+PYTHONPATH=src python benchmarks/bench_cluster.py --quick
+
+echo
 echo "== concurrent serving stress (--quick) =="
 # 8 threads of mixed audited SELECT / DML traffic with async triggers;
 # exits non-zero if the audit-log row count diverges from a serial

@@ -1,0 +1,16 @@
+"""Horizontally sharded engine: scatter-gather over embedded shards.
+
+``ClusterDatabase`` hash-partitions sensitive tables on their audit
+partition-by column across N embedded :class:`~repro.database.Database`
+shards and exposes the single-node facade (``execute`` /
+``offline_audit`` / ``attach_journal`` / ``recover`` / ``serve``). The
+coordinator parses and optimizes once, splits the instrumented plan into
+per-shard fragments plus a merge stage, executes the fragments in
+parallel, and unions per-shard ACCESSED sets at the gather so trigger
+firings and audit attribution match a single-node run exactly.
+"""
+
+from repro.cluster.coordinator import ClusterDatabase
+from repro.cluster.topology import Topology, shard_of
+
+__all__ = ["ClusterDatabase", "Topology", "shard_of"]

@@ -165,6 +165,21 @@ class ConnectionClosedError(ServerError):
     network failure) before or while a response was expected."""
 
 
+class ClusterError(ReproError):
+    """A failure in the sharded execution layer (``repro.cluster``)."""
+
+
+class ClusterRoutingError(ClusterError):
+    """A statement the coordinator cannot route soundly across shards.
+
+    Raised instead of silently computing a wrong (partition-local) answer:
+    e.g. joining two hash-partitioned tables, reading a partitioned table
+    from inside a subquery expression, or reassigning a partition key in
+    an UPDATE. The statement is valid SQL — run it on a single-node
+    :class:`~repro.database.Database` or restructure it.
+    """
+
+
 class TransactionError(ReproError):
     """Invalid transaction control (COMMIT/ROLLBACK without BEGIN, ...)."""
 

@@ -126,6 +126,7 @@ class ExecutionContext:
         "audit_probes_skipped",
         "lineage_candidates",
         "lineage_id_position",
+        "gather_rows",
     )
 
     def __init__(
@@ -176,6 +177,9 @@ class ExecutionContext:
         self.lineage_candidates: set | None = None
         #: position of the partition-by column in ``lineage_table``
         self.lineage_id_position: int | None = None
+        #: gather key -> merged per-shard rows, installed by the cluster
+        #: coordinator before running a plan containing ``Gather`` leaves
+        self.gather_rows: dict[int, list[tuple]] | None = None
 
     # ------------------------------------------------------------------
     # parameters

@@ -18,6 +18,7 @@ from repro.exec.operators.sort import SortOperator, LimitOperator, TopKOperator
 from repro.exec.operators.distinct import DistinctOperator
 from repro.exec.operators.cache import CacheOperator
 from repro.exec.operators.audit import AuditOperator
+from repro.exec.operators.exchange import GatherSource, RowSource
 
 __all__ = [
     "EMPTY_LINEAGE",
@@ -41,4 +42,6 @@ __all__ = [
     "DistinctOperator",
     "CacheOperator",
     "AuditOperator",
+    "GatherSource",
+    "RowSource",
 ]

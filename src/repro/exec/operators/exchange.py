@@ -1,0 +1,83 @@
+"""Exchange operators for scatter-gather execution.
+
+The cluster coordinator cuts a plan at the highest shard-safe node and
+runs the fragment below the cut on every shard. What remains above the
+cut is compiled over a :class:`GatherSource` — a leaf operator that
+replays the merged per-shard streams out of the execution context, so
+final aggregation, re-distinct, HAVING filters, and limit reapplication
+run through the exact same physical operators as single-node execution.
+
+``RowSource`` is the context-independent sibling: a leaf over an
+explicit row list, used wherever a compiled operator tree must run over
+already-materialized rows (the cluster's aggregate merge tests, ad-hoc
+replays).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ExecutionError
+from repro.exec.operators.base import PhysicalOperator
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.exec.context import ExecutionContext
+
+
+class GatherSource(PhysicalOperator):
+    """Leaf replaying ``context.gather_rows[key]`` (the exchange input).
+
+    The coordinator materializes and merges the per-shard fragment
+    streams *before* the upper plan runs, so the gather is a plain list
+    replay: re-executable (the offline auditor re-runs cluster plans
+    with different tombstone sets) and identical across execution modes.
+    """
+
+    def __init__(self, key: int) -> None:
+        self._key = key
+
+    def _source(self, context: "ExecutionContext") -> list[tuple]:
+        sources = context.gather_rows
+        if sources is None or self._key not in sources:
+            raise ExecutionError(
+                f"no gathered rows for exchange key {self._key} "
+                "(plan executed outside a cluster coordinator)"
+            )
+        return sources[self._key]
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        yield from self._source(context)
+
+    def rows_batched(
+        self, context: "ExecutionContext"
+    ) -> Iterator[list[tuple]]:
+        source = self._source(context)
+        batch_size = context.batch_size
+        for start in range(0, len(source), batch_size):
+            yield source[start:start + batch_size]
+
+    def describe(self) -> str:
+        return f"GatherSource(key={self._key})"
+
+
+class RowSource(PhysicalOperator):
+    """Leaf over an explicit, already-materialized row list."""
+
+    def __init__(self, source_rows: list[tuple]) -> None:
+        self._rows = source_rows
+
+    def rows(self, context: "ExecutionContext") -> Iterator[tuple]:
+        yield from self._rows
+
+    def rows_batched(
+        self, context: "ExecutionContext"
+    ) -> Iterator[list[tuple]]:
+        batch_size = context.batch_size
+        for start in range(0, len(self._rows), batch_size):
+            yield self._rows[start:start + batch_size]
+
+    def describe(self) -> str:
+        return f"RowSource({len(self._rows)} rows)"
+
+
+__all__ = ["GatherSource", "RowSource"]

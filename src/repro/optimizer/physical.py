@@ -26,6 +26,7 @@ from repro.exec.operators import (
     AuditOperator,
     DistinctOperator,
     FilterOperator,
+    GatherSource,
     HashAggregate,
     HashJoin,
     IndexNestedLoopJoin,
@@ -96,6 +97,8 @@ class PhysicalPlanner:
             return self._compile_scan(plan)
         if isinstance(plan, OneRow):
             return OneRowSource()
+        if isinstance(plan, L.Gather):
+            return GatherSource(plan.key)
         if isinstance(plan, L.Filter):
             return FilterOperator(self.compile(plan.child), plan.predicate)
         if isinstance(plan, L.Project):

@@ -286,6 +286,22 @@ class Audit(LogicalPlan):
         return replace(self, child=child)
 
 
+@dataclass(frozen=True)
+class Gather(LogicalPlan):
+    """Leaf standing for a scatter-gather exchange boundary.
+
+    The cluster coordinator splits a plan at the highest shard-safe node,
+    ships the subtree below the cut to every shard, and rebuilds the
+    remainder over a ``Gather`` leaf. At execution time the physical
+    :class:`~repro.exec.operators.exchange.GatherSource` reads the merged
+    per-shard streams out of ``context.gather_rows[key]`` — the leaf
+    itself carries only the fragment's output columns and that key.
+    """
+
+    key: int
+    columns: tuple[PlanColumn, ...]
+
+
 def map_expressions(plan: LogicalPlan, fn) -> LogicalPlan:
     """Rebuild ``plan`` with ``fn`` applied to every expression it holds.
 
