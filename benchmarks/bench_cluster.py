@@ -13,7 +13,10 @@ qps over a scan-heavy armed workload on the TPC-H customer table, gated
 on result parity, ACCESSED parity, and zero lost trigger firings against
 the 1-shard baseline. The ``modeled_io`` timings use the coordinator's
 ``simulated_io_us_per_row`` stall (recorded in the JSON); compute-only
-timings are reported alongside and stay flat under the GIL.
+timings are reported alongside and stay flat under the GIL. A
+``slow_shard`` section records deadline-capped p99 latency with one
+hung shard (fail-open degraded reads), gated on the p99 staying under
+the deadline-plus-slack bound.
 """
 
 from __future__ import annotations
@@ -56,14 +59,27 @@ def _summarize(results: dict) -> str:
             f"firings {entry['firings']} "
             f"(lost {entry['lost_firings']})"
         )
+    slow = results["slow_shard"]
+    lines.append(
+        f"  slow shard ({slow['hang_s']:.0f}s hang, "
+        f"{slow['deadline_s'] * 1e3:.0f} ms deadline): "
+        f"p99 {slow['degraded_p99_ms']:.1f} ms "
+        f"(healthy {slow['healthy_p99_ms']:.1f} ms, "
+        f"bound {slow['p99_bound_ms']:.0f} ms), "
+        f"{slow['deadline_timeouts']} timeouts, "
+        f"victim {slow['victim_state']}"
+    )
     lines.append(f"  written to {RESULT_FILE}")
     return "\n".join(lines)
 
 
 def _invariants_ok(results: dict) -> bool:
-    return all(
-        entry["lost_firings"] == 0
-        for entry in results["shards"].values()
+    return (
+        all(
+            entry["lost_firings"] == 0
+            for entry in results["shards"].values()
+        )
+        and results["slow_shard"]["p99_bounded"]
     )
 
 
@@ -101,7 +117,7 @@ def main(argv: list[str]) -> int:
     )
     print(_summarize(results))
     if not _invariants_ok(results):
-        print("FAIL: lost trigger firings in a sharded configuration")
+        print("FAIL: lost trigger firings or unbounded slow-shard p99")
         return 1
     if not quick and results["shards"]["4"]["speedup_vs_1shard"] < 2.0:
         print("FAIL: <2x qps at 4 shards")

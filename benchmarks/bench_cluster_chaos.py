@@ -1,0 +1,77 @@
+"""Cluster chaos differential: flaky → slow → dead → rejoin.
+
+Pytest usage (alongside the figure benchmarks)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_cluster_chaos.py -q
+
+Standalone usage (CI smoke runs this directly)::
+
+    PYTHONPATH=src python benchmarks/bench_cluster_chaos.py
+
+Writes ``benchmarks/results/BENCH_cluster_chaos.json``. The differential
+drives the same armed workload through a fault-injected cluster and a
+serial ground truth across four fault phases and fails (non-zero exit)
+on any contract violation: a fail-closed cluster returning partial
+results, a degraded read without a recorded audit gap, DML accepted for
+a quarantined owner, or a lost/misattributed firing after rejoin.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_FILE = RESULTS_DIR / "BENCH_cluster_chaos.json"
+
+
+def run() -> dict:
+    from repro.bench.chaos import chaos_differential
+
+    report = chaos_differential()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULT_FILE.write_text(json.dumps(report, indent=2, default=str) + "\n")
+    return report
+
+
+def _summarize(report: dict) -> str:
+    phases = report["phases"]
+    lines = [
+        f"cluster chaos differential ({report['shards']} shards, "
+        f"victim {report['victim']}, deadline "
+        f"{report['deadline_s'] * 1e3:.0f} ms, hang {report['hang_s']:.0f}s)",
+        f"  flaky: {phases['flaky']['retries']} retries, full parity, "
+        f"{phases['flaky']['audit_rows']} audit rows",
+        f"  slow: {phases['slow']['fail_closed_refusals']} fail-closed "
+        f"refusals (never partial), {phases['slow']['degraded_queries']} "
+        f"degraded reads / {phases['slow']['gaps']} gaps, victim "
+        f"{phases['slow']['victim_state']}",
+        f"  dead: quarantined, owner DML refused, "
+        f"{phases['dead']['gaps']} gaps",
+        f"  rejoin: {phases['rejoin']['replayed']} replayed / "
+        f"{phases['rejoin']['skipped_applied']} already applied, "
+        f"{phases['rejoin']['post_rejoin_firings']} post-rejoin firings, "
+        f"zero lost",
+    ]
+    for violation in report["violations"]:
+        lines.append(f"  VIOLATION: {violation}")
+    lines.append(f"  written to {RESULT_FILE}")
+    return "\n".join(lines)
+
+
+def test_report_cluster_chaos():
+    report = run()
+    print()
+    print(_summarize(report))
+    assert report["ok"], report["violations"]
+
+
+def main() -> int:
+    report = run()
+    print(_summarize(report))
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

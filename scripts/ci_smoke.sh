@@ -43,6 +43,15 @@ echo "== sharded-vs-single-node differential (--quick) =="
 PYTHONPATH=src python benchmarks/bench_cluster.py --quick
 
 echo
+echo "== cluster chaos differential =="
+# flaky -> slow -> dead -> rejoin fault phases on one shard vs a serial
+# ground truth; exits non-zero if fail-closed ever returns partial
+# results, a degraded read skips a shard without recording an audit
+# gap, a quarantined owner accepts DML, or rejoin loses/misattributes
+# a trigger firing
+PYTHONPATH=src python benchmarks/bench_cluster_chaos.py
+
+echo
 echo "== concurrent serving stress (--quick) =="
 # 8 threads of mixed audited SELECT / DML traffic with async triggers;
 # exits non-zero if the audit-log row count diverges from a serial

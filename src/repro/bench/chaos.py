@@ -1,0 +1,273 @@
+"""Cluster chaos differential: fault phases vs a serial ground truth.
+
+Runs the same armed workload through a fault-injected
+:class:`~repro.cluster.ClusterDatabase` and a serial
+:class:`~repro.database.Database`, phase by phase, and checks the
+fault-tolerance contract at each step:
+
+* **flaky** — one-shot transient scatter failures on one shard: retries
+  must restore *exact* parity (rows, ACCESSED sets, audit-log
+  attribution) with zero operator-visible damage;
+* **slow** — the same shard hangs well past ``shard_deadline``: the
+  fail-open cluster serves deadline-capped partial results and records
+  one audit gap per skipped shard per query, while a fail-closed
+  cluster must **never** return a partial result — it refuses with
+  :class:`~repro.errors.ClusterDegradedError`;
+* **dead** — the shard is killed (``CrashError``): immediate
+  quarantine, DML to the dead owner refused up front, degraded reads
+  keep recording gaps;
+* **rejoin** — ``rejoin_shard`` repairs replicas and replays the
+  shard's journal: full parity must return, and a fresh armed workload
+  must fire identically on both sides (zero lost firings), with
+  journal-replayed firings keeping their original user attribution.
+
+Any violated check lands in the report's ``violations`` list; the
+driver exits non-zero when it is non-empty.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.cluster import ClusterDatabase, shard_of
+from repro.database import Database
+from repro.errors import ClusterDegradedError
+from repro.testing.faults import CrashError, FaultInjector
+
+SHARDS = 3
+VICTIM = 1
+ROWS = 30
+DEADLINE_S = 0.2
+HANG_S = 5.0
+
+SCHEMA = """
+CREATE TABLE patients (pid INT PRIMARY KEY, name VARCHAR, disease VARCHAR,
+                       age INT);
+CREATE TABLE audit_log (uid VARCHAR, pid INT);
+CREATE AUDIT EXPRESSION sick AS SELECT pid FROM patients
+    WHERE disease = 'flu' FOR SENSITIVE TABLE patients, PARTITION BY pid;
+CREATE TRIGGER log_access ON ACCESS TO sick AS
+    INSERT INTO audit_log SELECT user_id(), pid FROM accessed;
+"""
+
+DISEASES = ("flu", "cold", "flu", "cough")
+
+#: armed workload: every query's ACCESSED set is non-empty, so every
+#: execution journals intents and fires the trigger
+WORKLOAD = (
+    "SELECT pid, name FROM patients WHERE disease = 'flu' ORDER BY pid",
+    "SELECT COUNT(*) FROM patients WHERE disease = 'flu'",
+    "SELECT disease, COUNT(*) FROM patients GROUP BY disease",
+    "SELECT pid FROM patients WHERE age > 21 AND disease = 'flu' "
+    "ORDER BY pid",
+)
+
+
+def _load(db) -> None:
+    db.execute_script(SCHEMA)
+    for i in range(ROWS):
+        db.execute(
+            f"INSERT INTO patients VALUES ({i}, 'p{i}', "
+            f"'{DISEASES[i % len(DISEASES)]}', {20 + i % 9})"
+        )
+
+
+def _log_rows(db) -> list:
+    return sorted(db.execute("SELECT uid, pid FROM audit_log").rows_list())
+
+
+def _run_both(truth, cluster, user: str):
+    """One workload pass on both sides under ``user``; returns results."""
+    outcomes = []
+    for sql in WORKLOAD:
+        truth.session.user_id = user
+        cluster.session.user_id = user
+        outcomes.append((truth.execute(sql), cluster.execute(sql)))
+    return outcomes
+
+
+def chaos_differential() -> dict:
+    report: dict = {
+        "benchmark": "cluster_chaos",
+        "shards": SHARDS,
+        "victim": VICTIM,
+        "deadline_s": DEADLINE_S,
+        "hang_s": HANG_S,
+        "phases": {},
+        "violations": [],
+    }
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            report["violations"].append(message)
+
+    truth = Database()
+    injector = FaultInjector()
+    journal_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    cluster = ClusterDatabase(
+        shards=SHARDS,
+        shard_fault_injectors={VICTIM: injector},
+        shard_deadline=DEADLINE_S,
+        shard_retries=2,
+        retry_backoff_base=0.005,
+        retry_backoff_cap=0.05,
+        audit_policy="fail_open",
+        degraded_reads=True,
+    )
+    cluster.attach_journal(journal_dir)
+    _load(truth)
+    _load(cluster)
+
+    try:
+        # ---------------------------------------------------- flaky
+        for sql in WORKLOAD:
+            injector.arm(
+                "shard-scatter",
+                error=OSError("transient"),
+                at_hit=injector.hit_count("shard-scatter") + 1,
+            )
+            truth.session.user_id = "alice"
+            cluster.session.user_id = "alice"
+            lhs, rhs = truth.execute(sql), cluster.execute(sql)
+            check(
+                sorted(lhs.rows_list(), key=repr)
+                == sorted(rhs.rows_list(), key=repr),
+                f"flaky: result parity broken for {sql!r}",
+            )
+            check(lhs.accessed == rhs.accessed,
+                  f"flaky: ACCESSED parity broken for {sql!r}")
+        health = cluster.cluster_health()
+        check(health["scatter_retries"] >= len(WORKLOAD),
+              "flaky: transient failures were not retried")
+        check(health["quarantined"] == [],
+              "flaky: transient failures must not quarantine")
+        check(_log_rows(truth) == _log_rows(cluster),
+              "flaky: audit-log attribution diverged")
+        report["phases"]["flaky"] = {
+            "retries": health["scatter_retries"],
+            "audit_rows": len(_log_rows(cluster)),
+        }
+
+        # ----------------------------------------------------- slow
+        # a fail-closed twin must never emit a partial result
+        closed_injector = FaultInjector()
+        closed = ClusterDatabase(
+            shards=SHARDS,
+            shard_fault_injectors={VICTIM: closed_injector},
+            shard_deadline=DEADLINE_S,
+            shard_retries=0,
+            audit_policy="fail_closed",
+        )
+        _load(closed)
+        closed_injector.arm_latency(
+            "shard-scatter", delay_s=HANG_S, repeat=True
+        )
+        refused = 0
+        for sql in WORKLOAD:
+            try:
+                closed.execute(sql)
+                check(False,
+                      f"slow: fail_closed returned a partial result "
+                      f"for {sql!r}")
+            except ClusterDegradedError:
+                refused += 1
+        closed.close()
+
+        injector.arm_latency("shard-scatter", delay_s=HANG_S, repeat=True)
+        gaps_before = len(cluster.cluster_gaps)
+        degraded_queries = 0
+        for lhs, rhs in _run_both(truth, cluster, "bob"):
+            if sorted(lhs.rows_list(), key=repr) \
+                    != sorted(rhs.rows_list(), key=repr):
+                degraded_queries += 1
+        new_gaps = len(cluster.cluster_gaps) - gaps_before
+        check(new_gaps == degraded_queries,
+              f"slow: {degraded_queries} degraded reads but {new_gaps} "
+              f"recorded gaps (one per skipped shard per query expected)")
+        health = cluster.cluster_health()
+        check(health["deadline_timeouts"] >= 1,
+              "slow: no deadline timeout recorded against the hung shard")
+        report["phases"]["slow"] = {
+            "fail_closed_refusals": refused,
+            "degraded_queries": degraded_queries,
+            "gaps": new_gaps,
+            "deadline_timeouts": health["deadline_timeouts"],
+            "victim_state": health["shards"][VICTIM]["state"],
+        }
+
+        # ----------------------------------------------------- dead
+        injector.disarm()
+        if not cluster.health.is_quarantined(VICTIM):
+            injector.arm("shard-scatter", error=CrashError("shard died"))
+            cluster.execute(WORKLOAD[0])
+        check(cluster.cluster_health()["quarantined"] == [VICTIM],
+              "dead: CrashError did not quarantine the victim")
+        dead_key = next(
+            key for key in range(1000, 2000)
+            if shard_of(key, SHARDS) == VICTIM
+        )
+        try:
+            cluster.execute(
+                f"INSERT INTO patients VALUES ({dead_key}, 'x', 'flu', 1)"
+            )
+            check(False, "dead: INSERT to a quarantined owner was accepted")
+        except ClusterDegradedError:
+            pass
+        gaps_before = len(cluster.cluster_gaps)
+        for lhs, rhs in _run_both(truth, cluster, "carol"):
+            check(
+                len(rhs.rows_list()) <= len(lhs.rows_list()),
+                "dead: degraded result is not a subset of the truth's",
+            )
+        check(len(cluster.cluster_gaps) - gaps_before >= len(WORKLOAD),
+              "dead: degraded reads did not record a gap per query")
+        report["phases"]["dead"] = {
+            "gaps": len(cluster.cluster_gaps) - gaps_before,
+            "refused_inserts": 1,
+        }
+
+        # --------------------------------------------------- rejoin
+        recovery = cluster.rejoin_shard(VICTIM)
+        health = cluster.cluster_health()
+        check(health["quarantined"] == [],
+              "rejoin: victim still quarantined after rejoin_shard")
+        check(health["stale_replicas"] == [],
+              "rejoin: stale replicas not repaired")
+        check(recovery is not None and recovery.corrupt == 0,
+              "rejoin: journal replay reported corruption")
+        # replayed firings keep their original attribution: nothing in
+        # the cluster log may name a user the truth never saw
+        truth_users = {row[0] for row in _log_rows(truth)}
+        cluster_users = {row[0] for row in _log_rows(cluster)}
+        check(cluster_users <= truth_users,
+              f"rejoin: replay invented attribution "
+              f"{cluster_users - truth_users}")
+        # zero lost firings going forward: a fresh armed pass under a
+        # fresh user must fire identically on both sides
+        for lhs, rhs in _run_both(truth, cluster, "auditor"):
+            check(
+                sorted(lhs.rows_list(), key=repr)
+                == sorted(rhs.rows_list(), key=repr),
+                "rejoin: post-rejoin result parity broken",
+            )
+            check(lhs.accessed == rhs.accessed,
+                  "rejoin: post-rejoin ACCESSED parity broken")
+        truth_audit = [r for r in _log_rows(truth) if r[0] == "auditor"]
+        cluster_audit = [r for r in _log_rows(cluster) if r[0] == "auditor"]
+        check(truth_audit == cluster_audit,
+              f"rejoin: lost firings — {len(truth_audit)} expected, "
+              f"{len(cluster_audit)} fired")
+        report["phases"]["rejoin"] = {
+            "replayed": recovery.replayed if recovery else 0,
+            "skipped_applied": recovery.skipped_applied if recovery else 0,
+            "post_rejoin_firings": len(cluster_audit),
+        }
+    finally:
+        cluster.close()
+        truth.close()
+
+    report["ok"] = not report["violations"]
+    return report
+
+
+__all__ = ["WORKLOAD", "chaos_differential"]

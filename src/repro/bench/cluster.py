@@ -22,6 +22,13 @@ executing, releasing the GIL — N-way sharding divides the stall by ~N
 and overlaps the remainder, exactly the speedup a multi-node deployment
 gets from scanning partitions concurrently. The knob's value is recorded
 in the result JSON; compute-only times (knob = 0) are reported alongside.
+
+A final **slow-shard** section measures fault-tolerant tail latency: one
+shard's scatter site hangs for seconds per fragment while the
+coordinator runs with a sub-second ``shard_deadline`` and fail-open
+degraded reads. The recorded p99 must stay under deadline-plus-slack —
+queries pay the deadline, never the hang — and the breaker quarantines
+the hung shard so steady-state queries stop paying even that.
 """
 
 from __future__ import annotations
@@ -50,6 +57,15 @@ SEGMENT = "BUILDING"
 #: simulated per-row storage latency (µs); ~300 ms of modeled scan I/O
 #: per fragment at SF 0.1 single-shard
 IO_US_PER_ROW = 20.0
+
+#: slow-shard section: one shard hangs for this long per fragment...
+SLOW_SHARD_HANG_S = 5.0
+#: ...and the coordinator's per-fragment deadline caps the damage here
+SLOW_SHARD_DEADLINE_S = 0.25
+#: p99 acceptance bound: deadline + scheduling/cancellation slack —
+#: far below the hang, which is what "bounded tail latency" means
+SLOW_SHARD_P99_BOUND_S = SLOW_SHARD_DEADLINE_S + 0.5
+SLOW_SHARD_COUNT = 4
 
 #: scan-heavy armed workload: every query reads the whole customer
 #: partition on every shard and touches BUILDING customers (the
@@ -88,8 +104,10 @@ CREATE TABLE customer (
 """
 
 
-def _build_cluster(shards: int, scale_factor: float) -> ClusterDatabase:
-    cluster = ClusterDatabase(shards=shards)
+def _build_cluster(
+    shards: int, scale_factor: float, **cluster_kwargs
+) -> ClusterDatabase:
+    cluster = ClusterDatabase(shards=shards, **cluster_kwargs)
     cluster.execute(CUSTOMER_DDL)
     generator = TpchGenerator(scale_factor, seed=42)
     cluster.bulk_load("customer", generator.customer_rows())
@@ -174,7 +192,77 @@ def cluster_benchmark(
             }
         finally:
             cluster.close()
+    results["slow_shard"] = _slow_shard_section(scale_factor, repeats)
     return results
+
+
+def _slow_shard_section(scale_factor: float, repeats: int) -> dict:
+    """Tail latency with one hung shard: deadline-capped, not hang-capped.
+
+    One shard's scatter site sleeps ``SLOW_SHARD_HANG_S`` per fragment;
+    the coordinator runs with ``shard_deadline`` and fail-open degraded
+    reads. The per-query p99 must stay under the deadline-plus-slack
+    bound — the whole point of the fault-tolerance layer — and after
+    ``quarantine_after`` misses the breaker opens and queries stop
+    paying even the deadline.
+    """
+    from repro.testing.faults import FaultInjector
+
+    victim = SLOW_SHARD_COUNT - 1
+    injector = FaultInjector()
+    cluster = _build_cluster(
+        SLOW_SHARD_COUNT,
+        scale_factor,
+        shard_fault_injectors={victim: injector},
+        shard_deadline=SLOW_SHARD_DEADLINE_S,
+        shard_retries=0,
+        audit_policy="fail_open",
+        degraded_reads=True,
+    )
+    try:
+        healthy = _per_query_latencies(repeats, cluster)
+        injector.arm_latency(
+            "shard-scatter", delay_s=SLOW_SHARD_HANG_S, repeat=True
+        )
+        degraded = _per_query_latencies(repeats, cluster)
+        health = cluster.cluster_health()
+        return {
+            "shards": SLOW_SHARD_COUNT,
+            "victim": victim,
+            "hang_s": SLOW_SHARD_HANG_S,
+            "deadline_s": SLOW_SHARD_DEADLINE_S,
+            "healthy_p50_ms": _quantile(healthy, 0.5) * 1e3,
+            "healthy_p99_ms": _quantile(healthy, 0.99) * 1e3,
+            "degraded_p50_ms": _quantile(degraded, 0.5) * 1e3,
+            "degraded_p99_ms": _quantile(degraded, 0.99) * 1e3,
+            "p99_bound_ms": SLOW_SHARD_P99_BOUND_S * 1e3,
+            "p99_bounded": _quantile(degraded, 0.99)
+            <= SLOW_SHARD_P99_BOUND_S,
+            "deadline_timeouts": health["deadline_timeouts"],
+            "degraded_reads": health["degraded_reads"],
+            "victim_state": health["shards"][victim]["state"],
+            "audit_gaps": len(cluster.cluster_gaps),
+        }
+    finally:
+        cluster.close()
+
+
+def _per_query_latencies(
+    repeats: int, cluster: ClusterDatabase
+) -> list[float]:
+    samples: list[float] = []
+    for _ in range(repeats):
+        for _, sql in WORKLOAD:
+            start = time.perf_counter()
+            cluster.execute(sql)
+            samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, int(round(q * len(ordered))) - 1))
+    return ordered[index]
 
 
 def _best_of(repeats: int, cluster: ClusterDatabase) -> float:
@@ -195,6 +283,9 @@ __all__ = [
     "QUICK_SCALE_FACTOR",
     "QUICK_SHARD_COUNTS",
     "SHARD_COUNTS",
+    "SLOW_SHARD_DEADLINE_S",
+    "SLOW_SHARD_HANG_S",
+    "SLOW_SHARD_P99_BOUND_S",
     "WORKLOAD",
     "cluster_benchmark",
 ]

@@ -33,13 +33,27 @@ partition key; everything else broadcasts (replicated tables) or runs on
 shard 0 (reads of replicated data). Statements the coordinator cannot
 route soundly raise :class:`~repro.errors.ClusterRoutingError` rather
 than silently diverging from single-node semantics.
+
+Fault tolerance (DESIGN.md §12): every scatter fragment runs under an
+optional per-shard deadline with cooperative cancellation; transient
+(non-deterministic) fragment failures retry with jittered exponential
+backoff; a per-shard circuit breaker (:class:`~repro.cluster.health.
+HealthTracker`) quarantines shards that keep failing or die outright.
+Reads over a quarantined shard either degrade (``fail_open`` +
+``degraded_reads``: partial results from live shards, one audit gap per
+skipped shard) or refuse with :class:`~repro.errors.
+ClusterDegradedError`; DML that needs a quarantined shard always
+refuses; :meth:`ClusterDatabase.rejoin_shard` repairs and readmits a
+shard online, replaying its journal through the PR-4 recovery path.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import heapq
 import json
 import pathlib
+import random
 import threading
 import time
 from collections import Counter
@@ -50,15 +64,20 @@ from dataclasses import dataclass
 from repro.audit.placement import HEURISTIC_HCN
 from repro.catalog.schema import Column, TableSchema
 from repro.cluster.fragments import check_routable, split_plan
+from repro.cluster.health import HealthTracker, backoff_delay
 from repro.cluster.topology import Topology, shard_of
-from repro.concurrency import EMPTY_STATS
+from repro.concurrency import EMPTY_STATS, CancellationToken, interruptible_sleep
 from repro.database import Database, QueryResult
 from repro.datatypes import value_sort_key
 from repro.errors import (
     AccessDeniedError,
+    ClusterDegradedError,
     ClusterError,
     ClusterRoutingError,
     DurabilityError,
+    OperationCancelledError,
+    ReproError,
+    ShardTimeoutError,
     TriggerError,
     UnsupportedSqlError,
 )
@@ -74,8 +93,13 @@ from repro.plancache import PlanCache
 from repro.sql import ast
 from repro.sql.parser import parse_statement, parse_statements
 from repro.storage.table import Table
-from repro.testing.faults import NO_FAULTS, FaultInjector
+from repro.testing.faults import NO_FAULTS, CrashError, FaultInjector
 from repro.triggers.manager import MAX_TRIGGER_DEPTH
+
+#: how long the coordinator waits for a cancelled fragment to reach its
+#: next cooperative checkpoint before abandoning its context (latency
+#: faults check their token every 10 ms; ``collect_rows`` every batch)
+CANCEL_GRACE_S = 1.0
 
 #: DDL statement classes replayed when a cluster is reshard()-ed
 _LOGGED_DDL = (
@@ -267,12 +291,56 @@ class ClusterDatabase:
         audit_policy: str = "fail_open",
         fault_injector: FaultInjector | None = None,
         shard_fault_injectors: dict[int, FaultInjector] | None = None,
+        shard_deadline: float | None = None,
+        shard_retries: int = 2,
+        retry_backoff_base: float = 0.02,
+        retry_backoff_cap: float = 0.5,
+        degraded_reads: bool = True,
+        suspect_after: int = 1,
+        quarantine_after: int = 3,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if shard_deadline is not None and shard_deadline <= 0:
+            raise ValueError(
+                f"shard_deadline must be > 0, got {shard_deadline}"
+            )
+        if shard_retries < 0:
+            raise ValueError(f"shard_retries must be >= 0, got {shard_retries}")
         self.topology = Topology(shards)
         self.session = Session(user_id=user_id, clock=clock)
         self.faults = fault_injector or NO_FAULTS
+        #: per-fragment deadline (seconds) on the parallel scatter path;
+        #: None disables deadlines (a fragment may run arbitrarily long)
+        self.shard_deadline = shard_deadline
+        #: transient-failure retry budget per fragment (reads only — DML
+        #: is never retried, it is not idempotent)
+        self.shard_retries = shard_retries
+        self.retry_backoff_base = retry_backoff_base
+        self.retry_backoff_cap = retry_backoff_cap
+        #: serve partial results from live shards under ``fail_open``
+        #: when a shard is down (each skip records an audit gap); off —
+        #: or ``fail_closed`` — refuses with ClusterDegradedError
+        self.degraded_reads = degraded_reads
+        self.health = HealthTracker(
+            shards,
+            suspect_after=suspect_after,
+            quarantine_after=quarantine_after,
+        )
+        #: coordinator-level audit gaps (skipped-shard reads); shard-level
+        #: gaps live on the shards themselves
+        self._cluster_gaps: list[dict] = []
+        self._acknowledged_cluster_gaps = 0
+        #: replicated tables whose replicas diverged while a shard was
+        #: down (DML skipped it); repaired from a live copy at rejoin
+        self._stale_replicas: set[str] = set()
+        self._stats_lock = threading.Lock()
+        self._degraded_read_count = 0
+        self._scatter_retry_count = 0
+        self._deadline_timeout_count = 0
+        #: deterministic jitter source for retry backoff (seeded so runs
+        #: are reproducible; property tests drive backoff_delay directly)
+        self._retry_rng = random.Random(0x5EED)
         self._user_id = user_id
         self._clock = clock
         self._heuristic = audit_heuristic
@@ -416,7 +484,18 @@ class ClusterDatabase:
 
     @property
     def audit_gaps(self) -> list[dict]:
-        return [gap for shard in self._shards for gap in shard.audit_gaps]
+        """Shard-level gaps plus coordinator-level (skipped-shard) gaps."""
+        merged = [
+            gap for shard in self._shards for gap in shard.audit_gaps
+        ]
+        merged.extend(self._cluster_gaps)
+        return merged
+
+    @property
+    def cluster_gaps(self) -> list[dict]:
+        """Coordinator-level audit gaps only (degraded reads, lost
+        journal slices) — each carries the shard index it blames."""
+        return list(self._cluster_gaps)
 
     @property
     def trigger_errors(self) -> list:
@@ -551,18 +630,93 @@ class ClusterDatabase:
             f"cannot execute {type(statement).__name__}"
         )
 
+    def _shard_dml_guard(self, index: int) -> None:
+        """Fire the ``shard-dml`` fault site for one write hand-off.
+
+        DML is never retried (it is not idempotent: a replayed INSERT
+        double-inserts). A simulated shard death quarantines the shard
+        immediately; a component failure counts against its breaker and
+        propagates to the caller.
+        """
+        shard = self._shards[index]
+        try:
+            shard.faults.fire("shard-dml")
+        except CrashError as exc:
+            self.health.record_failure(index, exc, fatal=True)
+            raise ClusterDegradedError(
+                f"shard {index} died while applying DML; it has been "
+                "quarantined — rejoin_shard() to restore it",
+                shards=(index,),
+            ) from exc
+        except Exception as exc:
+            self.health.record_failure(index, exc)
+            raise
+
+    def _refuse_quarantined_write(self, what: str) -> None:
+        """Refuse a statement that must apply on *every* shard."""
+        quarantined = self.health.quarantined()
+        if quarantined:
+            raise ClusterDegradedError(
+                f"{what} requires all shards, but shard(s) "
+                f"{list(quarantined)} are quarantined; rejoin_shard() "
+                "to restore them",
+                shards=quarantined,
+            )
+
     def _broadcast(
         self,
         statement: ast.Statement,
         parameters: dict[str, object] | None,
+        replicated_table: str | None = None,
     ) -> list[QueryResult]:
-        """Run one statement on every shard under this query's identity."""
+        """Run one statement on every shard under this query's identity.
+
+        ``replicated_table`` marks the statement as DML over a
+        replicated table: with a shard quarantined it still applies on
+        the live shards (availability for e.g. trigger-body audit-log
+        INSERTs) and the table is marked stale so rejoin repairs the
+        lagging replica. All other broadcasts — DDL, transactions,
+        partitioned-table DML — refuse while any shard is down, because
+        applying them on a subset would diverge the cluster.
+        """
+        quarantined = self.health.quarantined()
+        if quarantined:
+            if replicated_table is None:
+                self._refuse_quarantined_write(
+                    f"{type(statement).__name__}"
+                )
+            else:
+                self._stale_replicas.add(replicated_table)
         results = []
-        for shard in self._shards:
+        for index, shard in enumerate(self._shards):
+            if index in quarantined:
+                continue
+            if replicated_table is not None or isinstance(
+                statement, (ast.UpdateStatement, ast.DeleteStatement)
+            ):
+                try:
+                    self._shard_dml_guard(index)
+                except ClusterDegradedError:
+                    # shard died mid-broadcast; for replicated DML the
+                    # live replicas carry on and rejoin repairs this one
+                    if replicated_table is not None:
+                        self._stale_replicas.add(replicated_table)
+                        continue
+                    raise
+                except Exception:
+                    if replicated_table is not None:
+                        # earlier replicas already applied the statement
+                        self._stale_replicas.add(replicated_table)
+                    raise
             with shard.session.override(
                 self.session.sql_text, self.session.user_id
             ):
                 results.append(shard._execute_statement(statement, parameters))
+        if not results:
+            raise ClusterDegradedError(
+                "no live shard could apply the statement",
+                shards=quarantined,
+            )
         return results
 
     # ------------------------------------------------------------------
@@ -680,6 +834,14 @@ class ClusterDatabase:
     ) -> list[tuple]:
         """Run a compiled SELECT (no trigger side effects)."""
         if entry.kind == "single":
+            if self.health.is_quarantined(0):
+                # unroutable plans are bound to shard 0's catalog; there
+                # is no partial result to degrade to
+                raise ClusterDegradedError(
+                    "shard 0 is quarantined and this statement routes "
+                    "entirely to it; rejoin_shard(0) to restore service",
+                    shards=(0,),
+                )
             shard0 = self._shards[0]
             context = self._shard_context(shard0, parameters, tombstones)
             try:
@@ -715,6 +877,60 @@ class ClusterDatabase:
             rowcount=len(rows),
         )
 
+    def _note_cluster_gap(
+        self, site: str, shard_index: int, error: object
+    ) -> None:
+        """Record one coordinator-level audit gap (a skipped shard)."""
+        self._cluster_gaps.append({
+            "site": site,
+            "shard": shard_index,
+            "error": repr(error) if isinstance(error, BaseException)
+            else str(error),
+            "sql": self.session.sql_text,
+            "user": self.session.user_id,
+        })
+
+    def _degraded_reads_allowed(self) -> bool:
+        return self.degraded_reads and self.audit_policy == "fail_open"
+
+    def _refuse_degraded(
+        self, failures: list[tuple[int, object]]
+    ) -> ClusterDegradedError:
+        """Build the typed refusal for a read that lost shards."""
+        indices = tuple(sorted({index for index, _ in failures}))
+        detail = "; ".join(
+            f"shard {index}: {error}" for index, error in failures
+        )
+        error = ClusterDegradedError(
+            f"{len(indices)} shard(s) unavailable and the degraded-read "
+            f"policy refuses partial results ({detail})", shards=indices,
+        )
+        for _, cause in failures:
+            if isinstance(cause, BaseException):
+                error.__cause__ = cause
+                break
+        return error
+
+    def _absorb_degraded_read(
+        self, failures: list[tuple[int, object]]
+    ) -> None:
+        """Apply the degraded-read policy to a scatter that lost shards.
+
+        ``fail_open`` + ``degraded_reads``: serve partial results, one
+        coordinator-level audit gap per lost shard (the skipped
+        partition may hold sensitive rows this query would have
+        disclosed — the trail must show the blind spot). Otherwise the
+        read refuses with :class:`ClusterDegradedError`.
+        """
+        if not failures:
+            return
+        if not self._degraded_reads_allowed():
+            raise self._refuse_degraded(failures)
+        with self._stats_lock:
+            self._degraded_read_count += 1
+        for index, error in failures:
+            self._note_cluster_gap("shard-read", index, error)
+
     def _run_scatter(
         self,
         entry: _CompiledSelect,
@@ -723,10 +939,27 @@ class ClusterDatabase:
         tombstones: dict[str, set] | None = None,
     ) -> list[tuple]:
         shards = self._shards
-        contexts = [
-            self._shard_context(shard, parameters, tombstones)
-            for shard in shards
+        quarantined = self.health.quarantined()
+        #: (shard index, error) per shard this scatter could not serve
+        failures: list[tuple[int, object]] = []
+        if quarantined:
+            if not self._degraded_reads_allowed():
+                raise self._refuse_degraded(
+                    [(index, "quarantined") for index in quarantined]
+                )
+            failures.extend(
+                (index, f"quarantined: {self.health.describe()[index]['quarantine_reason']}")
+                for index in quarantined
+            )
+        live = [
+            index for index in range(len(shards))
+            if index not in quarantined
         ]
+        #: every context a fragment attempt ran under, per shard —
+        #: partial ACCESSED of failed/retried attempts still merges
+        attempt_contexts: dict[int, list[ExecutionContext]] = {
+            index: [] for index in live
+        }
         stall_s = self.simulated_stall_ms / 1000.0
         io_us = self.simulated_io_us_per_row
 
@@ -742,17 +975,53 @@ class ClusterDatabase:
                 total += stored * io_us / 1e6
             return total
 
-        def run_fragment(index: int) -> list[tuple]:
-            fragment_stall = _fragment_stall(index)
-            if fragment_stall > 0:
-                time.sleep(fragment_stall)  # releases the GIL, like real I/O
+        def run_fragment(
+            index: int, token: CancellationToken | None = None
+        ) -> list[tuple]:
+            """One shard's fragment, with bounded transient retries.
+
+            Deterministic engine errors (``ReproError``, including the
+            canceller-induced ``OperationCancelledError``) and simulated
+            shard death (``CrashError``) propagate immediately; anything
+            else is infrastructure trouble a re-run of an idempotent
+            read may survive, so it retries up to ``shard_retries``
+            times with jittered exponential backoff.
+            """
             shard = shards[index]
-            with shard._engine_lock.read():
-                return collect_rows(
-                    entry.fragment_physicals[index],
-                    contexts[index],
-                    mode=self.exec_mode,
-                )
+            attempt = 0
+            while True:
+                context = self._shard_context(shard, parameters, tombstones)
+                context.cancel_token = token
+                attempt_contexts[index].append(context)
+                try:
+                    shard.faults.fire("shard-scatter", cancel=token)
+                    fragment_stall = _fragment_stall(index)
+                    if fragment_stall > 0:
+                        # releases the GIL, like real I/O
+                        interruptible_sleep(fragment_stall, token)
+                    with shard._engine_lock.read():
+                        return collect_rows(
+                            entry.fragment_physicals[index],
+                            context,
+                            mode=self.exec_mode,
+                        )
+                except ReproError:
+                    raise
+                except Exception as exc:
+                    if attempt >= self.shard_retries or (
+                        token is not None and token.cancelled
+                    ):
+                        raise
+                    attempt += 1
+                    with self._stats_lock:
+                        self._scatter_retry_count += 1
+                        delay = backoff_delay(
+                            attempt - 1,
+                            self.retry_backoff_base,
+                            self.retry_backoff_cap,
+                            self._retry_rng,
+                        )
+                    interruptible_sleep(delay, token)
 
         # fragments run inline (caller's thread) during trigger firing:
         # the coordinator holds every shard's write lock there, and only
@@ -763,32 +1032,104 @@ class ClusterDatabase:
             or getattr(self._trigger_local, "firing", 0) > 0
         )
         per_shard: list[list[tuple]] = [[] for _ in shards]
-        error: BaseException | None = None
+        #: deterministic query error to propagate (single-node parity)
+        abort: BaseException | None = None
         if inline:
-            for index in range(len(shards)):
-                if error is not None:
+            for index in live:
+                if abort is not None:
                     break
                 try:
                     per_shard[index] = run_fragment(index)
-                except BaseException as exc:  # noqa: BLE001 - §II abort path
-                    error = exc
+                    self.health.record_success(index)
+                except CrashError as exc:
+                    self.health.record_failure(index, exc, fatal=True)
+                    failures.append((index, exc))
+                except ReproError as exc:
+                    abort = exc
+                except Exception as exc:
+                    self.health.record_failure(index, exc)
+                    failures.append((index, exc))
+            for index in live:
+                for context in attempt_contexts[index]:
+                    _merge_accessed(accessed_out, context.accessed)
         else:
-            futures = [
-                self._pool_get().submit(run_fragment, index)
-                for index in range(len(shards))
-            ]
-            for index, future in enumerate(futures):
+            tokens = {index: CancellationToken() for index in live}
+            futures = {
+                index: self._pool_get().submit(
+                    run_fragment, index, tokens[index]
+                )
+                for index in live
+            }
+            deadline = (
+                None if self.shard_deadline is None
+                else time.monotonic() + self.shard_deadline
+            )
+
+            def cancel_outstanding() -> None:
+                for other, future in futures.items():
+                    if not future.done():
+                        tokens[other].cancel()
+
+            for index, future in futures.items():
+                if abort is not None:
+                    # the query is aborting: outstanding fragments were
+                    # cancelled; give them one grace period to unwind
+                    timeout: float | None = CANCEL_GRACE_S
+                elif deadline is None:
+                    timeout = None
+                else:
+                    timeout = max(deadline - time.monotonic(), 0.0)
                 try:
-                    per_shard[index] = future.result()
-                except BaseException as exc:  # noqa: BLE001
-                    if error is None:
-                        error = exc
-        # union ACCESSED before any abort propagates: partially-executed
-        # fragments already touched sensitive rows
-        for context in contexts:
-            _merge_accessed(accessed_out, context.accessed)
-        if error is not None:
-            raise error
+                    rows = future.result(timeout=timeout)
+                except concurrent.futures.TimeoutError:
+                    tokens[index].cancel()
+                    if abort is None:
+                        with self._stats_lock:
+                            self._deadline_timeout_count += 1
+                        miss = ShardTimeoutError(
+                            f"shard {index} missed the "
+                            f"{self.shard_deadline}s fragment deadline"
+                        )
+                        self.health.record_failure(index, miss)
+                        failures.append((index, miss))
+                    continue
+                except OperationCancelledError:
+                    # the fragment honoured a cancellation we issued
+                    continue
+                except CrashError as exc:
+                    self.health.record_failure(index, exc, fatal=True)
+                    failures.append((index, exc))
+                    continue
+                except ReproError as exc:
+                    # deterministic error — single-node parity demands
+                    # it propagate unchanged; stop wasting shard time
+                    if abort is None:
+                        abort = exc
+                        cancel_outstanding()
+                    continue
+                except Exception as exc:
+                    self.health.record_failure(index, exc)
+                    failures.append((index, exc))
+                    continue
+                per_shard[index] = rows
+                self.health.record_success(index)
+            # wait briefly for cancelled stragglers to hit a checkpoint
+            # and release their shard read locks
+            pending = [f for f in futures.values() if not f.done()]
+            if pending:
+                concurrent.futures.wait(pending, timeout=CANCEL_GRACE_S)
+            # union ACCESSED before any abort propagates: partially-
+            # executed fragments already touched sensitive rows. A
+            # fragment still wedged past the grace period is skipped —
+            # its context is live on another thread, and its shard's
+            # loss is already recorded as a failure.
+            for index in live:
+                if futures[index].done():
+                    for context in attempt_contexts[index]:
+                        _merge_accessed(accessed_out, context.accessed)
+        if abort is not None:
+            raise abort
+        self._absorb_degraded_read(failures)
         merged = self._gather(per_shard, entry, parameters)
         if entry.upper_physical is None:
             return merged
@@ -880,6 +1221,12 @@ class ClusterDatabase:
         shard the hash routes them to — the shard whose journal must
         survive for that ID's firing to be replayable. IDs of replicated
         sensitive tables are journaled on shard 0.
+
+        A shard whose journal cannot take its slice (quarantined, or the
+        ``shard-journal`` fault site fires) feeds the audit policy:
+        ``fail_open`` records the gap and the query proceeds,
+        ``fail_closed`` raises — the other shards' slices already
+        journaled stay (their IDs' firings remain replayable).
         """
         if self._journal_root is None:
             return []
@@ -909,11 +1256,43 @@ class ClusterDatabase:
                     subset[name] = owned
             if not subset:
                 continue
+            if self.health.is_quarantined(index):
+                self._journal_slice_failed(
+                    index,
+                    ClusterDegradedError(
+                        f"shard {index}'s journal is quarantined",
+                        shards=(index,),
+                    ),
+                )
+                continue
+            try:
+                shard.faults.fire("shard-journal")
+            except CrashError as exc:
+                self.health.record_failure(index, exc, fatal=True)
+                self._journal_slice_failed(index, exc)
+                continue
+            except Exception as exc:
+                self.health.record_failure(index, exc)
+                self._journal_slice_failed(index, exc)
+                continue
             with shard.session.override(
                 self.session.sql_text, self.session.user_id
             ):
                 seqs.append((shard, shard._journal_intent(subset)))
         return seqs
+
+    def _journal_slice_failed(
+        self, index: int, error: BaseException
+    ) -> None:
+        """Apply the audit policy to one shard's unjournalable slice."""
+        if self.audit_policy == "fail_closed":
+            from repro.errors import AuditUnavailableError
+
+            raise AuditUnavailableError(
+                f"audit trail unavailable at shard-journal (shard "
+                f"{index}): {error}"
+            ) from error
+        self._note_cluster_gap("shard-journal", index, error)
 
     def _fire_accessed(self, accessed: dict, timing: str) -> None:
         if not accessed:
@@ -1053,20 +1432,44 @@ class ClusterDatabase:
             shard0._arrange_insert_row(schema, statement.columns, values)
             for values in value_rows
         ]
-        partitioned = self.topology.partitioned(table_name)
         count = len(self._shards)
-        routed: dict[int, list[tuple]] = {}
-        if partitioned is not None and count > 1:
-            for row in full_rows:
-                owner = shard_of(row[partitioned.position], count)
-                routed.setdefault(owner, []).append(row)
+        owned = self.topology.partition_rows(table_name, full_rows)
+        replicated = owned is None
+        if replicated:
+            routed = {index: full_rows for index in range(count)}
         else:
-            for index in range(count):
-                routed[index] = full_rows
+            routed = owned
+        quarantined = self.health.quarantined()
+        if quarantined and not replicated:
+            # a partitioned INSERT is refused only when one of *its* rows
+            # routes to a dead shard — and before any row lands anywhere
+            owners_down = sorted(set(routed) & set(quarantined))
+            if owners_down:
+                raise ClusterDegradedError(
+                    f"INSERT routes rows to quarantined shard(s) "
+                    f"{owners_down}; rejoin_shard() to restore them",
+                    shards=tuple(owners_down),
+                )
         for index in sorted(routed):
             rows = routed[index]
             if not rows:
                 continue
+            if index in quarantined:
+                # replicated INSERT: live replicas proceed, this one is
+                # repaired from a live copy at rejoin
+                self._stale_replicas.add(table_name)
+                continue
+            try:
+                self._shard_dml_guard(index)
+            except ClusterDegradedError:
+                if replicated:
+                    self._stale_replicas.add(table_name)
+                    continue
+                raise
+            except Exception:
+                if replicated and index > 0:
+                    self._stale_replicas.add(table_name)
+                raise
             shard = self._shards[index]
             literal_statement = ast.InsertStatement(
                 table=statement.table,
@@ -1103,7 +1506,11 @@ class ClusterDatabase:
             [expression for _, expression in statement.assignments]
             + [statement.where]
         )
-        results = self._broadcast(statement, parameters)
+        results = self._broadcast(
+            statement,
+            parameters,
+            replicated_table=None if partitioned is not None else table_name,
+        )
         if partitioned is not None and len(self._shards) > 1:
             return QueryResult(
                 rowcount=sum(result.rowcount for result in results)
@@ -1117,7 +1524,12 @@ class ClusterDatabase:
     ) -> QueryResult:
         table_name = statement.table.lower()
         self._assert_no_partitioned_subqueries([statement.where])
-        results = self._broadcast(statement, parameters)
+        partitioned_table = self.topology.is_partitioned(table_name)
+        results = self._broadcast(
+            statement,
+            parameters,
+            replicated_table=None if partitioned_table else table_name,
+        )
         if (
             self.topology.is_partitioned(table_name)
             and len(self._shards) > 1
@@ -1402,10 +1814,16 @@ class ClusterDatabase:
         return ClusterRecoveryReport(reports=tuple(reports))
 
     def audit_trail_health(self) -> dict[str, int]:
+        """Cluster-wide trail damage: per-shard counters summed, plus
+        the coordinator's own gaps (degraded reads, lost journal
+        slices) folded into ``audit_gaps``."""
         merged: dict[str, int] = {}
         for shard in self._shards:
             for key, value in shard.audit_trail_health().items():
                 merged[key] = merged.get(key, 0) + value
+        merged["audit_gaps"] = merged.get("audit_gaps", 0) + max(
+            0, len(self._cluster_gaps) - self._acknowledged_cluster_gaps
+        )
         return merged
 
     def acknowledge_audit_failures(self) -> dict[str, int]:
@@ -1413,7 +1831,105 @@ class ClusterDatabase:
         for shard in self._shards:
             for key, value in shard.acknowledge_audit_failures().items():
                 merged[key] = merged.get(key, 0) + value
+        unacknowledged = max(
+            0, len(self._cluster_gaps) - self._acknowledged_cluster_gaps
+        )
+        self._acknowledged_cluster_gaps += unacknowledged
+        merged["audit_gaps"] = merged.get("audit_gaps", 0) + unacknowledged
         return merged
+
+    # ------------------------------------------------------------------
+    # shard health: quarantine, degraded mode, online rejoin
+
+    def cluster_health(self) -> dict:
+        """JSON-ready cluster fault-tolerance snapshot.
+
+        Surfaced over the wire by the server's ``health`` frame next to
+        :meth:`audit_trail_health`, so operators can tell *why* reads
+        are degraded, not just that gaps are accumulating.
+        """
+        with self._stats_lock:
+            degraded = self._degraded_read_count
+            retries = self._scatter_retry_count
+            timeouts = self._deadline_timeout_count
+        return {
+            "shards": self.health.describe(),
+            "quarantined": list(self.health.quarantined()),
+            "degraded_reads": degraded,
+            "scatter_retries": retries,
+            "deadline_timeouts": timeouts,
+            "stale_replicas": sorted(self._stale_replicas),
+            "cluster_gaps": len(self._cluster_gaps),
+            "shard_deadline": self.shard_deadline,
+            "shard_retries": self.shard_retries,
+            "degraded_reads_enabled": self.degraded_reads,
+        }
+
+    def quarantine_shard(self, index: int, reason: str = "operator") -> None:
+        """Administratively quarantine a shard (maintenance, tests)."""
+        if not 0 <= index < len(self._shards):
+            raise ValueError(f"no shard {index}")
+        self.health.quarantine(index, reason)
+
+    def rejoin_shard(self, index: int, strict: bool = True):
+        """Repair, readmit, and catch up a quarantined shard — online.
+
+        Three steps, no coordinator restart:
+
+        1. **replica repair** — replicated tables that took DML while
+           this shard was out (``stale_replicas``) are recopied from a
+           live shard, and ID views over them refreshed;
+        2. **readmit** — the circuit breaker resets, so routing sees the
+           shard again (replayed trigger bodies in step 3 can route DML
+           to it);
+        3. **journal replay** — the shard's own audit journal replays
+           through the PR-4 recovery path: intents whose firing never
+           committed re-fire through the coordinator with their original
+           user and SQL attribution; already-applied sequences are
+           skipped, so rejoin after a clean quarantine is a no-op.
+
+        Returns the shard's :class:`~repro.durability.recovery.
+        RecoveryReport`, or ``None`` when no journal is attached.
+        """
+        from repro.durability.recovery import recover_database
+
+        if not 0 <= index < len(self._shards):
+            raise ValueError(f"no shard {index}")
+        if not self.health.is_quarantined(index):
+            raise ClusterError(
+                f"shard {index} is not quarantined; nothing to rejoin"
+            )
+        shard = self._shards[index]
+        live = [
+            i for i in self.health.live() if i != index
+        ]
+        if self._stale_replicas and live:
+            source = self._shards[live[0]]
+            with self._all_write_locks():
+                for name in sorted(self._stale_replicas):
+                    if not shard.catalog.has_table(name):
+                        continue
+                    rows = list(source.catalog.table(name).rows())
+                    table = shard.catalog.table(name)
+                    table.truncate()
+                    table.bulk_load(rows)
+                for expression in shard.audit_manager.expressions():
+                    if expression.sensitive_table in self._stale_replicas:
+                        shard.audit_manager.view(expression.name).refresh()
+        self.health.readmit(index)
+        if not self.health.quarantined():
+            # every lagging replica has been repaired; the set only
+            # clears once no shard remains out of date
+            self._stale_replicas.clear()
+        report = None
+        if self._journal_root is not None:
+            shard_path = self._journal_root / f"shard-{index}"
+            if shard_path.exists():
+                adapter = _ShardRecoveryAdapter(self, shard)
+                report = recover_database(
+                    adapter, shard_path, strict=strict
+                )
+        return report
 
     # ------------------------------------------------------------------
     # offline audit (Definition 2.3 at cluster scope)
@@ -1491,6 +2007,13 @@ class ClusterDatabase:
             )
         if self.in_transaction:
             raise ClusterError("cannot reshard inside an open transaction")
+        if self.health.quarantined():
+            raise ClusterDegradedError(
+                "cannot reshard while shard(s) "
+                f"{list(self.health.quarantined())} are quarantined; "
+                "rejoin_shard() them first",
+                shards=self.health.quarantined(),
+            )
         old_shards = self._shards
         shard0 = old_shards[0]
         data: dict[str, list[tuple]] = {}
@@ -1543,6 +2066,8 @@ class ClusterDatabase:
                 self._pool.shutdown(wait=True)
                 self._pool = None
         self._shards = new_shards
+        self.health.reset(shard_count)
+        self._stale_replicas.clear()
         self.plan_cache.clear()
         for shard in old_shards:
             shard.close()
@@ -1554,6 +2079,7 @@ def connect_cluster(**kwargs) -> ClusterDatabase:
 
 
 __all__ = [
+    "CANCEL_GRACE_S",
     "ClusterDatabase",
     "ClusterRecoveryReport",
     "connect_cluster",

@@ -1,0 +1,194 @@
+"""Per-shard health tracking: a consecutive-failure circuit breaker.
+
+The coordinator classifies every shard interaction (scatter fragment,
+DML hand-off, journal append) as a success or a failure and feeds the
+outcome to a :class:`HealthTracker`. Each shard walks a three-state
+circuit:
+
+* **healthy** — the steady state; every success resets to it;
+* **suspect** — at least ``suspect_after`` consecutive failures; the
+  shard still serves traffic (failures may be transient and idempotent
+  reads retry), but operators can see trouble building in
+  ``cluster_health()``;
+* **quarantined** — ``quarantine_after`` consecutive failures, or one
+  *fatal* failure (a :class:`~repro.testing.faults.CrashError`, the
+  simulated shard death). A quarantined shard is skipped on the scatter
+  path (degraded reads), refused on the DML path, and stays out until
+  :meth:`~repro.cluster.coordinator.ClusterDatabase.rejoin_shard`
+  repairs and readmits it — the breaker never half-opens by itself,
+  because an embedded shard cannot recover behind the coordinator's
+  back.
+
+The module also owns :func:`backoff_delay`, the jittered exponential
+backoff used between scatter retries. The contract property tests pin
+down: every delay lies in ``[base, cap]``, and the *range* jitter is
+drawn from grows exponentially with the attempt number until it
+saturates at ``cap``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: shard circuit-breaker states
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+QUARANTINED = "quarantined"
+
+
+def backoff_delay(attempt: int, base: float, cap: float, rng) -> float:
+    """Jittered exponential backoff delay for retry ``attempt`` (0-based).
+
+    Returns ``base + U[0, 1) * (min(cap, base * 2**attempt) - base)`` —
+    i.e. uniform over ``[base, min(cap, base * 2**attempt))``, so every
+    delay is at least ``base`` (never hammer immediately), never exceeds
+    ``cap`` (deadlines stay meaningful), and concurrent retriers spread
+    out instead of thundering in lockstep.
+    """
+    if base < 0 or cap < base:
+        raise ValueError(
+            f"need 0 <= base <= cap, got base={base!r} cap={cap!r}"
+        )
+    ceiling = min(cap, base * (2 ** max(attempt, 0)))
+    return base + rng.random() * (ceiling - base)
+
+
+class HealthTracker:
+    """Consecutive-failure circuit breaker over a fixed shard set.
+
+    Thread-safe: scatter workers record outcomes concurrently. State
+    only moves *towards* quarantine on failures and resets on success;
+    readmission is an explicit administrative act (:meth:`readmit`).
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        suspect_after: int = 1,
+        quarantine_after: int = 3,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        if suspect_after < 1 or quarantine_after < suspect_after:
+            raise ValueError(
+                "need 1 <= suspect_after <= quarantine_after, got "
+                f"{suspect_after} / {quarantine_after}"
+            )
+        self.suspect_after = suspect_after
+        self.quarantine_after = quarantine_after
+        self._lock = threading.Lock()
+        self._states: list[str] = []
+        self._consecutive: list[int] = []
+        self._last_error: list[str | None] = []
+        self._quarantine_reason: list[str | None] = []
+        self.reset(shard_count)
+
+    def reset(self, shard_count: int) -> None:
+        """Forget all history (reshard / rebuild)."""
+        with self._lock:
+            self._states = [HEALTHY] * shard_count
+            self._consecutive = [0] * shard_count
+            self._last_error = [None] * shard_count
+            self._quarantine_reason = [None] * shard_count
+
+    # ------------------------------------------------------------------
+    # outcome recording
+
+    def record_success(self, index: int) -> None:
+        """A shard interaction completed; clears suspect state.
+
+        Deliberately does *not* clear quarantine: a quarantined shard is
+        skipped by routing, so a success attributed to it would be a
+        coordinator bug, not a recovery signal.
+        """
+        with self._lock:
+            if self._states[index] == QUARANTINED:
+                return
+            self._states[index] = HEALTHY
+            self._consecutive[index] = 0
+            self._last_error[index] = None
+
+    def record_failure(
+        self, index: int, error: BaseException, fatal: bool = False
+    ) -> str:
+        """Record one failed interaction; returns the resulting state.
+
+        ``fatal=True`` (simulated process death) quarantines immediately
+        — there is no point probing a dead shard ``quarantine_after``
+        times.
+        """
+        with self._lock:
+            self._last_error[index] = repr(error)
+            self._consecutive[index] += 1
+            if fatal or self._consecutive[index] >= self.quarantine_after:
+                self._states[index] = QUARANTINED
+                self._quarantine_reason[index] = repr(error)
+            elif self._consecutive[index] >= self.suspect_after:
+                if self._states[index] != QUARANTINED:
+                    self._states[index] = SUSPECT
+            return self._states[index]
+
+    def quarantine(self, index: int, reason: str) -> None:
+        """Administratively quarantine a shard (maintenance, tests)."""
+        with self._lock:
+            self._states[index] = QUARANTINED
+            self._quarantine_reason[index] = reason
+
+    def readmit(self, index: int) -> None:
+        """Return a quarantined shard to service with a clean slate."""
+        with self._lock:
+            self._states[index] = HEALTHY
+            self._consecutive[index] = 0
+            self._last_error[index] = None
+            self._quarantine_reason[index] = None
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def state(self, index: int) -> str:
+        with self._lock:
+            return self._states[index]
+
+    def is_quarantined(self, index: int) -> bool:
+        with self._lock:
+            return self._states[index] == QUARANTINED
+
+    def live(self) -> tuple[int, ...]:
+        """Indices of shards eligible for traffic (healthy or suspect)."""
+        with self._lock:
+            return tuple(
+                index
+                for index, state in enumerate(self._states)
+                if state != QUARANTINED
+            )
+
+    def quarantined(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(
+                index
+                for index, state in enumerate(self._states)
+                if state == QUARANTINED
+            )
+
+    def describe(self) -> list[dict]:
+        """JSON-ready per-shard snapshot (``cluster_health()`` payload)."""
+        with self._lock:
+            return [
+                {
+                    "shard": index,
+                    "state": self._states[index],
+                    "consecutive_failures": self._consecutive[index],
+                    "last_error": self._last_error[index],
+                    "quarantine_reason": self._quarantine_reason[index],
+                }
+                for index in range(len(self._states))
+            ]
+
+
+__all__ = [
+    "HEALTHY",
+    "SUSPECT",
+    "QUARANTINED",
+    "HealthTracker",
+    "backoff_delay",
+]

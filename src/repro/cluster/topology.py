@@ -84,6 +84,26 @@ class Topology:
             raise KeyError(f"table {table!r} is not partitioned")
         return shard_of(value, self.shard_count)
 
+    def partition_rows(
+        self, table: str, rows
+    ) -> dict[int, list[tuple]] | None:
+        """Group full rows of ``table`` by owning shard.
+
+        Returns ``None`` when the table is replicated (or the cluster has
+        one shard) — i.e. when there is nothing to route. Used by INSERT
+        routing, bulk loading, and the quarantine refusal check (an
+        INSERT is refused only when a row's *owner* is down).
+        """
+        entry = self.partitioned(table)
+        if entry is None or self.shard_count <= 1:
+            return None
+        owned: dict[int, list[tuple]] = {}
+        for row in rows:
+            owned.setdefault(
+                shard_of(row[entry.position], self.shard_count), []
+            ).append(row)
+        return owned
+
     def add_partitioned(
         self, table: str, column: str, position: int
     ) -> None:

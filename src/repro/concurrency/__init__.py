@@ -16,8 +16,17 @@ The engine's concurrency model (DESIGN.md §7) is two-layered:
   the network server admits each statement through the gate, and
   shutdown closes it and drains before the trigger pipeline and the
   audit journal are closed (DESIGN.md §9).
+* :class:`CancellationToken` — cooperative cancellation for long-running
+  executions: the cluster coordinator cancels scatter fragments whose
+  deadline expired, and ``collect_rows`` checkpoints unwind them at the
+  next batch boundary (DESIGN.md §12).
 """
 
+from repro.concurrency.cancel import (
+    CHECK_EVERY_ROWS,
+    CancellationToken,
+    interruptible_sleep,
+)
 from repro.concurrency.gate import DrainGate, GateClosedError
 from repro.concurrency.locks import ReadWriteLock
 from repro.concurrency.pipeline import (
@@ -29,8 +38,11 @@ from repro.concurrency.pipeline import (
 )
 
 __all__ = [
+    "CHECK_EVERY_ROWS",
+    "CancellationToken",
     "DrainGate",
     "GateClosedError",
+    "interruptible_sleep",
     "ReadWriteLock",
     "TriggerBatch",
     "TriggerPipeline",

@@ -443,6 +443,7 @@ class Database:
         current = {
             "failed_batches": stats["failed"],
             "lost_batches": stats["lost"],
+            "retried_batches": stats["retried"],
             "dead_letters": stats["dead_letter_count"],
             "audit_gaps": len(self.audit_gaps),
         }

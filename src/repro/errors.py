@@ -46,6 +46,16 @@ class ExecutionError(ReproError):
     """A runtime failure while executing a physical plan."""
 
 
+class OperationCancelledError(ExecutionError):
+    """A cooperative cancellation checkpoint observed a cancelled token.
+
+    Raised from inside plan execution when the statement's
+    :class:`~repro.concurrency.CancellationToken` has been cancelled —
+    e.g. a cluster scatter fragment whose deadline expired. The partial
+    work's ACCESSED state is still merged by the caller (§II: rows a
+    cancelled fragment already touched were disclosed)."""
+
+
 class PlanError(ReproError):
     """The optimizer produced or received an invalid plan shape."""
 
@@ -142,8 +152,16 @@ class ServerOverloadedError(ServerError):
     The server is at its connection cap and the bounded admission queue
     is full (or the queue wait timed out). Load is shed with this typed
     error instead of queueing unboundedly; clients should back off and
-    retry.
+    retry. ``retry_after`` (seconds, when known) is a machine-readable
+    backoff hint that rides the wire in the error frame, so remote
+    clients can sleep instead of hammering a shedding server.
     """
+
+    def __init__(
+        self, message: str, retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class StatementTimeoutError(ServerError):
@@ -177,6 +195,33 @@ class ClusterRoutingError(ClusterError):
     from inside a subquery expression, or reassigning a partition key in
     an UPDATE. The statement is valid SQL — run it on a single-node
     :class:`~repro.database.Database` or restructure it.
+    """
+
+
+class ClusterDegradedError(ClusterError):
+    """A statement refused because shards it needs are unavailable.
+
+    Raised for reads when the audit policy is ``fail_closed`` (or
+    ``degraded_reads`` is off) and a shard is quarantined, timed out, or
+    failed past its retry budget — partial results would be an
+    incompletely audited disclosure. Always raised for DML that targets
+    a quarantined shard's partitions and for DDL while any shard is
+    quarantined: applying either on a subset of shards would diverge the
+    replicas. ``shards`` names the offending shard indexes.
+    """
+
+    def __init__(self, message: str, shards: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.shards = tuple(shards)
+
+
+class ShardTimeoutError(ClusterError):
+    """A scatter fragment missed its per-shard deadline.
+
+    The fragment's cancellation token is cancelled (it stops at its next
+    cooperative checkpoint and releases its shard read lock); the
+    coordinator then applies the degraded-read policy. Deadline misses
+    are never retried — a slow shard only gets slower under more load.
     """
 
 

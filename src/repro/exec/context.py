@@ -127,6 +127,7 @@ class ExecutionContext:
         "lineage_candidates",
         "lineage_id_position",
         "gather_rows",
+        "cancel_token",
     )
 
     def __init__(
@@ -180,6 +181,15 @@ class ExecutionContext:
         #: gather key -> merged per-shard rows, installed by the cluster
         #: coordinator before running a plan containing ``Gather`` leaves
         self.gather_rows: dict[int, list[tuple]] | None = None
+        #: cooperative cancellation token; ``collect_rows`` checkpoints
+        #: raise ``OperationCancelledError`` once it is cancelled
+        self.cancel_token = None
+
+    def check_cancelled(self) -> None:
+        """Cooperative checkpoint: raise if this execution was cancelled."""
+        token = self.cancel_token
+        if token is not None:
+            token.raise_if_cancelled()
 
     # ------------------------------------------------------------------
     # parameters

@@ -130,19 +130,40 @@ def collect_rows(
     context: "ExecutionContext",
     mode: str = "row",
 ) -> list[tuple]:
-    """Materialize an operator's output in the given execution mode."""
+    """Materialize an operator's output in the given execution mode.
+
+    Every batch boundary (every :data:`~repro.concurrency.cancel.
+    CHECK_EVERY_ROWS` rows in row mode) is a cooperative cancellation
+    checkpoint: a cancelled ``context.cancel_token`` unwinds the
+    execution with :class:`~repro.errors.OperationCancelledError`
+    instead of running an abandoned plan to completion.
+    """
+    token = context.cancel_token
     if mode == "batch":
         rows: list[tuple] = []
         for batch in operator.rows_batched(context):
+            if token is not None:
+                token.raise_if_cancelled()
             rows.extend(batch)
         return rows
     if mode == "columnar":
         rows = []
         for column_batch in operator.rows_columnar(context):
+            if token is not None:
+                token.raise_if_cancelled()
             rows.extend(column_batch.to_rows())
         return rows
     if mode == "row":
-        return list(operator.rows(context))
+        if token is None:
+            return list(operator.rows(context))
+        from repro.concurrency.cancel import CHECK_EVERY_ROWS
+
+        rows = []
+        for row in operator.rows(context):
+            rows.append(row)
+            if len(rows) % CHECK_EVERY_ROWS == 0:
+                token.raise_if_cancelled()
+        return rows
     raise ValueError(f"unknown execution mode {mode!r}")
 
 

@@ -71,13 +71,18 @@ class AdmissionController:
         with self._condition:
             if self._closed:
                 self.shed_total += 1
+                # shutting down: retrying this endpoint is pointless, so
+                # no retry_after hint rides the error
                 raise ServerOverloadedError("server is shutting down")
             if self._active >= self._max_active:
                 if self._waiting >= self._queue_limit:
                     self.shed_total += 1
+                    # the waiting room drains within one queue timeout;
+                    # that is the honest machine-readable backoff hint
                     raise ServerOverloadedError(
                         f"server at capacity ({self._max_active} active, "
-                        f"{self._waiting} queued); retry later"
+                        f"{self._waiting} queued); retry later",
+                        retry_after=self._queue_timeout,
                     )
                 self._waiting += 1
                 self.peak_waiting = max(self.peak_waiting, self._waiting)
@@ -88,7 +93,8 @@ class AdmissionController:
                             self.shed_total += 1
                             raise ServerOverloadedError(
                                 "gave up waiting for a connection slot "
-                                f"after {self._queue_timeout:.1f}s"
+                                f"after {self._queue_timeout:.1f}s",
+                                retry_after=self._queue_timeout,
                             )
                         self._condition.wait(remaining)
                 finally:

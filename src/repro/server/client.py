@@ -133,6 +133,24 @@ class Connection:
                 self._dispatch_control(frame)
             return True
 
+    def health(self) -> dict:
+        """Server-side health: audit-trail damage + cluster breaker state.
+
+        Returns ``{"audit_trail": {...}, "cluster": {...} | None}`` —
+        the database's :meth:`~repro.database.Database.
+        audit_trail_health` counters, and the ``cluster_health()``
+        snapshot when the server fronts a cluster (``None`` otherwise).
+        """
+        with self._lock:
+            self._send({"type": "health"})
+            frame = self._recv()
+            if frame.get("type") != "health":
+                self._dispatch_control(frame)
+            return {
+                "audit_trail": frame.get("audit_trail", {}),
+                "cluster": frame.get("cluster"),
+            }
+
     # ------------------------------------------------------------------
 
     def close(self) -> None:

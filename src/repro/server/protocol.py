@@ -11,6 +11,7 @@ Client → server frame types::
     {"type": "hello", "protocol": 1, "user": ..., "password": ...}
     {"type": "execute", "sql": ..., "parameters": {...}?}
     {"type": "set_user", "user": ..., "password": ...}
+    {"type": "health"}
     {"type": "ping"}
     {"type": "quit"}
 
@@ -21,9 +22,20 @@ Server → client::
     {"type": "done", "columns": [...], "rowcount": N,
      "accessed": {expr: [ids]}}
     {"type": "ok", ...}                              # set_user ack
+    {"type": "health", "audit_trail": {...}, "cluster": {...} | null}
     {"type": "pong"}
-    {"type": "error", "code": <exception class name>, "message": ...}
+    {"type": "error", "code": <exception class name>, "message": ...,
+     "retry_after": <seconds>?}
     {"type": "goodbye", "reason": ...}
+
+``health`` reports the database's audit-trail damage counters
+(:meth:`~repro.database.Database.audit_trail_health`) and — when the
+server fronts a :class:`~repro.cluster.ClusterDatabase` — the cluster's
+fault-tolerance snapshot (``cluster_health()``: per-shard breaker
+states, degraded-read / retry / timeout counters); ``cluster`` is null
+on a single-node server. ``retry_after`` appears on error frames whose
+exception carries a machine-readable backoff hint (admission shedding),
+and the client re-raises it on the reconstructed exception.
 
 A statement's response is zero or more ``rows`` frames terminated by
 exactly one ``done`` or ``error`` frame, so a client can stream large
@@ -134,13 +146,23 @@ def error_frame(error: BaseException) -> dict:
         # engine internals (KeyError, AssertionError, ...) must not leak
         # their types into the protocol contract
         code = "ExecutionError"
-    return {"type": "error", "code": code, "message": str(error)}
+    frame = {"type": "error", "code": code, "message": str(error)}
+    retry_after = getattr(error, "retry_after", None)
+    if isinstance(retry_after, (int, float)):
+        frame["retry_after"] = float(retry_after)
+    return frame
 
 
 def raise_error_frame(frame: dict) -> None:
     """Re-raise the engine exception an ``error`` frame describes."""
     exc_type = ERROR_TYPES.get(frame.get("code", ""), ReproError)
-    raise exc_type(frame.get("message", "server error"))
+    error = exc_type(frame.get("message", "server error"))
+    retry_after = frame.get("retry_after")
+    if isinstance(retry_after, (int, float)):
+        # reattach the backoff hint so remote except-clauses can read
+        # ``error.retry_after`` exactly like in-process ones
+        error.retry_after = float(retry_after)
+    raise error
 
 
 # ----------------------------------------------------------------------

@@ -366,6 +366,8 @@ class Server:
                 session.touch()
             elif kind == "set_user":
                 self._handle_set_user(sock, session, frame)
+            elif kind == "health":
+                self._handle_health(sock)
             elif kind == "ping":
                 protocol.send_frame(sock, {"type": "pong"})
             elif kind == "quit":
@@ -378,6 +380,28 @@ class Server:
                         ProtocolError(f"unknown frame type {kind!r}")
                     ),
                 )
+
+    def _handle_health(self, sock: socket.socket) -> None:
+        """Answer a ``health`` frame: trail damage + cluster breaker state.
+
+        ``cluster`` is null on a single-node server; over a
+        :class:`~repro.cluster.ClusterDatabase` it carries the
+        ``cluster_health()`` snapshot (per-shard circuit states,
+        degraded-read / retry / deadline counters, stale replicas), so
+        remote operators can distinguish "gaps because the journal
+        hiccuped" from "gaps because shard 2 is quarantined".
+        """
+        cluster_health = getattr(self.database, "cluster_health", None)
+        protocol.send_frame(
+            sock,
+            {
+                "type": "health",
+                "audit_trail": self.database.audit_trail_health(),
+                "cluster": (
+                    cluster_health() if callable(cluster_health) else None
+                ),
+            },
+        )
 
     # ------------------------------------------------------------------
     # statements

@@ -16,11 +16,19 @@ Two kinds of injected failure are distinguished by exception type:
   failure* the engine is expected to survive according to its
   ``audit_policy`` — retries, dead-lettering, fail-open gaps, or a typed
   ``AuditUnavailableError`` under fail-closed.
+
+A third failure mode is *latency*: :meth:`FaultInjector.arm_latency`
+makes a site sleep before returning (or before raising, when combined
+with an error), modelling a slow or hung component. The sleep is sliced
+and checks the optional cancellation token the caller passes to
+:meth:`FaultInjector.fire`, so a "hung" shard parks its worker thread
+only until the coordinator's deadline cancels it.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 
@@ -42,14 +50,24 @@ FAULT_SITES = (
     #                      the worker thread without requeueing the batch
     "recovery-replay",   # per-intent during Database.recover (mid-recovery
     #                      crash)
+    "shard-scatter",     # coordinator worker, before a shard's read
+    #                      fragment runs — slow/erroring/dead shard on
+    #                      the scatter path
+    "shard-dml",         # coordinator, before a DML statement is handed
+    #                      to a shard — write-path shard failure (never
+    #                      retried: DML is not idempotent)
+    "shard-journal",     # coordinator, before a shard's slice of an
+    #                      intent is journaled — per-shard audit-trail
+    #                      failure (fail_open gap / fail_closed refusal)
 )
 
 
 @dataclass
 class _Plan:
     at_hit: int
-    error: BaseException | type[BaseException]
+    error: BaseException | type[BaseException] | None
     repeat: bool
+    delay_s: float = 0.0
 
 
 class FaultInjector:
@@ -67,6 +85,7 @@ class FaultInjector:
         at_hit: int = 1,
         error: BaseException | type[BaseException] = CrashError,
         repeat: bool = False,
+        delay_s: float = 0.0,
     ) -> None:
         """Raise ``error`` the ``at_hit``-th time ``site`` is reached.
 
@@ -74,13 +93,37 @@ class FaultInjector:
         (models a persistently-broken component rather than a one-shot
         crash). ``error`` may be an instance or a class; a class is
         instantiated with a message naming the site and hit.
+        ``delay_s`` sleeps before raising (a slow *and* failing
+        component).
         """
         if site not in FAULT_SITES:
             raise ValueError(
                 f"unknown fault site {site!r}; expected one of {FAULT_SITES}"
             )
         with self._lock:
-            self._plans[site] = _Plan(at_hit, error, repeat)
+            self._plans[site] = _Plan(at_hit, error, repeat, delay_s)
+
+    def arm_latency(
+        self,
+        site: str,
+        delay_s: float,
+        at_hit: int = 1,
+        repeat: bool = False,
+    ) -> None:
+        """Sleep ``delay_s`` seconds at ``site`` instead of raising.
+
+        Models a slow (``delay_s`` below a deadline) or hung (above it)
+        component. The sleep is sliced: a cancellation token passed to
+        :meth:`fire` aborts it early with
+        :class:`~repro.errors.OperationCancelledError`, so a cancelled
+        "hang" releases its thread promptly.
+        """
+        if site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {site!r}; expected one of {FAULT_SITES}"
+            )
+        with self._lock:
+            self._plans[site] = _Plan(at_hit, None, repeat, delay_s)
 
     def disarm(self, site: str | None = None) -> None:
         """Remove one site's plan (or all plans); hit counters survive."""
@@ -99,8 +142,14 @@ class FaultInjector:
         with self._lock:
             return self.hits.get(site, 0)
 
-    def fire(self, site: str) -> None:
-        """Record a hit on ``site``; raise if a plan says so."""
+    def fire(self, site: str, cancel=None) -> None:
+        """Record a hit on ``site``; sleep and/or raise if a plan says so.
+
+        ``cancel`` is an optional cancellation token (any object with a
+        ``cancelled`` attribute): a latency plan's sleep checks it every
+        10 ms and aborts with
+        :class:`~repro.errors.OperationCancelledError` once cancelled.
+        """
         with self._lock:
             count = self.hits.get(site, 0) + 1
             self.hits[site] = count
@@ -111,10 +160,29 @@ class FaultInjector:
                 return
             if count > plan.at_hit and not plan.repeat:
                 return
+        if plan.delay_s > 0:
+            self._sleep(plan.delay_s, cancel, site)
         error = plan.error
+        if error is None:
+            return
         if isinstance(error, type):
             raise error(f"injected fault at {site!r} (hit {count})")
         raise error
+
+    @staticmethod
+    def _sleep(delay_s: float, cancel, site: str) -> None:
+        deadline = time.monotonic() + delay_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            if cancel is not None and getattr(cancel, "cancelled", False):
+                from repro.errors import OperationCancelledError
+
+                raise OperationCancelledError(
+                    f"injected latency at {site!r} cancelled"
+                )
+            time.sleep(min(0.01, remaining))
 
 
 class _NullInjector(FaultInjector):
@@ -125,7 +193,9 @@ class _NullInjector(FaultInjector):
             "NO_FAULTS is shared; create a FaultInjector() to arm faults"
         )
 
-    def fire(self, site: str) -> None:
+    arm_latency = arm
+
+    def fire(self, site: str, cancel=None) -> None:
         return
 
 
