@@ -66,7 +66,12 @@ from repro.catalog.schema import Column, TableSchema
 from repro.cluster.fragments import check_routable, split_plan
 from repro.cluster.health import HealthTracker, backoff_delay
 from repro.cluster.topology import Topology, shard_of
-from repro.concurrency import EMPTY_STATS, CancellationToken, interruptible_sleep
+from repro.concurrency import (
+    EMPTY_STATS,
+    CancellationToken,
+    DeadlineToken,
+    interruptible_sleep,
+)
 from repro.database import Database, QueryResult
 from repro.datatypes import value_sort_key
 from repro.errors import (
@@ -310,8 +315,12 @@ class ClusterDatabase:
         self.topology = Topology(shards)
         self.session = Session(user_id=user_id, clock=clock)
         self.faults = fault_injector or NO_FAULTS
-        #: per-fragment deadline (seconds) on the parallel scatter path;
-        #: None disables deadlines (a fragment may run arbitrarily long)
+        #: per-fragment deadline (seconds). On the parallel scatter path
+        #: the gather loop enforces it via future timeouts; on the
+        #: inline path (trigger firing, single-shard) each fragment runs
+        #: under a self-cancelling DeadlineToken, so a slow shard inside
+        #: a trigger body is bounded too. None disables deadlines (a
+        #: fragment may run arbitrarily long)
         self.shard_deadline = shard_deadline
         #: transient-failure retry budget per fragment (reads only — DML
         #: is never retried, it is not idempotent)
@@ -331,9 +340,13 @@ class ClusterDatabase:
         #: gaps live on the shards themselves
         self._cluster_gaps: list[dict] = []
         self._acknowledged_cluster_gaps = 0
-        #: replicated tables whose replicas diverged while a shard was
-        #: down (DML skipped it); repaired from a live copy at rejoin
-        self._stale_replicas: set[str] = set()
+        #: shard index → replicated tables whose copy on *that shard*
+        #: lagged behind (DML skipped it while the shard was down or
+        #: dying). Tracked per (shard, table) so repair always copies
+        #: from a fresh replica toward a stale one, never the reverse;
+        #: a shard with an entry here must never serve as a repair
+        #: source for that table.
+        self._stale_replicas: dict[int, set[str]] = {}
         self._stats_lock = threading.Lock()
         self._degraded_read_count = 0
         self._scatter_retry_count = 0
@@ -652,6 +665,16 @@ class ClusterDatabase:
             self.health.record_failure(index, exc)
             raise
 
+    def _mark_stale(self, index: int, table: str) -> None:
+        """Record that shard ``index``'s replica of ``table`` lagged."""
+        self._stale_replicas.setdefault(index, set()).add(table)
+
+    def _stale_tables(self) -> set[str]:
+        """Union of replicated tables stale on at least one shard."""
+        if not self._stale_replicas:
+            return set()
+        return set().union(*self._stale_replicas.values())
+
     def _refuse_quarantined_write(self, what: str) -> None:
         """Refuse a statement that must apply on *every* shard."""
         quarantined = self.health.quarantined()
@@ -674,22 +697,36 @@ class ClusterDatabase:
         ``replicated_table`` marks the statement as DML over a
         replicated table: with a shard quarantined it still applies on
         the live shards (availability for e.g. trigger-body audit-log
-        INSERTs) and the table is marked stale so rejoin repairs the
-        lagging replica. All other broadcasts — DDL, transactions,
+        INSERTs) and each skipped shard is marked stale for the table so
+        rejoin repairs that lagging replica from a fresh one. Staleness
+        is recorded only after at least one replica actually applied —
+        if no shard applies, nothing diverged and the broadcast refuses
+        instead. All other broadcasts — DDL, transactions,
         partitioned-table DML — refuse while any shard is down, because
         applying them on a subset would diverge the cluster.
         """
         quarantined = self.health.quarantined()
-        if quarantined:
-            if replicated_table is None:
-                self._refuse_quarantined_write(
-                    f"{type(statement).__name__}"
-                )
-            else:
-                self._stale_replicas.add(replicated_table)
+        if quarantined and replicated_table is None:
+            self._refuse_quarantined_write(
+                f"{type(statement).__name__}"
+            )
         results = []
+        #: shards this statement did not reach (quarantined up front, or
+        #: died mid-broadcast); marked stale only once a replica applied
+        missed: list[int] = []
+
+        def _mark_divergence(from_index: int) -> None:
+            # earlier replicas already applied; everything from
+            # ``from_index`` on (plus the shards already skipped) lags
+            if replicated_table is not None and results:
+                for lagging in missed + list(
+                    range(from_index, len(self._shards))
+                ):
+                    self._mark_stale(lagging, replicated_table)
+
         for index, shard in enumerate(self._shards):
             if index in quarantined:
+                missed.append(index)
                 continue
             if replicated_table is not None or isinstance(
                 statement, (ast.UpdateStatement, ast.DeleteStatement)
@@ -700,23 +737,29 @@ class ClusterDatabase:
                     # shard died mid-broadcast; for replicated DML the
                     # live replicas carry on and rejoin repairs this one
                     if replicated_table is not None:
-                        self._stale_replicas.add(replicated_table)
+                        missed.append(index)
                         continue
                     raise
                 except Exception:
-                    if replicated_table is not None:
-                        # earlier replicas already applied the statement
-                        self._stale_replicas.add(replicated_table)
+                    _mark_divergence(index)
                     raise
-            with shard.session.override(
-                self.session.sql_text, self.session.user_id
-            ):
-                results.append(shard._execute_statement(statement, parameters))
+            try:
+                with shard.session.override(
+                    self.session.sql_text, self.session.user_id
+                ):
+                    result = shard._execute_statement(statement, parameters)
+            except Exception:
+                _mark_divergence(index)
+                raise
+            results.append(result)
         if not results:
             raise ClusterDegradedError(
                 "no live shard could apply the statement",
                 shards=quarantined,
             )
+        if replicated_table is not None:
+            for index in missed:
+                self._mark_stale(index, replicated_table)
         return results
 
     # ------------------------------------------------------------------
@@ -1038,12 +1081,36 @@ class ClusterDatabase:
             for index in live:
                 if abort is not None:
                     break
+                # no gather thread to cancel an overrunning fragment
+                # here, so the deadline rides on the token itself: every
+                # cooperative checkpoint (collect_rows batches, fault
+                # latency slices, backoff sleeps) compares the clock
+                token = (
+                    None if self.shard_deadline is None
+                    else DeadlineToken(
+                        time.monotonic() + self.shard_deadline
+                    )
+                )
                 try:
-                    per_shard[index] = run_fragment(index)
+                    per_shard[index] = run_fragment(index, token)
                     self.health.record_success(index)
                 except CrashError as exc:
                     self.health.record_failure(index, exc, fatal=True)
                     failures.append((index, exc))
+                except OperationCancelledError as exc:
+                    if token is None:
+                        abort = exc
+                        continue
+                    # the fragment tripped its own DeadlineToken — the
+                    # inline analogue of a future.result timeout
+                    with self._stats_lock:
+                        self._deadline_timeout_count += 1
+                    miss = ShardTimeoutError(
+                        f"shard {index} missed the "
+                        f"{self.shard_deadline}s fragment deadline"
+                    )
+                    self.health.record_failure(index, miss)
+                    failures.append((index, miss))
                 except ReproError as exc:
                     abort = exc
                 except Exception as exc:
@@ -1450,25 +1517,35 @@ class ClusterDatabase:
                     f"{owners_down}; rejoin_shard() to restore them",
                     shards=tuple(owners_down),
                 )
-        for index in sorted(routed):
+        targets = [index for index in sorted(routed) if routed[index]]
+        #: shards whose replica missed the rows; stale-marked only once
+        #: at least one live replica applied (no apply → no divergence)
+        missed: list[int] = []
+        applied: list[int] = []
+
+        def _mark_divergence(from_index: int) -> None:
+            if replicated and applied:
+                for lagging in missed + [
+                    i for i in targets if i >= from_index
+                ]:
+                    self._mark_stale(lagging, table_name)
+
+        for index in targets:
             rows = routed[index]
-            if not rows:
-                continue
             if index in quarantined:
                 # replicated INSERT: live replicas proceed, this one is
                 # repaired from a live copy at rejoin
-                self._stale_replicas.add(table_name)
+                missed.append(index)
                 continue
             try:
                 self._shard_dml_guard(index)
             except ClusterDegradedError:
                 if replicated:
-                    self._stale_replicas.add(table_name)
+                    missed.append(index)
                     continue
                 raise
             except Exception:
-                if replicated and index > 0:
-                    self._stale_replicas.add(table_name)
+                _mark_divergence(index)
                 raise
             shard = self._shards[index]
             literal_statement = ast.InsertStatement(
@@ -1480,10 +1557,25 @@ class ClusterDatabase:
                 ),
                 select=None,
             )
-            with shard.session.override(
-                self.session.sql_text, self.session.user_id
-            ):
-                shard._execute_statement(literal_statement, None)
+            try:
+                with shard.session.override(
+                    self.session.sql_text, self.session.user_id
+                ):
+                    shard._execute_statement(literal_statement, None)
+            except Exception:
+                _mark_divergence(index)
+                raise
+            applied.append(index)
+        if replicated and missed:
+            if not applied:
+                raise ClusterDegradedError(
+                    f"INSERT into replicated table {table_name!r} found "
+                    "no live replica to apply on; rejoin_shard() to "
+                    "restore one",
+                    shards=tuple(missed),
+                )
+            for index in missed:
+                self._mark_stale(index, table_name)
         return QueryResult(rowcount=len(full_rows))
 
     def _execute_update(
@@ -1858,7 +1950,12 @@ class ClusterDatabase:
             "degraded_reads": degraded,
             "scatter_retries": retries,
             "deadline_timeouts": timeouts,
-            "stale_replicas": sorted(self._stale_replicas),
+            "stale_replicas": sorted(self._stale_tables()),
+            "stale_replicas_by_shard": {
+                index: sorted(tables)
+                for index, tables in sorted(self._stale_replicas.items())
+                if tables
+            },
             "cluster_gaps": len(self._cluster_gaps),
             "shard_deadline": self.shard_deadline,
             "shard_retries": self.shard_retries,
@@ -1871,17 +1968,68 @@ class ClusterDatabase:
             raise ValueError(f"no shard {index}")
         self.health.quarantine(index, reason)
 
+    def _repair_shard(self, index: int, sources: list[int]) -> None:
+        """Recopy shard ``index``'s stale replicated tables from a fresh copy.
+
+        Must be called under :meth:`_all_write_locks`. For each table the
+        shard is stale for, the source must be a live shard that is not
+        itself stale for that same table — repair is a one-way
+        truncate-and-reload, and copying from a stale replica would
+        destroy the only fresh copy (silently losing committed DML).
+        Tables with no eligible source stay marked, visible in
+        ``cluster_health()["stale_replicas"]``, until a rejoin makes a
+        fresh source live again.
+        """
+        tables = self._stale_replicas.get(index)
+        if not tables:
+            return
+        shard = self._shards[index]
+        repaired: set[str] = set()
+        for name in sorted(tables):
+            source_index = next(
+                (
+                    i for i in sources
+                    if name not in self._stale_replicas.get(i, ())
+                ),
+                None,
+            )
+            if source_index is None:
+                continue
+            if shard.catalog.has_table(name):
+                rows = list(
+                    self._shards[source_index].catalog.table(name).rows()
+                )
+                table = shard.catalog.table(name)
+                table.truncate()
+                table.bulk_load(rows)
+            repaired.add(name)
+        if repaired:
+            for expression in shard.audit_manager.expressions():
+                if expression.sensitive_table in repaired:
+                    shard.audit_manager.view(expression.name).refresh()
+        tables -= repaired
+        if not tables:
+            del self._stale_replicas[index]
+
     def rejoin_shard(self, index: int, strict: bool = True):
         """Repair, readmit, and catch up a quarantined shard — online.
 
         Three steps, no coordinator restart:
 
         1. **replica repair** — replicated tables that took DML while
-           this shard was out (``stale_replicas``) are recopied from a
-           live shard, and ID views over them refreshed;
+           this shard was out (its ``stale_replicas`` entries) are
+           recopied from a live shard *whose own replica is fresh*, and
+           ID views over them refreshed. A shard that is itself stale
+           for a table is never used as the repair source — that would
+           overwrite the only fresh copy. When no eligible source is
+           live the shard is readmitted with its stale marking kept
+           (visible in ``cluster_health()``), and a later rejoin of a
+           fresh shard repairs it in the correct direction;
         2. **readmit** — the circuit breaker resets, so routing sees the
            shard again (replayed trigger bodies in step 3 can route DML
-           to it);
+           to it); replicas still stale on *other* live shards are then
+           repaired too, in case this shard just became their missing
+           fresh source;
         3. **journal replay** — the shard's own audit journal replays
            through the PR-4 recovery path: intents whose firing never
            committed re-fire through the coordinator with their original
@@ -1900,27 +2048,23 @@ class ClusterDatabase:
                 f"shard {index} is not quarantined; nothing to rejoin"
             )
         shard = self._shards[index]
-        live = [
-            i for i in self.health.live() if i != index
-        ]
-        if self._stale_replicas and live:
-            source = self._shards[live[0]]
+        if index in self._stale_replicas:
             with self._all_write_locks():
-                for name in sorted(self._stale_replicas):
-                    if not shard.catalog.has_table(name):
-                        continue
-                    rows = list(source.catalog.table(name).rows())
-                    table = shard.catalog.table(name)
-                    table.truncate()
-                    table.bulk_load(rows)
-                for expression in shard.audit_manager.expressions():
-                    if expression.sensitive_table in self._stale_replicas:
-                        shard.audit_manager.view(expression.name).refresh()
+                self._repair_shard(
+                    index, [i for i in self.health.live() if i != index]
+                )
         self.health.readmit(index)
-        if not self.health.quarantined():
-            # every lagging replica has been repaired; the set only
-            # clears once no shard remains out of date
-            self._stale_replicas.clear()
+        if self._stale_replicas:
+            # the readmitted shard may hold the only fresh copy of
+            # tables other live shards are still stale for (it was the
+            # last one standing when they diverged) — repair them now
+            # that an eligible source exists
+            with self._all_write_locks():
+                live = self.health.live()
+                for lagging in [i for i in live if i in self._stale_replicas]:
+                    self._repair_shard(
+                        lagging, [i for i in live if i != lagging]
+                    )
         report = None
         if self._journal_root is not None:
             shard_path = self._journal_root / f"shard-{index}"
@@ -2013,6 +2157,18 @@ class ClusterDatabase:
                 f"{list(self.health.quarantined())} are quarantined; "
                 "rejoin_shard() them first",
                 shards=self.health.quarantined(),
+            )
+        if self._stale_replicas:
+            # reshard seeds replicated tables from shard 0's copy; with
+            # any replica still stale that could bake lagging data into
+            # every new shard
+            raise ClusterDegradedError(
+                "cannot reshard while replicated table(s) "
+                f"{sorted(self._stale_tables())} have unrepaired stale "
+                "replicas on shard(s) "
+                f"{sorted(self._stale_replicas)}; rejoin a fresh shard "
+                "so repair can complete first",
+                shards=tuple(sorted(self._stale_replicas)),
             )
         old_shards = self._shards
         shard0 = old_shards[0]

@@ -19,12 +19,15 @@ The engine's concurrency model (DESIGN.md §7) is two-layered:
 * :class:`CancellationToken` — cooperative cancellation for long-running
   executions: the cluster coordinator cancels scatter fragments whose
   deadline expired, and ``collect_rows`` checkpoints unwind them at the
-  next batch boundary (DESIGN.md §12).
+  next batch boundary (DESIGN.md §12). :class:`DeadlineToken` is the
+  self-cancelling variant for inline (same-thread) execution, where no
+  second thread exists to flip the token.
 """
 
 from repro.concurrency.cancel import (
     CHECK_EVERY_ROWS,
     CancellationToken,
+    DeadlineToken,
     interruptible_sleep,
 )
 from repro.concurrency.gate import DrainGate, GateClosedError
@@ -40,6 +43,7 @@ from repro.concurrency.pipeline import (
 __all__ = [
     "CHECK_EVERY_ROWS",
     "CancellationToken",
+    "DeadlineToken",
     "DrainGate",
     "GateClosedError",
     "interruptible_sleep",

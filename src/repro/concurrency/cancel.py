@@ -20,6 +20,7 @@ and must still be audited (§II abort semantics).
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.errors import OperationCancelledError
 
@@ -54,6 +55,45 @@ class CancellationToken:
         return self._event.wait(timeout)
 
 
+class DeadlineToken(CancellationToken):
+    """A token that also trips once a ``time.monotonic()`` deadline passes.
+
+    The parallel scatter enforces deadlines from the gather thread: it
+    cancels a worker's plain token when ``future.result`` times out.
+    Inline execution (trigger firing, single-shard clusters) has no
+    second thread to do the cancelling, so the token itself carries the
+    budget — every cooperative checkpoint compares the clock, and a
+    latency fault or slow scan unwinds at its next check instead of
+    running unbounded while the caller holds shard locks.
+    """
+
+    __slots__ = ("_deadline",)
+
+    def __init__(self, deadline: float) -> None:
+        super().__init__()
+        self._deadline = deadline
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set() or time.monotonic() >= self._deadline
+
+    def raise_if_cancelled(self) -> None:
+        if self.cancelled:
+            raise OperationCancelledError(
+                "execution cancelled at a cooperative checkpoint"
+            )
+
+    def wait(self, timeout: float | None = None) -> bool:
+        remaining = self._deadline - time.monotonic()
+        if remaining <= 0:
+            return True
+        if timeout is None or timeout > remaining:
+            timeout = remaining
+        if self._event.wait(timeout):
+            return True
+        return time.monotonic() >= self._deadline
+
+
 def interruptible_sleep(
     seconds: float, token: CancellationToken | None
 ) -> None:
@@ -65,12 +105,15 @@ def interruptible_sleep(
     if seconds <= 0:
         return
     if token is None:
-        import time
-
         time.sleep(seconds)
         return
     if token.wait(seconds):
         token.raise_if_cancelled()
 
 
-__all__ = ["CHECK_EVERY_ROWS", "CancellationToken", "interruptible_sleep"]
+__all__ = [
+    "CHECK_EVERY_ROWS",
+    "CancellationToken",
+    "DeadlineToken",
+    "interruptible_sleep",
+]

@@ -594,6 +594,112 @@ def test_rejoin_replays_uncommitted_intent_with_original_user(
         cluster.close()
 
 
+def test_rejoin_never_repairs_from_stale_source() -> None:
+    """Committed replicated DML survives a double quarantine.
+
+    Shard 1 misses an INSERT while down; with shard 0 then also down,
+    rejoining 1 first must NOT treat its lagging copy as authoritative:
+    it is readmitted visibly stale, and rejoining 0 repairs 0 → 1 (the
+    fresh direction) — the committed row ends up on every shard.
+    """
+    cluster = ClusterDatabase(shards=2, clock=_CLOCK)
+    _load(cluster)
+    try:
+        cluster.quarantine_shard(1)
+        cluster.execute("INSERT INTO visits VALUES (900, 0, 5)")
+        assert cluster.cluster_health()["stale_replicas"] == ["visits"]
+        cluster.quarantine_shard(0)
+        cluster.rejoin_shard(1)
+        # no fresh source is live: shard 1 comes back loudly stale, not
+        # silently "repaired" from nothing
+        health = cluster.cluster_health()
+        assert health["quarantined"] == [0]
+        assert health["stale_replicas"] == ["visits"]
+        assert health["stale_replicas_by_shard"] == {1: ["visits"]}
+        cluster.rejoin_shard(0)
+        assert cluster.cluster_health()["stale_replicas"] == []
+        # shard 0 carried the only fresh copy; every replica has the row
+        for shard in cluster.shards:
+            rows = [r for r in shard.catalog.table("visits").rows()
+                    if r[0] == 900]
+            assert len(rows) == 1
+        assert cluster.execute(
+            "SELECT COUNT(*) FROM visits WHERE vid = 900"
+        ).rows_list() == [(1,)]
+    finally:
+        cluster.close()
+
+
+def test_split_brain_replicas_stay_loud_and_block_reshard() -> None:
+    """Divergence both ways is recorded per shard, never resolved by
+    guessing a direction, and reshard() refuses to seed new shards from
+    a stale copy (it would silently drop one side's committed rows)."""
+    cluster = ClusterDatabase(shards=2, clock=_CLOCK)
+    _load(cluster)
+    try:
+        cluster.quarantine_shard(1)
+        cluster.execute("INSERT INTO visits VALUES (902, 0, 5)")
+        cluster.quarantine_shard(0)
+        cluster.rejoin_shard(1)  # readmitted stale — no fresh source
+        # this INSERT lands only on shard 1: each replica now has a
+        # committed row the other missed
+        cluster.execute("INSERT INTO visits VALUES (904, 1, 6)")
+        cluster.rejoin_shard(0)
+        health = cluster.cluster_health()
+        assert health["quarantined"] == []
+        assert health["stale_replicas"] == ["visits"]
+        assert health["stale_replicas_by_shard"] == {
+            0: ["visits"], 1: ["visits"],
+        }
+        with pytest.raises(ClusterDegradedError):
+            cluster.reshard(3)
+    finally:
+        cluster.close()
+
+
+def test_replicated_dml_with_no_live_replica_refuses_unmarked() -> None:
+    """With every shard down, replicated DML refuses — and since no
+    replica applied anything, nothing diverged and nothing is marked
+    stale (a spurious mark would misdirect the next rejoin's repair)."""
+    cluster = ClusterDatabase(shards=2, clock=_CLOCK)
+    _load(cluster)
+    try:
+        cluster.quarantine_shard(0)
+        cluster.quarantine_shard(1)
+        with pytest.raises(ClusterDegradedError):
+            cluster.execute("INSERT INTO visits VALUES (903, 0, 5)")
+        with pytest.raises(ClusterDegradedError):
+            cluster.execute("DELETE FROM visits WHERE vid = 100")
+        health = cluster.cluster_health()
+        assert health["stale_replicas"] == []
+        assert health["stale_replicas_by_shard"] == {}
+    finally:
+        cluster.close()
+
+
+def test_inline_scatter_honours_deadline() -> None:
+    """The inline path (single shard / trigger firing) has no gather
+    thread to time out a future, so the fragment's own DeadlineToken
+    must bound an armed latency fault instead of hanging unboundedly."""
+    injector = FaultInjector()
+    cluster = ClusterDatabase(
+        shards=1, clock=_CLOCK, shard_fault_injectors={0: injector},
+        shard_deadline=0.2, shard_retries=0, audit_policy="fail_open",
+    )
+    _load(cluster)
+    try:
+        injector.arm_latency("shard-scatter", delay_s=5.0, repeat=True)
+        started = time.monotonic()
+        cluster.execute("SELECT COUNT(*) FROM patients")
+        elapsed = time.monotonic() - started
+        assert elapsed < 2.5, f"inline deadline did not bound: {elapsed}"
+        health = cluster.cluster_health()
+        assert health["deadline_timeouts"] >= 1
+        assert "ShardTimeoutError" in str(health["shards"][0]["last_error"])
+    finally:
+        cluster.close()
+
+
 def test_rejoin_refuses_healthy_shard_and_bad_index() -> None:
     from repro.errors import ClusterError
 
