@@ -1,0 +1,152 @@
+"""Replication benchmark: read scaling, lag, and the audit differential.
+
+Pytest usage (alongside the figure benchmarks)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_replication.py -q
+
+Standalone usage (CI smoke runs this)::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py [--quick]
+
+Both write ``benchmarks/results/BENCH_replication.json`` — read qps at
+0/1/2/4 replicas under a concurrent write stream, replication lag during
+a write burst plus the catch-up time, and the audit differential: a
+seeded workload spread over two replicas must leave the primary's audit
+log identical to the same workload run serially on a single node.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULT_FILE = RESULTS_DIR / "BENCH_replication.json"
+
+
+def run(quick: bool) -> dict:
+    from repro.bench.replication import (
+        DEFAULT_AUDIT_QUERIES,
+        DEFAULT_READS,
+        DEFAULT_WRITES,
+        QUICK_AUDIT_QUERIES,
+        QUICK_READS,
+        QUICK_SATURATED_WINDOW_S,
+        QUICK_WRITES,
+        SATURATED_WINDOW_S,
+        replication_benchmark,
+    )
+
+    results = replication_benchmark(
+        total_reads=QUICK_READS if quick else DEFAULT_READS,
+        total_writes=QUICK_WRITES if quick else DEFAULT_WRITES,
+        audit_queries=QUICK_AUDIT_QUERIES if quick else DEFAULT_AUDIT_QUERIES,
+        saturated_window_s=(
+            QUICK_SATURATED_WINDOW_S if quick else SATURATED_WINDOW_S
+        ),
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULT_FILE.write_text(json.dumps(results, indent=2, default=str) + "\n")
+    return results
+
+
+def _summarize(results: dict) -> str:
+    scaling = results["read_scaling"]
+    lines = [
+        f"replication benchmark ({scaling['reads']} reads, "
+        f"{scaling['readers']} readers, concurrent write stream)"
+    ]
+    for count in scaling["replica_counts"]:
+        cell = scaling["cells"][str(count)]
+        label = "primary-only" if count == 0 else f"{count} replica(s)"
+        speedup = scaling["speedup_vs_primary_only"].get(str(count))
+        tail = scaling["p99_improvement_vs_primary_only"].get(str(count))
+        extra = (
+            f"  ({speedup:.2f}x qps, {tail:.1f}x lower p99)"
+            if speedup is not None else ""
+        )
+        lines.append(
+            f"  {label:<13} {cell['qps']:8.0f} read qps  "
+            f"(p99 {cell['p99_ms']:.2f} ms, "
+            f"{cell['writes_during']} writes landed){extra}"
+        )
+    saturated = scaling["saturated"]
+    lines.append(
+        f"  saturated writer ({saturated['window_s']:.1f}s window): "
+        f"primary-only {saturated['primary_only']['qps']:.0f} read qps "
+        f"vs 2 replicas {saturated['two_replicas']['qps']:.0f} — "
+        f"{saturated['speedup']:.0f}x"
+    )
+    lag = results["lag"]
+    lines.append(
+        f"  lag: burst of {lag['writes']} writes in "
+        f"{lag['write_wall_s'] * 1000:.0f} ms, max lag "
+        f"{lag['max_lag_records']} records, caught up in "
+        f"{lag['catch_up_s'] * 1000:.0f} ms"
+    )
+    diff = results["audit_differential"]
+    lines.append(
+        f"  audit differential: {diff['queries']} queries over "
+        f"{diff['replicas']} replicas → {diff['actual_firings']} firings "
+        f"vs {diff['expected_firings']} serial — identical: "
+        f"{diff['identical_to_serial']}"
+    )
+    lines.append(f"  written to {RESULT_FILE}")
+    return "\n".join(lines)
+
+
+def _check(results: dict) -> list[str]:
+    """Acceptance criteria; returns a list of failure descriptions."""
+    failures = []
+    scaling = results["read_scaling"]
+    for count, cell in scaling["cells"].items():
+        if cell["errors"] or cell["reads"] != cell["expected"]:
+            failures.append(
+                f"read_scaling@{count}: dropped reads or reader errors"
+            )
+        if cell.get("stalled"):
+            failures.append(f"read_scaling@{count}: a replica stalled")
+    saturated = scaling["saturated"]
+    for label in ("primary_only", "two_replicas"):
+        if saturated[label]["errors"]:
+            failures.append(f"saturated {label}: reader errors")
+    if saturated["speedup"] < 2.0:
+        failures.append(
+            "saturated: replicas did not beat the starved primary "
+            f"({saturated['speedup']:.2f}x < 2x)"
+        )
+    lag = results["lag"]
+    if not lag["caught_up"] or lag["final_lag_records"] != 0:
+        failures.append("lag: replica failed to catch up after the burst")
+    if lag["stalled"]:
+        failures.append("lag: replica stalled during the burst")
+    diff = results["audit_differential"]
+    if not diff["identical_to_serial"]:
+        failures.append(
+            "audit differential: replicated log != serial ground truth "
+            f"({diff['actual_firings']} vs {diff['expected_firings']})"
+        )
+    if diff["replica_stalled"]:
+        failures.append("audit differential: a replica stalled")
+    return failures
+
+
+def test_report_replication():
+    results = run(quick=True)
+    print()
+    print(_summarize(results))
+    assert not _check(results)
+
+
+def main(argv: list[str]) -> int:
+    results = run(quick="--quick" in argv)
+    print(_summarize(results))
+    failures = _check(results)
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

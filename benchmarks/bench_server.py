@@ -11,7 +11,10 @@ Standalone usage (CI smoke runs this)::
 Both write ``benchmarks/results/BENCH_server.json`` — queries/second and
 p50/p99 latency at 1/4/16 concurrent clients, in-process vs over TCP,
 with and without an armed (async) audit trigger, plus the zero-lost-
-firings proof for every armed cell.
+firings proof for every armed cell. The full run additionally sweeps
+256/1024 open connections against both front ends (threaded vs asyncio,
+with resident thread counts) and measures the pipelining speedup of
+``execute_many`` over one-at-a-time ``execute`` on a single connection.
 """
 
 from __future__ import annotations
@@ -24,12 +27,37 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 RESULT_FILE = RESULTS_DIR / "BENCH_server.json"
 
 
-def run(total_requests: int, rounds: int) -> dict:
-    from repro.bench.server import server_benchmark
-
-    results = server_benchmark(
-        total_requests=total_requests, rounds=rounds
+def run(quick: bool) -> dict:
+    from repro.bench.server import (
+        DEFAULT_REQUESTS,
+        DEFAULT_ROUNDS,
+        HIGHCONC_CLIENTS,
+        HIGHCONC_REQUESTS,
+        PIPELINE_STATEMENTS,
+        QUICK_HIGHCONC_CLIENTS,
+        QUICK_HIGHCONC_REQUESTS,
+        QUICK_PIPELINE_STATEMENTS,
+        QUICK_REQUESTS,
+        QUICK_ROUNDS,
+        server_benchmark,
     )
+
+    if quick:
+        results = server_benchmark(
+            total_requests=QUICK_REQUESTS,
+            rounds=QUICK_ROUNDS,
+            highconc_clients=QUICK_HIGHCONC_CLIENTS,
+            highconc_requests=QUICK_HIGHCONC_REQUESTS,
+            pipeline_statements=QUICK_PIPELINE_STATEMENTS,
+        )
+    else:
+        results = server_benchmark(
+            total_requests=DEFAULT_REQUESTS,
+            rounds=DEFAULT_ROUNDS,
+            highconc_clients=HIGHCONC_CLIENTS,
+            highconc_requests=HIGHCONC_REQUESTS,
+            pipeline_statements=PIPELINE_STATEMENTS,
+        )
     RESULTS_DIR.mkdir(exist_ok=True)
     RESULT_FILE.write_text(json.dumps(results, indent=2, default=str) + "\n")
     return results
@@ -60,6 +88,27 @@ def _summarize(results: dict) -> str:
         f"  zero lost firings: {results['zero_lost_firings']}; "
         f"all requests served: {results['all_requests_served']}"
     )
+    highconc = results["high_concurrency"]
+    lines.append(
+        f"  high concurrency ({highconc['requests']} requests, "
+        f"{highconc['driver_threads']} drivers):"
+    )
+    for frontend, cells in highconc["frontends"].items():
+        parts = []
+        for clients, cell in cells.items():
+            parts.append(
+                f"{clients}conn {cell['qps']:.0f} qps "
+                f"(p99 {cell['p99_ms']:.2f} ms, "
+                f"{cell['resident_threads']} threads)"
+            )
+        lines.append(f"    {frontend:<9} " + " | ".join(parts))
+    for frontend, cell in results["pipelining"].items():
+        lines.append(
+            f"  pipelining [{frontend}]: {cell['statements']} statements "
+            f"serial {cell['serial_s'] * 1000:.0f} ms vs batched "
+            f"{cell['batched_s'] * 1000:.0f} ms — "
+            f"{cell['speedup']:.1f}x"
+        )
     lines.append(f"  written to {RESULT_FILE}")
     return "\n".join(lines)
 
@@ -77,31 +126,38 @@ def _check(results: dict) -> list[str]:
         for clients, cell in cells.items():
             if cell["qps"] <= 0:
                 failures.append(f"{mode}@{clients}: qps is zero")
+    for frontend, cells in results["high_concurrency"]["frontends"].items():
+        for clients, cell in cells.items():
+            if cell["errors"] or cell["requests"] != cell["expected"]:
+                failures.append(
+                    f"high_concurrency {frontend}@{clients}: dropped "
+                    f"requests or client errors"
+                )
+    for frontend, cell in results["pipelining"].items():
+        if cell["served"] != cell["statements"]:
+            failures.append(
+                f"pipelining {frontend}: only {cell['served']} of "
+                f"{cell['statements']} statements returned rows"
+            )
+    # the asyncio front end batches pipelined statements into single
+    # worker-pool hops; a >= 2x win over one-at-a-time is the bar
+    if results["pipelining"]["async"]["speedup"] < 2.0:
+        failures.append(
+            "pipelining async: speedup "
+            f"{results['pipelining']['async']['speedup']:.2f}x < 2x"
+        )
     return failures
 
 
 def test_report_server():
-    from repro.bench.server import QUICK_REQUESTS, QUICK_ROUNDS
-
-    results = run(QUICK_REQUESTS, QUICK_ROUNDS)
+    results = run(quick=True)
     print()
     print(_summarize(results))
     assert not _check(results)
 
 
 def main(argv: list[str]) -> int:
-    from repro.bench.server import (
-        DEFAULT_REQUESTS,
-        DEFAULT_ROUNDS,
-        QUICK_REQUESTS,
-        QUICK_ROUNDS,
-    )
-
-    quick = "--quick" in argv
-    results = run(
-        QUICK_REQUESTS if quick else DEFAULT_REQUESTS,
-        QUICK_ROUNDS if quick else DEFAULT_ROUNDS,
-    )
+    results = run(quick="--quick" in argv)
     print(_summarize(results))
     failures = _check(results)
     for failure in failures:

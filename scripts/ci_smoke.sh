@@ -74,8 +74,27 @@ echo "== network serving smoke =="
 PYTHONPATH=src python scripts/server_smoke.py
 
 echo
+echo "== asyncio front end + replica smoke =="
+# boots python -m repro.server --frontend async --replicate as a
+# subprocess, pipelines a mixed DML/SELECT batch on one connection,
+# attaches a live socket replica (token catch-up, read-your-writes,
+# forwarded audit intents), then SIGTERMs the primary; exits non-zero
+# unless shutdown is clean with zero uncommitted intents and a fresh
+# journal replay reproduces the replica's tables and the exact log
+PYTHONPATH=src python scripts/replication_smoke.py
+
+echo
 echo "== server benchmark (--quick) =="
 # in-process vs over-TCP qps/latency grid with and without an armed
-# audit trigger; exits non-zero if any armed cell loses firings or any
-# cell drops requests
+# audit trigger, plus the threaded-vs-asyncio high-concurrency sweep
+# and the pipelining speedup bar (async execute_many >= 2x); exits
+# non-zero if any armed cell loses firings or any cell drops requests
 PYTHONPATH=src python benchmarks/bench_server.py --quick
+
+echo
+echo "== replication benchmark (--quick) =="
+# replica read scaling under a write stream (paced and saturated), lag
+# profile with catch-up, and the audit differential: a workload spread
+# over two replicas must leave the primary's log identical to a serial
+# single-node run; exits non-zero on any divergence or stalled replica
+PYTHONPATH=src python benchmarks/bench_replication.py --quick

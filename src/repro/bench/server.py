@@ -19,6 +19,21 @@ Every armed cell proves **zero lost firings**: after ``drain_triggers``
 the audit log must have grown by exactly one row per request (each point
 query discloses exactly one sensitive ID).
 
+Two further sections compare the serving front ends directly:
+
+* ``high_concurrency`` — 256 and 1024 open connections against the
+  threaded :class:`~repro.server.server.Server` (thread per connection)
+  and the asyncio :class:`~repro.server.aserver.AsyncServer` (fd +
+  coroutine per connection, bounded worker pool), driven by a small
+  fixed pool of driver threads. Reports qps, p50/p99, and the resident
+  thread count while all connections are open — the number the asyncio
+  front end exists to flatten.
+* ``pipelining`` — one connection, a run of small point SELECTs,
+  executed one-at-a-time (``execute``) vs pipelined
+  (``execute_many``). The asyncio front end additionally batches
+  consecutive pipelined statements into single worker-pool hops, so
+  its speedup is the acceptance bar (>= 2x).
+
 ``benchmarks/bench_server.py`` serializes the output to
 ``benchmarks/results/BENCH_server.json``.
 """
@@ -26,6 +41,7 @@ query discloses exactly one sensitive ID).
 from __future__ import annotations
 
 import gc
+import itertools
 import statistics
 import threading
 import time
@@ -40,6 +56,20 @@ QUICK_REQUESTS = 48
 
 DEFAULT_ROUNDS = 2
 QUICK_ROUNDS = 1
+
+#: open-connection counts for the front-end comparison
+HIGHCONC_CLIENTS = (256, 1024)
+QUICK_HIGHCONC_CLIENTS = (64,)
+
+HIGHCONC_REQUESTS = 2048
+QUICK_HIGHCONC_REQUESTS = 256
+
+#: threads actually driving requests in the high-concurrency section —
+#: connections far outnumber drivers, as in a real fan-in tier
+DRIVER_THREADS = 16
+
+PIPELINE_STATEMENTS = 200
+QUICK_PIPELINE_STATEMENTS = 80
 
 N_PATIENTS = 32
 
@@ -180,6 +210,123 @@ def _measure_server(
     return cell
 
 
+def _raise_nofile(minimum: int = 4096) -> None:
+    """Lift the fd soft limit so 1024 sockets (x2 ends) fit."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    if soft < minimum:
+        try:
+            resource.setrlimit(
+                resource.RLIMIT_NOFILE, (min(minimum, hard), hard)
+            )
+        except (ValueError, OSError):  # pragma: no cover - capped env
+            pass
+
+
+def _make_frontend(frontend: str, db: Database, max_connections: int):
+    """A started server of the requested flavour over ``db``."""
+    from repro.server import AsyncServer, Server
+
+    factory = Server if frontend == "threaded" else AsyncServer
+    return factory(
+        db,
+        max_connections=max_connections,
+        admission_queue=max_connections,
+        admission_timeout=60.0,
+        close_database=False,
+    ).start()
+
+
+def _measure_high_concurrency(
+    frontend: str, clients: int, total_requests: int
+) -> dict:
+    """qps/latency/thread-count with ``clients`` open connections.
+
+    All connections are opened first (this is where the front ends
+    diverge: the threaded server holds a handler thread per connection,
+    the asyncio server a coroutine). A fixed pool of driver threads then
+    spreads ``total_requests`` round-robin over the connections, so the
+    measured work per front end is identical.
+    """
+    from repro.server.client import Connection
+
+    _raise_nofile()
+    db = _build_database(armed=False)
+    baseline_threads = threading.active_count()
+    server = _make_frontend(frontend, db, clients + DRIVER_THREADS)
+    try:
+        connections = [
+            Connection(server.host, server.port, user_id=f"c{i}")
+            for i in range(clients)
+        ]
+        try:
+            resident_threads = threading.active_count()
+            drivers = min(DRIVER_THREADS, clients)
+            scripts = _queries(total_requests, drivers)
+            shares = [connections[i::drivers] for i in range(drivers)]
+
+            def make_execute(share: list) -> object:
+                rotation = itertools.cycle(share)
+
+                def execute(sql: str):
+                    return next(rotation).execute(sql)
+
+                return execute
+
+            workers = [
+                (make_execute(share), script)
+                for share, script in zip(shares, scripts)
+            ]
+            latencies, errors, wall = _run_clients(workers)
+        finally:
+            for connection in connections:
+                connection.close()
+    finally:
+        server.shutdown()
+        db.close()
+    cell = _cell(latencies, errors, wall, total_requests)
+    cell["resident_threads"] = resident_threads
+    cell["baseline_threads"] = baseline_threads
+    return cell
+
+
+def _measure_pipelining(frontend: str, statements: int) -> dict:
+    """One connection: serial ``execute`` vs pipelined ``execute_many``."""
+    from repro.server.client import Connection
+
+    db = _build_database(armed=False)
+    server = _make_frontend(frontend, db, 4)
+    try:
+        batch = [
+            f"SELECT name FROM patients WHERE pid = {i % N_PATIENTS + 1}"
+            for i in range(statements)
+        ]
+        with Connection(server.host, server.port, user_id="pipe") as conn:
+            conn.execute("SELECT 1")  # warm both ends
+            gc.collect()
+            started = time.perf_counter()
+            for sql in batch:
+                conn.execute(sql)
+            serial_s = time.perf_counter() - started
+            started = time.perf_counter()
+            outcomes = conn.execute_many(batch)
+            batched_s = time.perf_counter() - started
+            served = sum(1 for outcome in outcomes if outcome.rows)
+    finally:
+        server.shutdown()
+        db.close()
+    return {
+        "statements": statements,
+        "served": served,
+        "serial_s": serial_s,
+        "batched_s": batched_s,
+        "speedup": serial_s / max(batched_s, 1e-9),
+    }
+
+
 def _cell(
     latencies: list[float], errors: list[str], wall: float, expected: int
 ) -> dict:
@@ -195,7 +342,11 @@ def _cell(
 
 
 def server_benchmark(
-    total_requests: int = DEFAULT_REQUESTS, rounds: int = DEFAULT_ROUNDS
+    total_requests: int = DEFAULT_REQUESTS,
+    rounds: int = DEFAULT_ROUNDS,
+    highconc_clients: tuple = HIGHCONC_CLIENTS,
+    highconc_requests: int = HIGHCONC_REQUESTS,
+    pipeline_statements: int = PIPELINE_STATEMENTS,
 ) -> dict:
     """The full grid; best-of-``rounds`` per cell by qps."""
     grid: dict[str, dict] = {}
@@ -244,6 +395,26 @@ def server_benchmark(
         for cells in grid.values()
         for cell in cells.values()
     )
+
+    highconc: dict[str, dict] = {}
+    for frontend in ("threaded", "async"):
+        highconc[frontend] = {
+            str(clients): _measure_high_concurrency(
+                frontend, clients, highconc_requests
+            )
+            for clients in highconc_clients
+        }
+    results["high_concurrency"] = {
+        "client_counts": list(highconc_clients),
+        "requests": highconc_requests,
+        "driver_threads": DRIVER_THREADS,
+        "frontends": highconc,
+    }
+
+    results["pipelining"] = {
+        frontend: _measure_pipelining(frontend, pipeline_statements)
+        for frontend in ("threaded", "async")
+    }
     return results
 
 
@@ -252,6 +423,12 @@ __all__ = [
     "CLIENT_COUNTS",
     "DEFAULT_REQUESTS",
     "DEFAULT_ROUNDS",
+    "HIGHCONC_CLIENTS",
+    "HIGHCONC_REQUESTS",
+    "PIPELINE_STATEMENTS",
+    "QUICK_HIGHCONC_CLIENTS",
+    "QUICK_HIGHCONC_REQUESTS",
+    "QUICK_PIPELINE_STATEMENTS",
     "QUICK_REQUESTS",
     "QUICK_ROUNDS",
 ]

@@ -58,7 +58,7 @@ import threading
 import time
 from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
-from contextlib import ExitStack, contextmanager
+from contextlib import ExitStack, contextmanager, nullcontext
 from dataclasses import dataclass
 
 from repro.audit.placement import HEURISTIC_HCN
@@ -183,6 +183,12 @@ class _ShardRecoveryAdapter:
 
     def mark_seq_applied(self, seq: int, recovered: bool = False) -> None:
         self._shard.mark_seq_applied(seq, recovered=recovered)
+
+    def replication_apply(self):
+        # replay suppression is single-engine state; the coordinator's
+        # dispatch path never consults it, so recovery replay through
+        # the cluster needs no flag — just the context-manager shape
+        return nullcontext()
 
     def _fire_accessed(self, accessed: dict, timing: str) -> None:
         self._cluster._fire_accessed(accessed, timing)

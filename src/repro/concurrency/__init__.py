@@ -16,6 +16,9 @@ The engine's concurrency model (DESIGN.md §7) is two-layered:
   the network server admits each statement through the gate, and
   shutdown closes it and drains before the trigger pipeline and the
   audit journal are closed (DESIGN.md §9).
+* :class:`SequenceBarrier` — a monotonic high-watermark with blocking
+  waits: the replication applier advances it per applied journal record,
+  and read-your-writes tokens block on it (DESIGN.md §13).
 * :class:`CancellationToken` — cooperative cancellation for long-running
   executions: the cluster coordinator cancels scatter fragments whose
   deadline expired, and ``collect_rows`` checkpoints unwind them at the
@@ -24,6 +27,7 @@ The engine's concurrency model (DESIGN.md §7) is two-layered:
   second thread exists to flip the token.
 """
 
+from repro.concurrency.barrier import SequenceBarrier
 from repro.concurrency.cancel import (
     CHECK_EVERY_ROWS,
     CancellationToken,
@@ -48,6 +52,7 @@ __all__ = [
     "GateClosedError",
     "interruptible_sleep",
     "ReadWriteLock",
+    "SequenceBarrier",
     "TriggerBatch",
     "TriggerPipeline",
     "DEFAULT_QUEUE_CAPACITY",

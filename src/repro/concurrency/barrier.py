@@ -1,0 +1,43 @@
+"""SequenceBarrier: a monotonic high-watermark with blocking waits.
+
+The replication read-your-writes primitive (DESIGN.md §13): the applier
+thread advances the barrier to each journal sequence number it finishes
+applying, and readers holding a token from the primary
+(``Database.replication_token``) block in :meth:`wait_for` until the
+replica has caught up to their write. Also the lag metric's applied-side
+counter.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class SequenceBarrier:
+    """Threads wait until a monotonically-advancing value reaches a goal."""
+
+    def __init__(self, initial: int = -1) -> None:
+        self._condition = threading.Condition()
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        with self._condition:
+            return self._value
+
+    def advance(self, value: int) -> None:
+        """Raise the watermark to ``value`` (lower values are no-ops)."""
+        with self._condition:
+            if value > self._value:
+                self._value = value
+                self._condition.notify_all()
+
+    def wait_for(self, value: int, timeout: float | None = None) -> bool:
+        """Block until the watermark reaches ``value``; False on timeout."""
+        with self._condition:
+            return self._condition.wait_for(
+                lambda: self._value >= value, timeout
+            )
+
+
+__all__ = ["SequenceBarrier"]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import datetime
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -51,6 +52,8 @@ from repro.errors import (
     DurabilityError,
     ExecutionError,
     PipelineClosedError,
+    ReadOnlyReplicaError,
+    ReproError,
     UnsupportedSqlError,
 )
 from repro.durability.journal import encode_id
@@ -64,7 +67,7 @@ from repro.plan.builder import PlanBuilder, Scope
 from repro.plancache import CachedPlan, PlanCache
 from repro.plan.logical import LogicalPlan, PlanColumn
 from repro.sql import ast
-from repro.sql.parser import parse_statement, parse_statements
+from repro.sql.parser import parse_statement, parse_statements_with_text
 from repro.storage.blocks import DEFAULT_BLOCK_CAPACITY
 from repro.storage.table import Table
 from repro.triggers.definitions import DmlTrigger, SelectTrigger
@@ -112,6 +115,7 @@ class Database:
         journal_fsync: str = "batch",
         audit_policy: str = "fail_open",
         fault_injector: FaultInjector | None = None,
+        read_only: bool = False,
     ) -> None:
         self.catalog = Catalog()
         self.session = Session(user_id=user_id, clock=clock)
@@ -200,6 +204,24 @@ class Database:
         self._seq_lock = threading.Lock()
         # audit_trail_health() baseline set by acknowledge_audit_failures
         self._acknowledged_failures: dict[str, int] = {}
+        # replication (DESIGN.md §13): a read-only engine refuses
+        # depth-0 mutations (replicas mutate only through journal
+        # replay); ``replicate_statements`` makes the journal a full
+        # statement WAL by also appending 'statement' records for
+        # depth-0 DML/DDL; ``intent_forwarder`` reroutes a replica's
+        # SELECT-trigger firings to its primary
+        self.read_only = read_only
+        #: journal a 'statement' record for every depth-0 DML/DDL so
+        #: replicas (and full-WAL recovery) can replay data, not just
+        #: firings; off by default — it changes journal sequence layout
+        self.replicate_statements = False
+        #: callable(accessed, sql_text, user_id) a replica installs to
+        #: ship firing intents to its primary instead of firing locally
+        self.intent_forwarder: Callable[[dict, str, str], None] | None = None
+        self._replication_local = threading.local()
+        # DML statement records buffered during an explicit transaction;
+        # flushed to the journal at COMMIT, dropped at ROLLBACK
+        self._pending_statement_records: list[dict] = []
         if journal_path is not None:
             self.attach_journal(journal_path, fsync=journal_fsync)
 
@@ -330,6 +352,24 @@ class Database:
 
         return Server(self, host=host, port=port, **kwargs)
 
+    def serve_async(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **kwargs,
+    ):
+        """Like :meth:`serve`, but returns the asyncio front end.
+
+        :class:`repro.server.AsyncServer` speaks the same wire protocol
+        from one event loop: thousands of idle connections cost a file
+        descriptor and a coroutine each, statements are pipelined per
+        connection, and execution bridges onto this (threaded) engine
+        through a bounded worker pool.
+        """
+        from repro.server import AsyncServer
+
+        return AsyncServer(self, host=host, port=port, **kwargs)
+
     # ------------------------------------------------------------------
     # durability: the audit journal, policies, and recovery
 
@@ -381,7 +421,12 @@ class Database:
         )
         return self._journal
 
-    def recover(self, journal_path=None, strict: bool = True):
+    def recover(
+        self,
+        journal_path=None,
+        strict: bool = True,
+        apply_statements: bool = False,
+    ):
         """Rebuild the audit trail from a journal after a crash.
 
         Scans the journal's segments (verifying every CRC; a torn final
@@ -396,8 +441,11 @@ class Database:
 
         ``journal_path`` defaults to the attached journal's directory, so
         a database constructed with ``journal_path=...`` over a surviving
-        journal recovers in place and keeps journaling into it. Returns a
-        :class:`~repro.durability.RecoveryReport`.
+        journal recovers in place and keeps journaling into it. With
+        ``apply_statements=True``, 'statement' records (written under
+        ``replicate_statements``) are replayed too — a journal written
+        that way rebuilds schema *and* data into a fresh database.
+        Returns a :class:`~repro.durability.RecoveryReport`.
         """
         from repro.durability.recovery import recover_database
 
@@ -408,7 +456,9 @@ class Database:
                     "no journal attached and no journal_path given"
                 )
             path = self._journal.path
-        return recover_database(self, path, strict=strict)
+        return recover_database(
+            self, path, strict=strict, apply_statements=apply_statements
+        )
 
     def is_seq_applied(self, seq: int) -> bool:
         with self._seq_lock:
@@ -540,6 +590,117 @@ class Database:
             self._note_gap("dead-letter-spill", spill_error)
 
     # ------------------------------------------------------------------
+    # replication (DESIGN.md §13)
+
+    @property
+    def replaying(self) -> bool:
+        """True while this thread is applying replicated journal records."""
+        return getattr(self._replication_local, "applying", False)
+
+    @contextmanager
+    def replication_apply(self):
+        """Mark this thread as applying the primary's journal stream.
+
+        Inside the context, depth-0 statements bypass the read-only
+        check (replay is the one legitimate mutation path on a replica)
+        and suppress their own trigger dispatch — the stream carries the
+        primary's intent records, which are replayed separately, so
+        re-firing or re-forwarding here would double the audit trail.
+        """
+        previous = getattr(self._replication_local, "applying", False)
+        self._replication_local.applying = True
+        try:
+            yield self
+        finally:
+            self._replication_local.applying = previous
+
+    def apply_forwarded_intent(
+        self, accessed: dict, sql_text: str, user_id: str
+    ) -> int | None:
+        """Journal and fire a replica-computed ACCESSED set (primary side).
+
+        The replica ran the SELECT and computed what it disclosed; the
+        primary owns the audit trail, so the intent is journaled and the
+        AFTER-timing actions fire *here*, under the originating query's
+        ``sql_text``/``user_id`` — attribution is identical to a
+        single-node run. Returns the intent's journal sequence number.
+        """
+        with self.session.override(sql_text, user_id):
+            seq = self._journal_intent(accessed)
+            self._fire_accessed(accessed, timing="after")
+            self._journal_commit(seq)
+        return seq
+
+    def replication_token(self) -> int | None:
+        """Read-your-writes token: the journal position after your write.
+
+        A replica has caught up to this write once it has applied every
+        record below the token (``ReplicaDatabase.wait_for(token)``).
+        None when no journal is attached (nothing to wait for).
+        """
+        journal = self._journal
+        if journal is None:
+            return None
+        return journal.next_seq
+
+    def _journal_statement(
+        self,
+        statement: ast.Statement,
+        source_sql: str,
+        parameters: dict[str, object] | None,
+    ) -> None:
+        """Append (or buffer) one statement-replication record.
+
+        Runs with the engine write lock held, right after the statement
+        succeeded. DML inside an explicit transaction is buffered and
+        flushed at COMMIT (dropped at ROLLBACK) so replicas never apply
+        rolled-back changes; DDL is journaled immediately — it is not
+        undo-logged, so it survives ROLLBACK and replicas must apply it
+        regardless of the enclosing transaction's fate.
+        """
+        if isinstance(statement, ast.TransactionStatement):
+            if statement.action == "commit":
+                pending = self._pending_statement_records
+                self._pending_statement_records = []
+                for payload in pending:
+                    self._append_statement_record(payload)
+            elif statement.action == "rollback":
+                self._pending_statement_records = []
+            return
+        if isinstance(
+            statement,
+            (ast.IfStatement, ast.NotifyStatement, ast.DenyStatement),
+        ):
+            return  # trigger-body constructs; never top-level state
+        payload: dict = {
+            "sql": source_sql,
+            "user": self.session.user_id,
+        }
+        if parameters:
+            try:
+                payload["params"] = {
+                    name: encode_id(value)
+                    for name, value in parameters.items()
+                }
+            except DurabilityError as error:
+                self._record_audit_gap("journal-statement", error)
+                return
+        is_dml = isinstance(
+            statement,
+            (ast.InsertStatement, ast.UpdateStatement, ast.DeleteStatement),
+        )
+        if is_dml and self._in_explicit_transaction:
+            self._pending_statement_records.append(payload)
+            return
+        self._append_statement_record(payload)
+
+    def _append_statement_record(self, payload: dict) -> None:
+        try:
+            self._journal.append("statement", payload)
+        except (DurabilityError, OSError) as error:
+            self._record_audit_gap("journal-statement", error)
+
+    # ------------------------------------------------------------------
     # public execution API
 
     def execute(
@@ -559,13 +720,17 @@ class Database:
                 entry.column_names, entry.physical, parameters, None
             )
         statement = parse_statement(sql)
-        return self._execute_statement(statement, parameters, sql_key=text)
+        return self._execute_statement(
+            statement, parameters, sql_key=text, source_sql=text
+        )
 
     def execute_script(self, sql: str) -> list[QueryResult]:
         """Execute a semicolon-separated script; returns per-statement results."""
         results = []
-        for statement in parse_statements(sql):
-            results.append(self._execute_statement(statement, None))
+        for statement, text in parse_statements_with_text(sql):
+            results.append(
+                self._execute_statement(statement, None, source_sql=text)
+            )
         return results
 
     def explain(self, sql: str, parameters: dict[str, object] | None = None
@@ -695,6 +860,7 @@ class Database:
         scope_columns: tuple[PlanColumn, ...] | None = None,
         pseudo_row: tuple | None = None,
         sql_key: str | None = None,
+        source_sql: str | None = None,
     ) -> QueryResult:
         if isinstance(statement, ast.SelectStatement):
             # SELECTs run under the shared (read) side of the engine
@@ -704,13 +870,37 @@ class Database:
                 statement, parameters, scope_columns, pseudo_row,
                 sql_key=sql_key,
             )
+        if (
+            self.read_only
+            and self._trigger_depth == 0
+            and not self.replaying
+        ):
+            # trigger-body DML (depth > 0) and journal replay still
+            # mutate: the replica's audit-log tables are rebuilt through
+            # exactly those two paths
+            raise ReadOnlyReplicaError(
+                f"{type(statement).__name__} refused: this engine is a "
+                "read-only replica (writes go to the primary)"
+            )
         # every other statement mutates engine state (tables, catalog,
         # audit configuration, transaction scope): exclusive write side.
         # Reentrant: trigger bodies and cascades already hold it.
         with self._engine_lock.write():
-            return self._execute_write_statement(
+            result = self._execute_write_statement(
                 statement, parameters, scope_columns, pseudo_row
             )
+            if (
+                self.replicate_statements
+                and self._journal is not None
+                and self._trigger_depth == 0
+                and source_sql is not None
+                and not self.replaying
+            ):
+                # append while still holding the write lock, so journal
+                # order is apply order and replicas replay a serial
+                # history equivalent to the primary's
+                self._journal_statement(statement, source_sql, parameters)
+            return result
 
     def _execute_write_statement(
         self,
@@ -890,9 +1080,13 @@ class Database:
         # BEFORE-timing triggers gate the results: a DENY action raises
         # AccessDeniedError and the rows never reach the caller — but the
         # AFTER-timing audit actions still record the (attempted) access.
-        # BEFORE actions run synchronously in every trigger mode.
+        # BEFORE actions run synchronously in every trigger mode. During
+        # journal replay the depth-0 gate is skipped: the primary already
+        # adjudicated this statement, and a replayed DENY would wedge the
+        # replica's apply loop.
         try:
-            self._fire_accessed(context.accessed, timing="before")
+            if not (self.replaying and self._trigger_depth == 0):
+                self._fire_accessed(context.accessed, timing="before")
         finally:
             self._dispatch_after_triggers(context)
         return QueryResult(
@@ -916,7 +1110,35 @@ class Database:
         accessed = context.accessed
         if not accessed:
             return
+        if self.replaying and self._trigger_depth == 0:
+            # journal replay: the stream carries this statement's own
+            # intent record (replayed separately), so journaling,
+            # forwarding, or firing here would double the trail. Depth>0
+            # cascades still dispatch — they are part of an intent
+            # replay already in progress.
+            return
         has_after = self.trigger_manager.has_select_triggers("after")
+        if self.intent_forwarder is not None and self._trigger_depth == 0:
+            # replica path: ACCESSED was computed here, but the firing
+            # belongs to the primary — it journals the intent and runs
+            # the actions under this query's attribution, and the
+            # journal stream loops the result back to every replica.
+            if not has_after:
+                return
+            try:
+                self.intent_forwarder(
+                    {
+                        name: frozenset(ids)
+                        for name, ids in accessed.items()
+                    },
+                    self.session.sql_text,
+                    self.session.user_id,
+                )
+            except (ReproError, OSError) as error:
+                # fail_closed: refuse the rows rather than serve an
+                # unattributable disclosure; fail_open: record the gap
+                self._record_audit_gap("intent-forward", error)
+            return
         seq = None
         if has_after and self._trigger_depth == 0:
             # cascaded firings (depth > 0) are part of their parent

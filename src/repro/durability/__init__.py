@@ -18,6 +18,7 @@ from repro.durability.journal import (
     DEFAULT_SEGMENT_BYTES,
     FSYNC_POLICIES,
     AuditJournal,
+    JournalCursor,
     JournalRecord,
     ScanResult,
     decode_id,
@@ -35,6 +36,7 @@ from repro.durability.recovery import (
 __all__ = [
     "AuditJournal",
     "DeadLetterJournal",
+    "JournalCursor",
     "JournalRecord",
     "ScanResult",
     "RecoveryReport",

@@ -275,6 +275,101 @@ def scan_journal(path: os.PathLike | str, strict: bool = True) -> ScanResult:
     return result
 
 
+class JournalCursor:
+    """Incremental, restartable reader over a live journal directory.
+
+    Where :func:`scan_journal` reads everything in one pass, a cursor
+    remembers its position (segment + byte offset) and each
+    :meth:`poll` returns only the records appended since the last call
+    — the streaming read side replication tails. Semantics match the
+    scanner's crash model:
+
+    * a *partial* final line (no newline yet) or an undecodable final
+      line of the last segment is an append in progress or a torn tail:
+      the cursor stops short of it and re-reads it next poll;
+    * an undecodable line **followed by more data** — or in any segment
+      but the last — is interior corruption and raises
+      :class:`~repro.errors.JournalCorruptionError`;
+    * segment rotation is followed transparently.
+
+    ``from_seq`` skips records below it, so a replica resuming from a
+    known position does not replay history it already applied.
+    """
+
+    def __init__(self, path: os.PathLike | str, from_seq: int = 0) -> None:
+        self.path = pathlib.Path(path)
+        self.from_seq = from_seq
+        self._segment_pos = 0  # index into segment_paths(self.path)
+        self._offset = 0       # byte offset within the current segment
+        #: highest sequence number this cursor has returned (or -1)
+        self.last_seq = from_seq - 1
+
+    def poll(self, max_records: int = 512) -> list[JournalRecord]:
+        """Records appended since the last poll (may be empty)."""
+        out: list[JournalRecord] = []
+        while len(out) < max_records:
+            segments = segment_paths(self.path)
+            if self._segment_pos >= len(segments):
+                break
+            segment = segments[self._segment_pos]
+            last_segment = self._segment_pos == len(segments) - 1
+            with open(segment, "rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+            if not data:
+                if last_segment:
+                    break  # caught up; wait for the writer
+                self._segment_pos += 1
+                self._offset = 0
+                continue
+            lines = data.splitlines(keepends=True)
+            consumed = 0
+            stalled = False
+            for index, line in enumerate(lines):
+                if not line.endswith(b"\n"):
+                    stalled = True  # append in progress; retry next poll
+                    break
+                if not line.strip():
+                    consumed += len(line)
+                    continue
+                try:
+                    payload = decode_line(line)
+                except ValueError as error:
+                    trailing = last_segment and all(
+                        not later.strip() for later in lines[index + 1:]
+                    )
+                    if trailing:
+                        # torn tail of a crashed (or crashing) writer:
+                        # stop here; the writer's restart repairs it
+                        stalled = True
+                        break
+                    raise JournalCorruptionError(
+                        f"{segment.name}: {error}"
+                    ) from error
+                consumed += len(line)
+                seq = payload.get("seq", -1)
+                if seq >= self.from_seq:
+                    out.append(
+                        JournalRecord(
+                            seq=seq,
+                            kind=payload.get("kind", ""),
+                            data=payload.get("data", {}),
+                            segment=segment.name,
+                        )
+                    )
+                    self.last_seq = max(self.last_seq, seq)
+                    if len(out) >= max_records:
+                        break
+            self._offset += consumed
+            if stalled or len(out) >= max_records:
+                break
+            if last_segment:
+                break  # consumed everything currently on disk
+            self._segment_pos += 1
+            self._offset = 0
+        return out
+
+
 class AuditJournal:
     """Thread-safe append side of a segmented audit journal."""
 
@@ -409,6 +504,7 @@ class AuditJournal:
 
 __all__ = [
     "AuditJournal",
+    "JournalCursor",
     "JournalRecord",
     "ScanResult",
     "scan_journal",

@@ -31,7 +31,7 @@ import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.durability.journal import decode_id, scan_journal
+from repro.durability.journal import JournalRecord, decode_id, scan_journal
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
     from repro.database import Database
@@ -47,6 +47,8 @@ class RecoveryReport:
     commits: int = 0
     #: intents re-fired by this pass
     replayed: int = 0
+    #: 'statement' records applied (``apply_statements=True`` only)
+    statements_applied: int = 0
     #: intents skipped because this process already applied their seq
     skipped_applied: int = 0
     #: intents naming at least one audit expression that no longer
@@ -76,18 +78,71 @@ def uncommitted_intents(path: os.PathLike | str, strict: bool = True
     ]
 
 
+def apply_statement_record(
+    database: "Database", record: JournalRecord
+) -> None:
+    """Replay one 'statement' journal record into ``database``.
+
+    Runs under :meth:`~repro.database.Database.replication_apply` and the
+    originating query's attribution, so the replayed statement bypasses
+    the replica's read-only check and suppresses its own trigger
+    dispatch — the stream's intent records carry the firings.
+    """
+    sql = record.data.get("sql", "")
+    raw_params = record.data.get("params") or None
+    parameters = None
+    if raw_params is not None:
+        parameters = {
+            name: decode_id(value) for name, value in raw_params.items()
+        }
+    with database.replication_apply(), database.session.override(
+        sql, record.data.get("user", "")
+    ):
+        database.execute(sql, parameters)
+
+
+def apply_intent_record(
+    database: "Database", record: JournalRecord
+) -> dict[str, set]:
+    """Re-fire one intent record's AFTER-timing actions.
+
+    Returns the decoded accessed map that was fired (empty when every
+    named audit expression is unknown to this database). The caller is
+    responsible for sequence bookkeeping (``mark_seq_applied``).
+    """
+    manager = database.audit_manager
+    accessed: dict[str, set] = {}
+    for name, ids in record.data.get("accessed", {}).items():
+        if manager.has_expression(name):
+            accessed[name] = {decode_id(value) for value in ids}
+    if accessed:
+        with database.replication_apply(), database.session.override(
+            record.data.get("sql", ""), record.data.get("user", "")
+        ):
+            database._fire_accessed(accessed, timing="after")
+    return accessed
+
+
 def recover_database(
     database: "Database",
     path: os.PathLike | str,
     strict: bool = True,
+    apply_statements: bool = False,
 ) -> RecoveryReport:
     """Replay the journal at ``path`` into ``database``.
 
-    See the module docstring for the delivery semantics. The database
-    must already hold the schema, audit expressions, and triggers of the
-    crashed instance (recovery replays *firings*, not DDL); intents
-    naming audit expressions that no longer exist are counted in
-    ``skipped_unknown`` and otherwise ignored.
+    See the module docstring for the delivery semantics. By default the
+    database must already hold the schema, audit expressions, and
+    triggers of the crashed instance (recovery replays *firings*, not
+    DDL); intents naming audit expressions that no longer exist are
+    counted in ``skipped_unknown`` and otherwise ignored.
+
+    With ``apply_statements=True`` the journal's 'statement' records
+    (written when the primary ran with ``replicate_statements``) are
+    replayed too, interleaved with intents in sequence order — a journal
+    written that way is a complete WAL, and a *fresh* database recovers
+    schema, data, and audit trail from it alone. This is also the
+    bootstrap path a :class:`~repro.replication.ReplicaDatabase` uses.
     """
     scan = scan_journal(path, strict=strict)
     commits = {
@@ -95,10 +150,18 @@ def recover_database(
         for record in scan.records
         if record.kind == "commit"
     }
-    intents = sorted(
-        (record for record in scan.records if record.kind == "intent"),
+    replayable = sorted(
+        (
+            record
+            for record in scan.records
+            if record.kind == "intent"
+            or (apply_statements and record.kind == "statement")
+        ),
         key=lambda record: record.seq,
     )
+    intents = [
+        record for record in replayable if record.kind == "intent"
+    ]
     report = RecoveryReport(
         segments=scan.segments,
         records=len(scan.records),
@@ -110,28 +173,26 @@ def recover_database(
         torn_tail=scan.torn_tail,
         corrupt=scan.corrupt,
     )
-    manager = database.audit_manager
-    for record in intents:
+    for record in replayable:
         if database.is_seq_applied(record.seq):
             report.skipped_applied += 1
             continue
-        accessed: dict[str, set] = {}
-        names_unknown = False
-        for name, ids in record.data.get("accessed", {}).items():
-            if manager.has_expression(name):
-                accessed[name] = {decode_id(value) for value in ids}
-            else:
-                names_unknown = True
+        if record.kind == "statement":
+            apply_statement_record(database, record)
+            report.statements_applied += 1
+            database.mark_seq_applied(record.seq)
+            continue
+        names_unknown = any(
+            not database.audit_manager.has_expression(name)
+            for name in record.data.get("accessed", {})
+        )
         if names_unknown:
             report.skipped_unknown += 1
         # mid-recovery crash site: fires before the intent is applied, so
         # a killed recovery never half-counts the current intent
         database.faults.fire("recovery-replay")
+        accessed = apply_intent_record(database, record)
         if accessed:
-            with database.session.override(
-                record.data.get("sql", ""), record.data.get("user", "")
-            ):
-                database._fire_accessed(accessed, timing="after")
             for name, ids in accessed.items():
                 report.replayed_ids.setdefault(name, set()).update(ids)
             report.replayed += 1
@@ -139,4 +200,10 @@ def recover_database(
     return report
 
 
-__all__ = ["RecoveryReport", "recover_database", "uncommitted_intents"]
+__all__ = [
+    "RecoveryReport",
+    "recover_database",
+    "uncommitted_intents",
+    "apply_statement_record",
+    "apply_intent_record",
+]

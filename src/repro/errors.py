@@ -225,6 +225,20 @@ class ShardTimeoutError(ClusterError):
     """
 
 
+class ReplicationError(ReproError):
+    """A failure in the journal-shipping replication layer
+    (``repro.replication``)."""
+
+
+class ReadOnlyReplicaError(ReplicationError):
+    """A mutating statement was sent to a read-only replica.
+
+    Replicas replay the primary's journal; accepting local DML or DDL
+    would diverge them from the stream. Run writes against the primary
+    — the replica serves SELECTs only.
+    """
+
+
 class TransactionError(ReproError):
     """Invalid transaction control (COMMIT/ROLLBACK without BEGIN, ...)."""
 

@@ -1,0 +1,25 @@
+"""repro.replication — audit-consistent read replicas (DESIGN.md §13).
+
+The primary ships its :class:`~repro.durability.AuditJournal` — which,
+under ``Database.replicate_statements``, records committed DML/DDL
+*statements* alongside the audit intents — and a
+:class:`ReplicaDatabase` replays that stream into a read-only engine
+that serves SELECTs locally. Two stream sources
+(:class:`JournalFileTailer` over shared storage,
+:class:`JournalSocketTailer` over the wire ``subscribe`` frame), one
+invariant: reading from a replica produces exactly the audit evidence
+reading from the primary would — BEFORE guards fire locally, AFTER
+firing intents are forwarded to the primary's journal and fired there
+under the original attribution, and staleness is observable
+(``replication_lag()``, read-your-writes tokens + ``wait_for``).
+"""
+
+from repro.replication.replica import DEFAULT_POLL_INTERVAL, ReplicaDatabase
+from repro.replication.tailer import JournalFileTailer, JournalSocketTailer
+
+__all__ = [
+    "ReplicaDatabase",
+    "JournalFileTailer",
+    "JournalSocketTailer",
+    "DEFAULT_POLL_INTERVAL",
+]

@@ -1,0 +1,276 @@
+"""ReplicaDatabase: an audit-consistent read replica (DESIGN.md §13).
+
+A replica is a read-only :class:`~repro.database.Database` kept current
+by an applier thread replaying the primary's journal stream:
+
+* ``statement`` records (committed DML + DDL the primary journaled
+  under ``replicate_statements``) replay through the recovery path
+  (:func:`~repro.durability.recovery.apply_statement_record`), so the
+  replica's tables and catalog converge on the primary's;
+* ``intent`` records — firings the primary journaled, including ones
+  this very replica forwarded — replay their AFTER trigger actions
+  locally (:func:`~repro.durability.recovery.apply_intent_record`)
+  under the original attribution, so the replica's *audit-log tables*
+  converge too.
+
+The audit invariant: **SELECT-trigger evidence is never dropped by
+reading from a replica.** A replica SELECT computes its ACCESSED set
+locally, fires BEFORE triggers locally (a ``DENY`` guard refuses rows
+exactly as the primary would), and *forwards* the AFTER firing intent
+to the primary — which journals it, fires it, and streams it back —
+rather than firing into a local log the auditor would never scan.
+Forwarding failures go through the engine's audit-degradation contract
+(``fail_closed`` withholds the rows, ``fail_open`` records a gap); a
+replica dying mid-stream therefore loses nothing: either the intent
+reached the primary's journal, or the client never got the rows.
+
+Staleness is observable, not hidden: :meth:`replication_lag` reports
+applied vs primary head, and :meth:`wait_for` blocks on a
+read-your-writes token (the ``token`` field on the primary's ``done``
+frames, = :meth:`~repro.database.Database.replication_token`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.concurrency import SequenceBarrier
+from repro.database import Database
+from repro.durability.recovery import (
+    apply_intent_record,
+    apply_statement_record,
+)
+from repro.errors import ReplicationError, ReproError
+from repro.replication.tailer import JournalFileTailer, JournalSocketTailer
+
+#: applier idle sleep between empty polls (file tailer; the socket
+#: tailer's poll_timeout already paces the loop)
+DEFAULT_POLL_INTERVAL = 0.02
+
+
+class ReplicaDatabase:
+    """A read-only engine continuously replaying a primary's journal.
+
+    ``tailer`` supplies the record stream (file or socket — see
+    :mod:`repro.replication.tailer`); ``intent_sink`` is where locally
+    computed AFTER firings go: ``(accessed, sql, user) -> seq | None``,
+    either the primary :class:`~repro.database.Database`'s
+    ``apply_forwarded_intent`` in-process or a
+    :class:`~repro.server.client.Connection`'s ``forward_intent`` over
+    the wire. Prefer the :meth:`from_journal` / :meth:`from_primary`
+    constructors, which wire both up.
+    """
+
+    def __init__(
+        self,
+        tailer,
+        intent_sink: Callable[[dict, str, str], object] | None,
+        *,
+        audit_policy: str = "fail_closed",
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        name: str = "replica",
+        _owned: tuple = (),
+    ) -> None:
+        self.name = name
+        self._tailer = tailer
+        self._poll_interval = poll_interval
+        self._owned = _owned  # resources close() must release
+        # fail_closed by default: a replica that cannot forward its
+        # firing intent must withhold rows, not leak an unaudited read
+        self.database = Database(
+            user_id=name, audit_policy=audit_policy, read_only=True
+        )
+        if intent_sink is not None:
+            self.database.intent_forwarder = (
+                lambda accessed, sql, user: intent_sink(accessed, sql, user)
+            )
+        self.barrier = SequenceBarrier()
+        self.primary_seq = 0
+        self.records_applied = 0
+        self.intents_replayed = 0
+        self.apply_errors: list[str] = []
+        self._stop = threading.Event()
+        self._applier = threading.Thread(
+            target=self._apply_loop, name=f"repro-{name}-applier", daemon=True
+        )
+        self._applier.start()
+
+    # ------------------------------------------------------------------
+    # constructors
+
+    @classmethod
+    def from_journal(
+        cls,
+        path,
+        primary: Database | None = None,
+        from_seq: int = 0,
+        **kwargs,
+    ) -> "ReplicaDatabase":
+        """Tail the primary's journal directory on shared storage.
+
+        With ``primary`` given, firing intents are handed to it
+        in-process; without one the replica is *detached* (pure replay —
+        useful for offline reconstruction, but armed SELECTs against it
+        will degrade per ``audit_policy``).
+        """
+        sink = primary.apply_forwarded_intent if primary is not None else None
+        return cls(JournalFileTailer(path, from_seq=from_seq), sink, **kwargs)
+
+    @classmethod
+    def from_primary(
+        cls,
+        host: str,
+        port: int,
+        from_seq: int = 0,
+        user_id: str = "replica",
+        password: str | None = None,
+        **kwargs,
+    ) -> "ReplicaDatabase":
+        """Subscribe to a running server over the wire.
+
+        Opens two connections: a ``subscribe`` stream for the journal
+        and an ordinary :class:`~repro.server.client.Connection` for
+        forwarding intents back.
+        """
+        from repro.server.client import Connection
+
+        tailer = JournalSocketTailer(
+            host, port, from_seq=from_seq,
+            user_id=user_id, password=password,
+        )
+        try:
+            intents = Connection(
+                host, port, user_id=user_id, password=password
+            )
+        except BaseException:
+            tailer.close()
+            raise
+        return cls(
+            tailer, intents.forward_intent, _owned=(intents,), **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # the applier
+
+    def _apply_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                records, primary_seq = self._tailer.poll()
+            except ReproError as error:
+                # fail-stop: a broken stream must surface as stalled
+                # lag, not as silently frozen reads
+                self.apply_errors.append(f"tail: {error}")
+                return
+            self.primary_seq = max(self.primary_seq, primary_seq)
+            for record in records:
+                try:
+                    self._apply_record(record)
+                except ReproError as error:
+                    self.apply_errors.append(
+                        f"seq {record.seq} ({record.kind}): {error}"
+                    )
+                    return  # fail-stop; replaying past a failure would
+                    # diverge the replica from the primary
+                self.records_applied += 1
+                self.barrier.advance(record.seq)
+            if not records:
+                self._stop.wait(self._poll_interval)
+
+    def _apply_record(self, record) -> None:
+        if record.kind == "statement":
+            apply_statement_record(self.database, record)
+        elif record.kind == "intent":
+            # re-fire the AFTER actions locally so the replica's audit
+            # tables match the primary's, attribution included; the
+            # stream carries every intent the primary journaled —
+            # including the ones this replica itself forwarded
+            applied = apply_intent_record(self.database, record)
+            if applied:
+                self.intents_replayed += 1
+            self.database.mark_seq_applied(record.seq, recovered=True)
+        # 'commit' / 'gap' / 'dead-letter' records carry no replayable
+        # state; they still advance the barrier in the caller
+
+    # ------------------------------------------------------------------
+    # serving reads
+
+    def execute(
+        self,
+        sql: str,
+        parameters: dict | None = None,
+        user_id: str | None = None,
+    ):
+        """Run a SELECT locally, attributed to ``user_id``.
+
+        BEFORE triggers fire here (guards deny exactly as on the
+        primary); the AFTER firing intent is forwarded to the primary.
+        Mutating statements raise
+        :class:`~repro.errors.ReadOnlyReplicaError`.
+        """
+        if self.stalled:
+            raise ReplicationError(
+                f"replica {self.name!r} is stalled: {self.apply_errors[-1]}"
+            )
+        with self.database.session.override(
+            sql, user_id or self.database.session.user_id
+        ):
+            return self.database.execute(sql, parameters)
+
+    # ------------------------------------------------------------------
+    # staleness surfaces
+
+    @property
+    def applied_seq(self) -> int:
+        return self.barrier.value
+
+    @property
+    def stalled(self) -> bool:
+        return bool(self.apply_errors)
+
+    def wait_for(self, token: int, timeout: float | None = None) -> bool:
+        """Block until this replica has applied a write's token.
+
+        ``token`` is the primary's ``replication_token()`` (the journal
+        seq *after* the write), so applying every record below it means
+        the write — and everything before it — is visible here.
+        """
+        return self.barrier.wait_for(token - 1, timeout)
+
+    def replication_lag(self) -> dict:
+        """How far behind the primary this replica is, observably."""
+        applied = self.barrier.value
+        primary_seq = max(self.primary_seq, applied + 1)
+        return {
+            "applied_seq": applied,
+            "primary_seq": primary_seq,
+            "lag_records": max(0, primary_seq - 1 - applied),
+            "records_applied": self.records_applied,
+            "intents_replayed": self.intents_replayed,
+            "stalled": self.stalled,
+            "errors": list(self.apply_errors),
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def close(self) -> None:
+        self._stop.set()
+        self._applier.join(timeout=5.0)
+        self._tailer.close()
+        for resource in self._owned:
+            try:
+                resource.close()
+            except (ReproError, OSError):
+                pass
+        self.database.close()
+
+    def __enter__(self) -> "ReplicaDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.close()
+        return False
+
+
+__all__ = ["ReplicaDatabase", "DEFAULT_POLL_INTERVAL"]

@@ -1,0 +1,170 @@
+"""Journal tailers: where a replica's record stream comes from.
+
+Both tailers present one interface — ``poll() -> (records, primary_seq)``
+— so :class:`~repro.replication.replica.ReplicaDatabase` does not care
+whether it follows the primary's journal directory on shared storage
+(:class:`JournalFileTailer`) or subscribes over the wire
+(:class:`JournalSocketTailer`, the ``subscribe`` protocol frame against
+a running server). ``records`` are
+:class:`~repro.durability.journal.JournalRecord` instances in strict
+seq order; ``primary_seq`` is the primary's next append position as of
+this poll (the lag metric's other half).
+"""
+
+from __future__ import annotations
+
+import socket as socket_module
+
+from repro.durability.journal import JournalCursor, JournalRecord
+from repro.errors import (
+    ConnectionClosedError,
+    ProtocolError,
+    ReplicationError,
+)
+from repro.server import protocol
+
+
+class JournalFileTailer:
+    """Tail the primary's journal directory directly (shared storage).
+
+    The fallback path when no server is running (or for tests): a
+    :class:`~repro.durability.JournalCursor` follows segment rotation
+    and stalls politely on a torn tail. ``primary_seq`` is inferred
+    from the records seen, so the lag metric reads ~0 here — honest,
+    since file tailing has no independent view of the primary's head.
+    """
+
+    def __init__(self, path, from_seq: int = 0) -> None:
+        self._cursor = JournalCursor(path, from_seq=from_seq)
+
+    def poll(
+        self, max_records: int = 512
+    ) -> tuple[list[JournalRecord], int]:
+        records = self._cursor.poll(max_records=max_records)
+        return records, self._cursor.last_seq + 1
+
+    def close(self) -> None:  # interface parity
+        pass
+
+
+class JournalSocketTailer:
+    """Subscribe to a running server's journal stream (DESIGN.md §13).
+
+    Speaks the ordinary wire handshake, then sends ``subscribe`` and
+    consumes ``journal`` frames. :meth:`poll` blocks for at most
+    ``poll_timeout`` seconds; a dead stream raises
+    :class:`~repro.errors.ConnectionClosedError` so the applier can
+    fail-stop instead of silently serving ever-staler reads.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        from_seq: int = 0,
+        user_id: str = "replica",
+        password: str | None = None,
+        connect_timeout: float = 10.0,
+        poll_timeout: float = 0.05,
+    ) -> None:
+        self._poll_timeout = poll_timeout
+        self._closed = False
+        try:
+            self._sock = socket_module.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as error:
+            raise ConnectionClosedError(
+                f"cannot connect to {host}:{port}: {error}"
+            ) from error
+        self._sock.setsockopt(
+            socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY, 1
+        )
+        try:
+            protocol.send_frame(self._sock, {
+                "type": "hello",
+                "protocol": protocol.PROTOCOL_VERSION,
+                "user": user_id,
+                "password": password,
+            })
+            frame = protocol.recv_frame(self._sock)
+            if frame is None:
+                raise ConnectionClosedError(
+                    "server closed the connection during handshake"
+                )
+            if frame.get("type") == "error":
+                protocol.raise_error_frame(frame)
+            if frame.get("type") != "hello_ok":
+                raise ProtocolError(
+                    f"expected hello_ok, got {frame.get('type')!r}"
+                )
+            protocol.send_frame(
+                self._sock, {"type": "subscribe", "from_seq": from_seq}
+            )
+            frame = protocol.recv_frame(self._sock)
+            if frame is None:
+                raise ConnectionClosedError(
+                    "server closed the connection during subscribe"
+                )
+            if frame.get("type") == "error":
+                protocol.raise_error_frame(frame)
+            if frame.get("type") != "subscribe_ok":
+                raise ProtocolError(
+                    f"expected subscribe_ok, got {frame.get('type')!r}"
+                )
+            self.primary_seq = int(frame.get("next_seq", 0))
+        except BaseException:
+            self.close()
+            raise
+        self._sock.settimeout(self._poll_timeout)
+
+    def poll(
+        self, max_records: int = 512  # noqa: ARG002 — server batches
+    ) -> tuple[list[JournalRecord], int]:
+        if self._closed:
+            raise ConnectionClosedError("journal subscription is closed")
+        try:
+            frame = protocol.recv_frame(self._sock)
+        except socket_module.timeout:
+            return [], self.primary_seq  # quiet stream: nothing new
+        except OSError as error:
+            self.close()
+            raise ConnectionClosedError(
+                f"journal stream failed: {error}"
+            ) from error
+        if frame is None:
+            self.close()
+            raise ConnectionClosedError("journal stream ended (server EOF)")
+        kind = frame.get("type")
+        if kind == "goodbye":
+            self.close()
+            raise ConnectionClosedError(
+                f"journal stream ended: {frame.get('reason')}"
+            )
+        if kind != "journal":
+            raise ReplicationError(
+                f"unexpected frame type {kind!r} on a journal stream"
+            )
+        self.primary_seq = int(frame.get("primary_seq", self.primary_seq))
+        records = [
+            JournalRecord(
+                seq=int(entry["seq"]),
+                kind=entry["kind"],
+                data=entry.get("data", {}),
+                segment="<wire>",
+            )
+            for entry in frame.get("records", [])
+        ]
+        return records, self.primary_seq
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+__all__ = ["JournalFileTailer", "JournalSocketTailer"]

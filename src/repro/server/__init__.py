@@ -8,15 +8,32 @@ authenticated users; this package gives the reproduction that boundary:
   admission control (connection cap + bounded queue +
   :class:`~repro.errors.ServerOverloadedError` shedding), per-statement
   timeouts, idle-connection reaping, and audited graceful shutdown;
+* :class:`AsyncServer` — the asyncio front end (DESIGN.md §13): same
+  protocol and shutdown contract, but idle connections cost a file
+  descriptor + coroutine instead of a thread, statements bridge onto a
+  bounded worker pool, clients may pipeline, and streaming is
+  backpressure-aware. Also the replication endpoint (``subscribe`` /
+  ``intent`` frames);
 * :class:`Connection` — the blocking client library (also what
-  ``python -m repro --connect host:port`` uses);
+  ``python -m repro --connect host:port`` uses), with opt-in overload
+  retries and ``execute_many`` pipelining;
 * :mod:`repro.server.protocol` — the length-prefixed JSON wire protocol.
 
-Run a standalone server with ``python -m repro.server``; embed one with
-``Database.serve(...)``.
+Run a standalone server with ``python -m repro.server`` (pick the front
+end with ``--frontend threaded|async``); embed one with
+``Database.serve(...)`` or ``Database.serve_async(...)``.
 """
 
-from repro.server.admission import AdmissionController
+from repro.server.admission import (
+    AdmissionController,
+    AsyncAdmissionController,
+)
+from repro.server.aserver import (
+    DEFAULT_ASYNC_CONNECTIONS,
+    DEFAULT_MAX_PIPELINE,
+    DEFAULT_WORKERS,
+    AsyncServer,
+)
 from repro.server.auth import (
     Authenticator,
     ClientSession,
@@ -33,8 +50,10 @@ from repro.server.server import (
 
 __all__ = [
     "Server",
+    "AsyncServer",
     "Connection",
     "AdmissionController",
+    "AsyncAdmissionController",
     "Authenticator",
     "OpenAuthenticator",
     "StaticAuthenticator",
@@ -42,4 +61,7 @@ __all__ = [
     "DEFAULT_MAX_CONNECTIONS",
     "DEFAULT_ADMISSION_QUEUE",
     "DEFAULT_BATCH_ROWS",
+    "DEFAULT_ASYNC_CONNECTIONS",
+    "DEFAULT_MAX_PIPELINE",
+    "DEFAULT_WORKERS",
 ]

@@ -11,9 +11,17 @@ Examples::
     python -m repro.server --port 7432
     python -m repro.server --port 0 --journal /var/lib/repro/journal \\
         --init schema.sql --trigger-mode async --user alice:s3cret
+    python -m repro.server --frontend async --replicate \\
+        --journal /var/lib/repro/journal --init schema.sql
 
 The bound address is printed as ``repro server listening on HOST:PORT``
 (useful with ``--port 0``); scripted harnesses parse that line.
+
+``--frontend async`` serves through :class:`~repro.server.AsyncServer`
+(event loop + bounded worker pool) instead of a thread per connection;
+``--replicate`` journals every committed DML/DDL statement so read
+replicas (:class:`~repro.replication.ReplicaDatabase`) can subscribe —
+it requires ``--journal``.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import signal
 import sys
 
 from repro.database import Database
+from repro.server.aserver import DEFAULT_WORKERS, AsyncServer
 from repro.server.auth import StaticAuthenticator
 from repro.server.server import (
     DEFAULT_ADMISSION_QUEUE,
@@ -87,6 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown-timeout", type=float, default=30.0,
         help="seconds graceful shutdown waits for in-flight statements",
     )
+    parser.add_argument(
+        "--frontend", default="threaded", choices=("threaded", "async"),
+        help="thread-per-connection or asyncio front end",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=DEFAULT_WORKERS,
+        help="statement worker threads (async front end only)",
+    )
+    parser.add_argument(
+        "--replicate", action="store_true",
+        help="journal committed statements for read replicas "
+        "(requires --journal)",
+    )
     return parser
 
 
@@ -99,6 +121,13 @@ def main(argv: list[str] | None = None) -> int:
         audit_policy=arguments.audit_policy,
     )
     database.trigger_mode = arguments.trigger_mode
+    if arguments.replicate:
+        if not arguments.journal:
+            print("--replicate requires --journal", file=sys.stderr)
+            return 2
+        # set BEFORE --init runs so schema DDL is journaled too — a
+        # replica bootstrapping from seq 0 then reconstructs everything
+        database.replicate_statements = True
     if arguments.init:
         with open(arguments.init, "r", encoding="utf-8") as handle:
             database.execute_script(handle.read())
@@ -115,8 +144,7 @@ def main(argv: list[str] | None = None) -> int:
                 return 2
             credentials[name] = password
         authenticator = StaticAuthenticator(credentials)
-    server = Server(
-        database,
+    common = dict(
         host=arguments.host,
         port=arguments.port,
         max_connections=arguments.max_connections,
@@ -126,6 +154,10 @@ def main(argv: list[str] | None = None) -> int:
         idle_timeout=arguments.idle_timeout,
         authenticator=authenticator,
     )
+    if arguments.frontend == "async":
+        server = AsyncServer(database, workers=arguments.workers, **common)
+    else:
+        server = Server(database, **common)
     server.start()
     print(
         f"repro server listening on {server.host}:{server.port}", flush=True

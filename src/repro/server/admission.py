@@ -14,6 +14,8 @@ converts overload into timeouts. Instead admission is two-stage:
 
 from __future__ import annotations
 
+import asyncio
+import collections
 import threading
 import time
 
@@ -123,4 +125,119 @@ class AdmissionController:
             }
 
 
-__all__ = ["AdmissionController"]
+class AsyncAdmissionController:
+    """:class:`AdmissionController` semantics on asyncio primitives.
+
+    Same two-stage policy, same telemetry fields, but :meth:`admit`
+    *awaits* instead of blocking a thread, so an asyncio front end can
+    queue thousands of waiters at coroutine cost. Single-loop use only
+    (the asyncio server's event loop); no internal locking is needed.
+    """
+
+    def __init__(
+        self,
+        max_active: int,
+        queue_limit: int = 0,
+        queue_timeout: float = 5.0,
+    ) -> None:
+        if max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        self._max_active = max_active
+        self._queue_limit = max(0, queue_limit)
+        self._queue_timeout = queue_timeout
+        self._active = 0
+        self._waiters: collections.deque[asyncio.Future] = (
+            collections.deque()
+        )
+        self._closed = False
+        # telemetry (mirrors AdmissionController)
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.peak_active = 0
+        self.peak_waiting = 0
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    @property
+    def waiting(self) -> int:
+        return len(self._waiters)
+
+    def close(self) -> None:
+        """Refuse new admissions (shutdown); queued waiters are shed."""
+        self._closed = True
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_exception(
+                    ServerOverloadedError("server is shutting down")
+                )
+
+    async def admit(self) -> None:
+        """Claim one active slot or raise :class:`ServerOverloadedError`."""
+        if self._closed:
+            self.shed_total += 1
+            raise ServerOverloadedError("server is shutting down")
+        if self._active < self._max_active and not self._waiters:
+            self._active += 1
+            self.admitted_total += 1
+            self.peak_active = max(self.peak_active, self._active)
+            return
+        if len(self._waiters) >= self._queue_limit:
+            self.shed_total += 1
+            raise ServerOverloadedError(
+                f"server at capacity ({self._max_active} active, "
+                f"{len(self._waiters)} queued); retry later",
+                retry_after=self._queue_timeout,
+            )
+        waiter = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        self.peak_waiting = max(self.peak_waiting, len(self._waiters))
+        try:
+            # wait_for cancels the waiter on timeout; if release() set a
+            # result in that same instant, cancellation fails and the
+            # grant is returned normally instead — no slot is leaked
+            await asyncio.wait_for(waiter, self._queue_timeout)
+        except asyncio.TimeoutError:
+            try:
+                self._waiters.remove(waiter)
+            except ValueError:
+                pass
+            self.shed_total += 1
+            raise ServerOverloadedError(
+                "gave up waiting for a connection slot "
+                f"after {self._queue_timeout:.1f}s",
+                retry_after=self._queue_timeout,
+            ) from None
+        except ServerOverloadedError:
+            self.shed_total += 1
+            raise
+        # a granted waiter's slot was transferred by release()
+        self.admitted_total += 1
+        self.peak_active = max(self.peak_active, self._active)
+
+    def release(self) -> None:
+        """Return one active slot; hands it to the next queued waiter."""
+        if self._active <= 0:
+            raise RuntimeError("release() without a matching admit()")
+        self._active -= 1
+        while self._waiters and self._active < self._max_active:
+            waiter = self._waiters.popleft()
+            if waiter.done():
+                continue  # cancelled by its timeout
+            self._active += 1
+            waiter.set_result(None)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "active": self._active,
+            "waiting": len(self._waiters),
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "peak_active": self.peak_active,
+            "peak_waiting": self.peak_waiting,
+        }
+
+
+__all__ = ["AdmissionController", "AsyncAdmissionController"]

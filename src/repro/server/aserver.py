@@ -1,0 +1,874 @@
+"""The asyncio front end: thousands of connections, a bounded thread pool.
+
+Same wire protocol, same engine, different concurrency shape
+(DESIGN.md §13)::
+
+    event loop (1 thread) ──► AsyncAdmissionController
+      per connection: reader coroutine ──► bounded frame queue
+                      consumer coroutine ◄─┘   (pipelining, in order)
+                           │ run_in_executor (bounded worker pool)
+                           ▼
+              DrainGate ▸ Session.override ▸ Database.execute
+
+Where :class:`~repro.server.server.Server` spends a thread per
+connection, here an idle connection costs a file descriptor and two
+coroutines; only *executing* statements occupy one of ``workers``
+threads. That changes what the front end can offer:
+
+* **statement pipelining** — a client may send N ``execute`` frames
+  before reading any reply; the per-connection consumer preserves reply
+  order, and consecutive pipelined statements are bridged to the worker
+  pool in one hop, amortizing the executor round-trip;
+* **backpressure-aware streaming** — ``rows`` frames go through
+  ``drain()`` against a write-buffer high-water mark, so a slow reader
+  pauses its own statement stream (queue fills, reader coroutine stops
+  reading) instead of ballooning server memory;
+* **admission at coroutine cost** — the same two-stage shed policy as
+  the threaded server, but queued waiters are futures, not threads.
+
+The replication frames land here too: ``subscribe`` turns a connection
+into a journal stream (a :class:`~repro.durability.JournalCursor` tails
+the primary's segments), and ``intent`` lets a replica hand a firing
+back to the primary (:meth:`~repro.database.Database.
+apply_forwarded_intent`). Graceful shutdown keeps the threaded server's
+durability ordering: stop accepting → close the gate and drain in-flight
+statements → drain the trigger pipeline → goodbye connections → close
+the database.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import concurrent.futures
+import socket
+import threading
+from typing import TYPE_CHECKING
+
+from repro.concurrency import DrainGate, GateClosedError
+from repro.durability.journal import JournalCursor
+from repro.errors import (
+    AuthenticationError,
+    ConnectionClosedError,
+    DurabilityError,
+    ProtocolError,
+    ReproError,
+    ServerError,
+    ServerOverloadedError,
+    ServerShutdownError,
+    StatementTimeoutError,
+)
+from repro.server import protocol
+from repro.server.admission import AsyncAdmissionController
+from repro.server.auth import (
+    Authenticator,
+    ClientSession,
+    OpenAuthenticator,
+)
+from repro.server.server import DEFAULT_BATCH_ROWS
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.database import Database, QueryResult
+
+#: default connection cap — connections are cheap here, so the default
+#: is two orders of magnitude above the threaded server's
+DEFAULT_ASYNC_CONNECTIONS = 2048
+DEFAULT_ASYNC_ADMISSION_QUEUE = 128
+
+#: execute frames a connection may have in flight before its reader
+#: coroutine stops reading (per-connection pipeline depth)
+DEFAULT_MAX_PIPELINE = 32
+
+#: bounded worker pool bridging onto the threaded engine — the knob that
+#: decouples thread count from connection count
+DEFAULT_WORKERS = 8
+
+#: consecutive pipelined execute frames bridged to the pool in one hop
+DEFAULT_EXEC_BATCH = 16
+
+#: transport write-buffer high-water mark: past this, ``drain()`` blocks
+#: and the connection's streaming (and reading) pauses
+DEFAULT_WRITE_HIGH_WATER = 256 * 1024
+
+#: journal-subscription tail poll interval while the stream is idle
+DEFAULT_SUBSCRIBE_POLL = 0.02
+
+#: idle-stream heartbeat: an empty journal frame refreshing primary_seq
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+
+class _AsyncConnection:
+    """Per-connection state shared by the reader/consumer coroutines."""
+
+    __slots__ = (
+        "reader", "writer", "session", "closed_event",
+        "peer_done", "dead", "subscribed",
+    )
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        session: ClientSession,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.session = session
+        #: set when the peer is gone or shutdown wants the stream ended
+        self.closed_event = asyncio.Event()
+        self.peer_done = False
+        #: the socket died mid-reply: discard queued frames, stop writing
+        self.dead = False
+        #: journal subscribers idle by design; exempt from reaping
+        self.subscribed = False
+
+
+class AsyncServer:
+    """An asyncio TCP front end over one :class:`~repro.database.Database`.
+
+    Drop-in peer of the threaded :class:`~repro.server.server.Server`:
+    same protocol, same blocking :class:`~repro.server.client.Connection`
+    client, same shutdown contract. ``start()``/``shutdown()`` are
+    synchronous — the event loop runs on a background thread, so the
+    server embeds anywhere the threaded one does.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = DEFAULT_ASYNC_CONNECTIONS,
+        admission_queue: int = DEFAULT_ASYNC_ADMISSION_QUEUE,
+        admission_timeout: float = 5.0,
+        statement_timeout: float | None = None,
+        idle_timeout: float | None = None,
+        reap_interval: float = 0.25,
+        handshake_timeout: float = 5.0,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+        max_pipeline: int = DEFAULT_MAX_PIPELINE,
+        workers: int = DEFAULT_WORKERS,
+        exec_batch: int = DEFAULT_EXEC_BATCH,
+        write_high_water: int = DEFAULT_WRITE_HIGH_WATER,
+        subscribe_poll_interval: float = DEFAULT_SUBSCRIBE_POLL,
+        authenticator: Authenticator | None = None,
+        close_database: bool = True,
+    ) -> None:
+        self.database = database
+        self.host = host
+        self.port = port
+        self.statement_timeout = statement_timeout
+        self.idle_timeout = idle_timeout
+        self.batch_rows = max(1, batch_rows)
+        self.max_pipeline = max(1, max_pipeline)
+        self.workers = max(1, workers)
+        # a statement timeout needs one wait_for per statement, so the
+        # one-hop batching of consecutive executes is disabled with it
+        self.exec_batch = 1 if statement_timeout is not None \
+            else max(1, exec_batch)
+        self.write_high_water = max(1, write_high_water)
+        self.authenticator = authenticator or OpenAuthenticator()
+        self._close_database = close_database
+        self._handshake_timeout = handshake_timeout
+        self._reap_interval = reap_interval
+        self._subscribe_poll = subscribe_poll_interval
+        self._heartbeat_interval = DEFAULT_HEARTBEAT_INTERVAL
+        self.admission = AsyncAdmissionController(
+            max_connections,
+            queue_limit=admission_queue,
+            queue_timeout=admission_timeout,
+        )
+        #: in-flight statement accounting; closed+drained by shutdown
+        self.gate = DrainGate()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-aworker",
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._asyncio_server: asyncio.base_events.Server | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._connections: dict[asyncio.StreamWriter, _AsyncConnection] = {}
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._stopping = False
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._started = False
+        # telemetry
+        self.statements_total = 0
+        self.timeouts_total = 0
+        self.reaped_total = 0
+        self.subscriptions_total = 0
+        self.intents_forwarded_total = 0
+        #: pipelined execute frames bridged in multi-statement hops
+        self.batched_statements_total = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle (synchronous surface, threaded-server parity)
+
+    def start(self) -> "AsyncServer":
+        """Spawn the event-loop thread; returns once the port is bound."""
+        if self._started:
+            raise ServerError("server already started")
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-aserver", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            error = self._startup_error
+            self._startup_error = None
+            raise error
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def __enter__(self) -> "AsyncServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.shutdown()
+        return False
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes (signal-handler friendly)."""
+        if not self._started:
+            self.start()
+        self._stopped.wait()
+
+    def shutdown(self, timeout: float | None = 30.0) -> dict:
+        """Audited graceful shutdown; same ordering as the threaded server.
+
+        (1) stop accepting and shed queued admissions, (2) refuse new
+        statements, (3) drain in-flight statements, (4) drain the async
+        trigger pipeline, (5) goodbye + close connections, (6) close the
+        database (pipeline, then journal).
+        """
+        with self._shutdown_lock:
+            if self._stopped.is_set():
+                return self._shutdown_stats(drained=True)
+            self._stopping = True
+            loop = self._loop
+            if loop is not None and loop.is_running():
+                loop.call_soon_threadsafe(self._stop_accepting)
+            self.gate.close()
+            drained = self.gate.drain(timeout)
+            self.database.drain_triggers()
+            if loop is not None and loop.is_running():
+                loop.call_soon_threadsafe(self._finalize_connections)
+            thread = self._thread
+            if thread is not None and thread is not threading.current_thread():
+                thread.join(timeout=10.0)
+            self._executor.shutdown(wait=False)
+            if self._close_database:
+                self.database.close()
+            self._stopped.set()
+            return self._shutdown_stats(drained=drained)
+
+    def _shutdown_stats(self, drained: bool) -> dict:
+        return {
+            "drained": drained,
+            "statements_total": self.statements_total,
+            "timeouts_total": self.timeouts_total,
+            "reaped_total": self.reaped_total,
+            "admission": self.admission.stats(),
+        }
+
+    def stats(self) -> dict:
+        """Live serving counters (tests and operators)."""
+        return {
+            "connections": len(self._connections),
+            "in_flight": self.gate.active,
+            "workers": self.workers,
+            "statements_total": self.statements_total,
+            "timeouts_total": self.timeouts_total,
+            "reaped_total": self.reaped_total,
+            "subscriptions_total": self.subscriptions_total,
+            "intents_forwarded_total": self.intents_forwarded_total,
+            "batched_statements_total": self.batched_statements_total,
+            "admission": self.admission.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # event-loop thread
+
+    def _run_loop(self) -> None:
+        try:
+            asyncio.run(self._serve())
+        except BaseException as error:  # noqa: BLE001 — surfaced via start()
+            self._startup_error = self._startup_error or error
+        finally:
+            self._ready.set()
+            self._stopped.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._client_connected, self.host, self.port, backlog=512
+            )
+        except OSError as error:
+            self._startup_error = ServerError(
+                f"cannot bind {self.host}:{self.port}: {error}"
+            )
+            return
+        self._asyncio_server = server
+        self.port = server.sockets[0].getsockname()[1]
+        reaper: asyncio.Task | None = None
+        if self.idle_timeout is not None:
+            reaper = asyncio.create_task(self._reap_loop())
+        self._ready.set()
+        await self._stop_event.wait()
+        if reaper is not None:
+            reaper.cancel()
+        server.close()
+        if self._conn_tasks:
+            # connections got EOF/goodbye in _finalize_connections; give
+            # their coroutines a moment to unwind, then cancel stragglers
+            await asyncio.wait(list(self._conn_tasks), timeout=5.0)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        try:
+            await server.wait_closed()
+        except Exception:  # noqa: BLE001 — best-effort teardown
+            pass
+
+    def _stop_accepting(self) -> None:
+        """Loop-thread half of shutdown step (1)."""
+        self.admission.close()
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+
+    def _finalize_connections(self) -> None:
+        """Loop-thread half of shutdown step (5)."""
+        for conn in list(self._connections.values()):
+            try:
+                conn.writer.write(protocol.frame_bytes(
+                    {"type": "goodbye", "reason": "server shutdown"}
+                ))
+            except Exception:  # noqa: BLE001 — peer may be gone
+                pass
+            conn.peer_done = True
+            conn.closed_event.set()
+            try:
+                conn.writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    async def _reap_loop(self) -> None:
+        assert self.idle_timeout is not None
+        while not self._stopping:
+            await asyncio.sleep(self._reap_interval)
+            for conn in list(self._connections.values()):
+                if conn.subscribed or conn.peer_done:
+                    continue
+                if conn.session.idle_for() > self.idle_timeout:
+                    self.reaped_total += 1
+                    try:
+                        conn.writer.write(protocol.frame_bytes(
+                            {"type": "goodbye", "reason": "idle timeout"}
+                        ))
+                    except Exception:  # noqa: BLE001
+                        pass
+                    conn.peer_done = True
+                    conn.closed_event.set()
+                    try:
+                        conn.writer.close()
+                    except Exception:  # noqa: BLE001
+                        pass
+
+    # ------------------------------------------------------------------
+    # per-connection coroutines
+
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._stopping:
+            writer.close()
+            return
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # Nagle vs delayed-ACK stalls small reply frames, same as in
+            # the threaded server
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        writer.transport.set_write_buffer_limits(high=self.write_high_water)
+        conn: _AsyncConnection | None = None
+        try:
+            try:
+                await self.admission.admit()
+            except ServerOverloadedError as error:
+                await self._write_best_effort(
+                    writer, protocol.error_frame(error)
+                )
+                return
+            try:
+                session = await self._handshake(reader, writer)
+                if session is None:
+                    return
+                conn = _AsyncConnection(reader, writer, session)
+                self._connections[writer] = conn
+                queue: asyncio.Queue = asyncio.Queue(
+                    maxsize=self.max_pipeline
+                )
+                consumer = asyncio.create_task(self._consume(conn, queue))
+                try:
+                    await self._read_loop(conn, queue)
+                finally:
+                    await consumer
+            finally:
+                self.admission.release()
+        except asyncio.CancelledError:
+            pass  # shutdown teardown cancelled a straggler
+        except (ConnectionClosedError, ConnectionResetError,
+                BrokenPipeError, OSError):
+            pass  # peer vanished; nothing to tell it
+        except ProtocolError as error:
+            await self._write_best_effort(writer, protocol.error_frame(error))
+        finally:
+            if conn is not None:
+                self._connections.pop(writer, None)
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001
+                pass
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> ClientSession | None:
+        try:
+            frame = await asyncio.wait_for(
+                protocol.read_frame_async(reader), self._handshake_timeout
+            )
+        except asyncio.TimeoutError:
+            await self._write_best_effort(
+                writer,
+                protocol.error_frame(
+                    ProtocolError("handshake timed out waiting for hello")
+                ),
+            )
+            return None
+        if frame is None:
+            return None
+        if frame.get("type") != "hello":
+            raise ProtocolError(
+                f"expected a hello frame, got {frame.get('type')!r}"
+            )
+        if frame.get("protocol") != protocol.PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {frame.get('protocol')!r} "
+                f"(server speaks {protocol.PROTOCOL_VERSION})"
+            )
+        try:
+            user = self.authenticator.authenticate(
+                frame.get("user", ""), frame.get("password")
+            )
+        except AuthenticationError as error:
+            await self._write_best_effort(writer, protocol.error_frame(error))
+            return None
+        peer = writer.get_extra_info("peername") or ("?", 0)
+        session = ClientSession(user_id=user, peer=f"{peer[0]}:{peer[1]}")
+        writer.write(protocol.frame_bytes({
+            "type": "hello_ok",
+            "server": "repro",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "session": session.session_id,
+        }))
+        await writer.drain()
+        return session
+
+    async def _read_loop(
+        self, conn: _AsyncConnection, queue: asyncio.Queue
+    ) -> None:
+        try:
+            while True:
+                # backpressure: a write buffer past the high-water mark
+                # pauses this connection's reads until the peer catches
+                # up — pipelined statements cannot outrun their replies
+                await conn.writer.drain()
+                frame = await protocol.read_frame_async(conn.reader)
+                if frame is None:
+                    break
+                conn.session.touch()
+                await queue.put(frame)
+                if frame.get("type") == "quit":
+                    break
+        finally:
+            conn.closed_event.set()
+            await queue.put(None)
+
+    async def _consume(
+        self, conn: _AsyncConnection, queue: asyncio.Queue
+    ) -> None:
+        """Single consumer per connection: replies stay in request order."""
+        pending: collections.deque = collections.deque()
+        while True:
+            item = pending.popleft() if pending else await queue.get()
+            if item is None:
+                return
+            if conn.dead:
+                continue  # discard: the peer is gone mid-reply
+            try:
+                await self._dispatch(conn, queue, pending, item)
+            except (ConnectionClosedError, ConnectionResetError,
+                    BrokenPipeError, OSError):
+                conn.dead = True
+                conn.closed_event.set()
+            except ProtocolError as error:
+                try:
+                    await self._send(conn, protocol.error_frame(error))
+                except Exception:  # noqa: BLE001
+                    conn.dead = True
+                    conn.closed_event.set()
+
+    async def _dispatch(
+        self,
+        conn: _AsyncConnection,
+        queue: asyncio.Queue,
+        pending: collections.deque,
+        frame: dict,
+    ) -> None:
+        kind = frame.get("type")
+        if kind == "execute":
+            batch = [frame]
+            # greedy pipelining: bridge consecutive queued executes to
+            # the worker pool in one hop (order preserved; a non-execute
+            # frame ends the run and is handled next)
+            while len(batch) < self.exec_batch:
+                try:
+                    nxt = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if isinstance(nxt, dict) and nxt.get("type") == "execute":
+                    batch.append(nxt)
+                else:
+                    pending.append(nxt)
+                    break
+            await self._handle_executes(conn, batch)
+            conn.session.touch()
+        elif kind == "set_user":
+            await self._handle_set_user(conn, frame)
+        elif kind == "health":
+            await self._handle_health(conn)
+        elif kind == "ping":
+            await self._send(conn, {"type": "pong"})
+        elif kind == "intent":
+            await self._handle_intent(conn, frame)
+        elif kind == "subscribe":
+            await self._stream_journal(conn, frame)
+        elif kind == "quit":
+            await self._send(
+                conn, {"type": "goodbye", "reason": "client quit"}
+            )
+            conn.peer_done = True
+        else:
+            await self._send(
+                conn,
+                protocol.error_frame(
+                    ProtocolError(f"unknown frame type {kind!r}")
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # statements
+
+    async def _handle_executes(
+        self, conn: _AsyncConnection, frames: list[dict]
+    ) -> None:
+        prepared: list[tuple | BaseException] = []
+        for frame in frames:
+            sql = frame.get("sql")
+            if not isinstance(sql, str) or not sql.strip():
+                prepared.append(
+                    ProtocolError("execute frame carries no sql")
+                )
+                continue
+            raw_parameters = frame.get("parameters") or None
+            parameters = None
+            if raw_parameters is not None:
+                try:
+                    parameters = {
+                        name: protocol.decode_value(value)
+                        for name, value in raw_parameters.items()
+                    }
+                except ReproError as error:
+                    prepared.append(error)
+                    continue
+            prepared.append((sql, parameters))
+        work = [item for item in prepared if isinstance(item, tuple)]
+        results: list = []
+        if work:
+            if len(work) > 1:
+                self.batched_statements_total += len(work)
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(
+                self._executor, self._run_batch, conn.session, work
+            )
+            if self.statement_timeout is not None:
+                # exec_batch is 1 in timeout mode: one wait per statement
+                try:
+                    results = await asyncio.wait_for(
+                        asyncio.shield(future), self.statement_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # not killed (no safe preemption): the statement
+                    # finishes in the background and its audit firings
+                    # land — a timeout withholds results, never evidence
+                    self.timeouts_total += 1
+                    results = [
+                        StatementTimeoutError(
+                            "statement exceeded "
+                            f"{self.statement_timeout:.3f}s (it completes "
+                            "in the background; its audit records are "
+                            "preserved)"
+                        )
+                    ]
+            else:
+                results = await future
+        cursor = 0
+        for item in prepared:
+            if isinstance(item, BaseException):
+                await self._send(conn, protocol.error_frame(item))
+                continue
+            outcome = results[cursor]
+            cursor += 1
+            if isinstance(outcome, GateClosedError):
+                await self._send(
+                    conn,
+                    protocol.error_frame(
+                        ServerShutdownError(
+                            "server is draining for shutdown; "
+                            "statement refused"
+                        )
+                    ),
+                )
+            elif isinstance(outcome, BaseException):
+                await self._send(conn, protocol.error_frame(outcome))
+            else:
+                self.statements_total += 1
+                await self._stream_result(conn, outcome)
+
+    def _run_batch(
+        self,
+        session: ClientSession,
+        items: list[tuple[str, dict | None]],
+    ) -> list:
+        """Worker-pool body: run a pipelined run of statements in order.
+
+        Per-statement failures become list entries, not raises — the
+        consumer maps each back to an ``error`` frame so one bad
+        statement never corrupts the framing of its pipeline neighbors.
+        """
+        outcomes: list = []
+        for sql, parameters in items:
+            try:
+                with self.gate.entered():
+                    session.statements += 1
+                    # pins this worker thread's identity to the
+                    # connection for the statement's duration, so the
+                    # shared engine attributes per-connection
+                    with self.database.session.override(
+                        sql, session.user_id
+                    ):
+                        outcomes.append(
+                            self.database.execute(sql, parameters)
+                        )
+            except BaseException as error:  # noqa: BLE001 — typed frame
+                outcomes.append(error)
+        return outcomes
+
+    async def _stream_result(
+        self, conn: _AsyncConnection, result: "QueryResult"
+    ) -> None:
+        rows = result.rows
+        for start in range(0, len(rows), self.batch_rows):
+            await self._send(conn, {
+                "type": "rows",
+                "rows": [
+                    protocol.encode_row(row)
+                    for row in rows[start:start + self.batch_rows]
+                ],
+            })
+        done = {
+            "type": "done",
+            "columns": list(result.columns),
+            "rowcount": result.rowcount,
+            "accessed": protocol.encode_accessed(result.accessed),
+        }
+        if getattr(self.database, "replicate_statements", False):
+            token = self.database.replication_token()
+            if token is not None:
+                done["token"] = token
+        await self._send(conn, done)
+
+    # ------------------------------------------------------------------
+    # control frames
+
+    async def _handle_set_user(
+        self, conn: _AsyncConnection, frame: dict
+    ) -> None:
+        try:
+            user = self.authenticator.authenticate(
+                frame.get("user", ""), frame.get("password")
+            )
+        except AuthenticationError as error:
+            await self._send(conn, protocol.error_frame(error))
+            return
+        conn.session.user_id = user
+        await self._send(conn, {"type": "ok", "user": user})
+
+    async def _handle_health(self, conn: _AsyncConnection) -> None:
+        cluster_health = getattr(self.database, "cluster_health", None)
+        await self._send(conn, {
+            "type": "health",
+            "audit_trail": self.database.audit_trail_health(),
+            "cluster": (
+                cluster_health() if callable(cluster_health) else None
+            ),
+        })
+
+    # ------------------------------------------------------------------
+    # replication frames (DESIGN.md §13)
+
+    async def _handle_intent(
+        self, conn: _AsyncConnection, frame: dict
+    ) -> None:
+        """A replica hands a firing to this (primary) server."""
+        try:
+            accessed = protocol.decode_accessed(frame.get("accessed") or {})
+        except ReproError as error:
+            await self._send(conn, protocol.error_frame(error))
+            return
+        sql_text = frame.get("sql", "")
+        user_id = frame.get("user", "")
+
+        def body() -> int | None:
+            with self.gate.entered():
+                return self.database.apply_forwarded_intent(
+                    accessed, sql_text, user_id
+                )
+
+        loop = asyncio.get_running_loop()
+        try:
+            seq = await loop.run_in_executor(self._executor, body)
+        except GateClosedError:
+            await self._send(
+                conn,
+                protocol.error_frame(
+                    ServerShutdownError(
+                        "server is draining for shutdown; intent refused"
+                    )
+                ),
+            )
+            return
+        except Exception as error:  # noqa: BLE001 — typed frame
+            await self._send(conn, protocol.error_frame(error))
+            return
+        self.intents_forwarded_total += 1
+        await self._send(conn, {"type": "intent_ok", "seq": seq})
+
+    async def _stream_journal(
+        self, conn: _AsyncConnection, frame: dict
+    ) -> None:
+        """Turn this connection into a one-way journal stream."""
+        journal = getattr(self.database, "journal", None)
+        if journal is None:
+            await self._send(
+                conn,
+                protocol.error_frame(
+                    DurabilityError(
+                        "no audit journal attached; nothing to stream"
+                    )
+                ),
+            )
+            return
+        try:
+            from_seq = int(frame.get("from_seq") or 0)
+        except (TypeError, ValueError):
+            await self._send(
+                conn,
+                protocol.error_frame(
+                    ProtocolError("subscribe from_seq is not an integer")
+                ),
+            )
+            return
+        conn.subscribed = True
+        self.subscriptions_total += 1
+        await self._send(
+            conn, {"type": "subscribe_ok", "next_seq": journal.next_seq}
+        )
+        cursor = JournalCursor(journal.path, from_seq=from_seq)
+        loop = asyncio.get_running_loop()
+        last_beat = loop.time()
+        while not (
+            self._stopping or conn.peer_done or conn.writer.is_closing()
+        ):
+            records = await loop.run_in_executor(
+                self._executor, cursor.poll
+            )
+            if records:
+                await self._send(conn, {
+                    "type": "journal",
+                    "records": [
+                        {"seq": r.seq, "kind": r.kind, "data": r.data}
+                        for r in records
+                    ],
+                    "primary_seq": journal.next_seq,
+                })
+                last_beat = loop.time()
+                continue
+            if loop.time() - last_beat >= self._heartbeat_interval:
+                # idle heartbeat keeps the replica's lag metric honest
+                await self._send(conn, {
+                    "type": "journal",
+                    "records": [],
+                    "primary_seq": journal.next_seq,
+                })
+                last_beat = loop.time()
+            try:
+                await asyncio.wait_for(
+                    conn.closed_event.wait(), self._subscribe_poll
+                )
+            except asyncio.TimeoutError:
+                pass
+
+    # ------------------------------------------------------------------
+    # write helpers
+
+    async def _send(self, conn: _AsyncConnection, frame: dict) -> None:
+        if conn.writer.is_closing():
+            raise ConnectionClosedError("client connection closed")
+        conn.writer.write(protocol.frame_bytes(frame))
+        await conn.writer.drain()
+
+    async def _write_best_effort(
+        self, writer: asyncio.StreamWriter, frame: dict
+    ) -> None:
+        try:
+            writer.write(protocol.frame_bytes(frame))
+            await writer.drain()
+        except Exception:  # noqa: BLE001 — the peer may already be gone
+            pass
+
+
+__all__ = [
+    "AsyncServer",
+    "DEFAULT_ASYNC_CONNECTIONS",
+    "DEFAULT_MAX_PIPELINE",
+    "DEFAULT_WORKERS",
+    "DEFAULT_WRITE_HIGH_WATER",
+]

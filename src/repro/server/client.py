@@ -22,13 +22,26 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 
-from repro.errors import ConnectionClosedError, ProtocolError
+from repro.errors import (
+    ConnectionClosedError,
+    ProtocolError,
+    ServerOverloadedError,
+)
 from repro.server import protocol
 
 
 class Connection:
-    """A blocking, authenticated connection to a :class:`~repro.server.Server`."""
+    """A blocking, authenticated connection to a :class:`~repro.server.Server`.
+
+    ``retries`` opts into automatic reconnection when the server sheds
+    the handshake with :class:`~repro.errors.ServerOverloadedError`: the
+    client sleeps for the error's machine-readable ``retry_after`` hint
+    (exponential backoff capped at ``max_backoff`` when the server sent
+    none) and tries again, up to ``retries`` additional attempts. The
+    default (``retries=0``) preserves fail-fast shedding.
+    """
 
     def __init__(
         self,
@@ -38,6 +51,8 @@ class Connection:
         password: str | None = None,
         connect_timeout: float = 10.0,
         response_timeout: float | None = None,
+        retries: int = 0,
+        max_backoff: float = 5.0,
     ) -> None:
         self.host = host
         self.port = port
@@ -45,6 +60,38 @@ class Connection:
         self._lock = threading.Lock()
         self._closed = False
         self.session_id: int | None = None
+        #: read-your-writes token from the last ``done`` frame (None
+        #: until the server journals statements for replication)
+        self.last_token: int | None = None
+        attempt = 0
+        while True:
+            try:
+                self._connect(
+                    host, port, user_id, password,
+                    connect_timeout, response_timeout,
+                )
+                return
+            except ServerOverloadedError as error:
+                if attempt >= retries:
+                    raise
+                hint = getattr(error, "retry_after", None)
+                if isinstance(hint, (int, float)) and hint > 0:
+                    delay = min(float(hint), max_backoff)
+                else:
+                    delay = min(0.05 * (2 ** attempt), max_backoff)
+                attempt += 1
+                time.sleep(delay)
+
+    def _connect(
+        self,
+        host: str,
+        port: int,
+        user_id: str,
+        password: str | None,
+        connect_timeout: float,
+        response_timeout: float | None,
+    ) -> None:
+        self._closed = False
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=connect_timeout
@@ -83,8 +130,6 @@ class Connection:
         in-process API raises (``AccessDeniedError``, ``SqlSyntaxError``,
         ``StatementTimeoutError``, ...).
         """
-        from repro.database import QueryResult
-
         message: dict = {"type": "execute", "sql": sql}
         if parameters:
             message["parameters"] = {
@@ -93,25 +138,108 @@ class Connection:
             }
         with self._lock:
             self._send(message)
-            rows: list[tuple] = []
-            while True:
-                frame = self._recv()
-                kind = frame.get("type")
-                if kind == "rows":
-                    rows.extend(
-                        protocol.decode_row(row) for row in frame["rows"]
-                    )
-                elif kind == "done":
-                    return QueryResult(
-                        columns=tuple(frame.get("columns", ())),
-                        rows=rows,
-                        accessed=protocol.decode_accessed(
-                            frame.get("accessed", {})
-                        ),
-                        rowcount=frame.get("rowcount", len(rows)),
-                    )
-                else:
-                    self._dispatch_control(frame)
+            return self._read_result()
+
+    def _read_result(self):
+        """Read one statement's reply: rows* then done (or control)."""
+        from repro.database import QueryResult
+
+        rows: list[tuple] = []
+        while True:
+            frame = self._recv()
+            kind = frame.get("type")
+            if kind == "rows":
+                rows.extend(
+                    protocol.decode_row(row) for row in frame["rows"]
+                )
+            elif kind == "done":
+                token = frame.get("token")
+                if isinstance(token, int):
+                    self.last_token = token
+                return QueryResult(
+                    columns=tuple(frame.get("columns", ())),
+                    rows=rows,
+                    accessed=protocol.decode_accessed(
+                        frame.get("accessed", {})
+                    ),
+                    rowcount=frame.get("rowcount", len(rows)),
+                )
+            else:
+                self._dispatch_control(frame)
+
+    def execute_many(
+        self,
+        statements: list[str | tuple[str, dict | None]],
+        raise_on_error: bool = True,
+    ) -> list:
+        """Pipeline a batch of statements: send all, then read all.
+
+        One network round trip instead of ``len(statements)`` — the
+        payoff of the server-side per-connection pipeline. Replies come
+        back in statement order. A failing statement does not corrupt
+        its neighbors: its slot holds the (typed) exception. With
+        ``raise_on_error`` the first failure re-raises *after* the full
+        reply stream is drained, so the connection stays usable.
+        """
+        frames = []
+        for statement in statements:
+            if isinstance(statement, tuple):
+                sql, parameters = statement
+            else:
+                sql, parameters = statement, None
+            message: dict = {"type": "execute", "sql": sql}
+            if parameters:
+                message["parameters"] = {
+                    name: protocol.encode_value(value)
+                    for name, value in parameters.items()
+                }
+            frames.append(message)
+        with self._lock:
+            payload = b"".join(
+                protocol.frame_bytes(message) for message in frames
+            )
+            if self._closed:
+                raise ConnectionClosedError("connection is closed")
+            try:
+                self._sock.sendall(payload)
+            except OSError as error:
+                self._abort()
+                raise ConnectionClosedError(
+                    f"send failed: {error}"
+                ) from error
+            outcomes: list = []
+            for _ in frames:
+                try:
+                    outcomes.append(self._read_result())
+                except ConnectionClosedError:
+                    raise  # the remaining replies are unrecoverable
+                except Exception as error:  # noqa: BLE001 — typed engine error
+                    outcomes.append(error)
+        if raise_on_error:
+            for outcome in outcomes:
+                if isinstance(outcome, BaseException):
+                    raise outcome
+        return outcomes
+
+    def forward_intent(
+        self, accessed: dict, sql_text: str, user_id: str
+    ) -> int | None:
+        """Hand a replica-computed firing to the primary (DESIGN.md §13).
+
+        Returns the journal seq of the intent record the primary wrote
+        (None when the primary has no journal attached).
+        """
+        with self._lock:
+            self._send({
+                "type": "intent",
+                "accessed": protocol.encode_accessed(accessed),
+                "sql": sql_text,
+                "user": user_id,
+            })
+            frame = self._recv()
+            if frame.get("type") != "intent_ok":
+                self._dispatch_control(frame)
+            return frame.get("seq")
 
     def set_user(self, user_id: str, password: str | None = None) -> str:
         """Re-authenticate this connection as ``user_id``."""

@@ -14,19 +14,38 @@ Client → server frame types::
     {"type": "health"}
     {"type": "ping"}
     {"type": "quit"}
+    {"type": "subscribe", "from_seq": N}             # journal stream
+    {"type": "intent", "accessed": {expr: [ids]},
+     "sql": ..., "user": ...}                        # replica firing
 
 Server → client::
 
     {"type": "hello_ok", "server": ..., "protocol": 1, "session": ...}
     {"type": "rows", "rows": [[...], ...]}          # 1 per batch
     {"type": "done", "columns": [...], "rowcount": N,
-     "accessed": {expr: [ids]}}
+     "accessed": {expr: [ids]}, "token": <seq>?}
     {"type": "ok", ...}                              # set_user ack
     {"type": "health", "audit_trail": {...}, "cluster": {...} | null}
     {"type": "pong"}
     {"type": "error", "code": <exception class name>, "message": ...,
      "retry_after": <seconds>?}
     {"type": "goodbye", "reason": ...}
+    {"type": "subscribe_ok", "next_seq": N}
+    {"type": "journal", "records": [{"seq": ..., "kind": ...,
+     "data": {...}}, ...], "primary_seq": N}         # stream batches
+    {"type": "intent_ok", "seq": N | null}
+
+The replication frames (DESIGN.md §13): ``subscribe`` switches a
+connection into a one-way journal stream — the server replies
+``subscribe_ok`` then pushes ``journal`` frames (record payloads are the
+journal's own encoded form, IDs tagged via :func:`encode_id`) with
+``primary_seq`` carrying the primary's current append position so
+replicas can report lag. ``intent`` is the reverse direction: a replica
+ships a locally-computed ACCESSED set to the primary, which journals and
+fires it under the original attribution and acks with ``intent_ok``.
+``token`` on ``done`` frames is the read-your-writes token
+(:meth:`~repro.database.Database.replication_token`), present only when
+the server journals statements for replication.
 
 ``health`` reports the database's audit-trail damage counters
 (:meth:`~repro.database.Database.audit_trail_health`) and — when the
@@ -168,8 +187,8 @@ def raise_error_frame(frame: dict) -> None:
 # ----------------------------------------------------------------------
 # framing
 
-def send_frame(sock: socket.socket, message: dict) -> None:
-    """Serialize and send one frame (atomic ``sendall``)."""
+def frame_bytes(message: dict) -> bytes:
+    """Serialize one frame to its on-wire bytes (length prefix included)."""
     try:
         data = json.dumps(message, separators=(",", ":")).encode("utf-8")
     except (TypeError, ValueError) as error:
@@ -181,7 +200,12 @@ def send_frame(sock: socket.socket, message: dict) -> None:
             f"frame of {len(data)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte limit"
         )
-    sock.sendall(_LENGTH.pack(len(data)) + data)
+    return _LENGTH.pack(len(data)) + data
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Serialize and send one frame (atomic ``sendall``)."""
+    sock.sendall(frame_bytes(message))
 
 
 def recv_frame(sock: socket.socket) -> dict | None:
@@ -196,6 +220,11 @@ def recv_frame(sock: socket.socket) -> dict | None:
             f"(limit {MAX_FRAME_BYTES}); stream is corrupt or hostile"
         )
     data = _recv_exact(sock, length, eof_ok=False)
+    return decode_frame(data)
+
+
+def decode_frame(data: bytes) -> dict:
+    """Decode one frame body (shared by the sync and async read paths)."""
     try:
         message = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -203,6 +232,39 @@ def recv_frame(sock: socket.socket) -> dict | None:
     if not isinstance(message, dict) or "type" not in message:
         raise ProtocolError("frame is not an object with a 'type' key")
     return message
+
+
+async def read_frame_async(reader) -> dict | None:
+    """Asyncio twin of :func:`recv_frame` over a ``StreamReader``.
+
+    Returns None on a clean EOF at a frame boundary; EOF mid-frame
+    raises :class:`~repro.errors.ConnectionClosedError`.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ConnectionClosedError(
+            "connection closed mid-frame "
+            f"({len(error.partial)}/{_LENGTH.size} header bytes received)"
+        ) from error
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"incoming frame claims {length} bytes "
+            f"(limit {MAX_FRAME_BYTES}); stream is corrupt or hostile"
+        )
+    try:
+        data = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ConnectionClosedError(
+            "connection closed mid-frame "
+            f"({len(error.partial)}/{length} bytes received)"
+        ) from error
+    return decode_frame(data)
 
 
 def _recv_exact(
@@ -236,6 +298,9 @@ __all__ = [
     "decode_accessed",
     "error_frame",
     "raise_error_frame",
+    "frame_bytes",
+    "decode_frame",
     "send_frame",
     "recv_frame",
+    "read_frame_async",
 ]

@@ -36,14 +36,17 @@ Production-shape controls are built in, not bolted on:
 from __future__ import annotations
 
 import concurrent.futures
+import select
 import socket
 import threading
 from typing import TYPE_CHECKING
 
 from repro.concurrency import DrainGate, GateClosedError
+from repro.durability.journal import JournalCursor
 from repro.errors import (
     AuthenticationError,
     ConnectionClosedError,
+    DurabilityError,
     ProtocolError,
     ReproError,
     ServerError,
@@ -370,6 +373,11 @@ class Server:
                 self._handle_health(sock)
             elif kind == "ping":
                 protocol.send_frame(sock, {"type": "pong"})
+            elif kind == "intent":
+                self._handle_intent(sock, session, frame)
+            elif kind == "subscribe":
+                self._handle_subscribe(sock, frame)
+                return  # a subscribed connection is a one-way stream
             elif kind == "quit":
                 _say_goodbye(sock, "client quit")
                 return
@@ -402,6 +410,95 @@ class Server:
                 ),
             },
         )
+
+    # ------------------------------------------------------------------
+    # replication frames (DESIGN.md §13)
+
+    def _handle_intent(
+        self, sock: socket.socket, session: ClientSession, frame: dict
+    ) -> None:
+        """A replica hands a firing to this (primary) server.
+
+        The intent is journaled and fired under the *original* session's
+        attribution (the replica forwards the sql/user it computed the
+        ACCESSED set under), so the primary's audit log is identical to
+        the single-node log for the same statement stream.
+        """
+        try:
+            accessed = protocol.decode_accessed(frame.get("accessed") or {})
+        except ReproError as error:
+            protocol.send_frame(sock, protocol.error_frame(error))
+            return
+        sql_text = frame.get("sql", "")
+        user_id = frame.get("user", "")
+        try:
+            with self.gate.entered():
+                seq = self.database.apply_forwarded_intent(
+                    accessed, sql_text, user_id
+                )
+        except GateClosedError:
+            protocol.send_frame(
+                sock,
+                protocol.error_frame(
+                    ServerShutdownError(
+                        "server is draining for shutdown; intent refused"
+                    )
+                ),
+            )
+            return
+        except Exception as error:  # noqa: BLE001 — typed frame
+            protocol.send_frame(sock, protocol.error_frame(error))
+            return
+        protocol.send_frame(sock, {"type": "intent_ok", "seq": seq})
+
+    def _handle_subscribe(self, sock: socket.socket, frame: dict) -> None:
+        """Turn this connection into a one-way journal stream."""
+        journal = getattr(self.database, "journal", None)
+        if journal is None:
+            protocol.send_frame(
+                sock,
+                protocol.error_frame(
+                    DurabilityError(
+                        "no audit journal attached; nothing to stream"
+                    )
+                ),
+            )
+            return
+        try:
+            from_seq = int(frame.get("from_seq") or 0)
+        except (TypeError, ValueError):
+            protocol.send_frame(
+                sock,
+                protocol.error_frame(
+                    ProtocolError("subscribe from_seq is not an integer")
+                ),
+            )
+            return
+        protocol.send_frame(
+            sock, {"type": "subscribe_ok", "next_seq": journal.next_seq}
+        )
+        cursor = JournalCursor(journal.path, from_seq=from_seq)
+        while not self._stopping.is_set():
+            records = cursor.poll()
+            if records:
+                protocol.send_frame(sock, {
+                    "type": "journal",
+                    "records": [
+                        {"seq": r.seq, "kind": r.kind, "data": r.data}
+                        for r in records
+                    ],
+                    "primary_seq": journal.next_seq,
+                })
+                continue
+            # idle: watch the socket so a departing subscriber is
+            # noticed promptly (readable + empty recv = EOF)
+            readable, _, _ = select.select([sock], [], [], 0.02)
+            if readable:
+                try:
+                    if not sock.recv(1, socket.MSG_PEEK):
+                        return
+                except OSError:
+                    return
 
     # ------------------------------------------------------------------
     # statements
@@ -494,15 +591,19 @@ class Server:
                     ],
                 },
             )
-        protocol.send_frame(
-            sock,
-            {
-                "type": "done",
-                "columns": list(result.columns),
-                "rowcount": result.rowcount,
-                "accessed": protocol.encode_accessed(result.accessed),
-            },
-        )
+        done = {
+            "type": "done",
+            "columns": list(result.columns),
+            "rowcount": result.rowcount,
+            "accessed": protocol.encode_accessed(result.accessed),
+        }
+        if getattr(self.database, "replicate_statements", False):
+            # read-your-writes token: a replica that has applied every
+            # journal record below this seq has seen this statement
+            token = self.database.replication_token()
+            if token is not None:
+                done["token"] = token
+        protocol.send_frame(sock, done)
 
     def _handle_set_user(
         self, sock: socket.socket, session: ClientSession, frame: dict

@@ -44,6 +44,7 @@ Statements end with ';'. Dot commands:
   .user <name>          switch the session user (for user_id())
   .heuristic <name>     leaf-node | highest-commutative-node | highest-node
   .notifications        show and clear pending SEND EMAIL/NOTIFY messages
+  .health               audit-trail damage counters (+ cluster state)
   .quit                 exit\
 """
 
@@ -182,6 +183,8 @@ class Shell:
                 f"placement heuristic: "
                 f"{self.database.audit_manager.heuristic}"
             )
+        elif command == ".health":
+            self._health()
         elif command == ".notifications":
             for message in self.database.notifications:
                 self.write(f"  {message}")
@@ -192,6 +195,39 @@ class Shell:
         else:
             self.write(f"unknown command {command!r} (try .help)")
         return True
+
+    def _health(self) -> None:
+        """``.health``: audit-trail damage, locally or over the wire.
+
+        Works in both modes — remotely it surfaces the server's
+        ``{"type": "health"}`` frame, so an operator at a client shell
+        sees the same counters an in-process caller would.
+        """
+        try:
+            if self.remote:
+                report = self.database.health()
+            else:
+                cluster_health = getattr(
+                    self.database, "cluster_health", None
+                )
+                report = {
+                    "audit_trail": self.database.audit_trail_health(),
+                    "cluster": (
+                        cluster_health()
+                        if callable(cluster_health) else None
+                    ),
+                }
+        except ReproError as error:
+            self.write(f"error: {error}")
+            return
+        for key, value in sorted(report.get("audit_trail", {}).items()):
+            self.write(f"audit_trail.{key}: {value}")
+        cluster = report.get("cluster")
+        if cluster is None:
+            self.write("cluster: (single node)")
+        else:
+            for key, value in sorted(cluster.items()):
+                self.write(f"cluster.{key}: {value}")
 
     def _switch_user(self, argument: str) -> None:
         if argument:

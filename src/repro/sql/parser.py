@@ -878,10 +878,31 @@ def parse_statement(text: str) -> ast.Statement:
 
 def parse_statements(text: str) -> list[ast.Statement]:
     """Parse a script of semicolon-separated statements."""
+    return [statement for statement, _ in parse_statements_with_text(text)]
+
+
+def parse_statements_with_text(
+    text: str,
+) -> list[tuple[ast.Statement, str]]:
+    """Parse a script, pairing each statement with its own source text.
+
+    Token positions delimit the spans, so comments and whitespace between
+    statements never leak into a neighbor's text. The per-statement text
+    is what statement-level replication journals: a replica must replay
+    *exactly* the SQL the primary ran, not a pretty-printed stand-in.
+    """
     parser = _Parser(text)
-    statements = []
+    pairs: list[tuple[ast.Statement, str]] = []
     while not parser.at_end():
-        statements.append(parser.statement())
+        start = parser._peek().position
+        statement = parser.statement()
+        end_token = parser._peek()
+        end = (
+            len(text)
+            if end_token.kind == EOF
+            else end_token.position
+        )
+        pairs.append((statement, text[start:end].strip()))
         if not parser._accept(OPERATOR, ";"):
             break
     if not parser.at_end():
@@ -889,7 +910,7 @@ def parse_statements(text: str) -> list[ast.Statement]:
         raise SqlSyntaxError(
             f"unexpected trailing input {token.value!r}", token.position
         )
-    return statements
+    return pairs
 
 
 def parse_expression(text: str) -> Expression:

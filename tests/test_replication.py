@@ -1,0 +1,553 @@
+"""Tests for statement-shipping replication (``repro.replication``).
+
+Layers under test, bottom-up: statement journaling on the primary
+(commit-time flush, rollback drops, DDL immediacy, trigger-depth
+exclusion), the incremental :class:`JournalCursor` (rotation, torn-tail
+stalls), WAL-style full reconstruction
+(``recover(apply_statements=True)``), replica convergence over both
+tailers, the audit invariant (BEFORE guards fire on the replica, AFTER
+intents forward to the primary under original attribution and loop
+back), degraded modes, and the differential: a primary plus replicas
+produce *exactly* the audit log a single node produces for the same
+statement stream — including when a replica dies mid-stream.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.database import Database
+from repro.durability.journal import AuditJournal, JournalCursor, scan_journal
+from repro.errors import (
+    AccessDeniedError,
+    AuditUnavailableError,
+    JournalCorruptionError,
+    ReadOnlyReplicaError,
+    ReplicationError,
+)
+from repro.replication import JournalFileTailer, ReplicaDatabase
+from repro.server import AsyncServer, Connection
+
+SCHEMA = """
+CREATE TABLE patients (pid INT PRIMARY KEY, name VARCHAR, age INT);
+CREATE TABLE log (uid VARCHAR, query VARCHAR, pid INT);
+CREATE AUDIT EXPRESSION aud AS SELECT pid FROM patients WHERE age >= 30
+    FOR SENSITIVE TABLE patients, PARTITION BY pid;
+CREATE TRIGGER ins_log ON ACCESS TO aud AS
+    INSERT INTO log SELECT user_id(), sql_text(), pid FROM accessed;
+"""
+
+
+def make_primary(tmp_path, **kwargs) -> Database:
+    db = Database(
+        user_id="admin", journal_path=tmp_path / "journal", **kwargs
+    )
+    db.replicate_statements = True
+    db.execute_script(SCHEMA)
+    for pid in range(1, 9):
+        db.execute(
+            f"INSERT INTO patients VALUES ({pid}, 'P{pid}', {24 + pid})"
+        )
+    return db
+
+
+def log_rows(db: Database) -> list[tuple]:
+    db.drain_triggers()
+    return sorted(db.execute("SELECT uid, pid FROM log").rows)
+
+
+def wait_until(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.02)
+
+
+# ----------------------------------------------------------------------
+# statement journaling on the primary
+
+
+class TestStatementJournaling:
+    def kinds(self, path) -> list[tuple[int, str]]:
+        return [
+            (record.seq, record.kind)
+            for record in scan_journal(path).records
+        ]
+
+    def test_committed_dml_and_ddl_are_journaled(self, tmp_path) -> None:
+        db = make_primary(tmp_path)
+        statements = [
+            record.data["sql"]
+            for record in scan_journal(tmp_path / "journal").records
+            if record.kind == "statement"
+        ]
+        # schema DDL and every INSERT, in order
+        assert any("CREATE TABLE patients" in sql for sql in statements)
+        assert sum("INSERT INTO patients" in sql for sql in statements) == 8
+        db.close()
+
+    def test_rolled_back_dml_is_never_journaled(self, tmp_path) -> None:
+        db = make_primary(tmp_path)
+        db.execute("BEGIN")
+        db.execute("INSERT INTO patients VALUES (90, 'ghost', 40)")
+        db.execute("ROLLBACK")
+        db.execute("BEGIN")
+        db.execute("INSERT INTO patients VALUES (91, 'real', 41)")
+        db.execute("COMMIT")
+        statements = [
+            record.data["sql"]
+            for record in scan_journal(tmp_path / "journal").records
+            if record.kind == "statement"
+        ]
+        assert not any("ghost" in sql for sql in statements)
+        assert any("real" in sql for sql in statements)
+        db.close()
+
+    def test_trigger_body_dml_is_not_journaled(self, tmp_path) -> None:
+        db = make_primary(tmp_path)
+        db.session.user_id = "alice"
+        db.execute("SELECT name FROM patients WHERE pid = 8")  # age 32: fires
+        db.drain_triggers()
+        assert log_rows(db) == [("alice", 8)]
+        statements = [
+            record.data["sql"]
+            for record in scan_journal(tmp_path / "journal").records
+            if record.kind == "statement"
+        ]
+        # the trigger's INSERT INTO log rides the intent record, not a
+        # statement record — journaling it too would double-fire
+        # replicas (CREATE TRIGGER's DDL text contains the body, hence
+        # the startswith)
+        assert not any(
+            sql.strip().startswith("INSERT INTO log") for sql in statements
+        )
+        db.close()
+
+    def test_full_reconstruction_from_journal(self, tmp_path) -> None:
+        db = make_primary(tmp_path)
+        db.session.user_id = "bob"
+        db.execute("SELECT name FROM patients WHERE age >= 30")
+        db.drain_triggers()
+        expected_log = log_rows(db)
+        # the age < 30 predicate stays outside the audit expression, so
+        # this diagnostic read fires nothing on either database
+        quiet = "SELECT pid, name, age FROM patients WHERE age < 30"
+        expected_patients = sorted(db.execute(quiet).rows)
+        assert len(expected_patients) == 5
+        db.close()
+        fresh = Database(user_id="admin")
+        report = fresh.recover(tmp_path / "journal", apply_statements=True)
+        assert report.statements_applied > 0
+        assert log_rows(fresh) == expected_log
+        assert sorted(fresh.execute(quiet).rows) == expected_patients
+        fresh.close()
+
+
+# ----------------------------------------------------------------------
+# the incremental cursor
+
+
+class TestJournalCursor:
+    def test_incremental_poll_follows_appends(self, tmp_path) -> None:
+        journal = AuditJournal(tmp_path / "j")
+        cursor = JournalCursor(tmp_path / "j")
+        journal.append("statement", {"sql": "one"})
+        assert [r.data["sql"] for r in cursor.poll()] == ["one"]
+        assert cursor.poll() == []
+        journal.append("statement", {"sql": "two"})
+        journal.append("statement", {"sql": "three"})
+        assert [r.data["sql"] for r in cursor.poll()] == ["two", "three"]
+        journal.close()
+
+    def test_cursor_follows_segment_rotation(self, tmp_path) -> None:
+        journal = AuditJournal(tmp_path / "j", segment_max_bytes=256)
+        cursor = JournalCursor(tmp_path / "j")
+        for i in range(40):
+            journal.append("statement", {"sql": f"statement-{i:04d}"})
+        records = []
+        while True:
+            batch = cursor.poll()
+            if not batch:
+                break
+            records.extend(batch)
+        assert [r.seq for r in records] == list(range(40))
+        assert len({r.segment for r in records}) > 1  # really rotated
+        journal.close()
+
+    def test_torn_tail_stalls_then_resumes(self, tmp_path) -> None:
+        journal = AuditJournal(tmp_path / "j")
+        journal.append("statement", {"sql": "whole"})
+        cursor = JournalCursor(tmp_path / "j")
+        assert len(cursor.poll()) == 1
+        # simulate an append caught mid-write: no newline yet
+        segment = sorted((tmp_path / "j").glob("audit-*.jsonl"))[-1]
+        with open(segment, "ab") as handle:
+            handle.write(b"deadbeef {\"truncated")
+        assert cursor.poll() == []  # stalled, not corrupt
+        with open(segment, "ab") as handle:
+            handle.write(b"\n")
+        # a *completed* bad line on the last segment is still treated as
+        # in-progress noise only while trailing; interior damage raises
+        journal.close()
+
+    def test_interior_corruption_raises(self, tmp_path) -> None:
+        journal = AuditJournal(tmp_path / "j")
+        journal.append("statement", {"sql": "one"})
+        journal.close()
+        segment = sorted((tmp_path / "j").glob("audit-*.jsonl"))[-1]
+        with open(segment, "ab") as handle:
+            handle.write(b"garbage line\n")
+            handle.write(b"more garbage\n")
+        # rotate past it so the damage is interior
+        with open(segment.with_name("audit-000001.jsonl"), "wb") as handle:
+            handle.write(b"")
+        cursor = JournalCursor(tmp_path / "j")
+        with pytest.raises(JournalCorruptionError):
+            while cursor.poll():
+                pass
+
+    def test_from_seq_skips_already_applied(self, tmp_path) -> None:
+        journal = AuditJournal(tmp_path / "j")
+        for i in range(6):
+            journal.append("statement", {"sql": f"s{i}"})
+        cursor = JournalCursor(tmp_path / "j", from_seq=4)
+        assert [r.seq for r in cursor.poll()] == [4, 5]
+        journal.close()
+
+
+# ----------------------------------------------------------------------
+# replica over the file tailer (in-process primary)
+
+
+class TestFileReplica:
+    def test_replica_converges_and_serves_reads(self, tmp_path) -> None:
+        primary = make_primary(tmp_path)
+        replica = ReplicaDatabase.from_journal(
+            tmp_path / "journal", primary=primary
+        )
+        try:
+            token = primary.replication_token()
+            assert replica.wait_for(token, timeout=5.0)
+            result = replica.execute(
+                "SELECT name FROM patients WHERE pid = 2", user_id="reader"
+            )
+            assert result.rows == [("P2",)]
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_replica_rejects_writes(self, tmp_path) -> None:
+        primary = make_primary(tmp_path)
+        replica = ReplicaDatabase.from_journal(
+            tmp_path / "journal", primary=primary
+        )
+        try:
+            assert replica.wait_for(
+                primary.replication_token(), timeout=5.0
+            )
+            with pytest.raises(ReadOnlyReplicaError):
+                replica.execute("INSERT INTO patients VALUES (99, 'x', 50)")
+            with pytest.raises(ReadOnlyReplicaError):
+                replica.execute("DROP TABLE patients")
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_forwarded_intent_lands_on_primary_with_attribution(
+        self, tmp_path
+    ) -> None:
+        primary = make_primary(tmp_path)
+        replica = ReplicaDatabase.from_journal(
+            tmp_path / "journal", primary=primary
+        )
+        try:
+            assert replica.wait_for(
+                primary.replication_token(), timeout=5.0
+            )
+            # age >= 30 ⇒ pids 6,7,8 are sensitive
+            replica.execute(
+                "SELECT name FROM patients WHERE age >= 30",
+                user_id="dr_remote",
+            )
+            # fires on the PRIMARY, attributed to the replica's reader
+            wait_until(lambda: log_rows(primary) == [
+                ("dr_remote", 6), ("dr_remote", 7), ("dr_remote", 8),
+            ])
+            # ... and loops back into the replica's own audit log
+            token = primary.replication_token()
+            assert replica.wait_for(token, timeout=5.0)
+            wait_until(lambda: sorted(replica.database.execute(
+                "SELECT uid, pid FROM log"
+            ).rows) == [
+                ("dr_remote", 6), ("dr_remote", 7), ("dr_remote", 8),
+            ])
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_before_deny_fires_on_the_replica(self, tmp_path) -> None:
+        primary = make_primary(tmp_path)
+        primary.execute(
+            "CREATE TRIGGER guard ON ACCESS TO aud BEFORE AS "
+            "IF ((SELECT COUNT(*) FROM accessed) > 2) DENY 'too many'"
+        )
+        replica = ReplicaDatabase.from_journal(
+            tmp_path / "journal", primary=primary
+        )
+        try:
+            assert replica.wait_for(
+                primary.replication_token(), timeout=5.0
+            )
+            with pytest.raises(AccessDeniedError):
+                replica.execute(
+                    "SELECT name FROM patients WHERE age >= 30",
+                    user_id="greedy",
+                )
+            # §II semantics, same as single-node: the rows are withheld
+            # but the *attempted* access is still audited — forwarded to
+            # the primary like any other firing
+            wait_until(lambda: log_rows(primary) == [
+                ("greedy", 6), ("greedy", 7), ("greedy", 8),
+            ])
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_fail_closed_withholds_rows_when_forwarding_breaks(
+        self, tmp_path
+    ) -> None:
+        primary = make_primary(tmp_path)
+
+        def broken_sink(accessed, sql, user):
+            raise ReplicationError("primary unreachable")
+
+        replica = ReplicaDatabase(
+            JournalFileTailer(tmp_path / "journal"),
+            broken_sink,
+            audit_policy="fail_closed",
+        )
+        try:
+            assert replica.wait_for(
+                primary.replication_token(), timeout=5.0
+            )
+            with pytest.raises(AuditUnavailableError):
+                replica.execute(
+                    "SELECT name FROM patients WHERE age >= 30",
+                    user_id="blocked",
+                )
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_fail_open_records_a_gap_instead(self, tmp_path) -> None:
+        primary = make_primary(tmp_path)
+
+        def broken_sink(accessed, sql, user):
+            raise ReplicationError("primary unreachable")
+
+        replica = ReplicaDatabase(
+            JournalFileTailer(tmp_path / "journal"),
+            broken_sink,
+            audit_policy="fail_open",
+        )
+        try:
+            assert replica.wait_for(
+                primary.replication_token(), timeout=5.0
+            )
+            result = replica.execute(
+                "SELECT name FROM patients WHERE age >= 30",
+                user_id="lucky",
+            )
+            assert len(result.rows) == 3  # rows served
+            health = replica.database.audit_trail_health()
+            assert health["audit_gaps"] == 1  # but the gap is on record
+        finally:
+            replica.close()
+            primary.close()
+
+    def test_lag_is_observable(self, tmp_path) -> None:
+        primary = make_primary(tmp_path)
+        replica = ReplicaDatabase.from_journal(
+            tmp_path / "journal", primary=primary
+        )
+        try:
+            assert replica.wait_for(
+                primary.replication_token(), timeout=5.0
+            )
+            lag = replica.replication_lag()
+            assert lag["lag_records"] == 0
+            assert not lag["stalled"]
+            assert lag["records_applied"] > 0
+        finally:
+            replica.close()
+            primary.close()
+
+
+# ----------------------------------------------------------------------
+# replica over the wire (socket tailer against a live server)
+
+
+class TestSocketReplica:
+    def test_wire_replica_full_loop(self, tmp_path) -> None:
+        primary = make_primary(tmp_path)
+        with AsyncServer(primary, close_database=False) as server:
+            replica = ReplicaDatabase.from_primary(server.host, server.port)
+            try:
+                with Connection(
+                    server.host, server.port, user_id="writer"
+                ) as conn:
+                    conn.execute(
+                        "INSERT INTO patients VALUES (50, 'P50', 45)"
+                    )
+                    token = conn.last_token
+                assert token is not None
+                assert replica.wait_for(token, timeout=5.0)
+                result = replica.execute(
+                    "SELECT name FROM patients WHERE pid = 50",
+                    user_id="dr_wire",
+                )
+                assert result.rows == [("P50",)]
+                wait_until(
+                    lambda: ("dr_wire", 50) in log_rows(primary)
+                )
+                # loop-back into the replica's audit log
+                assert replica.wait_for(
+                    primary.replication_token(), timeout=5.0
+                )
+                wait_until(lambda: ("dr_wire", 50) in sorted(
+                    replica.database.execute(
+                        "SELECT uid, pid FROM log"
+                    ).rows
+                ))
+            finally:
+                replica.close()
+        primary.close()
+
+    def test_dead_stream_stalls_the_replica(self, tmp_path) -> None:
+        primary = make_primary(tmp_path)
+        server = AsyncServer(primary, close_database=False).start()
+        replica = ReplicaDatabase.from_primary(server.host, server.port)
+        try:
+            assert replica.wait_for(
+                primary.replication_token(), timeout=5.0
+            )
+            server.shutdown()
+            wait_until(lambda: replica.stalled)
+            with pytest.raises(ReplicationError):
+                replica.execute("SELECT name FROM patients WHERE pid = 1")
+        finally:
+            replica.close()
+            primary.close()
+
+
+# ----------------------------------------------------------------------
+# the differential: replicas change nothing about the audit log
+
+
+class TestAuditDifferential:
+    QUERIES = [
+        "SELECT name FROM patients WHERE age >= 30",
+        "SELECT COUNT(*) FROM patients WHERE age >= 32",
+        "SELECT name FROM patients WHERE pid = 7",
+        "SELECT pid FROM patients WHERE age >= 30 ORDER BY pid",
+        "SELECT name FROM patients WHERE pid = 2",  # not sensitive
+    ]
+    USERS = ["alice", "bob", "carol"]
+
+    def _workload(self, seed: int, n: int = 24) -> list[tuple[str, str]]:
+        rng = random.Random(seed)
+        return [
+            (rng.choice(self.USERS), rng.choice(self.QUERIES))
+            for _ in range(n)
+        ]
+
+    def full_log(self, db: Database) -> list[tuple]:
+        db.drain_triggers()
+        return sorted(db.execute("SELECT uid, query, pid FROM log").rows)
+
+    def test_reads_across_two_replicas_match_single_node(
+        self, tmp_path
+    ) -> None:
+        workload = self._workload(seed=8)
+        # ground truth: every query on one single-node database
+        single = Database(user_id="admin")
+        single.execute_script(SCHEMA)
+        for pid in range(1, 9):
+            single.execute(
+                f"INSERT INTO patients VALUES ({pid}, 'P{pid}', {24 + pid})"
+            )
+        for user, sql in workload:
+            with single.session.override(sql, user):
+                single.execute(sql)
+        expected = self.full_log(single)
+        single.close()
+
+        # same stream, spread across the primary and two replicas
+        primary = make_primary(tmp_path)
+        replicas = [
+            ReplicaDatabase.from_journal(
+                tmp_path / "journal", primary=primary, name=f"replica{i}"
+            )
+            for i in range(2)
+        ]
+        try:
+            token = primary.replication_token()
+            for replica in replicas:
+                assert replica.wait_for(token, timeout=5.0)
+            for index, (user, sql) in enumerate(workload):
+                target = index % 3
+                if target == 0:
+                    with primary.session.override(sql, user):
+                        primary.execute(sql)
+                else:
+                    replicas[target - 1].execute(sql, user_id=user)
+            wait_until(lambda: self.full_log(primary) == expected)
+            # and each replica's own audit log converges to the same
+            token = primary.replication_token()
+            for replica in replicas:
+                assert replica.wait_for(token, timeout=5.0)
+                wait_until(lambda r=replica: sorted(r.database.execute(
+                    "SELECT uid, query, pid FROM log"
+                ).rows) == expected)
+        finally:
+            for replica in replicas:
+                replica.close()
+            primary.close()
+
+    def test_killing_a_replica_loses_zero_firings(self, tmp_path) -> None:
+        primary = make_primary(tmp_path)
+        replica = ReplicaDatabase.from_journal(
+            tmp_path / "journal", primary=primary
+        )
+        fired: list[tuple[str, str]] = []
+        try:
+            assert replica.wait_for(
+                primary.replication_token(), timeout=5.0
+            )
+            for index in range(10):
+                sql = "SELECT name FROM patients WHERE age >= 30"
+                user = f"u{index}"
+                replica.execute(sql, user_id=user)
+                fired.append((user, sql))
+                if index == 4:
+                    # kill mid-stream: the applier stops, the engine dies
+                    replica.close()
+                    # every already-served read either reached the
+                    # primary's journal or raised — rerun the rest on a
+                    # fresh replica
+                    replica = ReplicaDatabase.from_journal(
+                        tmp_path / "journal", primary=primary
+                    )
+                    assert replica.wait_for(
+                        primary.replication_token(), timeout=5.0
+                    )
+            expected = sorted(
+                (user, pid) for user, _ in fired for pid in (6, 7, 8)
+            )
+            wait_until(lambda: log_rows(primary) == expected)
+        finally:
+            replica.close()
+            primary.close()
