@@ -624,7 +624,15 @@ class Database:
         AFTER-timing actions fire *here*, under the originating query's
         ``sql_text``/``user_id`` — attribution is identical to a
         single-node run. Returns the intent's journal sequence number.
+
+        Replicas forward unconditionally (their trigger catalog may lag
+        this primary's DDL), so the no-AFTER-trigger check lives here,
+        against the authoritative catalog: with nothing armed, a
+        single-node run would neither journal nor fire, and neither
+        does the forwarded intent.
         """
+        if not self.trigger_manager.has_select_triggers("after"):
+            return None
         with self.session.override(sql_text, user_id):
             seq = self._journal_intent(accessed)
             self._fire_accessed(accessed, timing="after")
@@ -1123,8 +1131,13 @@ class Database:
             # belongs to the primary — it journals the intent and runs
             # the actions under this query's attribution, and the
             # journal stream loops the result back to every replica.
-            if not has_after:
-                return
+            # Forwarding is NOT gated on this replica's trigger catalog:
+            # between the primary running CREATE TRIGGER and this
+            # replica applying that DDL record, the local catalog lags,
+            # and skipping here would silently drop evidence the
+            # primary's triggers should have recorded. The primary's
+            # apply_forwarded_intent consults *its* catalog — the truth
+            # — and no-ops when no AFTER trigger is armed.
             try:
                 self.intent_forwarder(
                     {

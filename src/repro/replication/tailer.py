@@ -13,6 +13,7 @@ this poll (the lag metric's other half).
 
 from __future__ import annotations
 
+import select
 import socket as socket_module
 
 from repro.durability.journal import JournalCursor, JournalRecord
@@ -66,8 +67,13 @@ class JournalSocketTailer:
         password: str | None = None,
         connect_timeout: float = 10.0,
         poll_timeout: float = 0.05,
+        frame_timeout: float = 10.0,
     ) -> None:
         self._poll_timeout = poll_timeout
+        # once bytes are available, a whole frame must arrive within
+        # this bound — far above the server's 1s idle heartbeat, so a
+        # trip means a wedged primary, not a slow one
+        self._frame_timeout = frame_timeout
         self._closed = False
         try:
             self._sock = socket_module.create_connection(
@@ -116,17 +122,40 @@ class JournalSocketTailer:
         except BaseException:
             self.close()
             raise
-        self._sock.settimeout(self._poll_timeout)
+        self._sock.settimeout(self._frame_timeout)
 
     def poll(
         self, max_records: int = 512  # noqa: ARG002 — server batches
     ) -> tuple[list[JournalRecord], int]:
         if self._closed:
             raise ConnectionClosedError("journal subscription is closed")
+        # Idleness is detected by select(), never by a recv timeout: a
+        # timeout firing inside recv_frame would discard the partial
+        # header/body bytes already read and desynchronize the
+        # length-prefixed stream. recv_frame only runs once bytes are
+        # available, then blocks until the frame completes (bounded by
+        # frame_timeout; the server's idle heartbeat keeps it short).
+        try:
+            readable, _, _ = select.select(
+                [self._sock], [], [], self._poll_timeout
+            )
+        except OSError as error:
+            self.close()
+            raise ConnectionClosedError(
+                f"journal stream failed: {error}"
+            ) from error
+        if not readable:
+            return [], self.primary_seq  # quiet stream: nothing new
         try:
             frame = protocol.recv_frame(self._sock)
-        except socket_module.timeout:
-            return [], self.primary_seq  # quiet stream: nothing new
+        except socket_module.timeout as error:
+            # mid-frame stall past frame_timeout: stream position is
+            # lost, so fail-stop rather than risk a desynchronized read
+            self.close()
+            raise ConnectionClosedError(
+                "journal stream stalled mid-frame "
+                f"(no complete frame within {self._frame_timeout}s)"
+            ) from error
         except OSError as error:
             self.close()
             raise ConnectionClosedError(

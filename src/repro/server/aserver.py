@@ -65,7 +65,10 @@ from repro.server.auth import (
     ClientSession,
     OpenAuthenticator,
 )
-from repro.server.server import DEFAULT_BATCH_ROWS
+from repro.server.server import (
+    DEFAULT_BATCH_ROWS,
+    DEFAULT_HEARTBEAT_INTERVAL,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard
     from repro.database import Database, QueryResult
@@ -92,9 +95,6 @@ DEFAULT_WRITE_HIGH_WATER = 256 * 1024
 
 #: journal-subscription tail poll interval while the stream is idle
 DEFAULT_SUBSCRIBE_POLL = 0.02
-
-#: idle-stream heartbeat: an empty journal frame refreshing primary_seq
-DEFAULT_HEARTBEAT_INTERVAL = 1.0
 
 
 class _AsyncConnection:
@@ -815,7 +815,10 @@ class AsyncServer:
         loop = asyncio.get_running_loop()
         last_beat = loop.time()
         while not (
-            self._stopping or conn.peer_done or conn.writer.is_closing()
+            self._stopping
+            or conn.peer_done
+            or conn.closed_event.is_set()
+            or conn.writer.is_closing()
         ):
             records = await loop.run_in_executor(
                 self._executor, cursor.poll
@@ -845,6 +848,8 @@ class AsyncServer:
                 )
             except asyncio.TimeoutError:
                 pass
+            else:
+                break  # subscriber disconnected: stop tailing
 
     # ------------------------------------------------------------------
     # write helpers

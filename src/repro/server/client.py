@@ -41,6 +41,12 @@ class Connection:
     (exponential backoff capped at ``max_backoff`` when the server sent
     none) and tries again, up to ``retries`` additional attempts. The
     default (``retries=0``) preserves fail-fast shedding.
+
+    ``max_pipeline`` bounds how many :meth:`execute_many` frames may be
+    in flight (sent but not yet answered) at once — both servers cap
+    per-connection pipelining anyway, and an unbounded burst can
+    deadlock against a server whose reply buffer fills while the client
+    is still blocked in ``sendall``.
     """
 
     def __init__(
@@ -53,10 +59,12 @@ class Connection:
         response_timeout: float | None = None,
         retries: int = 0,
         max_backoff: float = 5.0,
+        max_pipeline: int = 32,
     ) -> None:
         self.host = host
         self.port = port
         self.user_id = user_id
+        self.max_pipeline = max(1, max_pipeline)
         self._lock = threading.Lock()
         self._closed = False
         self.session_id: int | None = None
@@ -180,6 +188,15 @@ class Connection:
         its neighbors: its slot holds the (typed) exception. With
         ``raise_on_error`` the first failure re-raises *after* the full
         reply stream is drained, so the connection stays usable.
+
+        At most ``max_pipeline`` statements are in flight at a time:
+        the first window is sent in one burst, then each drained reply
+        tops the window back up. Blasting the whole batch before
+        reading anything would deadlock once requests plus unread
+        replies exceed the kernel socket buffers (the server blocks —
+        or pauses, under the async front end's write high-water mark —
+        writing replies the client is not reading, while the client
+        blocks in ``sendall`` the server is not reading).
         """
         frames = []
         for statement in statements:
@@ -195,20 +212,28 @@ class Connection:
                 }
             frames.append(message)
         with self._lock:
-            payload = b"".join(
+            encoded = [
                 protocol.frame_bytes(message) for message in frames
-            )
+            ]
             if self._closed:
                 raise ConnectionClosedError("connection is closed")
-            try:
-                self._sock.sendall(payload)
-            except OSError as error:
-                self._abort()
-                raise ConnectionClosedError(
-                    f"send failed: {error}"
-                ) from error
             outcomes: list = []
-            for _ in frames:
+            sent = 0
+            while len(outcomes) < len(encoded):
+                window_end = min(
+                    len(encoded), len(outcomes) + self.max_pipeline
+                )
+                if window_end > sent:
+                    try:
+                        self._sock.sendall(
+                            b"".join(encoded[sent:window_end])
+                        )
+                    except OSError as error:
+                        self._abort()
+                        raise ConnectionClosedError(
+                            f"send failed: {error}"
+                        ) from error
+                    sent = window_end
                 try:
                     outcomes.append(self._read_result())
                 except ConnectionClosedError:

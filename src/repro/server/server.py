@@ -39,6 +39,7 @@ import concurrent.futures
 import select
 import socket
 import threading
+import time
 from typing import TYPE_CHECKING
 
 from repro.concurrency import DrainGate, GateClosedError
@@ -67,6 +68,12 @@ if TYPE_CHECKING:  # pragma: no cover - cycle guard
 
 #: rows per ``rows`` frame (bounds per-frame memory, keeps latency low)
 DEFAULT_BATCH_ROWS = 256
+
+#: idle journal-stream heartbeat: an empty ``journal`` frame refreshing
+#: ``primary_seq`` so a subscriber's lag metric stays honest on a quiet
+#: primary (both front ends send it; the socket tailer's liveness and
+#: EOF detection rely on the traffic)
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
 
 DEFAULT_MAX_CONNECTIONS = 32
 DEFAULT_ADMISSION_QUEUE = 8
@@ -478,6 +485,7 @@ class Server:
             sock, {"type": "subscribe_ok", "next_seq": journal.next_seq}
         )
         cursor = JournalCursor(journal.path, from_seq=from_seq)
+        last_beat = time.monotonic()
         while not self._stopping.is_set():
             records = cursor.poll()
             if records:
@@ -489,7 +497,16 @@ class Server:
                     ],
                     "primary_seq": journal.next_seq,
                 })
+                last_beat = time.monotonic()
                 continue
+            if time.monotonic() - last_beat >= DEFAULT_HEARTBEAT_INTERVAL:
+                # idle heartbeat keeps the replica's lag metric honest
+                protocol.send_frame(sock, {
+                    "type": "journal",
+                    "records": [],
+                    "primary_seq": journal.next_seq,
+                })
+                last_beat = time.monotonic()
             # idle: watch the socket so a departing subscriber is
             # noticed promptly (readable + empty recv = EOF)
             readable, _, _ = select.select([sock], [], [], 0.02)
@@ -651,6 +668,7 @@ def _quietly_close(sock: socket.socket) -> None:
 __all__ = [
     "Server",
     "DEFAULT_BATCH_ROWS",
+    "DEFAULT_HEARTBEAT_INTERVAL",
     "DEFAULT_MAX_CONNECTIONS",
     "DEFAULT_ADMISSION_QUEUE",
 ]

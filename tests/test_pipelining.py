@@ -14,6 +14,8 @@ neighbors.
 from __future__ import annotations
 
 import socket
+import struct
+import threading
 
 import pytest
 
@@ -166,3 +168,69 @@ class TestExecuteMany:
             ])
             assert outcomes[0].rows == [("v5",)]
             assert outcomes[1].rows == [("v6",)]
+
+    def test_large_batch_with_small_window_stays_ordered(
+        self, server
+    ) -> None:
+        # a batch far larger than the window, with result rows flowing
+        # the whole time — exercises the send/drain interleaving on
+        # both front ends
+        with Connection(server.host, server.port, max_pipeline=4) as conn:
+            n = 200
+            outcomes = conn.execute_many([
+                f"SELECT v FROM items WHERE k = {k % 16}" for k in range(n)
+            ])
+            assert [outcome.rows for outcome in outcomes] == [
+                [(f"v{k % 16}",)] for k in range(n)
+            ]
+
+
+class TestExecuteManyWindow:
+    """The in-flight bound itself, against an instrumented fake socket.
+
+    ``execute_many`` must never have more than ``max_pipeline``
+    statements sent-but-unanswered: blasting the whole batch before
+    reading any reply deadlocks once requests plus unread replies
+    exceed the kernel socket buffers (the server blocks — or pauses,
+    under the async write high-water mark — writing replies the client
+    is not reading, while the client blocks in ``sendall`` the server
+    is not reading).
+    """
+
+    @staticmethod
+    def _count_frames(payload: bytes) -> int:
+        count, offset = 0, 0
+        while offset < len(payload):
+            (length,) = struct.unpack(">I", payload[offset:offset + 4])
+            offset += 4 + length
+            count += 1
+        assert offset == len(payload), "payload tore a frame"
+        return count
+
+    def test_inflight_never_exceeds_max_pipeline(self) -> None:
+        conn = Connection.__new__(Connection)
+        conn._lock = threading.Lock()
+        conn._closed = False
+        conn.max_pipeline = 4
+        inflight = {"now": 0, "max": 0}
+        outer = self
+
+        class FakeSock:
+            def sendall(self, payload: bytes) -> None:
+                inflight["now"] += outer._count_frames(payload)
+                inflight["max"] = max(inflight["max"], inflight["now"])
+
+        conn._sock = FakeSock()
+
+        def fake_read_result() -> str:
+            assert inflight["now"] > 0, "read with nothing in flight"
+            inflight["now"] -= 1
+            return "ok"
+
+        conn._read_result = fake_read_result
+        outcomes = conn.execute_many(
+            [f"SELECT {k}" for k in range(50)], raise_on_error=False
+        )
+        assert outcomes == ["ok"] * 50
+        assert inflight["max"] == 4  # window filled, never exceeded
+        assert inflight["now"] == 0  # fully drained

@@ -15,6 +15,8 @@ statement stream — including when a replica dies mid-stream.
 from __future__ import annotations
 
 import random
+import socket
+import threading
 import time
 
 import pytest
@@ -29,7 +31,9 @@ from repro.errors import (
     ReplicationError,
 )
 from repro.replication import JournalFileTailer, ReplicaDatabase
-from repro.server import AsyncServer, Connection
+from repro.replication.tailer import JournalSocketTailer
+from repro.server import AsyncServer, Connection, Server
+from repro.server import protocol
 
 SCHEMA = """
 CREATE TABLE patients (pid INT PRIMARY KEY, name VARCHAR, age INT);
@@ -38,6 +42,15 @@ CREATE AUDIT EXPRESSION aud AS SELECT pid FROM patients WHERE age >= 30
     FOR SENSITIVE TABLE patients, PARTITION BY pid;
 CREATE TRIGGER ins_log ON ACCESS TO aud AS
     INSERT INTO log SELECT user_id(), sql_text(), pid FROM accessed;
+"""
+
+#: the same catalog *before* the trigger DDL — what a replica sees in
+#: the window between the primary's CREATE TRIGGER and applying it
+SCHEMA_NO_TRIGGER = """
+CREATE TABLE patients (pid INT PRIMARY KEY, name VARCHAR, age INT);
+CREATE TABLE log (uid VARCHAR, query VARCHAR, pid INT);
+CREATE AUDIT EXPRESSION aud AS SELECT pid FROM patients WHERE age >= 30
+    FOR SENSITIVE TABLE patients, PARTITION BY pid;
 """
 
 
@@ -550,4 +563,198 @@ class TestAuditDifferential:
             wait_until(lambda: log_rows(primary) == expected)
         finally:
             replica.close()
+            primary.close()
+
+
+# ----------------------------------------------------------------------
+# stream framing and liveness (regression suite for the review findings)
+
+
+class TestSocketTailerFraming:
+    def _fake_stream_server(self, payload_chunks, pauses):
+        """A minimal subscribe endpoint that dribbles bytes on demand.
+
+        Speaks the handshake for real, then writes ``payload_chunks``
+        with ``pauses`` seconds of silence between them — longer than
+        the tailer's poll interval, so a frame straddles several
+        ``poll()`` calls.
+        """
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def serve() -> None:
+            sock, _ = listener.accept()
+            try:
+                assert protocol.recv_frame(sock)["type"] == "hello"
+                protocol.send_frame(sock, {
+                    "type": "hello_ok",
+                    "server": "fake",
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "session": 1,
+                })
+                assert protocol.recv_frame(sock)["type"] == "subscribe"
+                protocol.send_frame(
+                    sock, {"type": "subscribe_ok", "next_seq": 5}
+                )
+                for chunk, pause in zip(payload_chunks, pauses):
+                    sock.sendall(chunk)
+                    time.sleep(pause)
+            finally:
+                sock.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        return listener, thread
+
+    def test_partial_frame_across_polls_is_not_lost(self) -> None:
+        # a journal frame whose bytes straddle idle poll() calls must
+        # arrive intact: the old recv-timeout idle signal discarded the
+        # partially-read header and desynchronized the stream
+        frame = protocol.frame_bytes({
+            "type": "journal",
+            "records": [
+                {"seq": 5, "kind": "statement", "data": {"sql": "X"}}
+            ],
+            "primary_seq": 6,
+        })
+        chunks = [frame[:3], frame[3:11], frame[11:]]
+        listener, thread = self._fake_stream_server(
+            chunks, pauses=[0.15, 0.15, 0.1]
+        )
+        tailer = JournalSocketTailer(
+            "127.0.0.1", listener.getsockname()[1], poll_timeout=0.02
+        )
+        try:
+            records: list = []
+            deadline = time.monotonic() + 5.0
+            while not records and time.monotonic() < deadline:
+                polled, _ = tailer.poll()
+                records.extend(polled)
+            assert [r.seq for r in records] == [5]
+            assert records[0].data == {"sql": "X"}
+            assert tailer.primary_seq == 6
+        finally:
+            tailer.close()
+            listener.close()
+            thread.join(timeout=5.0)
+
+    def test_quiet_stream_polls_return_empty(self) -> None:
+        # idleness is select()-detected: no bytes -> ([], primary_seq),
+        # repeatedly, without touching stream position
+        listener, thread = self._fake_stream_server([b""], pauses=[0.5])
+        tailer = JournalSocketTailer(
+            "127.0.0.1", listener.getsockname()[1], poll_timeout=0.02
+        )
+        try:
+            for _ in range(3):
+                assert tailer.poll() == ([], 5)
+        finally:
+            tailer.close()
+            listener.close()
+            thread.join(timeout=5.0)
+
+
+class TestStreamLiveness:
+    def _subscribe_raw(self, server, from_seq: int) -> socket.socket:
+        sock = socket.create_connection(
+            (server.host, server.port), timeout=10.0
+        )
+        protocol.send_frame(sock, {
+            "type": "hello",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "user": "replica",
+            "password": None,
+        })
+        assert protocol.recv_frame(sock)["type"] == "hello_ok"
+        protocol.send_frame(
+            sock, {"type": "subscribe", "from_seq": from_seq}
+        )
+        frame = protocol.recv_frame(sock)
+        assert frame["type"] == "subscribe_ok"
+        return sock
+
+    def test_threaded_server_sends_idle_heartbeats(self, tmp_path) -> None:
+        # an idle threaded primary must still refresh primary_seq (the
+        # replica's lag metric and liveness signal both ride on it)
+        primary = make_primary(tmp_path)
+        server = Server(primary, close_database=False).start()
+        try:
+            head = primary.journal.next_seq
+            sock = self._subscribe_raw(server, from_seq=head)
+            try:
+                sock.settimeout(5.0)
+                frame = protocol.recv_frame(sock)
+                assert frame["type"] == "journal"
+                assert frame["records"] == []
+                assert frame["primary_seq"] == head
+            finally:
+                sock.close()
+        finally:
+            server.shutdown()
+            primary.close()
+
+    def test_async_stream_ends_on_subscriber_half_close(
+        self, tmp_path
+    ) -> None:
+        # a subscriber that SHUT_WRs its side must end the stream task
+        # (the old loop condition never consulted closed_event and spun
+        # on a half-closed peer forever)
+        primary = make_primary(tmp_path)
+        server = AsyncServer(primary, close_database=False).start()
+        try:
+            sock = self._subscribe_raw(
+                server, from_seq=primary.journal.next_seq
+            )
+            try:
+                wait_until(lambda: len(server._connections) == 1)
+                sock.shutdown(socket.SHUT_WR)
+                wait_until(lambda: len(server._connections) == 0)
+            finally:
+                sock.close()
+        finally:
+            server.shutdown()
+            primary.close()
+
+
+class TestCatalogLagForwarding:
+    def test_lagging_trigger_catalog_still_forwards(self, tmp_path) -> None:
+        # DDL-lag window: the replica's catalog predates the primary's
+        # CREATE TRIGGER. Forwarding must not be gated on the replica's
+        # (stale) view — the primary's triggers still fire and log.
+        primary = make_primary(tmp_path)
+        lagging = Database(user_id="dr_lag")
+        lagging.execute_script(SCHEMA_NO_TRIGGER)
+        for pid in range(1, 9):
+            lagging.execute(
+                f"INSERT INTO patients VALUES ({pid}, 'P{pid}', {24 + pid})"
+            )
+        lagging.intent_forwarder = primary.apply_forwarded_intent
+        try:
+            lagging.execute("SELECT name FROM patients WHERE age >= 30")
+            wait_until(lambda: log_rows(primary) == [
+                ("dr_lag", 6), ("dr_lag", 7), ("dr_lag", 8),
+            ])
+        finally:
+            lagging.close()
+            primary.close()
+
+    def test_primary_without_after_trigger_noops_intent(
+        self, tmp_path
+    ) -> None:
+        # the no-AFTER-trigger check lives on the primary (the
+        # authoritative catalog): nothing armed -> nothing journaled,
+        # nothing fired — exactly what a single-node run would do
+        primary = Database(
+            user_id="admin", journal_path=tmp_path / "journal"
+        )
+        primary.execute_script(SCHEMA_NO_TRIGGER)
+        head = primary.journal.next_seq
+        seq = primary.apply_forwarded_intent(
+            {"aud": frozenset({6})}, "SELECT 1", "nobody"
+        )
+        try:
+            assert seq is None
+            assert primary.journal.next_seq == head
+        finally:
             primary.close()
